@@ -1,0 +1,91 @@
+// TCF design ablations — the §4.1 claims as measurements:
+//   1. backing table: achievable load factor with vs without (paper:
+//      90% vs 79.6%), and its negative-query cost;
+//   2. shortcut optimization: insert throughput with vs without, and the
+//      0.75 cutoff against neighbouring cutoffs;
+//   3. backing-table share of items (paper: << 1%).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "tcf/tcf.h"
+
+using namespace gf;
+
+namespace {
+
+// The paper's backing-table numbers correspond to the 16-slot-block
+// regime (the default 32-slot geometry is more forgiving; EXPERIMENTS.md).
+using ablation_tcf_t = tcf::tcf<16, 16>;
+
+double fill_until_failure(tcf::tcf_config cfg, uint64_t slots,
+                          uint64_t seed) {
+  ablation_tcf_t f(slots, cfg);
+  auto keys = util::hashed_xorwow_items(f.capacity(), seed);
+  uint64_t inserted = 0;
+  for (uint64_t k : keys) {
+    if (!f.insert(k)) break;
+    ++inserted;
+  }
+  return static_cast<double>(inserted) / static_cast<double>(f.capacity());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::options::parse(argc, argv);
+  uint64_t slots = uint64_t{1} << (opts.full ? 20 : 16);
+  bench::print_banner("ablation_tcf: backing table and shortcut ablations",
+                      "claims in §4.1 / §6.1");
+
+  // 1. Load factor at first insertion failure.
+  tcf::tcf_config with, without;
+  without.enable_backing = false;
+  std::printf("\nachievable load factor (mean of 5 seeds):\n");
+  double lf_with = 0, lf_without = 0;
+  for (uint64_t s = 0; s < 5; ++s) {
+    lf_with += fill_until_failure(with, slots, 100 + s);
+    lf_without += fill_until_failure(without, slots, 100 + s);
+  }
+  std::printf("  with backing table:    %.3f  (paper: 0.90)\n", lf_with / 5);
+  std::printf("  without backing table: %.3f  (paper: 0.796)\n",
+              lf_without / 5);
+
+  // 2. Shortcut cutoff sweep (insert throughput at 85% fill).
+  std::printf("\nshortcut cutoff sweep (insert Mops/s at 85%% load):\n");
+  for (double cutoff : {0.0, 0.5, 0.625, 0.75, 0.875, 1.0}) {
+    tcf::tcf_config cfg;
+    cfg.enable_shortcut = cutoff > 0.0;
+    cfg.shortcut_cutoff = cutoff;
+    ablation_tcf_t f(slots, cfg);
+    uint64_t n = f.capacity() * 85 / 100;
+    auto keys = util::hashed_xorwow_items(n, 7);
+    double mops = bench::time_mops(n, [&] { f.insert_bulk(keys); });
+    std::printf("  cutoff %.3f%s: %8.1f\n", cutoff,
+                cutoff == 0.0 ? " (off) " : "       ", mops);
+  }
+
+  // 3. Backing-table population and negative-query overhead.
+  {
+    ablation_tcf_t f(slots);
+    auto keys = util::hashed_xorwow_items(f.capacity() * 9 / 10, 9);
+    f.insert_bulk(keys);
+    std::printf("\nbacking-table share at 90%% load: %.4f%% of items "
+                "(paper: <0.07%%)\n",
+                100.0 * static_cast<double>(f.backing_size()) /
+                    static_cast<double>(keys.size()));
+    auto absent = util::hashed_xorwow_items(keys.size(), 10);
+    double neg = bench::time_mops(absent.size(),
+                                  [&] { f.count_contained(absent); });
+    tcf::tcf_config nb;
+    nb.enable_backing = false;
+    ablation_tcf_t g(slots, nb);
+    auto keys80 = util::hashed_xorwow_items(g.capacity() * 75 / 100, 11);
+    g.insert_bulk(keys80);
+    double neg_nb = bench::time_mops(absent.size(),
+                                     [&] { g.count_contained(absent); });
+    std::printf("negative queries: %.1f Mops/s with backing vs %.1f "
+                "without (backing adds probes, §6.1)\n",
+                neg, neg_nb);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 3: point-API aggregate throughput — inserts, positive queries,
+// random (negative) queries — for TCF, GQF, BF, and BBF across filter
+// sizes.  Expected shape (paper §6.1):
+//   * TCF leads inserts and queries among deletion-capable filters;
+//   * GQF inserts trail everything (locking cost) while its positive
+//     queries beat the BF;
+//   * BBF is the fastest overall but is membership-only with a higher FP
+//     rate;
+//   * BF random queries benefit from the first-zero early exit.
+#include <vector>
+
+#include "baselines/blocked_bloom.h"
+#include "baselines/bloom.h"
+#include "bench/harness.h"
+#include "gqf/gqf_point.h"
+#include "tcf/tcf.h"
+
+using namespace gf;
+
+int main(int argc, char** argv) {
+  auto opts = bench::options::parse(argc, argv);
+  bench::print_banner("fig3_point_api: point-API throughput vs. filter size",
+                      "Figure 3 (a-f)");
+
+  const std::vector<std::string> names = {"TCF", "GQF", "BF", "BBF"};
+  std::vector<std::vector<double>> inserts, positive, random;
+
+  for (int log_size : opts.log_sizes) {
+    uint64_t slots = uint64_t{1} << log_size;
+    uint64_t n_tcf = slots * 9 / 10;   // 90% load (paper)
+    uint64_t n_gqf = slots * 85 / 100; // GQF benchmarked at 85-90%
+    auto keys = util::hashed_xorwow_items(n_tcf, 1000 + log_size);
+    auto absent = util::hashed_xorwow_items(n_tcf, 9000 + log_size);
+
+    std::vector<double> ins(4), pos(4), rnd(4);
+
+    {
+      tcf::point_tcf f(slots);
+      ins[0] = bench::time_mops(n_tcf, [&] { f.insert_bulk(keys); });
+      pos[0] = bench::best_mops(3, n_tcf, [&] { f.count_contained(keys); });
+      rnd[0] = bench::best_mops(3, n_tcf, [&] { f.count_contained(absent); });
+    }
+    {
+      gqf::gqf_point<uint8_t> f(static_cast<uint32_t>(log_size), 8);
+      std::vector<uint64_t> gq(keys.begin(), keys.begin() + n_gqf);
+      ins[1] = bench::time_mops(n_gqf, [&] { f.insert_bulk(gq); });
+      pos[1] = bench::best_mops(3, n_gqf, [&] { f.count_contained(gq); });
+      rnd[1] = bench::best_mops(3, n_tcf, [&] { f.count_contained(absent); });
+    }
+    {
+      // Paper configuration: 7 hashes, 10.1 bits/item.
+      baselines::bloom_filter f(
+          static_cast<uint64_t>(static_cast<double>(n_tcf) * 10.1), 7, 0);
+      ins[2] = bench::time_mops(n_tcf, [&] { f.insert_bulk(keys); });
+      pos[2] = bench::best_mops(3, n_tcf, [&] { f.count_contained(keys); });
+      rnd[2] = bench::best_mops(3, n_tcf, [&] { f.count_contained(absent); });
+    }
+    {
+      baselines::blocked_bloom_filter f(n_tcf, 10.1, 7);
+      ins[3] = bench::time_mops(n_tcf, [&] { f.insert_bulk(keys); });
+      pos[3] = bench::best_mops(3, n_tcf, [&] { f.count_contained(keys); });
+      rnd[3] = bench::best_mops(3, n_tcf, [&] { f.count_contained(absent); });
+    }
+    inserts.push_back(ins);
+    positive.push_back(pos);
+    random.push_back(rnd);
+  }
+
+  bench::print_series_header("point inserts (Fig. 3a/3d)", names);
+  for (size_t i = 0; i < opts.log_sizes.size(); ++i)
+    bench::print_series_row(opts.log_sizes[i], inserts[i]);
+  bench::print_series_header("point positive queries (Fig. 3b/3e)", names);
+  for (size_t i = 0; i < opts.log_sizes.size(); ++i)
+    bench::print_series_row(opts.log_sizes[i], positive[i]);
+  bench::print_series_header("point random queries (Fig. 3c/3f)", names);
+  for (size_t i = 0; i < opts.log_sizes.size(); ++i)
+    bench::print_series_row(opts.log_sizes[i], random[i]);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 5: TCF variations — cooperative-group size (1..32) against the
+// seven (fingerprint bits - block size) variants, for inserts, positive
+// queries, and random queries.  The paper finds CG=4 optimal for most
+// variants on real warps (§6.3); on the CPU substrate the CG size changes
+// ballot-window shape rather than warp scheduling, so the sweep documents
+// the substrate's own optimum alongside the paper's.
+#include <vector>
+
+#include "bench/harness.h"
+#include "tcf/tcf.h"
+
+using namespace gf;
+
+namespace {
+
+struct sweep_row {
+  std::string variant;
+  std::vector<double> inserts, positive, random;
+};
+
+template <unsigned FpBits, unsigned Slots>
+sweep_row run_variant(uint64_t slots_total,
+                      const std::vector<unsigned>& cg_sizes, uint64_t seed) {
+  sweep_row row;
+  row.variant = std::to_string(FpBits) + "-" + std::to_string(Slots);
+  for (unsigned cg : cg_sizes) {
+    tcf::tcf_config cfg;
+    cfg.cg_size = cg;
+    tcf::tcf<FpBits, Slots> f(slots_total, cfg);
+    uint64_t n = f.capacity() * 85 / 100;
+    auto keys = util::hashed_xorwow_items(n, seed + cg);
+    auto absent = util::hashed_xorwow_items(n, seed + cg + 5000);
+    row.inserts.push_back(bench::time_mops(n, [&] { f.insert_bulk(keys); }));
+    row.positive.push_back(
+        bench::best_mops(3, n, [&] { f.count_contained(keys); }));
+    row.random.push_back(
+        bench::best_mops(3, n, [&] { f.count_contained(absent); }));
+  }
+  return row;
+}
+
+void print_metric(const char* title, const std::vector<unsigned>& cgs,
+                  const std::vector<sweep_row>& rows, int which) {
+  std::printf("\n-- %s --\n%-10s", title, "variant");
+  for (unsigned cg : cgs) std::printf("%10u", cg);
+  std::printf("\n");
+  for (const auto& r : rows) {
+    std::printf("%-10s", r.variant.c_str());
+    const auto& vals =
+        which == 0 ? r.inserts : (which == 1 ? r.positive : r.random);
+    for (double v : vals) std::printf("%10.1f", v);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::options::parse(argc, argv);
+  bench::print_banner(
+      "fig5_cg_sweep: cooperative-group size x TCF variant",
+      "Figure 5 (a-c); labels are <fingerprint bits>-<block slots>");
+
+  uint64_t slots_total = uint64_t{1} << (opts.full ? 22 : 18);
+  std::vector<unsigned> cgs = {1, 2, 4, 8, 16, 32};
+
+  std::vector<sweep_row> rows;
+  rows.push_back(run_variant<8, 8>(slots_total, cgs, 100));
+  rows.push_back(run_variant<12, 8>(slots_total, cgs, 200));
+  rows.push_back(run_variant<12, 12>(slots_total, cgs, 300));
+  rows.push_back(run_variant<12, 16>(slots_total, cgs, 400));
+  rows.push_back(run_variant<12, 32>(slots_total, cgs, 500));
+  rows.push_back(run_variant<16, 16>(slots_total, cgs, 600));
+  rows.push_back(run_variant<16, 32>(slots_total, cgs, 700));
+
+  std::printf("(columns: cooperative-group size; filters sized to 2^%d)\n",
+              opts.full ? 22 : 18);
+  print_metric("inserts (Fig. 5a)", cgs, rows, 0);
+  print_metric("positive queries (Fig. 5b)", cgs, rows, 1);
+  print_metric("random queries (Fig. 5c)", cgs, rows, 2);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 6: deletion throughput (log scale in the paper) — GQF bulk, SQF,
+// TCF — versus filter size.  Expected shape (§6.4):
+//   * TCF an order of magnitude ahead (single-CAS tombstones);
+//   * GQF next (even-odd phased, sorted, larger-first deletes);
+//   * SQF far behind (serial shifting deletes; artifact behaviour).
+#include <vector>
+
+#include "baselines/sqf.h"
+#include "bench/harness.h"
+#include "gqf/gqf_bulk.h"
+#include "tcf/tcf.h"
+
+using namespace gf;
+
+int main(int argc, char** argv) {
+  auto opts = bench::options::parse(argc, argv);
+  bench::print_banner("fig6_deletes: deletion throughput vs. filter size",
+                      "Figure 6");
+  const std::vector<std::string> names = {"TCF", "bulkGQF", "SQF"};
+  std::vector<std::vector<double>> rows;
+
+  for (int log_size : opts.log_sizes) {
+    uint64_t slots = uint64_t{1} << log_size;
+    uint64_t n = slots * 85 / 100;
+    auto keys = util::hashed_xorwow_items(n, 3000 + log_size);
+    std::vector<double> vals(3, -1);
+
+    {
+      tcf::point_tcf f(slots);
+      f.insert_bulk(keys);
+      vals[0] = bench::time_mops(n, [&] { f.erase_bulk(keys); });
+    }
+    {
+      gqf::gqf_filter<uint8_t> f(static_cast<uint32_t>(log_size), 8);
+      gqf::bulk_insert(f, keys);
+      vals[1] = bench::time_mops(n, [&] { gqf::bulk_erase(f, keys); });
+    }
+    if (log_size + 5 < 32) {
+      baselines::sqf f(static_cast<uint32_t>(log_size), 5);
+      f.insert_bulk(keys);
+      // Serial deletes: cap the batch so the series completes, report rate.
+      uint64_t slice = std::min<uint64_t>(n, 1u << 15);
+      std::vector<uint64_t> some(keys.begin(), keys.begin() + slice);
+      vals[2] = bench::time_mops(slice, [&] { f.erase_bulk(some); });
+    }
+    rows.push_back(vals);
+  }
+
+  bench::print_series_header("deletions (Mops/s)", names);
+  for (size_t i = 0; i < opts.log_sizes.size(); ++i)
+    bench::print_series_row(opts.log_sizes[i], rows[i]);
+  return 0;
+}

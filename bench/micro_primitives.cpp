@@ -1,0 +1,117 @@
+// Google-benchmark micro-suite for the primitives everything rests on:
+// hashing, rank/select words, radix sort, and the single-item filter ops.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/blocked_bloom.h"
+#include "gqf/gqf.h"
+#include "par/radix_sort.h"
+#include "tcf/tcf.h"
+#include "util/bits.h"
+#include "util/hash.h"
+#include "util/xorwow.h"
+
+using namespace gf;
+
+static void BM_Murmur64(benchmark::State& state) {
+  uint64_t k = 0x12345;
+  for (auto _ : state) {
+    k = util::murmur64(k);
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_Murmur64);
+
+static void BM_Select64(benchmark::State& state) {
+  util::xorwow rng(1);
+  std::vector<uint64_t> words(1024);
+  for (auto& w : words) w = rng.next64();
+  size_t i = 0;
+  for (auto _ : state) {
+    uint64_t w = words[i++ & 1023];
+    benchmark::DoNotOptimize(util::select64(w, util::popcount(w) / 2));
+  }
+}
+BENCHMARK(BM_Select64);
+
+static void BM_RadixSort(benchmark::State& state) {
+  auto base = util::hashed_xorwow_items(
+      static_cast<size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto copy = base;
+    state.ResumeTiming();
+    par::radix_sort(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RadixSort)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_TcfPointInsert(benchmark::State& state) {
+  tcf::point_tcf f(1 << 20);
+  util::xorwow rng(3);
+  uint64_t inserted = 0;
+  for (auto _ : state) {
+    if (inserted > f.capacity() * 8 / 10) {
+      state.PauseTiming();
+      f = tcf::point_tcf(1 << 20);
+      inserted = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(f.insert(rng.next64()));
+    ++inserted;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcfPointInsert);
+
+static void BM_TcfPointQuery(benchmark::State& state) {
+  tcf::point_tcf f(1 << 20);
+  auto keys = util::hashed_xorwow_items(f.capacity() * 3 / 4, 5);
+  f.insert_bulk(keys);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.contains(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcfPointQuery);
+
+static void BM_GqfInsert(benchmark::State& state) {
+  gqf::gqf_filter<uint8_t> f(20, 8);
+  util::xorwow rng(9);
+  uint64_t inserted = 0;
+  for (auto _ : state) {
+    if (inserted > f.num_slots() * 8 / 10) {
+      state.PauseTiming();
+      f = gqf::gqf_filter<uint8_t>(20, 8);
+      inserted = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(f.insert(rng.next64()));
+    ++inserted;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GqfInsert);
+
+static void BM_GqfQuery(benchmark::State& state) {
+  gqf::gqf_filter<uint8_t> f(20, 8);
+  auto keys = util::hashed_xorwow_items(f.num_slots() * 3 / 4, 11);
+  for (uint64_t k : keys) f.insert(k);
+  size_t i = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(f.query(keys[i++ % keys.size()]));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GqfQuery);
+
+static void BM_BlockedBloomInsert(benchmark::State& state) {
+  baselines::blocked_bloom_filter f(1 << 20, 10.1, 7);
+  util::xorwow rng(13);
+  for (auto _ : state) f.insert(rng.next64());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockedBloomInsert);

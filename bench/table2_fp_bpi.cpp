@@ -1,0 +1,90 @@
+// Table 2: measured false-positive rate and bits per item for every
+// filter at the Fig. 3/4 configurations (target FP ~0.1%; SQF/RSQF pinned
+// at 5-bit remainders, BF/BBF at 10.1 bits/item with 7 hashes).
+#include <cstdio>
+#include <vector>
+
+#include "baselines/blocked_bloom.h"
+#include "baselines/bloom.h"
+#include "baselines/rsqf.h"
+#include "baselines/sqf.h"
+#include "bench/harness.h"
+#include "gqf/gqf_bulk.h"
+#include "tcf/bulk_tcf.h"
+#include "tcf/tcf.h"
+
+using namespace gf;
+
+namespace {
+
+void report(const char* name, uint64_t items, uint64_t fp_hits,
+            uint64_t probes, size_t bytes) {
+  std::printf("%-12s %8.3f%% %8.2f\n", name,
+              100.0 * static_cast<double>(fp_hits) /
+                  static_cast<double>(probes),
+              static_cast<double>(bytes) * 8.0 / static_cast<double>(items));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::options::parse(argc, argv);
+  int log_size = opts.full ? 22 : 18;
+  uint64_t slots = uint64_t{1} << log_size;
+  uint64_t n = slots * 85 / 100;
+  auto keys = util::hashed_xorwow_items(n, 1);
+  auto absent = util::hashed_xorwow_items(1u << 20, 2);
+
+  bench::print_banner("table2_fp_bpi: empirical FP rate and bits per item",
+                      "Table 2");
+  std::printf("(paper: GQF 0.19%%/10.68, BF 0.15%%/10.10, SQF 1.17%%/9.7,\n");
+  std::printf(" RSQF 1.55%%/7.87, bulk TCF 0.36%%/16.0, TCF 0.24%%/16.7,\n");
+  std::printf(" BBF 1%%/9.73; this reproduction's slots are byte-aligned,\n");
+  std::printf(" so quotient-family BPI runs higher — see EXPERIMENTS.md)\n\n");
+  std::printf("%-12s %9s %8s\n", "filter", "FP", "BPI");
+
+  {
+    gqf::gqf_filter<uint8_t> f(static_cast<uint32_t>(log_size), 8);
+    gqf::bulk_insert(f, keys);
+    report("GQF", n, gqf::bulk_count_contained(f, absent), absent.size(),
+           f.memory_bytes());
+  }
+  {
+    baselines::bloom_filter f(
+        static_cast<uint64_t>(static_cast<double>(n) * 10.1), 7, 0);
+    f.insert_bulk(keys);
+    report("BF", n, f.count_contained(absent), absent.size(),
+           f.memory_bytes());
+  }
+  if (log_size + 5 < 32) {
+    baselines::sqf f(static_cast<uint32_t>(log_size), 5);
+    f.insert_bulk(keys);
+    report("SQF", n, f.count_contained(absent), absent.size(),
+           f.memory_bytes());
+  }
+  if (log_size + 5 < 32) {
+    baselines::rsqf f(static_cast<uint32_t>(log_size), 5);
+    f.insert_bulk(keys);
+    report("RSQF", n, f.count_contained(absent), absent.size(),
+           f.memory_bytes());
+  }
+  {
+    tcf::bulk_tcf<> f(slots);
+    f.insert_bulk(keys);
+    report("bulkTCF", n, f.count_contained(absent), absent.size(),
+           f.memory_bytes());
+  }
+  {
+    tcf::point_tcf f(slots);
+    f.insert_bulk(keys);
+    report("TCF", n, f.count_contained(absent), absent.size(),
+           f.memory_bytes());
+  }
+  {
+    baselines::blocked_bloom_filter f(n, 10.1, 7);
+    f.insert_bulk(keys);
+    report("BBF", n, f.count_contained(absent), absent.size(),
+           f.memory_bytes());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// persist_filter: build once, query forever — filter serialization.
+//
+//   build/examples/persist_filter [path]
+//
+// Pipelines that build a filter in one stage and consume it in another
+// (MetaHipMer's passes, database build/probe phases) need filters that
+// survive the process boundary.  This example builds a GQF and a TCF,
+// writes both to disk, reloads them as a fresh consumer would, and
+// verifies the loaded state answers identically.
+#include <cstdio>
+#include <fstream>
+
+#include "gqf/gqf.h"
+#include "tcf/tcf.h"
+#include "util/timer.h"
+#include "util/xorwow.h"
+
+int main(int argc, char** argv) {
+  using namespace gf;
+  const char* dir = argc > 1 ? argv[1] : "/tmp";
+  std::string gqf_path = std::string(dir) + "/example.gqf";
+  std::string tcf_path = std::string(dir) + "/example.tcf";
+
+  // -- Producer stage -------------------------------------------------------
+  auto keys = util::hashed_xorwow_items(400000, 7);
+  {
+    gqf::gqf_filter<uint8_t> counts(20, 8);
+    for (size_t i = 0; i < keys.size(); ++i)
+      counts.insert(keys[i], i % 4 + 1);
+    tcf::point_tcf members(1 << 20);
+    members.insert_bulk(keys);
+
+    std::ofstream gout(gqf_path, std::ios::binary);
+    counts.save(gout);
+    std::ofstream tout(tcf_path, std::ios::binary);
+    members.save(tout);
+    std::printf("producer: wrote %zu keys\n", keys.size());
+    std::printf("  %s (%.1f MiB)\n", gqf_path.c_str(),
+                static_cast<double>(counts.memory_bytes()) / 1048576);
+    std::printf("  %s (%.1f MiB)\n", tcf_path.c_str(),
+                static_cast<double>(members.memory_bytes()) / 1048576);
+  }
+
+  // -- Consumer stage (fresh objects, as another process would) -------------
+  util::wall_timer load_timer;
+  std::ifstream gin(gqf_path, std::ios::binary);
+  auto counts = gqf::gqf_filter<uint8_t>::load(gin);
+  std::ifstream tin(tcf_path, std::ios::binary);
+  auto members = tcf::point_tcf::load(tin);
+  std::printf("consumer: loaded both filters in %.3fs\n",
+              load_timer.seconds());
+
+  uint64_t count_errors = 0, member_misses = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (counts.query(keys[i]) < i % 4 + 1) ++count_errors;
+    if (!members.contains(keys[i])) ++member_misses;
+  }
+  std::printf("verification: %lu count undershoots, %lu membership "
+              "misses (both must be 0)\n",
+              count_errors, member_misses);
+
+  // Loaded filters stay fully operational.
+  counts.insert(0xC0FFEE, 42);
+  std::printf("post-load insert: count(0xC0FFEE) = %lu\n",
+              counts.query(0xC0FFEE));
+  return count_errors || member_misses ? 1 : 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the five-minute tour of both filters.
+//
+//   build/examples/quickstart
+//
+// Shows: constructing a TCF and a GQF, point and bulk insertion, member-
+// ship queries, counting, value association, deletion, and the space/
+// accuracy numbers you should expect.
+#include <cstdio>
+
+#include "gqf/gqf_bulk.h"
+#include "gqf/gqf_point.h"
+#include "tcf/tcf.h"
+#include "util/xorwow.h"
+
+int main() {
+  using namespace gf;
+
+  std::printf("== TCF: fast approximate set membership ==\n");
+  // 1M slots, 16-bit fingerprints, 32-slot blocks: ~0.1%% false positives.
+  tcf::point_tcf membership(1 << 20);
+
+  // Point API: safe to call from any thread.
+  membership.insert(42);
+  membership.insert(1337);
+  std::printf("contains(42)   = %d\n", membership.contains(42));
+  std::printf("contains(9999) = %d   <- absent, answered 'no'\n",
+              membership.contains(9999));
+
+  // Bulk helpers fan the work over all cores.
+  auto keys = util::hashed_xorwow_items(800000, /*seed=*/1);
+  membership.insert_bulk(keys);
+  std::printf("bulk: inserted %zu keys, load factor %.2f, %.1f bits/item\n",
+              keys.size(), membership.load_factor(),
+              membership.bits_per_item(membership.size()));
+
+  // Deletion is a single compare-and-swap to a tombstone.
+  membership.erase(42);
+  std::printf("after erase(42): contains(42) = %d\n\n",
+              membership.contains(42));
+
+  std::printf("== GQF: counting, values, enumeration ==\n");
+  // 2^18 slots, 8-bit remainders (~0.3%% FP at 85%% load).
+  gqf::gqf_point<uint8_t> counts(18, 8);
+  for (int i = 0; i < 5; ++i) counts.insert(7777);
+  std::printf("count(7777) = %lu\n", counts.query(7777));
+  counts.erase(7777, 2);
+  std::printf("after erase(7777, 2): count = %lu\n", counts.query(7777));
+
+  // Small values ride the counter channel (Mantis-style).
+  gqf::gqf_point<uint8_t> annotations(16, 8);
+  annotations.insert_value(/*key=*/555, /*value=*/9);
+  std::printf("value(555) = %lu\n", annotations.query_value(555).value());
+
+  // Bulk API: one sorted batch, even-odd phased, lock-free.
+  gqf::gqf_filter<uint8_t> bulk(20, 8);
+  auto batch = util::hashed_xorwow_items(800000, /*seed=*/2);
+  auto stats = gqf::bulk_insert(bulk, batch);
+  std::printf("bulk: %lu inserted, %lu deferred to cleanup, %lu failed\n",
+              stats.inserted, stats.deferred, stats.failed);
+
+  // Enumerate the stored multiset (fingerprint, count).
+  uint64_t distinct = 0;
+  bulk.for_each([&](uint64_t, uint64_t) { ++distinct; });
+  std::printf("enumeration sees %lu distinct fingerprints\n", distinct);
+  return 0;
+}

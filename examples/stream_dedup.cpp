@@ -1,0 +1,66 @@
+// stream_dedup: windowed stream deduplication with deletions — the
+// feature (Table 1) that separates the TCF/GQF from Bloom-filter-family
+// structures: expired items can be *removed*, so the filter never
+// saturates on an unbounded stream.
+//
+//   build/examples/stream_dedup
+//
+// A stream of events (with heavy repeats) passes through a TCF that
+// remembers the last W events; new events are emitted, repeats within the
+// window are suppressed, and events leaving the window are deleted.
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "tcf/tcf.h"
+#include "util/timer.h"
+#include "util/xorwow.h"
+#include "util/zipf.h"
+
+int main() {
+  using namespace gf;
+  constexpr uint64_t kWindow = 1 << 18;
+  constexpr uint64_t kStream = 4000000;
+
+  // Event stream: Zipf-distributed ids (hot events repeat a lot).
+  util::zipf_generator ids(1u << 22, 1.1, 1);
+
+  tcf::point_tcf window_filter(kWindow * 3 / 2);  // ~66% steady-state load
+  std::deque<uint64_t> window;
+  uint64_t emitted = 0, suppressed = 0;
+
+  util::wall_timer timer;
+  for (uint64_t i = 0; i < kStream; ++i) {
+    uint64_t event = util::murmur64(ids.next() + 1);
+    if (window_filter.contains(event)) {
+      ++suppressed;  // duplicate within the window (or a rare FP)
+    } else {
+      if (!window_filter.insert(event)) {
+        std::printf("filter rejected an insert at %lu — undersized\n", i);
+        return 1;
+      }
+      ++emitted;
+      window.push_back(event);
+      if (window.size() > kWindow) {
+        // Expire the oldest event: DELETION keeps the filter stable.
+        window_filter.erase(window.front());
+        window.pop_front();
+      }
+    }
+  }
+  double secs = timer.seconds();
+  std::printf("stream: %lu events in %.3fs (%.1f Mevents/s)\n", kStream,
+              secs, util::mops(kStream, secs));
+  std::printf("emitted %lu, suppressed %lu duplicates (%.1f%%)\n", emitted,
+              suppressed,
+              100.0 * static_cast<double>(suppressed) /
+                  static_cast<double>(kStream));
+  std::printf("steady-state filter load: %.2f (size %lu / capacity %lu)\n",
+              window_filter.load_factor(), window_filter.size(),
+              window_filter.capacity());
+  std::printf("\nwithout deletions, a Bloom filter at this stream length\n"
+              "would have saturated after ~%lu distinct events; the TCF's\n"
+              "occupancy is pinned to the window size instead.\n",
+              emitted);
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "baselines/blocked_bloom.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "gpu/atomics.h"
+#include "gpu/launch.h"
+#include "util/counters.h"
+#include "util/hash.h"
+
+namespace gf::baselines {
+
+blocked_bloom_filter::blocked_bloom_filter(uint64_t expected_items,
+                                           double bits_per_item,
+                                           unsigned num_hashes)
+    : k_(num_hashes == 0 ? 1 : num_hashes) {
+  uint64_t total_bits =
+      static_cast<uint64_t>(std::ceil(bits_per_item *
+                                      static_cast<double>(expected_items)));
+  blocks_ = (total_bits + kBlockBits - 1) / kBlockBits;
+  if (blocks_ == 0) blocks_ = 1;
+  words_.assign(blocks_ * kWordsPerBlock, 0);
+}
+
+void blocked_bloom_filter::insert(uint64_t key) {
+  auto [h1, h2] = util::hash2(key);
+  uint64_t block = util::fast_range(h1, blocks_);
+  uint32_t* base = &words_[block * kWordsPerBlock];
+  GF_COUNT(cache_lines_touched, 1);  // all k bits share one line
+  for (unsigned i = 0; i < k_; ++i) {
+    uint64_t h = util::mix64_seeded(h2, i);
+    uint64_t bit = h & (kBlockBits - 1);
+    gpu::atomic_or(&base[bit / 32], uint32_t{1} << (bit % 32));
+  }
+}
+
+bool blocked_bloom_filter::contains(uint64_t key) const {
+  auto [h1, h2] = util::hash2(key);
+  uint64_t block = util::fast_range(h1, blocks_);
+  const uint32_t* base = &words_[block * kWordsPerBlock];
+  GF_COUNT(cache_lines_touched, 1);
+  for (unsigned i = 0; i < k_; ++i) {
+    uint64_t h = util::mix64_seeded(h2, i);
+    uint64_t bit = h & (kBlockBits - 1);
+    if ((gpu::atomic_load(&base[bit / 32]) & (uint32_t{1} << (bit % 32))) == 0)
+      return false;
+  }
+  return true;
+}
+
+void blocked_bloom_filter::insert_bulk(std::span<const uint64_t> keys) {
+  gpu::launch_threads(keys.size(), [&](uint64_t i) { insert(keys[i]); });
+}
+
+uint64_t blocked_bloom_filter::count_contained(
+    std::span<const uint64_t> keys) const {
+  std::atomic<uint64_t> found{0};
+  gpu::launch_threads(keys.size(), [&](uint64_t i) {
+    if (contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
+  });
+  return found.load();
+}
+
+}  // namespace gf::baselines

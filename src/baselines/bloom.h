@@ -1,0 +1,50 @@
+// GPU-style Bloom filter baseline (paper §6: "We modified a C++ BF
+// implementation to a 1-bit encoded GPU implementation using CUDA atomic
+// bitwise operations").
+//
+// m bits, k independent hashes; insert sets k bits with atomicOr, query
+// tests k bits and exits early on the first zero (the paper notes this
+// early exit is why BF random-negative lookups are relatively fast).
+// No deletes, no counting, no value association — by design.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gf::baselines {
+
+class bloom_filter {
+ public:
+  /// Size for `expected_items` at false-positive rate `fp_rate`
+  /// (m = n log2(e) log2(1/eps) bits, k = round(m/n ln 2)).
+  bloom_filter(uint64_t expected_items, double fp_rate);
+
+  /// Explicit geometry: `bits` total bits, `k` hash functions.
+  bloom_filter(uint64_t bits, unsigned num_hashes, int);
+
+  /// Point API (thread-safe; device-side semantics).
+  void insert(uint64_t key);
+  bool contains(uint64_t key) const;
+
+  /// Host-side bulk helpers (parallel over the pool).
+  void insert_bulk(std::span<const uint64_t> keys);
+  uint64_t count_contained(std::span<const uint64_t> keys) const;
+
+  uint64_t bit_size() const { return bits_; }
+  unsigned num_hashes() const { return k_; }
+  double bits_per_item(uint64_t items) const {
+    return items ? static_cast<double>(bits_) / static_cast<double>(items)
+                 : 0.0;
+  }
+  size_t memory_bytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  uint64_t bit_index(uint64_t key, unsigned i) const;
+
+  uint64_t bits_;
+  unsigned k_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gf::baselines

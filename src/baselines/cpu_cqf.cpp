@@ -1,0 +1,46 @@
+#include "baselines/cpu_cqf.h"
+
+namespace gf::baselines {
+
+cpu_cqf::cpu_cqf(uint32_t q_bits, uint32_t r_bits)
+    : core_(q_bits, r_bits), mutexes_(core_.num_regions() + 1) {}
+
+bool cpu_cqf::insert(uint64_t key, uint64_t count) {
+  uint64_t hash = core_.hash_of(key);
+  return with_region_locks(core_.region_of_hash(hash), [&] {
+    return core_.insert_hash(hash, count);
+  });
+}
+
+uint64_t cpu_cqf::query(uint64_t key) const {
+  uint64_t hash = core_.hash_of(key);
+  return with_region_locks(core_.region_of_hash(hash), [&] {
+    return core_.query_hash(hash);
+  });
+}
+
+bool cpu_cqf::erase(uint64_t key, uint64_t count) {
+  uint64_t hash = core_.hash_of(key);
+  return with_region_locks(core_.region_of_hash(hash), [&] {
+    return const_cast<gqf::gqf_filter<uint8_t>&>(core_).remove_hash(hash,
+                                                                    count);
+  });
+}
+
+uint64_t cpu_cqf::insert_bulk(std::span<const uint64_t> keys) {
+  std::atomic<uint64_t> ok{0};
+  gpu::launch_threads(keys.size(), [&](uint64_t i) {
+    if (insert(keys[i])) ok.fetch_add(1, std::memory_order_relaxed);
+  });
+  return ok.load();
+}
+
+uint64_t cpu_cqf::count_contained(std::span<const uint64_t> keys) const {
+  std::atomic<uint64_t> found{0};
+  gpu::launch_threads(keys.size(), [&](uint64_t i) {
+    if (contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
+  });
+  return found.load();
+}
+
+}  // namespace gf::baselines

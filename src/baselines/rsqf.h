@@ -1,0 +1,73 @@
+// RSQF — a reproduction of Geil et al.'s GPU rank-select quotient filter,
+// benchmarked in Fig. 4.
+//
+// The RSQF replaces the SQF's three per-slot metadata bits with per-block
+// occupieds/runends bitvectors plus offsets (the same machinery our GQF
+// core implements), which makes lookups very fast.  The artifact the paper
+// measured, however, ships no optimized insert path: "The filter has very
+// poor performance on inserts, topping out at 8 Million per second ...
+// However, an optimized function for inserts is [not] provided by the
+// authors" (§6.2).  This reproduction is faithful to the artifact, not to
+// what the data structure could do: bulk queries are parallel, bulk
+// inserts are serialized behind a single lock.  No deletions, no counting
+// (paper Table 1), and the same q + r < 32 sizing limit as the SQF.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+
+#include "gqf/gqf.h"
+#include "gqf/gqf_bulk.h"
+
+namespace gf::baselines {
+
+class rsqf {
+ public:
+  /// q_bits + r_bits < 32, as in the artifact (<= 2^26 slots with r=5).
+  rsqf(uint32_t q_bits, uint32_t r_bits) : core_(make_core(q_bits, r_bits)) {}
+
+  /// Serial bulk insert (single global lock; see header comment).
+  uint64_t insert_bulk(std::span<const uint64_t> keys) {
+    std::lock_guard lock(insert_mu_);
+    uint64_t ok = 0;
+    for (uint64_t key : keys)
+      if (core_.insert(key)) ++ok;
+    return ok;
+  }
+
+  /// Parallel bulk lookup (rank/select runs make these fast, §6.2).
+  uint64_t count_contained(std::span<const uint64_t> keys) const {
+    return gqf::bulk_count_contained(core_, keys);
+  }
+
+  bool insert(uint64_t key) {
+    std::lock_guard lock(insert_mu_);
+    return core_.insert(key);
+  }
+  bool contains(uint64_t key) const { return core_.contains(key); }
+
+  uint64_t num_slots() const { return core_.num_slots(); }
+  uint64_t size() const { return core_.size(); }
+  double load_factor() const { return core_.load_factor(); }
+  size_t memory_bytes() const { return core_.memory_bytes(); }
+  double bits_per_item(uint64_t items) const {
+    return core_.bits_per_item(items);
+  }
+
+ private:
+  static gqf::gqf_filter<uint8_t> make_core(uint32_t q_bits,
+                                            uint32_t r_bits) {
+    if (q_bits + r_bits >= 32)
+      throw std::invalid_argument("RSQF supports q + r < 32");
+    if (r_bits > 8)
+      throw std::invalid_argument("RSQF slots are 8-bit words");
+    return gqf::gqf_filter<uint8_t>(q_bits, r_bits);
+  }
+
+  gqf::gqf_filter<uint8_t> core_;
+  mutable std::mutex insert_mu_;
+};
+
+}  // namespace gf::baselines

@@ -1,0 +1,103 @@
+// SQF — a reproduction of Geil et al.'s GPU standard quotient filter
+// (IPDPS 2018), the baseline the paper compares against in Figs. 4 and 6.
+//
+// This is the classic Bender et al. quotient filter: each slot packs a
+// remainder with three metadata bits (is_occupied, is_continuation,
+// is_shifted) in one machine word.  Two configurations exist, exactly as
+// the paper describes (§6): 5-bit remainders in 8-bit words and 13-bit
+// remainders in 16-bit words, with the constraint q + r < 32 — hence "it
+// supports a fixed false-positive rate and can only be sized to store less
+// than 2^26 items" (§1/§3.2).  No counting, no value association, set
+// semantics (duplicate inserts are no-ops).
+//
+// Bulk inserts sort the batch and run phased regions (Geil's artifact used
+// a segmented-merge build; the phased port preserves its parallel-insert
+// character on this substrate).  Deletions are serial — the artifact
+// predates the even-odd scheme this paper contributes, and the paper
+// measures SQF deletes ~2 orders of magnitude behind the GQF (§6.4).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gf::baselines {
+
+class sqf {
+ public:
+  /// q_bits + r_bits must be < 32 (the artifact's addressing limit);
+  /// r_bits must be 5 (8-bit slots) or 13 (16-bit slots).
+  sqf(uint32_t q_bits, uint32_t r_bits);
+
+  // -- Bulk API (host-side; the SQF has no device-side point API) ----------
+
+  /// Sorted, phased bulk insert.  Returns items placed (duplicates and
+  /// full-table refusals are not counted).
+  uint64_t insert_bulk(std::span<const uint64_t> keys);
+
+  /// Sorted bulk lookup (the artifact's strategy; the sort overhead is
+  /// why SQF bulk lookups trail the other filters in Fig. 4).
+  uint64_t count_contained(std::span<const uint64_t> keys) const;
+
+  /// Serial bulk delete.  Returns the number of items removed.
+  uint64_t erase_bulk(std::span<const uint64_t> keys);
+
+  /// Single-item operations (not thread-safe; used by tests).
+  bool insert(uint64_t key) { return insert_hash(hash_of(key)); }
+  bool contains(uint64_t key) const { return query_hash(hash_of(key)); }
+  bool erase(uint64_t key) { return erase_hash(hash_of(key)); }
+
+  /// Fingerprint-level operations for pre-hashed pipelines (the hash is
+  /// the low q+r bits; see hash_of).
+  uint64_t hash_of(uint64_t key) const;
+  bool insert_hash(uint64_t hash);
+  bool query_hash(uint64_t hash) const;
+  bool erase_hash(uint64_t hash);
+
+  // -- Introspection --------------------------------------------------------
+
+  uint64_t num_slots() const { return num_slots_; }
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+  double load_factor() const {
+    return static_cast<double>(size()) / static_cast<double>(num_slots_);
+  }
+  size_t memory_bytes() const { return bytes_.size(); }
+  double bits_per_item(uint64_t items) const {
+    return items ? static_cast<double>(memory_bytes()) * 8.0 /
+                       static_cast<double>(items)
+                 : 0.0;
+  }
+  uint32_t remainder_bits() const { return r_bits_; }
+
+  /// Structural invariants (tests).
+  bool validate() const;
+
+ private:
+  // Metadata bit layout within a slot word: [remainder | shifted |
+  // continuation | occupied] (low three bits are metadata).
+  static constexpr uint64_t kOccupied = 1;
+  static constexpr uint64_t kContinuation = 2;
+  static constexpr uint64_t kShifted = 4;
+  static constexpr uint64_t kMetaMask = 7;
+
+  uint64_t get_word(uint64_t i) const;
+  void set_word(uint64_t i, uint64_t w);
+  uint64_t rem_of(uint64_t w) const { return w >> 3; }
+  static bool empty_word(uint64_t w) { return (w & kMetaMask) == 0; }
+
+  uint64_t find_run_start(uint64_t quotient) const;
+  /// Bounded variant for phased bulk inserts: refuses (without mutating)
+  /// when the shift chain would reach `slot_limit`.
+  bool insert_hash_bounded(uint64_t hash, uint64_t slot_limit, bool* deferred);
+
+  uint32_t q_bits_;
+  uint32_t r_bits_;
+  uint64_t num_slots_;    ///< quotient space (2^q)
+  uint64_t total_slots_;  ///< physical slots incl. spill padding
+  size_t word_bytes_;
+  std::vector<uint8_t> bytes_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace gf::baselines

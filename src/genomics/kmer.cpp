@@ -1,0 +1,91 @@
+#include "genomics/kmer.h"
+
+namespace gf::genomics {
+
+kmer_t reverse_complement(kmer_t kmer, unsigned k) {
+  // Complement: A<->T (0<->3), C<->G (1<->2) == bitwise NOT per 2-bit
+  // field; then reverse the field order.
+  kmer_t x = ~kmer;
+  kmer_t r = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    r = (r << 2) | (x & 3);
+    x >>= 2;
+  }
+  return r;
+}
+
+kmer_t canonical(kmer_t kmer, unsigned k) {
+  kmer_t rc = reverse_complement(kmer, k);
+  return kmer < rc ? kmer : rc;
+}
+
+uint8_t encode_base(char base) {
+  switch (base) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return 4;
+  }
+}
+
+void extract_kmers(std::span<const uint8_t> bases, unsigned k,
+                   std::vector<kmer_t>* out) {
+  if (bases.size() < k) return;
+  const kmer_t mask = k == 32 ? ~kmer_t{0} : ((kmer_t{1} << (2 * k)) - 1);
+  kmer_t cur = 0;
+  unsigned have = 0;
+  for (uint8_t b : bases) {
+    if (b > 3) {  // non-ACGT: restart the window
+      have = 0;
+      cur = 0;
+      continue;
+    }
+    cur = ((cur << 2) | b) & mask;
+    if (++have >= k) out->push_back(canonical(cur, k));
+  }
+}
+
+void extract_kmers_with_context(std::span<const uint8_t> bases, unsigned k,
+                                std::vector<kmer_occurrence>* out) {
+  if (bases.size() < k) return;
+  const kmer_t mask = k == 32 ? ~kmer_t{0} : ((kmer_t{1} << (2 * k)) - 1);
+  kmer_t cur = 0;
+  unsigned have = 0;
+  for (size_t i = 0; i < bases.size(); ++i) {
+    uint8_t b = bases[i];
+    if (b > 3) {
+      have = 0;
+      cur = 0;
+      continue;
+    }
+    cur = ((cur << 2) | b) & mask;
+    if (++have < k) continue;
+    // Window is bases[i-k+1 .. i]; the neighbours are i-k and i+1.
+    uint8_t left = 4, right = 4;
+    if (i + 1 >= k + 1 && bases[i - k] <= 3 && have > k) left = bases[i - k];
+    if (i + 1 < bases.size() && bases[i + 1] <= 3) right = bases[i + 1];
+    kmer_t rc = reverse_complement(cur, k);
+    if (cur <= rc) {
+      out->push_back({cur, left, right});
+    } else {
+      // Canonical orientation is the reverse strand: swap and complement
+      // the neighbours (a left extension becomes a right extension).
+      uint8_t new_left = right <= 3 ? static_cast<uint8_t>(3 - right) : 4;
+      uint8_t new_right = left <= 3 ? static_cast<uint8_t>(3 - left) : 4;
+      out->push_back({rc, new_left, new_right});
+    }
+  }
+}
+
+std::vector<kmer_t> extract_kmers_ascii(std::string_view seq, unsigned k) {
+  std::vector<uint8_t> bases;
+  bases.reserve(seq.size());
+  for (char c : seq) bases.push_back(encode_base(c));
+  std::vector<kmer_t> out;
+  out.reserve(seq.size());
+  extract_kmers(bases, k, &out);
+  return out;
+}
+
+}  // namespace gf::genomics

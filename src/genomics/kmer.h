@@ -1,0 +1,51 @@
+// k-mer extraction over 2-bit-encoded DNA, for the counting benchmarks
+// (paper §6: "We took a raw sequencing file, M. balbisiana, ... and
+// extracted k-mers for counting") and the MetaHipMer pipeline (§6.5).
+//
+// Bases are A=0, C=1, G=2, T=3; a k-mer (k <= 32) packs into a uint64.
+// Genomics pipelines count *canonical* k-mers — the lexicographic minimum
+// of a k-mer and its reverse complement — so both strands of a molecule
+// count as one key; Squeakr and MetaHipMer both do this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace gf::genomics {
+
+using kmer_t = uint64_t;
+
+/// Reverse complement of a packed k-mer.
+kmer_t reverse_complement(kmer_t kmer, unsigned k);
+
+/// Canonical form: min(kmer, reverse_complement(kmer)).
+kmer_t canonical(kmer_t kmer, unsigned k);
+
+/// Encode an ASCII base (ACGTacgt) to 2 bits; returns 4 for anything else.
+uint8_t encode_base(char base);
+
+/// Rolling extraction of all canonical k-mers of a 2-bit-encoded read.
+void extract_kmers(std::span<const uint8_t> bases, unsigned k,
+                   std::vector<kmer_t>* out);
+
+/// A k-mer occurrence with its read context: the bases immediately before
+/// and after the window (4 = none / read boundary), already reoriented to
+/// the canonical strand.  MetaHipMer's k-mer analysis accumulates these as
+/// "extension votes" that the contig-walking phase consumes (§6.5).
+struct kmer_occurrence {
+  kmer_t kmer;
+  uint8_t left;   ///< base preceding the canonical-orientation k-mer, or 4
+  uint8_t right;  ///< base following it, or 4
+};
+
+/// Extraction with extension context.
+void extract_kmers_with_context(std::span<const uint8_t> bases, unsigned k,
+                                std::vector<kmer_occurrence>* out);
+
+/// Convenience: extraction from an ASCII sequence (skips k-mers straddling
+/// non-ACGT characters, as real pipelines do with 'N' bases).
+std::vector<kmer_t> extract_kmers_ascii(std::string_view seq, unsigned k);
+
+}  // namespace gf::genomics

@@ -1,0 +1,94 @@
+#include "genomics/read_gen.h"
+
+#include <algorithm>
+
+#include "gpu/launch.h"
+#include "util/xorwow.h"
+#include "util/zipf.h"
+
+namespace gf::genomics {
+
+read_set generate_metagenome(const metagenome_params& params) {
+  util::xorwow rng(params.seed);
+
+  // Reference contigs: uniform random bases (the filters only see hashed
+  // k-mers, so base composition is immaterial; repeat structure comes from
+  // read sampling, not the reference).
+  std::vector<std::vector<uint8_t>> contigs(params.num_contigs);
+  for (auto& contig : contigs) {
+    contig.resize(params.contig_len);
+    for (auto& b : contig) b = static_cast<uint8_t>(rng.next64() & 3);
+  }
+
+  util::zipf_generator abundance(params.num_contigs, params.abundance_theta,
+                                 params.seed ^ 0x5eed);
+
+  read_set out;
+  out.reads.resize(params.num_reads);
+  for (auto& read : out.reads) {
+    const auto& contig = contigs[abundance.next()];
+    uint64_t max_start = contig.size() > params.read_len
+                             ? contig.size() - params.read_len
+                             : 0;
+    uint64_t start = rng.next_below(max_start + 1);
+    uint64_t len = std::min<uint64_t>(params.read_len, contig.size());
+    read.assign(contig.begin() + start, contig.begin() + start + len);
+    for (auto& b : read) {
+      if (rng.next_double() < params.error_rate) {
+        // Substitution error: a different base.
+        b = static_cast<uint8_t>((b + 1 + rng.next_below(3)) & 3);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<kmer_t> extract_all_kmers(const read_set& reads, unsigned k) {
+  const size_t n = reads.reads.size();
+  std::vector<std::vector<kmer_t>> partial(n);
+  gpu::launch_threads(
+      n,
+      [&](uint64_t i) { extract_kmers(reads.reads[i], k, &partial[i]); },
+      /*grain=*/64);
+  size_t total = 0;
+  for (auto& p : partial) total += p.size();
+  std::vector<kmer_t> out;
+  out.reserve(total);
+  for (auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+std::vector<kmer_occurrence> extract_all_kmer_occurrences(
+    const read_set& reads, unsigned k) {
+  const size_t n = reads.reads.size();
+  std::vector<std::vector<kmer_occurrence>> partial(n);
+  gpu::launch_threads(
+      n,
+      [&](uint64_t i) {
+        extract_kmers_with_context(reads.reads[i], k, &partial[i]);
+      },
+      /*grain=*/64);
+  size_t total = 0;
+  for (auto& p : partial) total += p.size();
+  std::vector<kmer_occurrence> out;
+  out.reserve(total);
+  for (auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+std::vector<kmer_t> kmer_workload(uint64_t target_kmers, unsigned k,
+                                  uint64_t seed) {
+  metagenome_params params;
+  params.seed = seed;
+  params.read_len = 150;
+  uint64_t kmers_per_read = params.read_len - k + 1;
+  params.num_reads = target_kmers / kmers_per_read + 1;
+  // Reference sized for ~20x average coverage.
+  uint64_t total_bases = params.num_reads * params.read_len;
+  params.num_contigs = 64;
+  params.contig_len = std::max<uint64_t>(total_bases / 20 / params.num_contigs,
+                                         2 * params.read_len);
+  return extract_all_kmers(generate_metagenome(params), k);
+}
+
+}  // namespace gf::genomics

@@ -1,0 +1,59 @@
+// Synthetic metagenome generator — the stand-in for the paper's real
+// sequencing inputs (M. balbisiana for Table 5's k-mer column; the WA and
+// Rhizo samples for Table 3).
+//
+// What matters to the filters is the *shape* of the k-mer multiset:
+//  * coverage skew — contigs are sampled with Zipfian abundance, so some
+//    genomic k-mers appear hundreds of times and many only a few;
+//  * a long singleton tail — sequencing errors mint k-mers that appear
+//    exactly once (k consecutive error-free bases are rare to repeat);
+//    real metagenomes are 50-85% singletons, which is precisely what the
+//    TCF pre-filter exploits in MetaHipMer (§6.5).
+// Both knobs (abundance exponent, per-base error rate) are explicit so the
+// Table 3 harness can dial in the WA-like and Rhizo-like regimes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/kmer.h"
+
+namespace gf::genomics {
+
+struct metagenome_params {
+  uint64_t num_contigs = 64;      ///< distinct source sequences
+  uint64_t contig_len = 20000;    ///< bases per contig
+  uint64_t num_reads = 20000;     ///< reads sampled
+  uint64_t read_len = 150;        ///< bases per read (Illumina-like)
+  double error_rate = 0.01;       ///< per-base substitution probability
+  double abundance_theta = 1.2;   ///< Zipf exponent over contigs
+  uint64_t seed = 42;
+};
+
+struct read_set {
+  std::vector<std::vector<uint8_t>> reads;  ///< 2-bit-encoded bases
+
+  uint64_t total_bases() const {
+    uint64_t n = 0;
+    for (auto& r : reads) n += r.size();
+    return n;
+  }
+};
+
+/// Sample a synthetic metagenome: reference contigs, then error-bearing
+/// reads drawn from Zipfian-abundant contigs.
+read_set generate_metagenome(const metagenome_params& params);
+
+/// All canonical k-mers of a read set (parallel extraction).
+std::vector<kmer_t> extract_all_kmers(const read_set& reads, unsigned k);
+
+/// All canonical k-mer occurrences with extension context (parallel).
+std::vector<kmer_occurrence> extract_all_kmer_occurrences(
+    const read_set& reads, unsigned k);
+
+/// Convenience for the Table 5 "k-mer count" column: a k-mer workload of
+/// roughly `target_kmers` keys with sequencing-realistic skew.
+std::vector<kmer_t> kmer_workload(uint64_t target_kmers, unsigned k,
+                                  uint64_t seed);
+
+}  // namespace gf::genomics

@@ -1,0 +1,95 @@
+// CUDA-style atomics over plain arrays, implemented with std::atomic_ref.
+//
+// The filters operate on raw slot arrays (uint8/16/32/64) exactly as the
+// CUDA kernels do on device global memory; std::atomic_ref provides the
+// same "atomic op on a normally-declared word" semantics.  The minimum
+// atomicCAS transaction on NVIDIA hardware is 2 bytes (paper §4.1); we keep
+// the same granularity rule: sub-16-bit slot types (e.g. packed 12-bit TCF
+// fingerprints) must CAS their containing 32-bit word, which is what
+// tcf_block does.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "gpu/device.h"
+
+namespace gf::gpu {
+
+/// atomicCAS: if *addr == expected, store desired; returns the value read
+/// (CUDA semantics).  Callers that only need success/failure should use
+/// atomic_cas_bool.
+template <class T>
+inline T atomic_cas(T* addr, T expected, T desired) {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T> ref(*addr);
+  ref.compare_exchange_strong(expected, desired, std::memory_order_acq_rel,
+                              std::memory_order_acquire);
+  return expected;  // compare_exchange overwrote it with the observed value
+}
+
+/// CAS returning success (the common filter idiom).
+template <class T>
+inline bool atomic_cas_bool(T* addr, T expected, T desired) {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T> ref(*addr);
+  return ref.compare_exchange_strong(expected, desired,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+}
+
+/// atomicOr (Bloom filter bit sets use this; it is cheaper than CAS, which
+/// the paper calls out as a blocked-Bloom advantage).
+template <class T>
+inline T atomic_or(T* addr, T value) {
+  std::atomic_ref<T> ref(*addr);
+  return ref.fetch_or(value, std::memory_order_acq_rel);
+}
+
+template <class T>
+inline T atomic_and(T* addr, T value) {
+  std::atomic_ref<T> ref(*addr);
+  return ref.fetch_and(value, std::memory_order_acq_rel);
+}
+
+template <class T>
+inline T atomic_add(T* addr, T value) {
+  std::atomic_ref<T> ref(*addr);
+  return ref.fetch_add(value, std::memory_order_acq_rel);
+}
+
+template <class T>
+inline T atomic_load(const T* addr) {
+  std::atomic_ref<const T> ref(*addr);
+  return ref.load(std::memory_order_acquire);
+}
+
+template <class T>
+inline void atomic_store(T* addr, T value) {
+  std::atomic_ref<T> ref(*addr);
+  ref.store(value, std::memory_order_release);
+}
+
+/// A spin lock aligned to the simulated GPU cache line.  The GQF point API
+/// uses "cache-aligned locks" (paper §5.2) so that concurrent lock traffic
+/// does not thrash a shared line; alignas(128) reproduces that layout.
+class alignas(kCacheLineBytes) cache_aligned_lock {
+ public:
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        // spin; GPU threads busy-wait on lock words the same way
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace gf::gpu

@@ -1,0 +1,75 @@
+// Cooperative groups for the substrate.
+//
+// CUDA cooperative groups (cg::tiled_partition<N>) give the TCF its block
+// operations: lanes stride over a bucket, ballot on a per-lane predicate,
+// elect a leader with __ffs, and the leader performs the atomicCAS
+// (paper Algorithm 1, Figure 1).
+//
+// On the CPU substrate a tile of N lanes is executed by one OS thread in
+// lockstep-by-construction: lane bodies are evaluated in a loop and the
+// collective operations (ballot / any / broadcast) operate on the
+// accumulated per-lane results.  This preserves the *algorithm* exactly —
+// the ballot masks, leader election order, and CAS retry behaviour are
+// bit-identical to the CUDA version — while the parallelism across groups
+// comes from real OS threads racing on real atomics.
+//
+// The group size is a runtime knob (1..32) so the Fig. 5 sweep over
+// cooperative-group sizes is expressible.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/device.h"
+#include "util/bits.h"
+#include "util/counters.h"
+
+namespace gf::gpu {
+
+class cooperative_group {
+ public:
+  explicit cooperative_group(unsigned size) : size_(size == 0 ? 1 : size) {}
+
+  unsigned size() const { return size_; }
+
+  /// Evaluate `pred(lane)` for every lane in [0, size) and return the
+  /// ballot mask (bit i set iff lane i's predicate held) — the analogue of
+  /// CG.ballot() over a per-lane computed value.
+  template <class Pred>
+  uint32_t ballot(Pred&& pred) const {
+    GF_COUNT(ballot_rounds, 1);
+    uint32_t mask = 0;
+    for (unsigned lane = 0; lane < size_; ++lane)
+      if (pred(lane)) mask |= (1u << lane);
+    return mask;
+  }
+
+  /// Ballot over lanes mapped onto a window of `count` elements starting at
+  /// a base index (lanes past `count` contribute 0).  This is the common
+  /// "stride over a bucket" shape from Algorithm 1.
+  template <class Pred>
+  uint32_t ballot_window(unsigned count, Pred&& pred) const {
+    GF_COUNT(ballot_rounds, 1);
+    uint32_t mask = 0;
+    unsigned lanes = count < size_ ? count : size_;
+    for (unsigned lane = 0; lane < lanes; ++lane)
+      if (pred(lane)) mask |= (1u << lane);
+    return mask;
+  }
+
+  /// Leader of a ballot: lane index of the lowest set bit (CUDA's
+  /// __ffs(ballot) - 1).  Only call with a nonzero mask.
+  static unsigned leader(uint32_t ballot_mask) {
+    return static_cast<unsigned>(util::find_first_set(ballot_mask));
+  }
+
+  /// Clear the leader's bit, moving to the next candidate (Algorithm 1
+  /// line 16: ballot = ballot XOR 1 << (__ffs(ballot) - 1)).
+  static uint32_t drop_leader(uint32_t ballot_mask) {
+    return ballot_mask & (ballot_mask - 1);
+  }
+
+ private:
+  unsigned size_;
+};
+
+}  // namespace gf::gpu

@@ -1,0 +1,34 @@
+// Device model constants for the GPU-execution substrate.
+//
+// The paper's designs are parameterized on three architectural facts:
+//   * the 128-byte GPU cache line (block sizing in the TCF, lock alignment
+//     in the GQF),
+//   * the 32-lane warp (cooperative-group tiling),
+//   * a large number of concurrently schedulable threads.
+// We model those constants here; the "SM scheduler" is the thread pool.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+namespace gf::gpu {
+
+/// GPU cache line: 128 bytes on V100/A100 (paper §4.1, §5.2).
+inline constexpr size_t kCacheLineBytes = 128;
+
+/// Warp width.
+inline constexpr unsigned kWarpSize = 32;
+
+/// Properties of the simulated device.
+struct device_properties {
+  unsigned sm_count;        ///< parallel workers (hardware threads here)
+  size_t cache_line_bytes;  ///< 128 to match V100/A100
+  unsigned warp_size;       ///< 32
+};
+
+inline device_properties query_device() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return {hw == 0 ? 1 : hw, kCacheLineBytes, kWarpSize};
+}
+
+}  // namespace gf::gpu

@@ -1,0 +1,70 @@
+// Per-task scratch arenas standing in for CUDA shared memory.
+//
+// The bulk TCF "cooperatively loads the block into shared memory before
+// striding over the block" and performs merges there (paper §4.2).  On the
+// substrate each worker thread owns a reusable arena; a kernel body
+// obtains a typed scratch span, works in it, and the final result is
+// written back to the global array in one pass — the analogue of the
+// coalesced cache-wide write.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gf::gpu {
+
+class shared_arena {
+ public:
+  /// The calling worker's arena (thread-local, reused across launches).
+  static shared_arena& local() {
+    thread_local shared_arena arena;
+    return arena;
+  }
+
+  /// A scratch buffer of `count` Ts.  Valid until the owning `scratch`
+  /// scope ends; callers must not hold pointers across task boundaries.
+  template <class T>
+  T* alloc(size_t count) {
+    size_t bytes = count * sizeof(T);
+    size_t offset = (used_ + alignof(T) - 1) & ~(alignof(T) - 1);
+    if (offset + bytes > buffer_.size()) buffer_.resize(offset + bytes);
+    used_ = offset + bytes;
+    return reinterpret_cast<T*>(buffer_.data() + offset);
+  }
+
+  size_t used() const { return used_; }
+  void rewind(size_t mark) { used_ = mark; }
+
+ private:
+  // Sized generously up front (16x the 48 KiB shared memory of an SM) so
+  // growth — which would invalidate earlier pointers — is effectively
+  // never hit by in-tree kernels.
+  std::vector<uint8_t> buffer_ = std::vector<uint8_t>(768 * 1024);
+  size_t used_ = 0;
+};
+
+/// RAII scope over the worker's arena: allocations made through a `scratch`
+/// are released (rewound) when the scope ends, so nested kernel helpers
+/// compose.  NOTE: alloc() may grow the backing buffer and invalidate
+/// pointers from *earlier* alloc() calls in the same scope — allocate
+/// everything up front, as a CUDA kernel declares its shared memory.
+class scratch {
+ public:
+  scratch() : arena_(shared_arena::local()), mark_(arena_.used()) {}
+  ~scratch() { arena_.rewind(mark_); }
+
+  scratch(const scratch&) = delete;
+  scratch& operator=(const scratch&) = delete;
+
+  template <class T>
+  T* alloc(size_t count) {
+    return arena_.alloc<T>(count);
+  }
+
+ private:
+  shared_arena& arena_;
+  size_t mark_;
+};
+
+}  // namespace gf::gpu

@@ -1,0 +1,83 @@
+#include "gpu/thread_pool.h"
+
+#include <cstdlib>
+
+namespace gf::gpu {
+
+namespace {
+thread_local const thread_pool* tls_owner = nullptr;
+}
+
+thread_pool& thread_pool::instance() {
+  static thread_pool pool(query_pool_size());
+  return pool;
+}
+
+// Sizing hook kept out-of-line so tests can reason about it; honors
+// GF_NUM_WORKERS for reproducible CI runs.
+unsigned query_pool_size() {
+  if (const char* env = std::getenv("GF_NUM_WORKERS")) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+thread_pool::thread_pool(unsigned num_workers) {
+  if (num_workers < 1) num_workers = 1;
+  workers_.reserve(num_workers - 1);
+  for (unsigned i = 1; i < num_workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+bool thread_pool::in_worker() const { return tls_owner == this; }
+
+void thread_pool::run_on_all(const std::function<void(unsigned)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    job_ = &fn;
+    remaining_ = static_cast<unsigned>(workers_.size());
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  fn(0);  // The caller is worker 0.
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void thread_pool::worker_loop(unsigned id) {
+  tls_owner = this;
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      std::lock_guard lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace gf::gpu

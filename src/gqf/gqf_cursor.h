@@ -1,0 +1,108 @@
+// Incremental enumeration cursor over a GQF — the "enumeration of items"
+// capability database merge/join pipelines need (paper §1): instead of a
+// callback sweep (gqf_filter::for_each), a cursor yields (fingerprint,
+// count) pairs one at a time, so k-way merges, pagination, and streaming
+// joins compose naturally.
+//
+// Iteration order is quotient-major (ascending fingerprint), which makes
+// two cursors directly mergeable.  The cursor walks runs with the same
+// run_end machinery as queries; it is read-only and stable as long as no
+// writer mutates the filter.
+#pragma once
+
+#include <cstdint>
+
+#include "gqf/gqf.h"
+
+namespace gf::gqf {
+
+template <class SlotT>
+class gqf_cursor {
+ public:
+  explicit gqf_cursor(const gqf_filter<SlotT>& filter)
+      : f_(&filter) {
+    q_ = next_occupied(0);
+    if (valid()) enter_run();
+  }
+
+  /// True while the cursor points at an entry.
+  bool valid() const { return q_ < f_->num_slots(); }
+
+  /// Fingerprint of the current entry: (quotient << r) | remainder.
+  uint64_t hash() const {
+    return (q_ << f_->remainder_bits()) | static_cast<uint64_t>(head_);
+  }
+
+  uint64_t count() const { return count_; }
+
+  /// Advance to the next entry (ascending fingerprint order).
+  void advance() {
+    pos_ = digits_end_;
+    if (pos_ <= run_end_) {
+      read_entry();
+      return;
+    }
+    q_ = next_occupied(q_ + 1);
+    if (valid()) enter_run();
+  }
+
+ private:
+  uint64_t next_occupied(uint64_t from) const {
+    for (uint64_t q = from; q < f_->num_slots(); ++q)
+      if (f_->is_occupied(q)) return q;
+    return f_->num_slots();
+  }
+
+  void enter_run() {
+    run_end_ = f_->run_end(q_);
+    pos_ = f_->run_start(q_);
+    read_entry();
+  }
+
+  void read_entry() {
+    head_ = f_->get_slot(pos_);
+    digits_end_ = pos_ + 1;
+    while (digits_end_ <= run_end_ && f_->is_count(digits_end_))
+      ++digits_end_;
+    count_ = 1 + f_->decode_digits(pos_ + 1, digits_end_);
+  }
+
+  const gqf_filter<SlotT>* f_;
+  uint64_t q_ = 0;
+  uint64_t run_end_ = 0;
+  uint64_t pos_ = 0;
+  uint64_t digits_end_ = 0;
+  SlotT head_{};
+  uint64_t count_ = 0;
+};
+
+/// Merge two filters' enumerations into `out` (same geometry required),
+/// summing counts of equal fingerprints — the k=2 case of the multiway
+/// merge a database join performs over filter shards.
+template <class SlotT>
+bool merged_into(const gqf_filter<SlotT>& a, const gqf_filter<SlotT>& b,
+                 gqf_filter<SlotT>* out) {
+  gqf_cursor<SlotT> ca(a), cb(b);
+  while (ca.valid() || cb.valid()) {
+    bool take_a;
+    if (!cb.valid())
+      take_a = true;
+    else if (!ca.valid())
+      take_a = false;
+    else if (ca.hash() == cb.hash()) {
+      if (!out->insert_hash(ca.hash(), ca.count() + cb.count()))
+        return false;
+      ca.advance();
+      cb.advance();
+      continue;
+    } else {
+      take_a = ca.hash() < cb.hash();
+    }
+    auto& c = take_a ? ca : cb;
+    if (!out->insert_hash(c.hash(), c.count())) return false;
+    c.advance();
+  }
+  return true;
+}
+
+}  // namespace gf::gqf

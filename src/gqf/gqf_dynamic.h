@@ -1,0 +1,93 @@
+// Auto-resizing GQF — the "resizability" feature (paper §1: "it offers
+// all the features that modern data analytics applications demand, e.g.
+// ... resizability") packaged as a policy wrapper.
+//
+// The CQF resize rule keeps the fingerprint width p = q + r fixed and
+// moves one bit from the remainder to the quotient per doubling, so the
+// false-positive rate for a given item set is unchanged by growth; what
+// shrinks is the *remaining headroom* (each doubling spends one remainder
+// bit).  The wrapper grows when the load factor crosses `max_load`,
+// amortizing the O(n) rebuild over the inserts that triggered it, exactly
+// like a vector's doubling.
+//
+// Single-writer semantics: resizing swaps the underlying filter, so this
+// wrapper is not internally synchronized (wrap it in the application's
+// epoch scheme if concurrent growth is needed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "gqf/gqf.h"
+
+namespace gf::gqf {
+
+template <class SlotT>
+class dynamic_gqf {
+ public:
+  /// Starts at 2^q_bits slots with r_bits-bit remainders; doubles at
+  /// `max_load` (fraction of canonical slots holding distinct items).
+  /// Growth is possible while the logical remainder has bits to give:
+  /// at most r_bits - 1 doublings.
+  dynamic_gqf(uint32_t q_bits, uint32_t r_bits, double max_load = 0.85)
+      : filter_(q_bits, r_bits), max_load_(max_load) {
+    if (r_bits < 2)
+      throw std::invalid_argument("dynamic GQF needs r_bits >= 2");
+  }
+
+  bool insert(uint64_t key, uint64_t count = 1) {
+    maybe_grow();
+    if (filter_.insert(key, count)) return true;
+    // A refusal below the load threshold means a pathological cluster;
+    // grow once and retry before reporting failure.
+    if (!grow()) return false;
+    return filter_.insert(key, count);
+  }
+
+  bool insert_value(uint64_t key, uint64_t value) {
+    maybe_grow();
+    if (filter_.insert_value(key, value)) return true;
+    if (!grow()) return false;
+    return filter_.insert_value(key, value);
+  }
+
+  uint64_t query(uint64_t key) const { return filter_.query(key); }
+  bool contains(uint64_t key) const { return filter_.contains(key); }
+  std::optional<uint64_t> query_value(uint64_t key) const {
+    return filter_.query_value(key);
+  }
+  bool erase(uint64_t key, uint64_t count = 1) {
+    return filter_.erase(key, count);
+  }
+
+  uint64_t size() const { return filter_.size(); }
+  uint64_t distinct_items() const { return filter_.distinct_items(); }
+  uint64_t num_slots() const { return filter_.num_slots(); }
+  double load_factor() const { return filter_.load_factor(); }
+  uint32_t resizes() const { return resizes_; }
+  bool can_grow() const { return filter_.remainder_bits() > 1; }
+
+  /// Access the current underlying filter (e.g. for bulk operations
+  /// between growth points, enumeration, or serialization).
+  gqf_filter<SlotT>& filter() { return filter_; }
+  const gqf_filter<SlotT>& filter() const { return filter_; }
+
+ private:
+  void maybe_grow() {
+    if (filter_.load_factor() >= max_load_ && can_grow()) grow();
+  }
+
+  bool grow() {
+    if (!can_grow()) return false;
+    filter_ = filter_.resized();
+    ++resizes_;
+    return true;
+  }
+
+  gqf_filter<SlotT> filter_;
+  double max_load_;
+  uint32_t resizes_ = 0;
+};
+
+}  // namespace gf::gqf

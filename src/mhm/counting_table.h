@@ -1,0 +1,135 @@
+// The exact-count k-mer hash table used by the k-mer analysis phase — the
+// "HT" whose memory Table 3 accounts.  Modeled on MetaHipMer's kcount GPU
+// table: each entry holds the k-mer, its count, and *extension votes* —
+// per-base tallies of what precedes/follows the k-mer in the reads — which
+// the contig-walking phase consumes (§6.5).  The votes are what make
+// entries heavy (28 bytes here) and singleton exclusion so valuable.
+//
+// Concurrency: linear probing with CAS slot claims; counts and votes are
+// relaxed atomics, safe for concurrent inserts from the whole pool.
+// Capacity is exact (no power-of-two rounding) so Table 3 reflects the
+// cardinality estimate, not rounding cliffs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gpu/atomics.h"
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace gf::mhm {
+
+class counting_table {
+ public:
+  /// Sized for the expected number of distinct keys at ~2/3 occupancy, as
+  /// MetaHipMer sizes its tables from upstream cardinality estimates.
+  explicit counting_table(uint64_t expected_distinct)
+      : capacity_(expected_distinct + expected_distinct / 2 + 64),
+        keys_(capacity_, kEmptyKey),
+        counts_(capacity_),
+        votes_(capacity_ * 8) {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    for (auto& v : votes_) v.store(0, std::memory_order_relaxed);
+  }
+
+  /// Add `delta` to the key's count (inserting it if new), optionally
+  /// recording one left/right extension vote (base 0-3; 4 = no context).
+  /// Returns false only when the table is full.
+  bool add(uint64_t key, uint32_t delta = 1, uint8_t left = 4,
+           uint8_t right = 4) {
+    uint64_t start = util::fast_range(util::murmur64(key ^ kSeed), capacity_);
+    for (uint64_t probe = 0; probe < capacity_; ++probe) {
+      uint64_t slot = start + probe;
+      if (slot >= capacity_) slot -= capacity_;
+      uint64_t cur = gpu::atomic_load(&keys_[slot]);
+      if (cur == kEmptyKey) {
+        if (!gpu::atomic_cas_bool(&keys_[slot], kEmptyKey, key)) {
+          cur = gpu::atomic_load(&keys_[slot]);  // raced; re-read
+          if (cur != key) continue;
+        } else {
+          live_.fetch_add(1, std::memory_order_relaxed);
+          cur = key;
+        }
+      }
+      if (cur == key) {
+        counts_[slot].fetch_add(delta, std::memory_order_relaxed);
+        if (left < 4)
+          votes_[slot * 8 + left].fetch_add(1, std::memory_order_relaxed);
+        if (right < 4)
+          votes_[slot * 8 + 4 + right].fetch_add(1,
+                                                 std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint32_t count(uint64_t key) const {
+    int64_t slot = find(key);
+    return slot < 0 ? 0 : counts_[slot].load(std::memory_order_relaxed);
+  }
+
+  bool contains(uint64_t key) const { return find(key) >= 0; }
+
+  /// Majority extension on each side (0-3), or 4 when no votes were cast.
+  /// This is the consensus the assembler's contig walk follows.
+  struct extensions {
+    uint8_t left;
+    uint8_t right;
+  };
+  extensions consensus(uint64_t key) const {
+    int64_t slot = find(key);
+    extensions ext{4, 4};
+    if (slot < 0) return ext;
+    ext.left = argmax_vote(slot * 8);
+    ext.right = argmax_vote(slot * 8 + 4);
+    return ext;
+  }
+
+  uint64_t distinct() const { return live_.load(std::memory_order_relaxed); }
+  uint64_t capacity() const { return capacity_; }
+  size_t memory_bytes() const {
+    return keys_.size() * sizeof(uint64_t) +
+           counts_.size() * sizeof(std::atomic<uint32_t>) +
+           votes_.size() * sizeof(std::atomic<uint16_t>);
+  }
+
+ private:
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+  static constexpr uint64_t kSeed = 0xa0761d6478bd642fULL;
+
+  int64_t find(uint64_t key) const {
+    uint64_t start = util::fast_range(util::murmur64(key ^ kSeed), capacity_);
+    for (uint64_t probe = 0; probe < capacity_; ++probe) {
+      uint64_t slot = start + probe;
+      if (slot >= capacity_) slot -= capacity_;
+      uint64_t cur = gpu::atomic_load(&keys_[slot]);
+      if (cur == key) return static_cast<int64_t>(slot);
+      if (cur == kEmptyKey) return -1;
+    }
+    return -1;
+  }
+
+  uint8_t argmax_vote(uint64_t base) const {
+    uint16_t best = 0;
+    uint8_t arg = 4;
+    for (uint8_t b = 0; b < 4; ++b) {
+      uint16_t v = votes_[base + b].load(std::memory_order_relaxed);
+      if (v > best) {
+        best = v;
+        arg = b;
+      }
+    }
+    return arg;
+  }
+
+  uint64_t capacity_;
+  std::vector<uint64_t> keys_;
+  std::vector<std::atomic<uint32_t>> counts_;
+  std::vector<std::atomic<uint16_t>> votes_;  ///< 8 per entry: L/R x ACGT
+  std::atomic<uint64_t> live_{0};
+};
+
+}  // namespace gf::mhm

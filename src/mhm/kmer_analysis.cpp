@@ -1,0 +1,124 @@
+#include "mhm/kmer_analysis.h"
+
+#include <vector>
+
+#include "gpu/launch.h"
+#include "mhm/counting_table.h"
+#include "par/radix_sort.h"
+#include "tcf/tcf.h"
+
+namespace gf::mhm {
+
+namespace {
+
+struct cardinalities {
+  uint64_t distinct = 0;
+  uint64_t singletons = 0;
+  std::vector<uint64_t> sorted;  // kept for verification passes
+};
+
+cardinalities exact_cardinalities(
+    std::span<const genomics::kmer_occurrence> occurrences) {
+  cardinalities c;
+  c.sorted.resize(occurrences.size());
+  for (size_t i = 0; i < occurrences.size(); ++i)
+    c.sorted[i] = occurrences[i].kmer;
+  par::radix_sort(c.sorted);
+  uint64_t run = 0;
+  for (size_t i = 0; i < c.sorted.size(); ++i) {
+    ++run;
+    if (i + 1 == c.sorted.size() || c.sorted[i] != c.sorted[i + 1]) {
+      ++c.distinct;
+      if (run == 1) ++c.singletons;
+      run = 0;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+analysis_report analyze_kmer_stream(
+    std::span<const genomics::kmer_occurrence> occurrences, bool use_tcf) {
+  analysis_report report;
+  report.kmers_processed = occurrences.size();
+  auto card = exact_cardinalities(occurrences);
+  report.distinct_kmers = card.distinct;
+  report.singleton_kmers = card.singletons;
+
+  if (!use_tcf) {
+    // Baseline: every distinct k-mer, singleton or not, gets a full
+    // kcount-style entry (key + count + extension votes).
+    counting_table ht(card.distinct);
+    gpu::launch_threads(occurrences.size(), [&](uint64_t i) {
+      const auto& occ = occurrences[i];
+      ht.add(occ.kmer, 1, occ.left, occ.right);
+    });
+    report.ht_distinct = ht.distinct();
+    report.ht_memory_bytes = ht.memory_bytes();
+    return report;
+  }
+
+  // TCF configuration: first sightings are recorded only in a key-value
+  // TCF (2-byte slots); the second sighting promotes the k-mer into the
+  // exact table with count 2, so every non-singleton count is exact and
+  // singletons never claim a 28-byte kcount entry.  (The promoted first
+  // sighting's extension votes are the one piece the TCF cannot carry;
+  // MetaHipMer accepts the same loss.)
+  uint64_t nonsingleton = card.distinct - card.singletons;
+  tcf::kv_tcf first_seen(card.distinct + card.distinct / 5 + 64);
+  counting_table ht(nonsingleton + nonsingleton / 8 + 64);
+
+  gpu::launch_threads(occurrences.size(), [&](uint64_t i) {
+    const auto& occ = occurrences[i];
+    if (ht.contains(occ.kmer)) {
+      ht.add(occ.kmer, 1, occ.left, occ.right);
+      return;
+    }
+    if (first_seen.contains(occ.kmer)) {
+      ht.add(occ.kmer, 2, occ.left, occ.right);  // promote (+1 remembered)
+      return;
+    }
+    if (!first_seen.insert(occ.kmer, /*value=*/1)) {
+      // Filter saturated (over-sized in practice): fall through to exact.
+      ht.add(occ.kmer, 1, occ.left, occ.right);
+    }
+  });
+
+  report.ht_distinct = ht.distinct();
+  report.tcf_memory_bytes = first_seen.memory_bytes();
+  report.ht_memory_bytes = ht.memory_bytes();
+
+  // Verification sweep: non-singleton counts may be short by at most the
+  // duplicated-first-sighting races; report how many are inexact.
+  uint64_t run = 0;
+  uint64_t undercounted = 0;
+  for (size_t i = 0; i < card.sorted.size(); ++i) {
+    ++run;
+    if (i + 1 == card.sorted.size() || card.sorted[i] != card.sorted[i + 1]) {
+      if (run >= 2 && ht.count(card.sorted[i]) < run) ++undercounted;
+      run = 0;
+    }
+  }
+  report.undercounted = undercounted;
+  return report;
+}
+
+analysis_report analyze_kmer_stream(std::span<const genomics::kmer_t> kmers,
+                                    bool use_tcf) {
+  std::vector<genomics::kmer_occurrence> occurrences(kmers.size());
+  gpu::launch_threads(kmers.size(), [&](uint64_t i) {
+    occurrences[i] = {kmers[i], 4, 4};
+  });
+  return analyze_kmer_stream(
+      std::span<const genomics::kmer_occurrence>(occurrences), use_tcf);
+}
+
+analysis_report analyze_kmers(const genomics::read_set& reads, unsigned k,
+                              bool use_tcf) {
+  auto occurrences = genomics::extract_all_kmer_occurrences(reads, k);
+  return analyze_kmer_stream(
+      std::span<const genomics::kmer_occurrence>(occurrences), use_tcf);
+}
+
+}  // namespace gf::mhm

@@ -1,0 +1,62 @@
+// The MetaHipMer k-mer analysis phase (paper §6.5, Table 3).
+//
+// "MHM uses GPUs to accelerate k-mer counting which is the most memory
+//  intensive phase in the pipeline.  The TCF helps to weed out singleton
+//  k-mers which can take up to 70% of the memory."
+//
+// Two configurations, matching the Table 3 rows:
+//  * no TCF — every distinct k-mer (including the huge singleton tail)
+//    occupies a slot in the exact-count hash table;
+//  * TCF — the first sighting of a k-mer is recorded only in a key-value
+//    TCF; a k-mer is promoted into the hash table on its second sighting,
+//    so singletons never consume 12-byte hash-table slots, only ~2-byte
+//    TCF slots.
+// The report carries the byte-accurate memory split (TCF mem / HT mem /
+// total) the paper's Table 3 aggregates per run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "genomics/read_gen.h"
+
+namespace gf::mhm {
+
+struct analysis_report {
+  uint64_t kmers_processed = 0;
+  uint64_t distinct_kmers = 0;
+  uint64_t singleton_kmers = 0;
+  uint64_t ht_distinct = 0;       ///< k-mers stored in the exact table
+  uint64_t undercounted = 0;      ///< non-singletons whose count is short
+                                  ///  by one first sighting (TCF mode
+                                  ///  counts exactly from the 2nd copy)
+  size_t tcf_memory_bytes = 0;
+  size_t ht_memory_bytes = 0;
+  size_t total_memory_bytes() const {
+    return tcf_memory_bytes + ht_memory_bytes;
+  }
+  double singleton_fraction() const {
+    return distinct_kmers
+               ? static_cast<double>(singleton_kmers) /
+                     static_cast<double>(distinct_kmers)
+               : 0.0;
+  }
+};
+
+/// Run the k-mer analysis phase over a read set.  `use_tcf` selects the
+/// Table 3 configuration.  Hash tables are sized from the exact distinct
+/// cardinalities (MetaHipMer sizes them from upstream estimates).
+/// Extension votes from read context are accumulated for non-singletons.
+analysis_report analyze_kmers(const genomics::read_set& reads, unsigned k,
+                              bool use_tcf);
+
+/// Same pipeline over a pre-extracted occurrence stream (lets benchmarks
+/// reuse one extraction across configurations).
+analysis_report analyze_kmer_stream(
+    std::span<const genomics::kmer_occurrence> occurrences, bool use_tcf);
+
+/// Convenience overload for a bare k-mer stream (no extension context).
+analysis_report analyze_kmer_stream(std::span<const genomics::kmer_t> kmers,
+                                    bool use_tcf);
+
+}  // namespace gf::mhm

@@ -1,0 +1,28 @@
+// Parallel LSD radix sort — the substrate's stand-in for thrust::sort.
+//
+// Both bulk paths in the paper lean on device-wide sorts: the bulk TCF
+// sorts items so writes to a block coalesce (§4.2), and the GQF sorts each
+// batch so Robin-Hood shifting work vanishes (§5.3, "Sorting hashes").
+// This is an 8-bit-digit LSD radix sort with per-worker histograms and a
+// ping-pong buffer; it is stable, which reduce_by_key relies on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gf::par {
+
+/// Sort `keys` ascending, in place (internally ping-pongs through a
+/// temporary buffer of equal size).
+void radix_sort(std::span<uint64_t> keys);
+
+/// Sort only by the low `key_bits` bits of each word (skips passes over
+/// digits that are known constant — e.g. sorting p-bit fingerprints).
+void radix_sort(std::span<uint64_t> keys, int key_bits);
+
+/// Stable key-value sort: reorder `values` alongside `keys`.
+void radix_sort_by_key(std::span<uint64_t> keys, std::span<uint64_t> values,
+                       int key_bits = 64);
+
+}  // namespace gf::par

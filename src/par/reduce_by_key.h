@@ -1,0 +1,95 @@
+// reduce_by_key over a sorted batch — the substrate's stand-in for
+// thrust::reduce_by_key.
+//
+// The GQF's skew optimization (paper §5.4) maps each batch to sorted order
+// and reduces duplicate items into (item, count) pairs so that a Zipfian
+// batch performs one counted insertion per distinct item instead of one
+// insertion per instance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpu/thread_pool.h"
+
+namespace gf::par {
+
+struct keyed_counts {
+  std::vector<uint64_t> keys;    ///< distinct keys, in sorted order
+  std::vector<uint64_t> counts;  ///< counts[i] = multiplicity of keys[i]
+};
+
+/// Compress a *sorted* span into (distinct key, count) pairs, in parallel.
+inline keyed_counts reduce_by_key(std::span<const uint64_t> sorted) {
+  keyed_counts out;
+  const uint64_t n = sorted.size();
+  if (n == 0) return out;
+
+  auto& pool = gpu::thread_pool::instance();
+  const unsigned workers = pool.size();
+
+  // Phase 1: each worker takes a range snapped forward to a key boundary,
+  // so every run of equal keys is wholly owned by one worker.
+  std::vector<uint64_t> range_begin(workers + 1, n);
+  pool.parallel_ranges(n, [&](unsigned w, uint64_t begin, uint64_t end) {
+    // Snap begin forward past any run that started before it.
+    while (begin < end && begin > 0 && sorted[begin] == sorted[begin - 1])
+      ++begin;
+    range_begin[w] = begin;
+  });
+  range_begin[0] = 0;
+
+  // A worker's nominal range may have been entirely swallowed by the
+  // previous run; normalize begins to be monotone.
+  for (unsigned w = 1; w < workers; ++w)
+    if (range_begin[w] < range_begin[w - 1])
+      range_begin[w] = range_begin[w - 1];
+  range_begin[workers] = n;
+
+  // Recount per final ranges: distinct keys whose run *ends* inside the
+  // range.  (Simpler and safe: a run ends at i when sorted[i] != sorted[i+1]
+  // or i == n-1; every run ends exactly once.)
+  std::vector<uint64_t> distinct(workers, 0);
+  pool.parallel_ranges(workers, [&](unsigned, uint64_t wb, uint64_t we) {
+    for (uint64_t w = wb; w < we; ++w) {
+      uint64_t begin = range_begin[w], end = range_begin[w + 1], u = 0;
+      for (uint64_t i = begin; i < end; ++i)
+        if (i + 1 == n || sorted[i] != sorted[i + 1]) ++u;
+      distinct[w] = u;
+    }
+  });
+
+  uint64_t total = 0;
+  std::vector<uint64_t> offset(workers + 1, 0);
+  for (unsigned w = 0; w < workers; ++w) {
+    offset[w] = total;
+    total += distinct[w];
+  }
+  offset[workers] = total;
+
+  out.keys.resize(total);
+  out.counts.resize(total);
+
+  // Phase 2: emit.  A run that ends in range w may have started earlier;
+  // scan back to find its true start (runs crossing boundaries are counted
+  // by length, not rescanned, because begins are boundary-snapped).
+  pool.parallel_ranges(workers, [&](unsigned, uint64_t wb, uint64_t we) {
+    for (uint64_t w = wb; w < we; ++w) {
+      uint64_t begin = range_begin[w], end = range_begin[w + 1];
+      uint64_t slot = offset[w];
+      uint64_t run_start = begin;
+      for (uint64_t i = begin; i < end; ++i) {
+        if (i + 1 == n || sorted[i] != sorted[i + 1]) {
+          out.keys[slot] = sorted[i];
+          out.counts[slot] = i + 1 - run_start;
+          ++slot;
+          run_start = i + 1;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace gf::par

@@ -1,0 +1,43 @@
+// Successor search for bulk-insert buffer boundaries.
+//
+// The GQF bulk path marks per-region buffers with "pointers into the input
+// array" instead of materializing temporary buffers (paper §5.3): after
+// sorting, the start of region r's buffer is found by successor search —
+// the index of the smallest item whose region is >= r.  This removes the
+// atomics otherwise needed to build buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpu/thread_pool.h"
+
+namespace gf::par {
+
+/// Compute boundaries[r] = first index i with region_of(sorted[i]) >= r,
+/// for r in [0, num_regions]; boundaries[num_regions] == sorted.size().
+/// `region_of` must be monotone non-decreasing over the sorted span.
+template <class RegionOf>
+std::vector<uint64_t> region_boundaries(std::span<const uint64_t> sorted,
+                                        uint64_t num_regions,
+                                        RegionOf&& region_of) {
+  std::vector<uint64_t> bounds(num_regions + 1);
+  bounds[num_regions] = sorted.size();
+  gpu::thread_pool::instance().parallel_for(
+      0, num_regions, /*grain=*/64, [&](uint64_t r) {
+        // Binary search for the first element belonging to region >= r.
+        uint64_t lo = 0, hi = sorted.size();
+        while (lo < hi) {
+          uint64_t mid = lo + (hi - lo) / 2;
+          if (region_of(sorted[mid]) < r)
+            lo = mid + 1;
+          else
+            hi = mid;
+        }
+        bounds[r] = lo;
+      });
+  return bounds;
+}
+
+}  // namespace gf::par

@@ -1,0 +1,383 @@
+// The point TCF — the paper's two-choice filter with device-side
+// (per-item, thread-safe) operations.
+//
+// Design (paper §4):
+//  * The table is an array of blocks sized to fit a GPU cache line; every
+//    key maps to two blocks via power-of-two-choice hashing and to an
+//    f-bit fingerprint.
+//  * Inserts query the fill of both candidate blocks and insert into the
+//    less full one using cooperative-group ballots and an atomicCAS claim
+//    (Algorithm 1 / Figure 1).
+//  * The shortcut optimization (§4.1) skips the secondary-block fill probe
+//    when the primary block is under a 0.75 fill ratio, saving one cache
+//    line load per insert.
+//  * Items that fail both blocks go to a small double-hashing backing
+//    table (1/100th of the main table), lifting the achievable load
+//    factor from ~79.6% to 90% (§6.1).
+//  * Deletes replace the fingerprint with a tombstone in one atomicCAS —
+//    this is why TCF deletions are an order of magnitude faster than the
+//    shifting-based GQF (§6.4).
+//  * Value association (ValBits > 0): the slot stores (fingerprint <<
+//    ValBits) | value, the "Key - Val" composite of Algorithm 1 line 8.
+//
+// Template parameters: FpBits ∈ {8, 12, 16} fingerprint bits, NumSlots
+// slots per block, ValBits associated-value bits (FpBits + ValBits must be
+// 8, 12, or 16; the 12-bit packed layout supports ValBits == 0 only).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gpu/coop_groups.h"
+#include "gpu/launch.h"
+#include "tcf/backing_table.h"
+#include "tcf/tcf_block.h"
+#include "tcf/tcf_params.h"
+#include "util/bits.h"
+#include "util/counters.h"
+#include "util/hash.h"
+
+namespace gf::tcf {
+
+template <unsigned FpBits, unsigned NumSlots, unsigned ValBits = 0>
+class tcf {
+ public:
+  static constexpr unsigned kSlotBits = FpBits + ValBits;
+  static_assert(kSlotBits == 8 || kSlotBits == 12 || kSlotBits == 16,
+                "slot composites must be 8, 12, or 16 bits");
+  static_assert(kSlotBits != 12 || ValBits == 0,
+                "the packed 12-bit layout stores plain fingerprints");
+
+  using block_type = tcf_block<kSlotBits, NumSlots>;
+  static constexpr unsigned kSlotsPerBlock = NumSlots;
+  static constexpr unsigned kFpBits = FpBits;
+  static constexpr unsigned kValBits = ValBits;
+
+  /// Expected false-positive rate: 2B / 2^f (paper §4.1).
+  static constexpr double theoretical_fp_rate() {
+    return 2.0 * NumSlots / static_cast<double>(1u << FpBits);
+  }
+
+  /// A filter with at least `min_slots` main-table slots (rounded up to a
+  /// whole number of blocks).
+  explicit tcf(uint64_t min_slots, tcf_config cfg = {})
+      : cfg_(cfg),
+        blocks_((min_slots + NumSlots - 1) / NumSlots),
+        backing_(cfg.enable_backing
+                     ? static_cast<uint64_t>(
+                           static_cast<double>(blocks_.size()) * NumSlots *
+                           cfg.backing_fraction)
+                     : backing_table::kMaxProbes),
+        shortcut_threshold_(static_cast<unsigned>(
+            cfg.shortcut_cutoff * static_cast<double>(NumSlots))) {
+    if (blocks_.empty()) blocks_.resize(1);
+  }
+
+  tcf(tcf&& other) noexcept
+      : cfg_(other.cfg_),
+        blocks_(std::move(other.blocks_)),
+        backing_(std::move(other.backing_)),
+        shortcut_threshold_(other.shortcut_threshold_),
+        live_(other.live_.load(std::memory_order_relaxed)) {}
+  tcf& operator=(tcf&& other) noexcept {
+    cfg_ = other.cfg_;
+    blocks_ = std::move(other.blocks_);
+    backing_ = std::move(other.backing_);
+    shortcut_threshold_ = other.shortcut_threshold_;
+    live_.store(other.live_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
+  // -- Device-side point API (thread-safe) --------------------------------
+
+  /// Insert a key; returns false only when both blocks and the backing
+  /// table are full (the filter is beyond its stable load factor).
+  bool insert(uint64_t key, uint16_t value = 0) {
+    const hashed h = hash_key(key);
+    const uint16_t composite = make_composite(h.fp, value);
+    gpu::cooperative_group cg(cfg_.cg_size);
+
+    block_type& primary = blocks_[h.b1];
+    GF_COUNT(cache_lines_touched, 1);
+    unsigned fill1 = block_fill(primary);
+    if (cfg_.enable_shortcut && fill1 < shortcut_threshold_) {
+      if (block_insert(primary, composite, cg)) {
+        GF_COUNT(shortcut_inserts, 1);
+        live_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    block_type& secondary = blocks_[h.b2];
+    GF_COUNT(cache_lines_touched, 1);
+    unsigned fill2 = block_fill(secondary);
+    block_type& first = fill1 <= fill2 ? primary : secondary;
+    block_type& second = fill1 <= fill2 ? secondary : primary;
+    if (block_insert(first, composite, cg) ||
+        block_insert(second, composite, cg)) {
+      live_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (cfg_.enable_backing && backing_.insert(h.h1, h.h2, composite)) {
+      GF_COUNT(backing_inserts, 1);
+      live_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Membership query: probes the two candidate blocks, then (for negative
+  /// results) the backing table (§6.1's negative-query overhead).
+  bool contains(uint64_t key) const {
+    const hashed h = hash_key(key);
+    GF_COUNT(cache_lines_touched, 1);
+    if (block_find(blocks_[h.b1], h.fp) >= 0) return true;
+    GF_COUNT(cache_lines_touched, 1);
+    if (block_find(blocks_[h.b2], h.fp) >= 0) return true;
+    if (!cfg_.enable_backing) return false;
+    return backing_.contains(h.h1, h.h2, h.fp, ValBits);
+  }
+
+  /// Value lookup (ValBits > 0): value stored with the fingerprint, or
+  /// nullopt if the key is absent.
+  std::optional<uint16_t> find_value(uint64_t key) const
+    requires(ValBits > 0)
+  {
+    const hashed h = hash_key(key);
+    for (uint64_t b : {h.b1, h.b2}) {
+      int slot = block_find(blocks_[b], h.fp);
+      if (slot >= 0)
+        return static_cast<uint16_t>(blocks_[b].load(slot) & val_mask());
+    }
+    return backing_.find_value(h.h1, h.h2, h.fp, ValBits);
+  }
+
+  /// Delete one instance of the key (tombstone CAS; §6.4).
+  bool erase(uint64_t key) {
+    const hashed h = hash_key(key);
+    for (uint64_t b : {h.b1, h.b2}) {
+      block_type& blk = blocks_[b];
+      // Retry while a matching slot exists: a failed claim means some other
+      // operation completed (lock-free progress), most often a neighbor-
+      // slot write invalidating the packed-12 word.
+      for (;;) {
+        int slot = block_find(blk, h.fp);
+        if (slot < 0) break;
+        uint16_t observed = blk.load(static_cast<unsigned>(slot));
+        if (static_cast<uint16_t>(observed >> ValBits) == h.fp &&
+            blk.try_delete(static_cast<unsigned>(slot), observed)) {
+          live_.fetch_sub(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+    if (cfg_.enable_backing && backing_.erase(h.h1, h.h2, h.fp, ValBits)) {
+      live_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // -- Host-side bulk helpers (parallel over the device) -------------------
+
+  /// Insert a batch with one logical GPU thread per item; returns the
+  /// number successfully inserted (== keys.size() below the stable load).
+  uint64_t insert_bulk(std::span<const uint64_t> keys) {
+    std::atomic<uint64_t> ok{0};
+    gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      if (insert(keys[i])) ok.fetch_add(1, std::memory_order_relaxed);
+    });
+    return ok.load();
+  }
+
+  uint64_t count_contained(std::span<const uint64_t> keys) const {
+    std::atomic<uint64_t> found{0};
+    gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      if (contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
+    });
+    return found.load();
+  }
+
+  uint64_t erase_bulk(std::span<const uint64_t> keys) {
+    std::atomic<uint64_t> ok{0};
+    gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      if (erase(keys[i])) ok.fetch_add(1, std::memory_order_relaxed);
+    });
+    return ok.load();
+  }
+
+  // -- Enumeration ------------------------------------------------------------
+
+  /// Visit every stored entry as (block index, fingerprint, value) — the
+  /// enumeration capability §1 lists.  Entries in the backing table are
+  /// visited with block index == capacity()/NumSlots (a sentinel), since
+  /// their home block is not recoverable from the store.  Not stable
+  /// under concurrent writers.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (uint64_t b = 0; b < blocks_.size(); ++b) {
+      for (unsigned s = 0; s < NumSlots; ++s) {
+        uint16_t v = blocks_[b].load(s);
+        if (block_type::is_empty(v) || block_type::is_tombstone(v)) continue;
+        fn(b, static_cast<uint16_t>(v >> ValBits),
+           static_cast<uint16_t>(v & val_mask()));
+      }
+    }
+    backing_.for_each_slot([&](uint16_t v) {
+      fn(blocks_.size(), static_cast<uint16_t>(v >> ValBits),
+         static_cast<uint16_t>(v & val_mask()));
+    });
+  }
+
+  // -- Introspection --------------------------------------------------------
+
+  uint64_t capacity() const { return blocks_.size() * NumSlots; }
+  uint64_t size() const { return live_.load(std::memory_order_relaxed); }
+  double load_factor() const {
+    return static_cast<double>(size()) / static_cast<double>(capacity());
+  }
+  uint64_t backing_size() const { return backing_.size(); }
+  size_t memory_bytes() const {
+    return blocks_.size() * sizeof(block_type) + backing_.memory_bytes();
+  }
+
+  // -- Serialization ---------------------------------------------------------
+
+  /// Write the filter to a stream.  Not thread-safe against writers.
+  void save(std::ostream& out) const {
+    util::write_header(out, kFileMagic, kFileVersion);
+    util::write_pod<uint32_t>(out, FpBits);
+    util::write_pod<uint32_t>(out, NumSlots);
+    util::write_pod<uint32_t>(out, ValBits);
+    util::write_pod(out, cfg_);
+    util::write_pod(out, shortcut_threshold_);
+    util::write_pod(out, live_.load(std::memory_order_relaxed));
+    util::write_vec(out, blocks_);
+    backing_.save(out);
+  }
+
+  /// Read a filter previously written by save().  Throws on malformed
+  /// input or a template-geometry mismatch.
+  static tcf load(std::istream& in) {
+    util::expect_header(in, kFileMagic, kFileVersion);
+    if (util::read_pod<uint32_t>(in) != FpBits ||
+        util::read_pod<uint32_t>(in) != NumSlots ||
+        util::read_pod<uint32_t>(in) != ValBits)
+      throw std::runtime_error("gf: TCF variant mismatch");
+    tcf f(1);
+    f.cfg_ = util::read_pod<tcf_config>(in);
+    f.shortcut_threshold_ = util::read_pod<unsigned>(in);
+    uint64_t live = util::read_pod<uint64_t>(in);
+    f.blocks_ = util::read_vec<block_type>(in);
+    f.backing_.load(in);
+    f.live_.store(live, std::memory_order_relaxed);
+    return f;
+  }
+  double bits_per_item(uint64_t items) const {
+    return items ? static_cast<double>(memory_bytes()) * 8.0 /
+                       static_cast<double>(items)
+                 : 0.0;
+  }
+  const tcf_config& config() const { return cfg_; }
+
+ private:
+  struct hashed {
+    uint64_t h1, h2;  ///< the two digests
+    uint64_t b1, b2;  ///< candidate blocks
+    uint16_t fp;      ///< remapped fingerprint
+  };
+
+  hashed hash_key(uint64_t key) const {
+    hashed h;
+    h.h1 = util::murmur64(key);
+    h.h2 = util::mix64_b(key);
+    h.b1 = util::fast_range(h.h1, blocks_.size());
+    h.b2 = util::fast_range(h.h2, blocks_.size());
+    uint64_t raw = h.h1 ^ (h.h1 >> 32) ^ (h.h2 << 13);
+    if constexpr (ValBits > 0) {
+      uint16_t fp = static_cast<uint16_t>(raw & ((1u << FpBits) - 1));
+      h.fp = fp == 0 ? 1 : fp;  // keep composite off the sentinels
+    } else {
+      h.fp = remap_fingerprint<FpBits, block_type::kNeedsNonzeroNibble>(raw);
+    }
+    return h;
+  }
+
+  static constexpr uint16_t val_mask() {
+    return static_cast<uint16_t>((1u << ValBits) - 1);
+  }
+
+  static uint16_t make_composite(uint16_t fp, uint16_t value) {
+    if constexpr (ValBits == 0)
+      return fp;
+    else
+      return static_cast<uint16_t>((fp << ValBits) | (value & val_mask()));
+  }
+
+  /// Algorithm 1: cooperative-group ballot insert into one block.
+  bool block_insert(block_type& blk, uint16_t composite,
+                    const gpu::cooperative_group& cg) {
+    for (unsigned base = 0; base < NumSlots; base += cg.size()) {
+      unsigned window =
+          NumSlots - base < cg.size() ? NumSlots - base : cg.size();
+      uint32_t mask = cg.ballot_window(window, [&](unsigned lane) {
+        uint16_t v = blk.load(base + lane);
+        return block_type::is_empty(v) || block_type::is_tombstone(v);
+      });
+      while (mask != 0) {
+        unsigned lane = gpu::cooperative_group::leader(mask);
+        uint16_t v = blk.load(base + lane);
+        uint16_t state = block_type::is_empty(v)       ? kEmpty
+                         : block_type::is_tombstone(v) ? kTombstone
+                                                       : uint16_t{0xFFFF};
+        if (state != 0xFFFF &&
+            blk.try_claim(base + lane, state, composite))
+          return true;
+        mask = gpu::cooperative_group::drop_leader(mask);
+      }
+    }
+    return false;  // no slots were available (Algorithm 1 line 17)
+  }
+
+  /// Scan a block for a fingerprint; returns the slot index or -1.
+  int block_find(const block_type& blk, uint16_t fp) const {
+    for (unsigned i = 0; i < NumSlots; ++i) {
+      uint16_t v = blk.load(i);
+      if (block_type::is_empty(v)) continue;
+      if (block_type::is_tombstone(v)) continue;
+      if (static_cast<uint16_t>(v >> ValBits) == fp) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  static constexpr uint64_t kFileMagic = 0x4746'5443'4631ull;  // "GFTCF1"
+  static constexpr uint32_t kFileVersion = 1;
+
+  tcf_config cfg_;
+  std::vector<block_type> blocks_;
+  backing_table backing_;
+  unsigned shortcut_threshold_;
+  std::atomic<uint64_t> live_{0};
+};
+
+/// The paper's named variants (Fig. 5 labels are "<fp bits>-<block size>").
+using tcf_8_8 = tcf<8, 8>;
+using tcf_12_8 = tcf<12, 8>;
+using tcf_12_12 = tcf<12, 12>;
+using tcf_12_16 = tcf<12, 16>;
+using tcf_12_32 = tcf<12, 32>;
+using tcf_16_16 = tcf<16, 16>;
+using tcf_16_32 = tcf<16, 32>;
+
+/// Default point TCF: 16-bit fingerprints, 32-slot (64-byte) blocks — the
+/// ~0.1% false-positive configuration benchmarked in Fig. 3 / Table 2.
+using point_tcf = tcf_16_32;
+
+/// Key-value TCF: 12-bit fingerprints with 4-bit values in 16-bit slots
+/// (the MetaHipMer configuration: fingerprints -> small counts).
+using kv_tcf = tcf<12, 32, 4>;
+
+}  // namespace gf::tcf

@@ -1,0 +1,212 @@
+// TCF block storage.
+//
+// A block holds `NumSlots` fingerprints of `FpBits` each and is sized to
+// fit GPU cache lines (paper §4: "blocks sized to fit inside a GPU cache
+// line"; §4.1 caps a block at 128 bytes).  Two layouts:
+//
+//   * aligned (FpBits 8 or 16): one fingerprint per machine word; every
+//     operation is a single atomic transaction, matching "inserts and
+//     queries can be performed in one transaction" (§6.3).
+//   * packed (FpBits 12): fingerprints are packed end-to-end; 50% of the
+//     slots straddle a 32-bit word boundary, so those need two atomic
+//     transactions and "an atomicCAS could fail due to a change in bits
+//     outside of the slot being operated on" (§4.1).  Failed claims
+//     surface to the caller, which re-ballots (Algorithm 1's retry loop).
+//
+// Block API (used by Algorithm 1 in tcf.h):
+//   load(i)                 -> current slot value (12/16/8-bit composite)
+//   is_empty/is_tombstone   -> slot-state predicates on a loaded value
+//   try_claim(i, state, fp) -> claim an empty/tombstone slot for fp
+//   try_delete(i, fp)       -> tombstone a slot believed to hold fp
+//
+// Packed-12 concurrency protocol: the low nibble of a slot encodes its
+// state (0 empty, 1 tombstone, >=2 occupied; tcf_params.h remaps
+// fingerprints so their low nibble is >= 2), and the nibble always lives in
+// the word holding the slot's low bits.  All ownership transitions are a
+// single CAS on that word; only the claimant then writes the slot's high
+// bits.  A reader racing with a straddling-slot write can observe a
+// transient mixed fingerprint — a possible extra false positive, never a
+// structural corruption.  Like the paper's design, deleting a key whose
+// insert has not completed is an application-level race with undefined
+// results.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "gpu/atomics.h"
+#include "tcf/tcf_params.h"
+#include "util/counters.h"
+
+namespace gf::tcf {
+
+/// Aligned layout: FpBits ∈ {8, 16}.
+template <unsigned FpBits, unsigned NumSlots>
+struct tcf_block_aligned {
+  static_assert(FpBits == 8 || FpBits == 16);
+  static_assert(NumSlots >= 1 && NumSlots <= 128);
+  static_assert(NumSlots * FpBits <= 128 * 8, "block must fit a cache line");
+  using storage_type = std::conditional_t<FpBits == 8, uint8_t, uint16_t>;
+  static constexpr unsigned kSlots = NumSlots;
+  static constexpr unsigned kFpBits = FpBits;
+  static constexpr bool kNeedsNonzeroNibble = false;
+
+  storage_type slots[NumSlots] = {};
+
+  static constexpr bool is_empty(uint16_t v) { return v == kEmpty; }
+  static constexpr bool is_tombstone(uint16_t v) { return v == kTombstone; }
+
+  uint16_t load(unsigned i) const { return gpu::atomic_load(&slots[i]); }
+
+  bool try_claim(unsigned i, uint16_t observed_state, uint16_t fp) {
+    GF_COUNT(cas_attempts, 1);
+    bool ok = gpu::atomic_cas_bool(&slots[i],
+                                   static_cast<storage_type>(observed_state),
+                                   static_cast<storage_type>(fp));
+    if (!ok) GF_COUNT(cas_failures, 1);
+    return ok;
+  }
+
+  bool try_delete(unsigned i, uint16_t fp) {
+    GF_COUNT(cas_attempts, 1);
+    bool ok = gpu::atomic_cas_bool(&slots[i], static_cast<storage_type>(fp),
+                                   static_cast<storage_type>(kTombstone));
+    if (!ok) GF_COUNT(cas_failures, 1);
+    return ok;
+  }
+};
+
+/// Packed layout: FpBits == 12, slots straddle 32-bit words.
+template <unsigned NumSlots>
+struct tcf_block_packed12 {
+  static_assert(NumSlots >= 1 && NumSlots <= 85);  // 85*12 bits <= 128B
+  static constexpr unsigned kSlots = NumSlots;
+  static constexpr unsigned kFpBits = 12;
+  static constexpr bool kNeedsNonzeroNibble = true;
+  static constexpr unsigned kWords = (NumSlots * 12 + 31) / 32;
+
+  uint32_t words[kWords] = {};
+
+  static constexpr bool is_empty(uint16_t v) { return (v & 0xF) == 0; }
+  static constexpr bool is_tombstone(uint16_t v) { return (v & 0xF) == 1; }
+
+  uint16_t load(unsigned i) const {
+    unsigned bit = i * 12;
+    unsigned w = bit / 32, sh = bit % 32;
+    uint32_t lo = gpu::atomic_load(&words[w]);
+    if (sh + 12 <= 32) return static_cast<uint16_t>((lo >> sh) & 0xFFF);
+    uint32_t hi = gpu::atomic_load(&words[w + 1]);
+    unsigned lo_bits = 32 - sh;
+    return static_cast<uint16_t>(((lo >> sh) | (hi << lo_bits)) & 0xFFF);
+  }
+
+  bool try_claim(unsigned i, uint16_t observed_state, uint16_t fp) {
+    GF_COUNT(cas_attempts, 1);
+    unsigned bit = i * 12;
+    unsigned w = bit / 32, sh = bit % 32;
+    if (sh + 12 <= 32) {
+      // Non-straddling: single transaction on the containing word; fails
+      // if *any* bit of the word changed (paper §4.1).
+      uint32_t cur = gpu::atomic_load(&words[w]);
+      uint16_t slot = static_cast<uint16_t>((cur >> sh) & 0xFFF);
+      if (slot != observed_state ||
+          !gpu::atomic_cas_bool(&words[w], cur,
+                                (cur & ~(0xFFFu << sh)) |
+                                    (static_cast<uint32_t>(fp) << sh))) {
+        GF_COUNT(cas_failures, 1);
+        return false;
+      }
+      return true;
+    }
+    // Straddling: claim on the low word (state nibble lives there), then
+    // the new owner writes the high bits with a CAS loop over its bits.
+    unsigned lo_bits = 32 - sh;
+    uint32_t lo_mask = ((1u << lo_bits) - 1) << sh;
+    uint32_t cur = gpu::atomic_load(&words[w]);
+    uint32_t slot_lo = (cur & lo_mask) >> sh;
+    if ((slot_lo & 0xF) != (observed_state & 0xF) ||
+        !gpu::atomic_cas_bool(
+            &words[w], cur,
+            (cur & ~lo_mask) |
+                ((static_cast<uint32_t>(fp) << sh) & lo_mask))) {
+      GF_COUNT(cas_failures, 1);
+      return false;
+    }
+    GF_COUNT(cas_attempts, 1);  // second transaction ("50% ... two", §4.1)
+    unsigned hi_bits = 12 - lo_bits;
+    uint32_t hi_mask = (1u << hi_bits) - 1;
+    uint32_t des_hi = static_cast<uint32_t>(fp) >> lo_bits;
+    for (;;) {
+      uint32_t h = gpu::atomic_load(&words[w + 1]);
+      uint32_t want = (h & ~hi_mask) | des_hi;
+      if (h == want || gpu::atomic_cas_bool(&words[w + 1], h, want))
+        return true;
+    }
+  }
+
+  bool try_delete(unsigned i, uint16_t fp) {
+    GF_COUNT(cas_attempts, 1);
+    unsigned bit = i * 12;
+    unsigned w = bit / 32, sh = bit % 32;
+    if (sh + 12 <= 32) {
+      uint32_t cur = gpu::atomic_load(&words[w]);
+      if (((cur >> sh) & 0xFFF) != fp ||
+          !gpu::atomic_cas_bool(
+              &words[w], cur,
+              (cur & ~(0xFFFu << sh)) |
+                  (static_cast<uint32_t>(kTombstone) << sh))) {
+        GF_COUNT(cas_failures, 1);
+        return false;
+      }
+      return true;
+    }
+    // Straddling delete: single CAS on the low word sets the state nibble
+    // to TOMBSTONE; stale high bits are ignored by is_tombstone().
+    unsigned lo_bits = 32 - sh;
+    uint32_t lo_mask = ((1u << lo_bits) - 1) << sh;
+    uint32_t cur = gpu::atomic_load(&words[w]);
+    uint32_t slot_lo = (cur & lo_mask) >> sh;
+    uint32_t fp_lo = fp & ((1u << lo_bits) - 1);
+    // Verify the full fingerprint before tombstoning (high bits too).
+    uint32_t hi = gpu::atomic_load(&words[w + 1]);
+    unsigned hi_bits = 12 - lo_bits;
+    uint32_t slot_hi = hi & ((1u << hi_bits) - 1);
+    uint16_t full = static_cast<uint16_t>(slot_lo | (slot_hi << lo_bits));
+    if (slot_lo != fp_lo || full != fp ||
+        !gpu::atomic_cas_bool(
+            &words[w], cur,
+            (cur & ~lo_mask) |
+                (static_cast<uint32_t>(kTombstone) << sh))) {
+      GF_COUNT(cas_failures, 1);
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Layout selector.
+template <unsigned FpBits, unsigned NumSlots>
+struct tcf_block_selector {
+  using type = tcf_block_aligned<FpBits, NumSlots>;
+};
+template <unsigned NumSlots>
+struct tcf_block_selector<12, NumSlots> {
+  using type = tcf_block_packed12<NumSlots>;
+};
+
+template <unsigned FpBits, unsigned NumSlots>
+using tcf_block = typename tcf_block_selector<FpBits, NumSlots>::type;
+
+/// Occupied-slot count ("fill"), used for the POTC choice and the shortcut
+/// cutoff.  Tombstones count as free space.
+template <class Block>
+unsigned block_fill(const Block& b) {
+  unsigned fill = 0;
+  for (unsigned i = 0; i < Block::kSlots; ++i) {
+    uint16_t v = b.load(i);
+    if (!Block::is_empty(v) && !Block::is_tombstone(v)) ++fill;
+  }
+  return fill;
+}
+
+}  // namespace gf::tcf

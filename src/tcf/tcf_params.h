@@ -1,0 +1,45 @@
+// Shared TCF definitions: slot sentinels, fingerprint remapping, config.
+//
+// Slot values 0 (EMPTY) and 1 (TOMBSTONE) are reserved, so raw fingerprints
+// are remapped away from the sentinels.  The packed 12-bit variant has an
+// additional constraint: slot-claim CASes are decided on the word holding
+// the slot's low bits, so the low nibble of a fingerprint must be nonzero
+// (see tcf_block.h); we remap the low nibble into [2, 16).  Both remaps
+// shrink the effective fingerprint space by a measurable-but-tiny factor
+// (16/14 for 12-bit, 256/254 for byte-aligned), which the empirical
+// false-positive benchmarks capture.
+#pragma once
+
+#include <cstdint>
+
+namespace gf::tcf {
+
+inline constexpr uint16_t kEmpty = 0;
+inline constexpr uint16_t kTombstone = 1;
+
+/// Remap a raw fingerprint of `FpBits` away from the reserved values.
+/// `NeedNonzeroNibble` is set by the packed-12 storage.
+template <unsigned FpBits, bool NeedNonzeroNibble>
+constexpr uint16_t remap_fingerprint(uint64_t raw) {
+  uint16_t fp = static_cast<uint16_t>(raw & ((1u << FpBits) - 1));
+  if constexpr (NeedNonzeroNibble) {
+    if ((fp & 0xF) < 2) fp |= 2;  // low nibble in [2,16) => never 0/1
+  } else {
+    if (fp < 2) fp += 2;  // {0,1} -> {2,3}
+  }
+  return fp;
+}
+
+/// Runtime knobs.  Defaults follow the paper: a backing table sized to
+/// 1/100th of the main table (§4.1 "Backing table"), the shortcut fill
+/// cutoff of 0.75 (§4.1 "Shortcut optimization"), cooperative groups of 4
+/// lanes (§6.3: "For the majority of the configurations, this size is 4").
+struct tcf_config {
+  double backing_fraction = 0.01;
+  bool enable_backing = true;
+  bool enable_shortcut = true;
+  double shortcut_cutoff = 0.75;
+  unsigned cg_size = 4;
+};
+
+}  // namespace gf::tcf

@@ -1,0 +1,109 @@
+// Bit-manipulation primitives used throughout the filters.
+//
+// The quotient-filter family (GQF, SQF, RSQF) relies on word-level rank and
+// select over the occupieds/runends bitvectors; the TCF relies on ballot
+// masks and find-first-set.  Everything here is branch-light and maps to
+// single instructions on x86-64 (POPCNT, TZCNT, PDEP where available).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
+namespace gf::util {
+
+/// Mask with the low `n` bits set.  `n` must be <= 64; `n == 64` yields all
+/// ones (the shift-by-64 UB case is handled explicitly).
+constexpr uint64_t bitmask(uint64_t n) {
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+/// Number of set bits.
+constexpr int popcount(uint64_t x) { return std::popcount(x); }
+
+/// Rank: number of set bits in `x` at positions [0, pos] (inclusive).
+constexpr int bitrank(uint64_t x, int pos) {
+  return std::popcount(x & bitmask(static_cast<uint64_t>(pos) + 1));
+}
+
+/// popcount ignoring the low `ignore` bits.
+constexpr int popcountv(uint64_t x, int ignore) {
+  return std::popcount(x & ~bitmask(static_cast<uint64_t>(ignore)));
+}
+
+/// Index of the lowest set bit, or 64 if none (CUDA __ffs semantics shifted:
+/// __ffs returns 1-based, this returns 0-based or 64).
+constexpr int find_first_set(uint64_t x) {
+  return x == 0 ? 64 : std::countr_zero(x);
+}
+
+/// 32-bit variant used by ballot masks.
+constexpr int find_first_set(uint32_t x) {
+  return x == 0 ? 32 : std::countr_zero(x);
+}
+
+namespace detail {
+// Portable select fallback: byte-skipping binary reduction.
+inline int select64_portable(uint64_t x, int k) {
+  // Returns position of the (k+1)-th set bit (k is 0-based), or 64.
+  for (int byte = 0; byte < 8; ++byte) {
+    int c = std::popcount((x >> (byte * 8)) & 0xffu);
+    if (k < c) {
+      uint8_t b = static_cast<uint8_t>(x >> (byte * 8));
+      for (int bit = 0; bit < 8; ++bit) {
+        if (b & (1u << bit)) {
+          if (k == 0) return byte * 8 + bit;
+          --k;
+        }
+      }
+    }
+    k -= c;
+  }
+  return 64;
+}
+}  // namespace detail
+
+/// Select: position of the (k+1)-th set bit of `x` (k 0-based), 64 if fewer
+/// than k+1 bits are set.  Uses BMI2 PDEP when compiled for a machine that
+/// has it (the "fast x86 select" of Pandey et al., arXiv:1706.00990).
+inline int select64(uint64_t x, int k) {
+#if defined(__BMI2__)
+  uint64_t spread = _pdep_u64(uint64_t{1} << k, x);
+  return spread == 0 ? 64 : std::countr_zero(spread);
+#else
+  return detail::select64_portable(x, k);
+#endif
+}
+
+/// Select ignoring the low `ignore` bits of `x` (gqf `bitselectv`).
+inline int select64v(uint64_t x, int ignore, int k) {
+  return select64(x & ~bitmask(static_cast<uint64_t>(ignore)), k);
+}
+
+/// Round up to the next power of two (returns `x` when already a power of
+/// two; undefined for x == 0 per std::bit_ceil).
+constexpr uint64_t next_pow2(uint64_t x) { return std::bit_ceil(x); }
+
+/// floor(log2(x)); x must be nonzero.
+constexpr int log2_floor(uint64_t x) { return 63 - std::countl_zero(x); }
+
+/// ceil(log2(x)); x must be nonzero.
+constexpr int log2_ceil(uint64_t x) {
+  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// Shift a range of bits [start, end) within a 64-bit word left by one
+/// position (towards higher indices), leaving bit `start` cleared and
+/// discarding the old bit end-1.  Bits outside the range are preserved.
+constexpr uint64_t shift_bits_left_in_word(uint64_t word, int start, int end) {
+  uint64_t range_mask = bitmask(static_cast<uint64_t>(end)) &
+                        ~bitmask(static_cast<uint64_t>(start));
+  uint64_t range = word & range_mask;
+  uint64_t shifted = (range << 1) & range_mask;
+  return (word & ~range_mask) | shifted;
+}
+
+}  // namespace gf::util

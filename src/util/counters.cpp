@@ -1,0 +1,10 @@
+#include "util/counters.h"
+
+namespace gf::util {
+
+op_counters& counters() {
+  static op_counters instance;
+  return instance;
+}
+
+}  // namespace gf::util

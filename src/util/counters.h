@@ -1,0 +1,45 @@
+// Optional operation counters.
+//
+// Tests use these to verify structural claims from the paper that are not
+// visible through timing alone — e.g. "the TCF probes exactly two cache
+// lines for most queries" (§4) or "less than 0.07% of items go in the
+// backing table" (§6.1).  When GF_ENABLE_COUNTERS is not defined the
+// macros compile to nothing, so release benchmarks pay zero cost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gf::util {
+
+struct op_counters {
+  std::atomic<uint64_t> cache_lines_touched{0};
+  std::atomic<uint64_t> cas_attempts{0};
+  std::atomic<uint64_t> cas_failures{0};
+  std::atomic<uint64_t> backing_inserts{0};
+  std::atomic<uint64_t> shortcut_inserts{0};
+  std::atomic<uint64_t> ballot_rounds{0};
+  std::atomic<uint64_t> slots_shifted{0};
+
+  void reset() {
+    cache_lines_touched = 0;
+    cas_attempts = 0;
+    cas_failures = 0;
+    backing_inserts = 0;
+    shortcut_inserts = 0;
+    ballot_rounds = 0;
+    slots_shifted = 0;
+  }
+};
+
+/// Global counters instance (tests reset it around the code under test).
+op_counters& counters();
+
+#if defined(GF_ENABLE_COUNTERS)
+#define GF_COUNT(field, n) \
+  ::gf::util::counters().field.fetch_add((n), std::memory_order_relaxed)
+#else
+#define GF_COUNT(field, n) ((void)0)
+#endif
+
+}  // namespace gf::util

@@ -1,0 +1,73 @@
+// Hash functions for the filters.
+//
+// All filters in the paper hash 64-bit keys into either a p-bit fingerprint
+// (quotient-filter family) or a pair of block indices plus a tag (TCF,
+// cuckoo-style filters).  We provide:
+//   * murmur64      — Murmur3's 64-bit finalizer, an invertible mixer; this
+//                     is what the CQF reference implementation uses.
+//   * wyhash-style  — a second, independent 64-bit mixer used where two
+//                     independent hash functions are required (POTC, Bloom).
+//   * hash_pair     — two independent digests from one key, for
+//                     power-of-two-choice placement and double hashing.
+#pragma once
+
+#include <cstdint>
+
+namespace gf::util {
+
+/// Murmur3 64-bit finalizer (invertible).  Used as the canonical key->hash
+/// map for the quotient-filter family, matching the CQF reference code.
+constexpr uint64_t murmur64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Inverse of murmur64 (useful for tests and for reconstructing keys from
+/// fingerprints during enumeration when the hash is invertible).
+constexpr uint64_t murmur64_inv(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0x9cb4b2f8129337dbULL;  // inverse of 0xc4ceb9fe1a85ec53
+  k ^= k >> 33;
+  k *= 0x4f74430c22a54005ULL;  // inverse of 0xff51afd7ed558ccd
+  k ^= k >> 33;
+  return k;
+}
+
+/// An independent 64-bit mixer (xorshift-multiply chain with distinct
+/// constants, splitmix64 finalizer).  Statistically independent of
+/// murmur64 for filter purposes.
+constexpr uint64_t mix64_b(uint64_t k) {
+  k += 0x9e3779b97f4a7c15ULL;
+  k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+  return k ^ (k >> 31);
+}
+
+/// A keyed variant: mixes `k` with a seed, used to derive the i-th hash
+/// function for Bloom filters and the backing table's probe sequence.
+constexpr uint64_t mix64_seeded(uint64_t k, uint64_t seed) {
+  return murmur64(k ^ (seed * 0xd6e8feb86659fd93ULL + 0x2545f4914f6cdd1dULL));
+}
+
+/// Two independent digests of one key (for POTC and double hashing).
+struct hash_pair {
+  uint64_t h1;
+  uint64_t h2;
+};
+
+constexpr hash_pair hash2(uint64_t key) {
+  return {murmur64(key), mix64_b(key)};
+}
+
+/// Map a 64-bit hash onto [0, n) without modulo bias beyond 2^-64
+/// (Lemire's fast range reduction).
+constexpr uint64_t fast_range(uint64_t hash, uint64_t n) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
+}  // namespace gf::util

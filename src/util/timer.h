@@ -1,0 +1,30 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gf::util {
+
+class wall_timer {
+ public:
+  wall_timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Throughput in million operations per second.
+inline double mops(uint64_t ops, double seconds) {
+  return seconds > 0 ? static_cast<double>(ops) / seconds / 1e6 : 0.0;
+}
+
+}  // namespace gf::util

@@ -1,0 +1,46 @@
+#include "util/xorwow.h"
+
+#include "util/hash.h"
+
+namespace gf::util {
+
+void xorwow::reseed(uint64_t seed) {
+  // Expand the seed through splitmix-style mixing so that nearby seeds give
+  // unrelated states; avoid the all-zero xorshift fixed point.
+  uint64_t s = seed;
+  for (auto& w : x_) {
+    s = mix64_b(s + 0x9e3779b97f4a7c15ULL);
+    w = static_cast<uint32_t>(s >> 32);
+  }
+  if ((x_[0] | x_[1] | x_[2] | x_[3] | x_[4]) == 0) x_[0] = 0xdeadbeef;
+  counter_ = static_cast<uint32_t>(s);
+}
+
+uint32_t xorwow::next32() {
+  // Marsaglia's xorwow: xorshift over five words plus a Weyl sequence.
+  uint32_t t = x_[4];
+  uint32_t s = x_[0];
+  x_[4] = x_[3];
+  x_[3] = x_[2];
+  x_[2] = x_[1];
+  x_[1] = s;
+  t ^= t >> 2;
+  t ^= t << 1;
+  t ^= s ^ (s << 4);
+  x_[0] = t;
+  counter_ += 362437;
+  return t + counter_;
+}
+
+uint64_t xorwow::next_below(uint64_t n) {
+  return fast_range(next64(), n);
+}
+
+std::vector<uint64_t> hashed_xorwow_items(size_t n, uint64_t seed) {
+  std::vector<uint64_t> out(n);
+  xorwow gen(seed);
+  for (auto& v : out) v = murmur64(gen.next64());
+  return out;
+}
+
+}  // namespace gf::util

@@ -1,0 +1,49 @@
+// XORWOW pseudo-random generator — the recurrence cuRAND's default
+// generator uses (Marsaglia, "Xorshift RNGs", 2003).  The paper's
+// microbenchmarks draw "64-bit input items from the hashed output of a
+// cuRand XORWOW generator"; we reproduce that workload generator here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gf::util {
+
+/// XORWOW state: five 32-bit xorshift words plus a Weyl counter.
+class xorwow {
+ public:
+  explicit xorwow(uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed (splitmix expansion, as
+  /// recommended for seeding small-state generators).
+  void reseed(uint64_t seed);
+
+  /// Next 32-bit output.
+  uint32_t next32();
+
+  /// Next 64-bit output (two 32-bit draws).
+  uint64_t next64() {
+    uint64_t hi = next32();
+    return (hi << 32) | next32();
+  }
+
+  /// Uniform draw in [0, n).
+  uint64_t next_below(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint32_t x_[5];
+  uint32_t counter_;
+};
+
+/// Generate `n` "hashed XORWOW" 64-bit items, the paper's insert workload.
+/// Items are the murmur-mixed outputs of a XORWOW stream, so they are
+/// effectively uniform over the 64-bit universe with negligible duplicates.
+std::vector<uint64_t> hashed_xorwow_items(size_t n, uint64_t seed);
+
+}  // namespace gf::util

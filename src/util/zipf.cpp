@@ -1,0 +1,67 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace gf::util {
+
+zipf_generator::zipf_generator(uint64_t universe, double theta, uint64_t seed)
+    : n_(universe), theta_(theta), rng_(seed) {
+  // Rejection-inversion setup (Hörmann & Derflinger 1996).  We sample from
+  // the continuous envelope H and accept/correct to the discrete pmf
+  // p(k) ~ k^-theta over k in [1, n].
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -theta_));
+}
+
+double zipf_generator::h(double x) const {
+  // Antiderivative of x^-theta (theta != 1).
+  return std::pow(x, 1.0 - theta_) / (1.0 - theta_);
+}
+
+double zipf_generator::h_inv(double x) const {
+  return std::pow((1.0 - theta_) * x, 1.0 / (1.0 - theta_));
+}
+
+uint64_t zipf_generator::next() {
+  for (;;) {
+    double u = h_n_ + rng_.next_double() * (h_x1_ - h_n_);
+    double x = h_inv(u);
+    double k = std::floor(x + 0.5);
+    if (k - x <= s_) return static_cast<uint64_t>(k) - 1;
+    if (u >= h(k + 0.5) - std::pow(k, -theta_))
+      return static_cast<uint64_t>(k) - 1;
+  }
+}
+
+std::vector<uint64_t> zipfian_dataset(size_t n, double theta, uint64_t seed) {
+  zipf_generator zipf(n, theta, seed);
+  std::vector<uint64_t> out(n);
+  // Scramble the rank through an invertible mixer so that the hot items are
+  // uniformly spread over the 64-bit key universe, as in YCSB.
+  for (auto& v : out) v = murmur64(zipf.next() + 1);
+  return out;
+}
+
+std::vector<uint64_t> uniform_count_dataset(size_t n, uint32_t max_count,
+                                            uint64_t seed) {
+  std::vector<uint64_t> out;
+  out.reserve(n + max_count);
+  xorwow rng(seed);
+  while (out.size() < n) {
+    uint64_t item = murmur64(rng.next64());
+    uint64_t count = 1 + rng.next_below(max_count);
+    for (uint64_t c = 0; c < count && out.size() < n + max_count; ++c)
+      out.push_back(item);
+  }
+  // Fisher–Yates shuffle so repeats are interleaved, then truncate.
+  for (size_t i = out.size() - 1; i > 0; --i)
+    std::swap(out[i], out[rng.next_below(i + 1)]);
+  out.resize(n);
+  return out;
+}
+
+}  // namespace gf::util

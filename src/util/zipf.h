@@ -1,0 +1,53 @@
+// Zipfian sampler for the skewed counting benchmarks (paper §6, Table 5:
+// "counts of items are drawn from a Zipfian distribution (the coefficient
+// is 1.5 and items are chosen from a universe of the same size as the
+// dataset)").
+//
+// Uses rejection-inversion (W. Hörmann & G. Derflinger, "Rejection-
+// inversion to generate variates from monotone discrete distributions",
+// TOMACS 1996) so that sampling is O(1) per draw even for universes of
+// billions of items — the same approach as YCSB's ScrambledZipfian.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/xorwow.h"
+
+namespace gf::util {
+
+class zipf_generator {
+ public:
+  /// Distribution over ranks {1, ..., universe} with exponent `theta`.
+  zipf_generator(uint64_t universe, double theta, uint64_t seed = 1);
+
+  /// Draw one rank in [0, universe).  Rank 0 is the most frequent item.
+  uint64_t next();
+
+  uint64_t universe() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double h(double x) const;
+  double h_inv(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_, h_n_, s_;
+  xorwow rng_;
+};
+
+/// Build a dataset of `n` items where item identities come from a Zipfian
+/// distribution over a universe of size `n` (paper's "Zipfian count"
+/// dataset).  Ranks are scrambled through murmur so hot items are spread
+/// over the key space.
+std::vector<uint64_t> zipfian_dataset(size_t n, double theta, uint64_t seed);
+
+/// Build the paper's "UR count" dataset: distinct uniform-random items, each
+/// replicated `c` times with c uniform in [1, max_count]; the result is
+/// shuffled and truncated to exactly `n` entries.
+std::vector<uint64_t> uniform_count_dataset(size_t n, uint32_t max_count,
+                                            uint64_t seed);
+
+}  // namespace gf::util

@@ -1,0 +1,72 @@
+#include "baselines/blocked_bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bloom.h"
+#include "util/counters.h"
+#include "util/xorwow.h"
+
+namespace gf::baselines {
+namespace {
+
+TEST(BlockedBloom, NoFalseNegatives) {
+  blocked_bloom_filter bbf(100000, 10.1, 7);
+  auto keys = util::hashed_xorwow_items(100000, 1);
+  bbf.insert_bulk(keys);
+  EXPECT_EQ(bbf.count_contained(keys), keys.size());
+}
+
+TEST(BlockedBloom, HigherFpThanPlainBloomAtEqualBits) {
+  // Paper §2/Table 2: the BBF pays ~5x the false-positive rate of a BF
+  // with the same bits per item for its single-cache-line operations.
+  constexpr uint64_t kN = 200000;
+  auto keys = util::hashed_xorwow_items(kN, 2);
+  auto absent = util::hashed_xorwow_items(400000, 3);
+
+  bloom_filter bf(static_cast<uint64_t>(kN * 10.1), 7, 0);
+  blocked_bloom_filter bbf(kN, 10.1, 7);
+  bf.insert_bulk(keys);
+  bbf.insert_bulk(keys);
+
+  double fp_bf = static_cast<double>(bf.count_contained(absent)) /
+                 static_cast<double>(absent.size());
+  double fp_bbf = static_cast<double>(bbf.count_contained(absent)) /
+                  static_cast<double>(absent.size());
+  // Block-load variance always costs extra false positives; the paper's
+  // ~5x gap appears at lower design points (its BF measured 0.15%), while
+  // at k=7/10.1bpi the plain BF is already near its floor.
+  EXPECT_GT(fp_bbf, fp_bf * 1.05);
+  EXPECT_LT(fp_bbf, fp_bf * 12.0);
+  EXPECT_LT(fp_bbf, 0.03);
+}
+
+TEST(BlockedBloom, MemoryBudgetRespected) {
+  blocked_bloom_filter bbf(1u << 20, 10.1, 7);
+  double bpi = bbf.bits_per_item(1u << 20);
+  EXPECT_GT(bpi, 9.0);
+  EXPECT_LT(bpi, 11.5);  // block rounding overhead only
+}
+
+#if defined(GF_ENABLE_COUNTERS)
+TEST(BlockedBloom, SingleCacheLinePerOperation) {
+  blocked_bloom_filter bbf(10000, 10.1, 7);
+  auto& counters = util::counters();
+  counters.reset();
+  for (uint64_t k = 0; k < 1000; ++k) bbf.insert(k);
+  EXPECT_EQ(counters.cache_lines_touched.load(), 1000u);
+  counters.reset();
+  for (uint64_t k = 0; k < 1000; ++k) (void)bbf.contains(k);
+  EXPECT_EQ(counters.cache_lines_touched.load(), 1000u);
+}
+#endif
+
+TEST(BlockedBloom, SmallFilterStillWorks) {
+  blocked_bloom_filter bbf(10, 10.0, 4);
+  EXPECT_GE(bbf.num_blocks(), 1u);
+  bbf.insert(42);
+  EXPECT_TRUE(bbf.contains(42));
+  EXPECT_FALSE(bbf.contains(43));
+}
+
+}  // namespace
+}  // namespace gf::baselines

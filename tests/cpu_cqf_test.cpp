@@ -1,0 +1,58 @@
+#include "baselines/cpu_cqf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/xorwow.h"
+
+namespace gf::baselines {
+namespace {
+
+TEST(CpuCqf, PointOpsMatchReference) {
+  cpu_cqf f(12, 8);
+  std::map<uint64_t, uint64_t> ref;
+  util::xorwow rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = rng.next_below(800);
+    f.insert(k);
+    ++ref[k];
+  }
+  for (auto& [k, c] : ref) ASSERT_EQ(f.query(k), c);
+}
+
+TEST(CpuCqf, ConcurrentInsertsExact) {
+  cpu_cqf f(13, 8);
+  constexpr uint64_t kOps = 40000, kKeys = 400;
+  gpu::launch_threads(kOps, [&](uint64_t i) {
+    ASSERT_TRUE(f.insert(i % kKeys));
+  });
+  for (uint64_t k = 0; k < kKeys; ++k) ASSERT_EQ(f.query(k), kOps / kKeys);
+  EXPECT_EQ(f.size(), kOps);
+}
+
+TEST(CpuCqf, ConcurrentMixedReadersWriters) {
+  // The CPU CQF locks queries too, so mixed traffic is linearizable.
+  cpu_cqf f(13, 8);
+  gpu::launch_threads(20000, [&](uint64_t i) {
+    uint64_t k = i % 100;
+    if (i % 3 == 0)
+      ASSERT_TRUE(f.insert(k));
+    else
+      (void)f.query(k);  // must not crash or see torn state
+  });
+  std::string ignored;
+  EXPECT_TRUE(f.filter().validate(&ignored)) << ignored;
+}
+
+TEST(CpuCqf, Deletion) {
+  cpu_cqf f(12, 8);
+  auto keys = util::hashed_xorwow_items(1u << 11, 2);
+  for (uint64_t k : keys) ASSERT_TRUE(f.insert(k));
+  gpu::launch_threads(keys.size(),
+                      [&](uint64_t i) { ASSERT_TRUE(f.erase(keys[i])); });
+  EXPECT_EQ(f.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gf::baselines

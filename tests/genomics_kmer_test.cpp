@@ -1,0 +1,139 @@
+#include "genomics/kmer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace gf::genomics {
+namespace {
+
+TEST(Kmer, EncodeBase) {
+  EXPECT_EQ(encode_base('A'), 0);
+  EXPECT_EQ(encode_base('c'), 1);
+  EXPECT_EQ(encode_base('G'), 2);
+  EXPECT_EQ(encode_base('t'), 3);
+  EXPECT_EQ(encode_base('N'), 4);
+  EXPECT_EQ(encode_base('x'), 4);
+}
+
+TEST(Kmer, ReverseComplementKnownValues) {
+  // ACGT (k=4) -> revcomp(ACGT) = ACGT (palindrome).
+  kmer_t acgt = (0 << 6) | (1 << 4) | (2 << 2) | 3;
+  EXPECT_EQ(reverse_complement(acgt, 4), acgt);
+  // AAAA -> TTTT.
+  EXPECT_EQ(reverse_complement(0, 4), 0b11111111u);
+  // AC (k=2) -> GT.
+  kmer_t ac = (0 << 2) | 1;
+  kmer_t gt = (2 << 2) | 3;
+  EXPECT_EQ(reverse_complement(ac, 2), gt);
+}
+
+TEST(Kmer, ReverseComplementIsInvolution) {
+  std::mt19937_64 rng(5);
+  for (unsigned k : {1u, 2u, 15u, 21u, 31u, 32u}) {
+    kmer_t mask = k == 32 ? ~kmer_t{0} : ((kmer_t{1} << (2 * k)) - 1);
+    for (int i = 0; i < 200; ++i) {
+      kmer_t x = rng() & mask;
+      EXPECT_EQ(reverse_complement(reverse_complement(x, k), k), x);
+    }
+  }
+}
+
+TEST(Kmer, CanonicalIsStrandInvariant) {
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    kmer_t x = rng() & ((kmer_t{1} << 42) - 1);  // k=21
+    EXPECT_EQ(canonical(x, 21), canonical(reverse_complement(x, 21), 21));
+    EXPECT_LE(canonical(x, 21), x);
+  }
+}
+
+TEST(Kmer, ExtractCountsAndWindows) {
+  // "ACGTACGT" with k=4 yields 5 k-mers.
+  auto kmers = extract_kmers_ascii("ACGTACGT", 4);
+  EXPECT_EQ(kmers.size(), 5u);
+  // Shorter than k: nothing.
+  EXPECT_TRUE(extract_kmers_ascii("ACG", 4).empty());
+  // Exactly k: one.
+  EXPECT_EQ(extract_kmers_ascii("ACGT", 4).size(), 1u);
+}
+
+TEST(Kmer, ExtractSkipsInvalidBases) {
+  // An N in the middle breaks the window: sides contribute separately.
+  auto with_n = extract_kmers_ascii("ACGTNACGT", 4);
+  EXPECT_EQ(with_n.size(), 2u);  // one window each side
+  auto clean = extract_kmers_ascii("ACGTACGT", 4);
+  EXPECT_EQ(clean.size(), 5u);
+}
+
+TEST(Kmer, ContextExtractionNeighbours) {
+  // "ACGTA" with k=3: windows ACG(left none, right T), CGT(A/A), GTA(C/none).
+  std::vector<uint8_t> bases = {0, 1, 2, 3, 0};
+  std::vector<kmer_occurrence> occ;
+  extract_kmers_with_context(bases, 3, &occ);
+  ASSERT_EQ(occ.size(), 3u);
+  // First window ACG is canonical (ACG < CGT=revcomp): left=none right=T.
+  EXPECT_EQ(occ[0].kmer, canonical((0u << 4) | (1u << 2) | 2u, 3));
+  // Occurrence kmers must match the plain extractor.
+  std::vector<kmer_t> plain;
+  extract_kmers(bases, 3, &plain);
+  for (size_t i = 0; i < plain.size(); ++i) EXPECT_EQ(occ[i].kmer, plain[i]);
+}
+
+TEST(Kmer, ContextIsStrandConsistent) {
+  // The same genomic locus read from either strand must produce the same
+  // canonical (kmer, left, right) votes — the property the assembler's
+  // extension-walk correctness rests on.
+  std::string fwd = "GATTACAGATTACACCGGTT";
+  std::string rev;
+  for (auto it = fwd.rbegin(); it != fwd.rend(); ++it) {
+    switch (*it) {
+      case 'A': rev += 'T'; break;
+      case 'C': rev += 'G'; break;
+      case 'G': rev += 'C'; break;
+      default: rev += 'A'; break;
+    }
+  }
+  auto encode = [](const std::string& s) {
+    std::vector<uint8_t> out;
+    for (char c : s) out.push_back(encode_base(c));
+    return out;
+  };
+  std::vector<kmer_occurrence> a, b;
+  extract_kmers_with_context(encode(fwd), 7, &a);
+  extract_kmers_with_context(encode(rev), 7, &b);
+  ASSERT_EQ(a.size(), b.size());
+  auto key = [](const kmer_occurrence& o) {
+    return std::tuple(o.kmer, o.left, o.right);
+  };
+  std::vector<std::tuple<kmer_t, uint8_t, uint8_t>> ka, kb;
+  for (auto& o : a) ka.push_back(key(o));
+  for (auto& o : b) kb.push_back(key(o));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(Kmer, ForwardAndReverseReadsAgree) {
+  // The canonical k-mer multiset of a read equals that of its reverse
+  // complement — the property genomics counting relies on.
+  std::string fwd = "GATTACAGATTACACCGGTT";
+  std::string rev;
+  for (auto it = fwd.rbegin(); it != fwd.rend(); ++it) {
+    switch (*it) {
+      case 'A': rev += 'T'; break;
+      case 'C': rev += 'G'; break;
+      case 'G': rev += 'C'; break;
+      default: rev += 'A'; break;
+    }
+  }
+  auto a = extract_kmers_ascii(fwd, 7);
+  auto b = extract_kmers_ascii(rev, 7);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace gf::genomics

@@ -1,0 +1,101 @@
+#include "genomics/read_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "par/radix_sort.h"
+
+namespace gf::genomics {
+namespace {
+
+TEST(ReadGen, GeometryMatchesParams) {
+  metagenome_params p;
+  p.num_reads = 500;
+  p.read_len = 100;
+  auto reads = generate_metagenome(p);
+  ASSERT_EQ(reads.reads.size(), 500u);
+  for (auto& r : reads.reads) {
+    EXPECT_EQ(r.size(), 100u);
+    for (uint8_t b : r) ASSERT_LT(b, 4);
+  }
+  EXPECT_EQ(reads.total_bases(), 500u * 100);
+}
+
+TEST(ReadGen, Deterministic) {
+  metagenome_params p;
+  p.num_reads = 100;
+  p.seed = 7;
+  auto a = generate_metagenome(p);
+  auto b = generate_metagenome(p);
+  EXPECT_EQ(a.reads, b.reads);
+  p.seed = 8;
+  auto c = generate_metagenome(p);
+  EXPECT_NE(a.reads, c.reads);
+}
+
+TEST(ReadGen, KmerSpectrumHasSingletonTailAndSkew) {
+  // The property Table 3 and Table 5 depend on: sequencing errors mint
+  // singletons, coverage mints heavy k-mers.
+  metagenome_params p;
+  p.num_reads = 5000;
+  p.error_rate = 0.01;
+  auto kmers = extract_all_kmers(generate_metagenome(p), 21);
+  ASSERT_GT(kmers.size(), 100000u);
+  par::radix_sort(kmers);
+  uint64_t distinct = 0, singletons = 0, heavy = 0, run = 0;
+  for (size_t i = 0; i < kmers.size(); ++i) {
+    ++run;
+    if (i + 1 == kmers.size() || kmers[i] != kmers[i + 1]) {
+      ++distinct;
+      if (run == 1) ++singletons;
+      if (run >= 10) ++heavy;
+      run = 0;
+    }
+  }
+  double singleton_frac = static_cast<double>(singletons) / distinct;
+  EXPECT_GT(singleton_frac, 0.3);
+  EXPECT_LT(singleton_frac, 0.95);
+  EXPECT_GT(heavy, 100u);  // coverage produces genuinely hot k-mers
+}
+
+TEST(ReadGen, ErrorRateDrivesSingletons) {
+  // High coverage (so error-free k-mers repeat) makes the error knob the
+  // dominant singleton source.
+  metagenome_params clean;
+  clean.num_reads = 2000;
+  clean.num_contigs = 8;
+  clean.contig_len = 5000;
+  clean.error_rate = 0.0;
+  metagenome_params noisy = clean;
+  noisy.error_rate = 0.02;
+
+  auto singleton_fraction = [](std::vector<kmer_t> kmers) {
+    par::radix_sort(kmers);
+    uint64_t distinct = 0, singles = 0, run = 0;
+    for (size_t i = 0; i < kmers.size(); ++i) {
+      ++run;
+      if (i + 1 == kmers.size() || kmers[i] != kmers[i + 1]) {
+        ++distinct;
+        if (run == 1) ++singles;
+        run = 0;
+      }
+    }
+    return static_cast<double>(singles) / static_cast<double>(distinct);
+  };
+
+  double f_clean =
+      singleton_fraction(extract_all_kmers(generate_metagenome(clean), 21));
+  double f_noisy =
+      singleton_fraction(extract_all_kmers(generate_metagenome(noisy), 21));
+  EXPECT_GT(f_noisy, f_clean + 0.2);
+}
+
+TEST(ReadGen, KmerWorkloadHitsTarget) {
+  auto kmers = kmer_workload(200000, 21, 13);
+  EXPECT_GE(kmers.size(), 180000u);
+  EXPECT_LE(kmers.size(), 260000u);
+}
+
+}  // namespace
+}  // namespace gf::genomics

@@ -1,0 +1,90 @@
+#include "gpu/atomics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gpu/launch.h"
+
+namespace gf::gpu {
+namespace {
+
+TEST(Atomics, CasReturnsObservedValue) {
+  uint16_t word = 5;
+  EXPECT_EQ(atomic_cas(&word, uint16_t{5}, uint16_t{7}), 5);  // success
+  EXPECT_EQ(word, 7);
+  EXPECT_EQ(atomic_cas(&word, uint16_t{5}, uint16_t{9}), 7);  // failure
+  EXPECT_EQ(word, 7);
+}
+
+TEST(Atomics, CasBoolOn8And16And32And64) {
+  uint8_t a = 1;
+  EXPECT_TRUE(atomic_cas_bool(&a, uint8_t{1}, uint8_t{2}));
+  EXPECT_FALSE(atomic_cas_bool(&a, uint8_t{1}, uint8_t{3}));
+  uint16_t b = 1;
+  EXPECT_TRUE(atomic_cas_bool(&b, uint16_t{1}, uint16_t{2}));
+  uint32_t c = 1;
+  EXPECT_TRUE(atomic_cas_bool(&c, uint32_t{1}, uint32_t{2}));
+  uint64_t d = 1;
+  EXPECT_TRUE(atomic_cas_bool(&d, uint64_t{1}, uint64_t{2}));
+}
+
+TEST(Atomics, ConcurrentCasClaimsAreExclusive) {
+  // N threads race to claim each slot; exactly one must win per slot.
+  constexpr uint64_t kSlots = 4096;
+  std::vector<uint16_t> slots(kSlots, 0);
+  std::atomic<uint64_t> wins{0};
+  launch_threads(kSlots * 8, [&](uint64_t i) {
+    uint64_t slot = i % kSlots;
+    uint16_t tag = static_cast<uint16_t>(i / kSlots + 1);
+    if (atomic_cas_bool(&slots[slot], uint16_t{0}, tag))
+      wins.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(wins.load(), kSlots);
+  for (uint16_t v : slots) ASSERT_NE(v, 0);
+}
+
+TEST(Atomics, FetchOrAccumulatesBits) {
+  uint64_t word = 0;
+  launch_threads(64, [&](uint64_t i) {
+    atomic_or(&word, uint64_t{1} << i);
+  });
+  EXPECT_EQ(word, ~uint64_t{0});
+}
+
+TEST(Atomics, FetchAddIsExact) {
+  uint64_t counter = 0;
+  launch_threads(100000, [&](uint64_t) { atomic_add(&counter, uint64_t{1}); });
+  EXPECT_EQ(counter, 100000u);
+}
+
+TEST(Atomics, CacheAlignedLockLayout) {
+  // Paper §5.2: locks must not share cache lines.
+  EXPECT_EQ(sizeof(cache_aligned_lock), kCacheLineBytes);
+  EXPECT_EQ(alignof(cache_aligned_lock), kCacheLineBytes);
+}
+
+TEST(Atomics, LockMutualExclusion) {
+  cache_aligned_lock lock;
+  uint64_t unguarded = 0;
+  launch_threads(20000, [&](uint64_t) {
+    lock.lock();
+    ++unguarded;  // data race iff the lock is broken
+    lock.unlock();
+  });
+  EXPECT_EQ(unguarded, 20000u);
+}
+
+TEST(Atomics, TryLock) {
+  cache_aligned_lock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+}  // namespace
+}  // namespace gf::gpu

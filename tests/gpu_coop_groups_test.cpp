@@ -1,0 +1,83 @@
+#include "gpu/coop_groups.h"
+
+#include <gtest/gtest.h>
+
+#include "gpu/shared_memory.h"
+
+namespace gf::gpu {
+namespace {
+
+TEST(CoopGroups, BallotBuildsLaneMask) {
+  cooperative_group cg(8);
+  uint32_t mask = cg.ballot([](unsigned lane) { return lane % 2 == 0; });
+  EXPECT_EQ(mask, 0b01010101u);
+  EXPECT_EQ(cg.ballot([](unsigned) { return false; }), 0u);
+  EXPECT_EQ(cg.ballot([](unsigned) { return true; }), 0xFFu);
+}
+
+TEST(CoopGroups, BallotWindowClipsToCount) {
+  cooperative_group cg(8);
+  uint32_t mask = cg.ballot_window(3, [](unsigned) { return true; });
+  EXPECT_EQ(mask, 0b111u);
+  EXPECT_EQ(cg.ballot_window(0, [](unsigned) { return true; }), 0u);
+}
+
+TEST(CoopGroups, LeaderElectionMatchesFfs) {
+  // Algorithm 1 line 7: leader = __ffs(ballot) - 1.
+  EXPECT_EQ(cooperative_group::leader(0b1000), 3u);
+  EXPECT_EQ(cooperative_group::leader(0b1001), 0u);
+  EXPECT_EQ(cooperative_group::leader(0x80000000u), 31u);
+}
+
+TEST(CoopGroups, DropLeaderWalksBallot) {
+  // Algorithm 1 line 16: ballot = ballot XOR (1 << leader).
+  uint32_t mask = 0b101101;
+  unsigned expected[] = {0, 2, 3, 5};
+  int step = 0;
+  while (mask != 0) {
+    EXPECT_EQ(cooperative_group::leader(mask), expected[step++]);
+    mask = cooperative_group::drop_leader(mask);
+  }
+  EXPECT_EQ(step, 4);
+}
+
+TEST(CoopGroups, SizeOneGroupDegeneratesToThread) {
+  cooperative_group cg(1);
+  EXPECT_EQ(cg.size(), 1u);
+  EXPECT_EQ(cg.ballot([](unsigned lane) { return lane == 0; }), 1u);
+}
+
+TEST(CoopGroups, ZeroSizeClampedToOne) {
+  cooperative_group cg(0);
+  EXPECT_EQ(cg.size(), 1u);
+}
+
+TEST(SharedMemory, ScratchScopesNestAndRewind) {
+  auto& arena = shared_arena::local();
+  size_t before = arena.used();
+  {
+    scratch outer;
+    uint16_t* a = outer.alloc<uint16_t>(64);
+    a[0] = 1;
+    {
+      scratch inner;
+      uint64_t* b = inner.alloc<uint64_t>(32);
+      b[0] = 2;
+      EXPECT_GT(arena.used(), before);
+    }
+    // Inner scope rewound; outer allocation still accounted.
+    EXPECT_GE(arena.used(), before + 64 * sizeof(uint16_t));
+    EXPECT_EQ(a[0], 1);
+  }
+  EXPECT_EQ(arena.used(), before);
+}
+
+TEST(SharedMemory, AlignmentRespected) {
+  scratch s;
+  (void)s.alloc<uint8_t>(3);
+  uint64_t* p = s.alloc<uint64_t>(1);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(uint64_t), 0u);
+}
+
+}  // namespace
+}  // namespace gf::gpu

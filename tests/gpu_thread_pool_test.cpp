@@ -1,0 +1,76 @@
+#include "gpu/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gpu/launch.h"
+
+namespace gf::gpu {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  auto& pool = thread_pool::instance();
+  constexpr uint64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, 128, [&](uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyAndTinyRanges) {
+  auto& pool = thread_pool::instance();
+  std::atomic<int> count{0};
+  pool.parallel_for(5, 5, 16, [&](uint64_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(10, 13, 16, [&](uint64_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ParallelRangesPartition) {
+  auto& pool = thread_pool::instance();
+  constexpr uint64_t kN = 77777;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_ranges(kN, [&](unsigned, uint64_t b, uint64_t e) {
+    ASSERT_LE(b, e);
+    for (uint64_t i = b; i < e; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, NestedLaunchExecutesInline) {
+  // A kernel body can call parallel primitives (the bulk TCF phases do);
+  // nesting must neither deadlock nor duplicate work.
+  std::atomic<uint64_t> total{0};
+  launch_threads(16, [&](uint64_t) {
+    thread_pool::instance().parallel_for(0, 100, 10, [&](uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 1600u);
+}
+
+TEST(ThreadPool, SequentialLaunchesReuseWorkers) {
+  // Many short launches in a row: exercises the epoch handshake.
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 200; ++round)
+    launch_threads(64, [&](uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 200u * 64);
+}
+
+TEST(ThreadPool, ConcurrentMutationVisibleAfterJoin) {
+  // Writes made inside a launch are visible after it returns (the launch
+  // acts as a synchronization point, like a CUDA kernel + deviceSync).
+  std::vector<uint64_t> data(10000, 0);
+  launch_threads(data.size(), [&](uint64_t i) { data[i] = i * i; });
+  for (uint64_t i = 0; i < data.size(); ++i) ASSERT_EQ(data[i], i * i);
+}
+
+}  // namespace
+}  // namespace gf::gpu

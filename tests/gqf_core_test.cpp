@@ -1,0 +1,169 @@
+#include "gqf/gqf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/xorwow.h"
+
+namespace gf::gqf {
+namespace {
+
+TEST(GqfCore, EmptyFilterState) {
+  gqf_filter<uint8_t> f(10, 8);
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.num_slots(), 1u << 10);
+  EXPECT_FALSE(f.contains(42));
+  EXPECT_EQ(f.query(42), 0u);
+  std::string why;
+  EXPECT_TRUE(f.validate(&why)) << why;
+}
+
+TEST(GqfCore, InsertQuerySingle) {
+  gqf_filter<uint8_t> f(10, 8);
+  EXPECT_TRUE(f.insert(42));
+  EXPECT_TRUE(f.contains(42));
+  EXPECT_EQ(f.query(42), 1u);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.distinct_items(), 1u);
+}
+
+TEST(GqfCore, HashPartitioning) {
+  gqf_filter<uint16_t> f(12, 16);
+  uint64_t h = f.hash_of(123456789);
+  EXPECT_EQ((f.quotient_of(h) << 16) | f.remainder_of(h), h);
+  EXPECT_LT(f.quotient_of(h), f.num_slots());
+  EXPECT_EQ(f.fingerprint_bits(), 28u);
+}
+
+TEST(GqfCore, NoFalseNegativesAt85Load) {
+  gqf_filter<uint8_t> f(14, 8);
+  auto keys = util::hashed_xorwow_items(f.num_slots() * 85 / 100, 1);
+  for (uint64_t k : keys) ASSERT_TRUE(f.insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(f.contains(k));
+  std::string why;
+  EXPECT_TRUE(f.validate(&why)) << why;
+}
+
+TEST(GqfCore, RobinHoodRunsStaySorted) {
+  // Force many collisions into few quotients (q=6 -> 64 slots).
+  gqf_filter<uint8_t> f(6, 8);
+  util::xorwow rng(3);
+  for (int i = 0; i < 48; ++i) ASSERT_TRUE(f.insert(rng.next64()));
+  std::string why;
+  EXPECT_TRUE(f.validate(&why)) << why;  // validate() checks sortedness
+}
+
+TEST(GqfCore, ClusterSpillIntoPadding) {
+  // Fill the very last quotients; their runs spill past 2^q into the
+  // padding region and must still be found.
+  gqf_filter<uint8_t> f(8, 8);
+  std::vector<uint64_t> hashes;
+  // Construct hashes with the top quotient (255) and distinct remainders.
+  for (uint64_t rem = 0; rem < 40; ++rem)
+    hashes.push_back((uint64_t{255} << 8) | rem);
+  for (uint64_t h : hashes) ASSERT_TRUE(f.insert_hash(h));
+  for (uint64_t h : hashes) ASSERT_EQ(f.query_hash(h), 1u);
+  std::string why;
+  EXPECT_TRUE(f.validate(&why)) << why;
+}
+
+TEST(GqfCore, FalsePositiveRateTracksRemainderWidth) {
+  auto measure = [](auto filter, double load, uint64_t seed) {
+    auto keys = util::hashed_xorwow_items(
+        static_cast<uint64_t>(filter.num_slots() * load), seed);
+    for (uint64_t k : keys) filter.insert(k);
+    auto absent = util::hashed_xorwow_items(300000, seed ^ 0xABC);
+    uint64_t fp = 0;
+    for (uint64_t k : absent) fp += filter.contains(k);
+    return static_cast<double>(fp) / static_cast<double>(absent.size());
+  };
+  double fp8 = measure(gqf_filter<uint8_t>(14, 8), 0.85, 1);
+  double fp16 = measure(gqf_filter<uint16_t>(14, 16), 0.85, 2);
+  // eps ~ alpha * 2^-r.
+  EXPECT_NEAR(fp8, 0.85 / 256, 0.0015);
+  EXPECT_LT(fp16, 0.0005);
+}
+
+TEST(GqfCore, EnumerationRoundTrip) {
+  gqf_filter<uint8_t> f(12, 8);
+  std::map<uint64_t, uint64_t> ref;
+  util::xorwow rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t k = rng.next_below(700);
+    uint64_t c = 1 + rng.next_below(5);
+    ref[f.hash_of(k)] += c;
+    ASSERT_TRUE(f.insert(k, c));
+  }
+  std::map<uint64_t, uint64_t> seen;
+  f.for_each([&](uint64_t hash, uint64_t count) { seen[hash] += count; });
+  EXPECT_EQ(seen, ref);
+}
+
+TEST(GqfCore, MergePreservesCounts) {
+  gqf_filter<uint8_t> a(12, 8), b(12, 8);
+  for (uint64_t k = 0; k < 500; ++k) {
+    a.insert(k, 2);
+    b.insert(k + 250, 3);
+  }
+  ASSERT_TRUE(a.merge(b));
+  for (uint64_t k = 0; k < 250; ++k) ASSERT_EQ(a.query(k), 2u);
+  for (uint64_t k = 250; k < 500; ++k) ASSERT_EQ(a.query(k), 5u);
+  for (uint64_t k = 500; k < 750; ++k) ASSERT_EQ(a.query(k), 3u);
+  std::string why;
+  EXPECT_TRUE(a.validate(&why)) << why;
+}
+
+TEST(GqfCore, MergeRejectsMismatchedGeometry) {
+  gqf_filter<uint8_t> a(12, 8);
+  gqf_filter<uint8_t> b(13, 8);
+  EXPECT_FALSE(a.merge(b));
+}
+
+TEST(GqfCore, ResizeDoublesAndPreserves) {
+  gqf_filter<uint16_t> f(10, 16);
+  auto keys = util::hashed_xorwow_items(f.num_slots() * 80 / 100, 7);
+  for (uint64_t k : keys) ASSERT_TRUE(f.insert(k));
+  auto big = f.resized();
+  EXPECT_EQ(big.num_slots(), f.num_slots() * 2);
+  EXPECT_EQ(big.size(), f.size());
+  // p = q + r is preserved, so the same keys hash identically.
+  EXPECT_EQ(big.fingerprint_bits(), f.fingerprint_bits());
+  for (uint64_t k : keys) ASSERT_TRUE(big.contains(k));
+  std::string why;
+  EXPECT_TRUE(big.validate(&why)) << why;
+}
+
+TEST(GqfCore, FullFilterRefusesGracefully) {
+  gqf_filter<uint8_t> f(6, 8);  // 64 canonical slots + padding
+  util::xorwow rng(11);
+  bool refused = false;
+  for (int i = 0; i < 100000 && !refused; ++i)
+    refused = !f.insert(rng.next64());
+  // Must stop accepting eventually, without corrupting structure.  (The
+  // multiset size may exceed the slot count — counters compress
+  // fingerprint duplicates — but distinct heads cannot.)
+  EXPECT_TRUE(refused);
+  EXPECT_LE(f.distinct_items(), f.total_slots());
+  std::string why;
+  EXPECT_TRUE(f.validate(&why)) << why;
+}
+
+TEST(GqfCore, SlotWidths32And64) {
+  gqf_filter<uint32_t> f32(10, 32);
+  gqf_filter<uint64_t> f64(8, 32);
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(f32.insert(k));
+    ASSERT_TRUE(f64.insert(k, k % 7 + 1));
+  }
+  std::string why;
+  EXPECT_TRUE(f32.validate(&why)) << why;
+  EXPECT_TRUE(f64.validate(&why)) << why;
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(f32.contains(k));
+    ASSERT_EQ(f64.query(k), k % 7 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace gf::gqf

@@ -1,0 +1,130 @@
+// Counting semantics: the CQF guarantee is that queries never return less
+// than the true count (and are exact absent fingerprint collisions).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gqf/gqf.h"
+#include "util/xorwow.h"
+#include "util/zipf.h"
+
+namespace gf::gqf {
+namespace {
+
+TEST(GqfCounting, SmallCountsInPlace) {
+  // Counts below 2^r increment digit slots in place (§6.7): verify counts
+  // 1..300 for an 8-bit slot (crossing the 1-digit boundary at 257).
+  gqf_filter<uint8_t> f(12, 8);
+  for (uint64_t c = 1; c <= 300; ++c) ASSERT_TRUE(f.insert(777));
+  EXPECT_EQ(f.query(777), 300u);
+  std::string why;
+  EXPECT_TRUE(f.validate(&why)) << why;
+}
+
+TEST(GqfCounting, LargeAggregateCounts) {
+  gqf_filter<uint8_t> f(10, 8);
+  ASSERT_TRUE(f.insert(1, 1));
+  ASSERT_TRUE(f.insert(1, 255));        // 256: exactly one digit
+  ASSERT_TRUE(f.insert(1, 1));          // 257: two digits
+  ASSERT_TRUE(f.insert(1, 1000000));    // multi-digit growth
+  EXPECT_EQ(f.query(1), 1000257u);
+  std::string why;
+  EXPECT_TRUE(f.validate(&why)) << why;
+}
+
+TEST(GqfCounting, ExactCountsMixedWorkload) {
+  gqf_filter<uint8_t> f(14, 8);
+  std::map<uint64_t, uint64_t> ref;
+  util::xorwow rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t key = rng.next_below(3000);
+    uint64_t c = 1 + rng.next_below(20);
+    ref[key] += c;
+    ASSERT_TRUE(f.insert(key, c));
+  }
+  // Counts are >= truth always, and exact except where two keys collide
+  // on the full 22-bit fingerprint (expected ~1 pair at 3000 keys).
+  uint64_t exact = 0;
+  for (auto& [k, c] : ref) {
+    ASSERT_GE(f.query(k), c) << k;
+    exact += f.query(k) == c;
+  }
+  EXPECT_GE(exact, ref.size() - 6);
+  std::string why;
+  EXPECT_TRUE(f.validate(&why)) << why;
+}
+
+TEST(GqfCounting, NeverUndercounts) {
+  // Even with fingerprint collisions the returned count must be >= truth.
+  gqf_filter<uint8_t> f(8, 8);  // tiny: collisions guaranteed
+  std::map<uint64_t, uint64_t> ref;
+  util::xorwow rng(5);
+  for (int i = 0; i < 150; ++i) {
+    uint64_t key = rng.next_below(100000);
+    ref[key] += 1;
+    ASSERT_TRUE(f.insert(key));
+  }
+  for (auto& [k, c] : ref) ASSERT_GE(f.query(k), c);
+}
+
+TEST(GqfCounting, CounterWidthSweep) {
+  // Counter digits use base 2^r: exercise r in {8, 16, 32}.
+  gqf_filter<uint8_t> f8(10, 8);
+  gqf_filter<uint16_t> f16(10, 16);
+  gqf_filter<uint32_t> f32(10, 32);
+  for (uint64_t c : {1ull, 2ull, 255ull, 256ull, 257ull, 65535ull, 65536ull,
+                     (1ull << 20) + 3}) {
+    ASSERT_TRUE(f8.insert(c, c));
+    ASSERT_TRUE(f16.insert(c, c));
+    ASSERT_TRUE(f32.insert(c, c));
+  }
+  for (uint64_t c : {1ull, 2ull, 255ull, 256ull, 257ull, 65535ull, 65536ull,
+                     (1ull << 20) + 3}) {
+    EXPECT_EQ(f8.query(c), c);
+    EXPECT_EQ(f16.query(c), c);
+    EXPECT_EQ(f32.query(c), c);
+  }
+  std::string why;
+  EXPECT_TRUE(f8.validate(&why)) << why;
+  EXPECT_TRUE(f16.validate(&why)) << why;
+  EXPECT_TRUE(f32.validate(&why)) << why;
+}
+
+TEST(GqfCounting, ZipfianSkewExactness) {
+  // The Table 5 regime: heavy skew, counts through the counter channel.
+  auto data = util::zipfian_dataset(1 << 16, 1.5, 9);
+  gqf_filter<uint8_t> f(15, 8);
+  std::map<uint64_t, uint64_t> ref;
+  for (uint64_t k : data) {
+    ref[k] += 1;
+    ASSERT_TRUE(f.insert(k));
+  }
+  uint64_t checked = 0;
+  for (auto& [k, c] : ref) {
+    ASSERT_GE(f.query(k), c);
+    checked += f.query(k) == c;
+  }
+  // Fingerprint collisions are rare at p = 23: nearly all counts exact.
+  EXPECT_GT(checked, ref.size() * 99 / 100);
+  std::string why;
+  EXPECT_TRUE(f.validate(&why)) << why;
+}
+
+TEST(GqfCounting, ValueAssociationViaCounters) {
+  // Paper §2: values ride the counter channel (Mantis-style).
+  gqf_filter<uint16_t> f(12, 16);
+  for (uint64_t k = 0; k < 3000; ++k)
+    ASSERT_TRUE(f.insert_value(k, k * 3 % 1000));
+  for (uint64_t k = 0; k < 3000; ++k) {
+    auto v = f.query_value(k);
+    ASSERT_TRUE(v.has_value()) << k;
+    EXPECT_EQ(*v, k * 3 % 1000) << k;
+  }
+  EXPECT_FALSE(f.query_value(999999).has_value());
+  // Value zero is representable (count 1).
+  ASSERT_TRUE(f.insert_value(999999, 0));
+  ASSERT_EQ(f.query_value(999999).value(), 0u);
+}
+
+}  // namespace
+}  // namespace gf::gqf

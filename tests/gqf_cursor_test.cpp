@@ -1,0 +1,89 @@
+#include "gqf/gqf_cursor.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/xorwow.h"
+#include "util/zipf.h"
+
+namespace gf::gqf {
+namespace {
+
+TEST(GqfCursor, EmptyFilter) {
+  gqf_filter<uint8_t> f(10, 8);
+  gqf_cursor<uint8_t> c(f);
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(GqfCursor, YieldsAllEntriesInAscendingOrder) {
+  gqf_filter<uint8_t> f(12, 8);
+  std::map<uint64_t, uint64_t> ref;
+  util::xorwow rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t k = rng.next_below(1200);
+    ref[f.hash_of(k)] += 1;
+    ASSERT_TRUE(f.insert(k));
+  }
+  gqf_cursor<uint8_t> c(f);
+  uint64_t prev = 0;
+  bool first = true;
+  std::map<uint64_t, uint64_t> seen;
+  while (c.valid()) {
+    if (!first) {
+      ASSERT_GT(c.hash(), prev);  // strictly ascending
+    }
+    prev = c.hash();
+    first = false;
+    seen[c.hash()] += c.count();
+    c.advance();
+  }
+  EXPECT_EQ(seen, ref);
+}
+
+TEST(GqfCursor, AgreesWithForEach) {
+  gqf_filter<uint8_t> f(13, 8);
+  auto data = util::zipfian_dataset(20000, 1.5, 2);
+  for (uint64_t k : data) ASSERT_TRUE(f.insert(k));
+  std::map<uint64_t, uint64_t> a, b;
+  f.for_each([&](uint64_t h, uint64_t c) { a[h] += c; });
+  for (gqf_cursor<uint8_t> c(f); c.valid(); c.advance()) b[c.hash()] += c.count();
+  EXPECT_EQ(a, b);
+}
+
+TEST(GqfCursor, MergedIntoSumsCounts) {
+  gqf_filter<uint8_t> a(12, 8), b(12, 8);
+  gqf_filter<uint8_t> out_same(12, 8);  // merge requires identical geometry
+  for (uint64_t k = 0; k < 600; ++k) {
+    ASSERT_TRUE(a.insert(k, 2));
+    if (k % 2 == 0) {
+      ASSERT_TRUE(b.insert(k, 3));
+    }
+  }
+  ASSERT_TRUE(merged_into(a, b, &out_same));
+  for (uint64_t k = 0; k < 600; ++k)
+    ASSERT_EQ(out_same.query(k), k % 2 == 0 ? 5u : 2u) << k;
+  std::string why;
+  EXPECT_TRUE(out_same.validate(&why)) << why;
+}
+
+TEST(GqfCursor, MergeEquivalentToBulkMerge) {
+  gqf_filter<uint8_t> a(12, 8), b(12, 8);
+  auto ka = util::hashed_xorwow_items(1000, 3);
+  auto kb = util::hashed_xorwow_items(1000, 4);
+  for (uint64_t k : ka) ASSERT_TRUE(a.insert(k));
+  for (uint64_t k : kb) ASSERT_TRUE(b.insert(k));
+
+  gqf_filter<uint8_t> via_cursor(12, 8);
+  ASSERT_TRUE(merged_into(a, b, &via_cursor));
+  gqf_filter<uint8_t> via_member(a);
+  ASSERT_TRUE(via_member.merge(b));
+
+  std::map<uint64_t, uint64_t> x, y;
+  via_cursor.for_each([&](uint64_t h, uint64_t c) { x[h] += c; });
+  via_member.for_each([&](uint64_t h, uint64_t c) { y[h] += c; });
+  EXPECT_EQ(x, y);
+}
+
+}  // namespace
+}  // namespace gf::gqf

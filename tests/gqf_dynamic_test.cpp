@@ -1,0 +1,82 @@
+#include "gqf/gqf_dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/xorwow.h"
+
+namespace gf::gqf {
+namespace {
+
+TEST(DynamicGqf, GrowsPastInitialCapacity) {
+  // Start tiny, insert 10x the initial slots; everything must be found.
+  dynamic_gqf<uint16_t> f(8, 16);  // 256 slots, lots of remainder headroom
+  auto keys = util::hashed_xorwow_items(2560, 1);
+  for (uint64_t k : keys) ASSERT_TRUE(f.insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(f.contains(k));
+  EXPECT_GE(f.resizes(), 3u);
+  EXPECT_GE(f.num_slots(), 2048u);
+  EXPECT_LE(f.load_factor(), 0.86);
+}
+
+TEST(DynamicGqf, CountsSurviveGrowth) {
+  dynamic_gqf<uint16_t> f(8, 16);
+  std::map<uint64_t, uint64_t> ref;
+  util::xorwow rng(2);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t k = rng.next_below(1500);
+    uint64_t c = 1 + rng.next_below(3);
+    ref[k] += c;
+    ASSERT_TRUE(f.insert(k, c));
+  }
+  EXPECT_GE(f.resizes(), 1u);
+  for (auto& [k, c] : ref) ASSERT_EQ(f.query(k), c);
+  std::string why;
+  EXPECT_TRUE(f.filter().validate(&why)) << why;
+}
+
+TEST(DynamicGqf, FalsePositiveRatePreservedAcrossGrowth) {
+  // p = q + r is invariant under resize, so the FP rate for one item set
+  // must not degrade as the filter grows.
+  dynamic_gqf<uint32_t> f(10, 24);
+  auto keys = util::hashed_xorwow_items(8000, 3);
+  for (uint64_t k : keys) ASSERT_TRUE(f.insert(k));
+  EXPECT_GE(f.resizes(), 2u);
+  auto absent = util::hashed_xorwow_items(200000, 4);
+  uint64_t fp = 0;
+  for (uint64_t k : absent) fp += f.contains(k);
+  // p = 34 bits: expected FP rate ~ n / 2^34 ~ 5e-7.
+  EXPECT_LE(fp, 3u);
+}
+
+TEST(DynamicGqf, GrowthExhaustsAtOneRemainderBit) {
+  dynamic_gqf<uint8_t> f(4, 2, 0.75);  // only one doubling available
+  EXPECT_TRUE(f.can_grow());
+  util::xorwow rng(5);
+  for (int i = 0; i < 4000; ++i) (void)f.insert(rng.next64());
+  // After the single doubling, r = 1: growth stops and the filter rides
+  // past the load threshold on counters (p = 6 bits -> at most 64
+  // distinct fingerprints, which always fit).
+  EXPECT_FALSE(f.can_grow());
+  EXPECT_EQ(f.resizes(), 1u);
+  EXPECT_LE(f.distinct_items(), 64u);
+  EXPECT_EQ(f.size(), 4000u);  // counting never lost an insert
+}
+
+TEST(DynamicGqf, RejectsTooNarrowRemainder) {
+  EXPECT_THROW(dynamic_gqf<uint8_t>(8, 1), std::invalid_argument);
+}
+
+TEST(DynamicGqf, EraseAndValuesWork) {
+  dynamic_gqf<uint16_t> f(8, 16);
+  for (uint64_t k = 0; k < 1000; ++k)
+    ASSERT_TRUE(f.insert_value(k, k % 100));
+  for (uint64_t k = 0; k < 1000; ++k)
+    ASSERT_EQ(f.query_value(k).value(), k % 100);
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(f.erase(k, k % 100 + 1));
+  EXPECT_EQ(f.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gf::gqf

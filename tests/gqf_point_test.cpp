@@ -1,0 +1,119 @@
+// The region-locked point API (paper §5.2): concurrency correctness.
+#include "gqf/gqf_point.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "util/xorwow.h"
+#include "util/zipf.h"
+
+namespace gf::gqf {
+namespace {
+
+TEST(GqfPoint, ConcurrentInsertsAllLand) {
+  gqf_point<uint8_t> f(16, 8);
+  auto keys = util::hashed_xorwow_items(f.filter().num_slots() * 85 / 100, 1);
+  EXPECT_EQ(f.insert_bulk(keys), keys.size());
+  EXPECT_EQ(f.count_contained(keys), keys.size());
+  std::string why;
+  EXPECT_TRUE(f.filter().validate(&why)) << why;
+}
+
+TEST(GqfPoint, ConcurrentCountingIsExact) {
+  // Many threads hammer a small hot set; the multiset total must be exact
+  // (locks serialize counter bumps).
+  gqf_point<uint8_t> f(12, 8);
+  constexpr uint64_t kOps = 60000;
+  constexpr uint64_t kKeys = 500;
+  gpu::launch_threads(kOps, [&](uint64_t i) {
+    ASSERT_TRUE(f.insert(i % kKeys));
+  });
+  EXPECT_EQ(f.filter().size(), kOps);
+  for (uint64_t k = 0; k < kKeys; ++k)
+    ASSERT_EQ(f.query(k), kOps / kKeys) << k;
+  std::string why;
+  EXPECT_TRUE(f.filter().validate(&why)) << why;
+}
+
+TEST(GqfPoint, ConcurrentDeletesBalanceInserts) {
+  gqf_point<uint8_t> f(14, 8);
+  auto keys = util::hashed_xorwow_items(f.filter().num_slots() / 2, 3);
+  ASSERT_EQ(f.insert_bulk(keys), keys.size());
+  EXPECT_EQ(f.erase_bulk(keys), keys.size());
+  EXPECT_EQ(f.filter().size(), 0u);
+  std::string why;
+  EXPECT_TRUE(f.filter().validate(&why)) << why;
+}
+
+TEST(GqfPoint, MixedInsertDeleteChurnAcrossThreads) {
+  gqf_point<uint8_t> f(13, 8);
+  constexpr uint64_t kKeys = 256;
+  // Every key gets +2 inserts and -1 delete across the launch; final
+  // count per key is exactly 1 (deletes follow inserts within a thread).
+  gpu::launch_threads(kKeys, [&](uint64_t k) {
+    ASSERT_TRUE(f.insert(k));
+    ASSERT_TRUE(f.insert(k));
+    ASSERT_TRUE(f.erase(k));
+  });
+  for (uint64_t k = 0; k < kKeys; ++k) ASSERT_EQ(f.query(k), 1u) << k;
+  std::string why;
+  EXPECT_TRUE(f.filter().validate(&why)) << why;
+}
+
+TEST(GqfPoint, RegionBoundaryQuotients) {
+  // Quotients right at the 8192-slot region boundaries exercise the
+  // three-lock neighbourhood logic; runs straddle the boundary blocks.
+  gqf_point<uint8_t> f(16, 8);
+  std::vector<uint64_t> hashes;
+  for (uint64_t boundary = kRegionSlots; boundary < f.filter().num_slots();
+       boundary += kRegionSlots) {
+    for (int d = -2; d <= 2; ++d)
+      for (uint64_t r = 1; r < 6; ++r)
+        hashes.push_back(((boundary + d) << 8) | r);
+  }
+  gpu::launch_threads(hashes.size(), [&](uint64_t i) {
+    ASSERT_TRUE(f.insert_hash(hashes[i]));
+  });
+  std::string why;
+  EXPECT_TRUE(f.filter().validate(&why)) << why;
+  for (uint64_t h : hashes) EXPECT_GE(f.filter().query_hash(h), 1u);
+}
+
+TEST(GqfPoint, ValueAssociationUnderConcurrency) {
+  gqf_point<uint16_t> f(12, 16);
+  gpu::launch_threads(4000, [&](uint64_t k) {
+    ASSERT_TRUE(f.insert_value(k, k % 4096));
+  });
+  for (uint64_t k = 0; k < 4000; ++k) {
+    auto v = f.query_value(k);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, k % 4096);
+  }
+}
+
+TEST(GqfPoint, LockedQueryAgreesWithLockless) {
+  gqf_point<uint8_t> f(12, 8);
+  auto keys = util::hashed_xorwow_items(2000, 5);
+  f.insert_bulk(keys);
+  for (uint64_t k : keys) EXPECT_EQ(f.query(k), f.query_locked(k));
+}
+
+TEST(GqfPoint, SkewedPointInsertsStayExact) {
+  // §5.4: skew causes contention in the point API — throughput pain, but
+  // never lost updates.
+  gqf_point<uint8_t> f(12, 8);
+  auto data = util::zipfian_dataset(30000, 1.5, 7);
+  std::map<uint64_t, uint64_t> ref;
+  for (uint64_t k : data) ++ref[k];
+  gpu::launch_threads(data.size(),
+                      [&](uint64_t i) { ASSERT_TRUE(f.insert(data[i])); });
+  EXPECT_EQ(f.filter().size(), data.size());
+  for (auto& [k, c] : ref) ASSERT_GE(f.query(k), c);
+  std::string why;
+  EXPECT_TRUE(f.filter().validate(&why)) << why;
+}
+
+}  // namespace
+}  // namespace gf::gqf

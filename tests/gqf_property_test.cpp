@@ -1,0 +1,114 @@
+// Parameterized structural sweeps: every (q, r, load, path) combination
+// must keep the rank/select metadata valid and the multiset exact.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "gqf/gqf.h"
+#include "gqf/gqf_bulk.h"
+#include "util/xorwow.h"
+
+namespace gf::gqf {
+namespace {
+
+using geometry = std::tuple<int, int, int>;  // q_bits, r_bits(slot), load%
+
+class GqfGeometrySweep : public ::testing::TestWithParam<geometry> {};
+
+TEST_P(GqfGeometrySweep, SequentialInsertUphold) {
+  auto [q, r, load] = GetParam();
+  gqf_filter<uint8_t> f8(q, 8);
+  gqf_filter<uint16_t> f16(q, 16);
+  uint64_t n = (uint64_t{1} << q) * load / 100;
+  auto keys = util::hashed_xorwow_items(n, q * 100 + load);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(f8.insert(k));
+    ASSERT_TRUE(f16.insert(k));
+  }
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(f8.contains(k));
+    ASSERT_TRUE(f16.contains(k));
+  }
+  std::string why;
+  ASSERT_TRUE(f8.validate(&why)) << why;
+  ASSERT_TRUE(f16.validate(&why)) << why;
+  (void)r;
+}
+
+TEST_P(GqfGeometrySweep, BulkEqualsSequential) {
+  auto [q, r, load] = GetParam();
+  (void)r;
+  uint64_t n = (uint64_t{1} << q) * load / 100;
+  auto keys = util::hashed_xorwow_items(n, q * 317 + load);
+  gqf_filter<uint8_t> seq(q, 8), blk(q, 8);
+  for (uint64_t k : keys) ASSERT_TRUE(seq.insert(k));
+  auto stats = bulk_insert(blk, keys);
+  ASSERT_EQ(stats.failed, 0u);
+  // The two construction paths must agree on every count.
+  std::map<uint64_t, uint64_t> a, b;
+  seq.for_each([&](uint64_t h, uint64_t c) { a[h] += c; });
+  blk.for_each([&](uint64_t h, uint64_t c) { b[h] += c; });
+  ASSERT_EQ(a, b);
+  std::string why;
+  ASSERT_TRUE(blk.validate(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GqfGeometrySweep,
+    ::testing::Values(geometry{8, 8, 50}, geometry{10, 8, 85},
+                      geometry{12, 8, 50}, geometry{12, 8, 90},
+                      geometry{14, 8, 85}, geometry{15, 8, 95}),
+    [](const ::testing::TestParamInfo<geometry>& info) {
+      return "q" + std::to_string(std::get<0>(info.param)) + "_r" +
+             std::to_string(std::get<1>(info.param)) + "_load" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+class GqfChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GqfChurnSweep, RandomizedOpSequenceMatchesReference) {
+  // Differential test against std::map with per-step validation.
+  int seed = GetParam();
+  gqf_filter<uint8_t> f(10, 8);
+  std::map<uint64_t, uint64_t> ref;
+  util::xorwow rng(seed);
+  std::string why;
+  for (int step = 0; step < 8000; ++step) {
+    uint64_t key = rng.next_below(300);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {
+        uint64_t c = 1 + rng.next_below(10);
+        ASSERT_TRUE(f.insert(key, c));
+        ref[key] += c;
+        break;
+      }
+      case 2: {
+        if (ref[key] > 0) {
+          uint64_t c = 1 + rng.next_below(ref[key]);
+          ASSERT_TRUE(f.erase(key, c));
+          ref[key] -= c;
+        }
+        break;
+      }
+      case 3: {
+        // Queries can over-report only via fingerprint collisions, which
+        // are ~2^-18 here for a 300-key universe.
+        ASSERT_EQ(f.query(key), ref[key]) << "step " << step;
+        break;
+      }
+    }
+    if (step % 1000 == 999) {
+      ASSERT_TRUE(f.validate(&why)) << why;
+    }
+  }
+  ASSERT_TRUE(f.validate(&why)) << why;
+  for (auto& [k, c] : ref) ASSERT_EQ(f.query(k), c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GqfChurnSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace gf::gqf

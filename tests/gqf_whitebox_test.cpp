@@ -1,0 +1,138 @@
+// White-box tests of the GQF's rank/select bookkeeping: crafted slot
+// layouts with exact assertions on runends, offsets, and shifting — the
+// scenarios where quotient-filter implementations classically break.
+#include <gtest/gtest.h>
+
+#include "gqf/gqf_testing.h"
+
+namespace gf::gqf {
+namespace {
+
+using filter8 = gqf_filter<uint8_t>;
+
+uint64_t h(uint64_t quotient, uint64_t rem) { return (quotient << 8) | rem; }
+
+TEST(GqfWhitebox, CanonicalPlacementSetsAllBits) {
+  filter8 f(8, 8);
+  gqf_introspect<uint8_t> x{f};
+  ASSERT_TRUE(f.insert_hash(h(10, 42)));
+  EXPECT_TRUE(x.occupied(10));
+  EXPECT_TRUE(x.runend(10));
+  EXPECT_FALSE(x.count_flag(10));
+  EXPECT_EQ(x.slot(10), 42);
+  EXPECT_EQ(x.run_end(10), 10u);
+}
+
+TEST(GqfWhitebox, RunExtensionMovesRunend) {
+  filter8 f(8, 8);
+  gqf_introspect<uint8_t> x{f};
+  ASSERT_TRUE(f.insert_hash(h(10, 42)));
+  ASSERT_TRUE(f.insert_hash(h(10, 50)));  // larger: appended
+  EXPECT_TRUE(x.runend(11));
+  EXPECT_FALSE(x.runend(10));
+  EXPECT_EQ(x.slot(10), 42);
+  EXPECT_EQ(x.slot(11), 50);
+  ASSERT_TRUE(f.insert_hash(h(10, 40)));  // smaller: head of the run
+  EXPECT_EQ(x.slot(10), 40);
+  EXPECT_EQ(x.slot(11), 42);
+  EXPECT_EQ(x.slot(12), 50);
+  EXPECT_TRUE(x.runend(12));
+  EXPECT_EQ(x.run_start(10), 10u);
+  EXPECT_EQ(x.run_end(10), 12u);
+}
+
+TEST(GqfWhitebox, RobinHoodDisplacement) {
+  filter8 f(8, 8);
+  gqf_introspect<uint8_t> x{f};
+  // Quotient 10's run occupies slots 10-12; quotient 11 must shift to 13.
+  for (uint64_t r : {10, 20, 30}) ASSERT_TRUE(f.insert_hash(h(10, r)));
+  ASSERT_TRUE(f.insert_hash(h(11, 99)));
+  EXPECT_TRUE(x.occupied(11));
+  EXPECT_EQ(x.slot(13), 99);
+  EXPECT_TRUE(x.runend(13));
+  EXPECT_EQ(x.run_start(11), 13u);
+  EXPECT_EQ(x.run_end(11), 13u);
+  // Inserting into quotient 10 shifts 11's run right.
+  ASSERT_TRUE(f.insert_hash(h(10, 15)));
+  EXPECT_EQ(x.slot(14), 99);
+  EXPECT_TRUE(x.runend(14));
+  EXPECT_EQ(x.run_end(11), 14u);
+}
+
+TEST(GqfWhitebox, BlockOffsetTracksSpill) {
+  filter8 f(8, 8);
+  gqf_introspect<uint8_t> x{f};
+  EXPECT_EQ(x.block_offset(1), 0);
+  // Fill quotient 62 with enough remainders to spill past slot 63.
+  for (uint64_t r = 1; r <= 6; ++r) ASSERT_TRUE(f.insert_hash(h(62, r)));
+  // Run occupies 62..67: run_end(63) == 67 -> offset[1] = 67 - 63 = 4.
+  EXPECT_EQ(x.run_end(62), 67u);
+  EXPECT_EQ(x.block_offset(1), 4);
+  // A later canonical insert in block 1 lands after the spill.
+  ASSERT_TRUE(f.insert_hash(h(64, 200)));
+  EXPECT_EQ(x.run_start(64), 68u);
+  EXPECT_EQ(x.slot(68), 200);
+}
+
+TEST(GqfWhitebox, FindFirstEmptyHopsClusters) {
+  filter8 f(8, 8);
+  gqf_introspect<uint8_t> x{f};
+  for (uint64_t r = 1; r <= 4; ++r) ASSERT_TRUE(f.insert_hash(h(20, r)));
+  // Slots 20..23 full; 24 empty.
+  EXPECT_EQ(x.find_first_empty(20), 24u);
+  EXPECT_EQ(x.find_first_empty(22), 24u);
+  EXPECT_EQ(x.find_first_empty(24), 24u);
+  EXPECT_TRUE(x.slot_empty(24));
+  EXPECT_FALSE(x.slot_empty(21));
+}
+
+TEST(GqfWhitebox, CounterDigitsAreFlagged) {
+  filter8 f(8, 8);
+  gqf_introspect<uint8_t> x{f};
+  ASSERT_TRUE(f.insert_hash(h(30, 7), 300));  // 300 = head + digits(299)
+  // 299 = 0x12B: little-endian base-256 digits [0x2B, 0x01].
+  EXPECT_FALSE(x.count_flag(30));
+  EXPECT_TRUE(x.count_flag(31));
+  EXPECT_TRUE(x.count_flag(32));
+  EXPECT_EQ(x.slot(31), 0x2B);
+  EXPECT_EQ(x.slot(32), 0x01);
+  EXPECT_TRUE(x.runend(32));
+  EXPECT_EQ(f.query_hash(h(30, 7)), 300u);
+  // Decrement back under the digit boundary: digits shrink.
+  ASSERT_TRUE(f.remove_hash(h(30, 7), 299));
+  EXPECT_FALSE(x.count_flag(31));
+  EXPECT_TRUE(x.runend(30));
+  EXPECT_EQ(f.query_hash(h(30, 7)), 1u);
+}
+
+TEST(GqfWhitebox, InterleavedRunsDecodeUnambiguously) {
+  filter8 f(8, 8);
+  gqf_introspect<uint8_t> x{f};
+  // Two counted entries in one run: head,digit,head,digit layout.
+  ASSERT_TRUE(f.insert_hash(h(40, 5), 2));    // head 5, digit 1
+  ASSERT_TRUE(f.insert_hash(h(40, 9), 200));  // head 9, digit 199
+  EXPECT_FALSE(x.count_flag(40));  // head 5
+  EXPECT_TRUE(x.count_flag(41));   // its digit
+  EXPECT_FALSE(x.count_flag(42));  // head 9
+  EXPECT_TRUE(x.count_flag(43));   // its digit
+  EXPECT_TRUE(x.runend(43));
+  EXPECT_EQ(f.query_hash(h(40, 5)), 2u);
+  EXPECT_EQ(f.query_hash(h(40, 9)), 200u);
+}
+
+TEST(GqfWhitebox, OffsetRepairAfterClusterRewrite) {
+  filter8 f(8, 8);
+  gqf_introspect<uint8_t> x{f};
+  // Build a cluster crossing the block-1 boundary, then delete the
+  // spilling run and confirm the offset collapses back.
+  for (uint64_t r = 1; r <= 6; ++r) ASSERT_TRUE(f.insert_hash(h(62, r)));
+  ASSERT_GT(x.block_offset(1), 0);
+  for (uint64_t r = 1; r <= 6; ++r) ASSERT_TRUE(f.remove_hash(h(62, r)));
+  EXPECT_EQ(x.block_offset(1), 0);
+  EXPECT_FALSE(x.occupied(62));
+  std::string why;
+  EXPECT_TRUE(f.validate(&why)) << why;
+}
+
+}  // namespace
+}  // namespace gf::gqf

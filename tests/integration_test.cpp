@@ -1,0 +1,134 @@
+// Cross-module integration: the scenarios the paper motivates in §1,
+// exercised end-to-end through the public APIs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/blocked_bloom.h"
+#include "baselines/bloom.h"
+#include "genomics/read_gen.h"
+#include "gqf/gqf_bulk.h"
+#include "gqf/gqf_point.h"
+#include "tcf/bulk_tcf.h"
+#include "tcf/tcf.h"
+#include "util/xorwow.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace gf;
+
+TEST(Integration, KmerCountingThroughGqf) {
+  // Squeakr-on-GPU (§6.7): count genomic k-mers in the GQF, verify
+  // against exact counts.
+  auto kmers = genomics::kmer_workload(200000, 21, 5);
+  gqf::gqf_filter<uint8_t> f(18, 8);
+  auto stats = gqf::bulk_insert(f, kmers, /*map_reduce=*/true);
+  ASSERT_EQ(stats.failed, 0u);
+  std::map<uint64_t, uint64_t> ref;
+  for (uint64_t k : kmers) ++ref[k];
+  uint64_t exact = 0;
+  for (auto& [k, c] : ref) {
+    ASSERT_GE(f.query(k), c);  // never undercount
+    exact += f.query(k) == c;
+  }
+  EXPECT_GT(exact, ref.size() * 99 / 100);
+}
+
+TEST(Integration, DatabaseSemijoinFilterPushdown) {
+  // GPU database engines (§1) pre-filter probe-side rows against the
+  // build side's filter before the expensive join.
+  auto build_keys = util::hashed_xorwow_items(100000, 1);
+  tcf::point_tcf filter(150000);
+  ASSERT_EQ(filter.insert_bulk(build_keys), build_keys.size());
+
+  // The probe side: 30% genuine matches, 70% non-matching rows.
+  std::vector<uint64_t> probe;
+  auto nonmatch = util::hashed_xorwow_items(70000, 2);
+  probe.insert(probe.end(), build_keys.begin(), build_keys.begin() + 30000);
+  probe.insert(probe.end(), nonmatch.begin(), nonmatch.end());
+
+  uint64_t passed = filter.count_contained(probe);
+  EXPECT_GE(passed, 30000u);                  // all real matches survive
+  EXPECT_LE(passed, 30000u + 70000 / 500);    // ~0.1% of non-matches leak
+}
+
+TEST(Integration, MultisetMergeViaGqf) {
+  // Merge operations (§1) need counting + enumeration: two shards merge
+  // into one filter preserving aggregate counts.
+  auto data = util::zipfian_dataset(60000, 1.5, 3);
+  gqf::gqf_filter<uint8_t> shard_a(16, 8), shard_b(16, 8), merged(16, 8);
+  std::vector<uint64_t> first(data.begin(), data.begin() + 30000);
+  std::vector<uint64_t> second(data.begin() + 30000, data.end());
+  gqf::bulk_insert(shard_a, first, true);
+  gqf::bulk_insert(shard_b, second, true);
+  ASSERT_TRUE(merged.merge(shard_a));
+  ASSERT_TRUE(merged.merge(shard_b));
+  EXPECT_EQ(merged.size(), data.size());
+  std::map<uint64_t, uint64_t> ref;
+  for (uint64_t k : data) ++ref[k];
+  uint64_t exact = 0;
+  for (auto& [k, c] : ref) exact += merged.query(k) == c;
+  EXPECT_GT(exact, ref.size() * 99 / 100);
+}
+
+TEST(Integration, FeatureMatrixMatchesTable1) {
+  // Paper Table 1: GQF and TCF support point+bulk insert/query/delete;
+  // only the GQF counts; BF/BBF do neither deletes nor counts.  This test
+  // pins the API surface (compile-time) and behaviour (runtime).
+  gqf::gqf_point<uint8_t> gqf_pt(12, 8);
+  ASSERT_TRUE(gqf_pt.insert(1));
+  ASSERT_TRUE(gqf_pt.insert(1));
+  EXPECT_EQ(gqf_pt.query(1), 2u);  // counting
+  EXPECT_TRUE(gqf_pt.erase(1));    // deletion
+
+  tcf::point_tcf tcf_pt(1 << 10);
+  ASSERT_TRUE(tcf_pt.insert(2));
+  EXPECT_TRUE(tcf_pt.contains(2));
+  EXPECT_TRUE(tcf_pt.erase(2));    // deletion, no counting by design
+
+  baselines::bloom_filter bf(1000, 0.01);
+  bf.insert(3);
+  EXPECT_TRUE(bf.contains(3));     // membership only
+
+  baselines::blocked_bloom_filter bbf(1000, 10.0, 7);
+  bbf.insert(4);
+  EXPECT_TRUE(bbf.contains(4));
+}
+
+TEST(Integration, StreamDeduplication) {
+  // Streaming dedup: the TCF admits each new item once; repeats are
+  // suppressed via membership + insert.
+  tcf::point_tcf seen(1 << 16);
+  util::xorwow rng(9);
+  std::vector<uint64_t> stream;
+  for (int i = 0; i < 30000; ++i)
+    stream.push_back(util::murmur64(rng.next_below(20000) + 1));
+  uint64_t emitted = 0;
+  for (uint64_t item : stream) {
+    if (!seen.contains(item)) {
+      ASSERT_TRUE(seen.insert(item));
+      ++emitted;
+    }
+  }
+  std::vector<uint64_t> sorted = stream;
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t truth =
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin();
+  // False positives can only suppress extra items, never duplicate.
+  EXPECT_LE(emitted, truth);
+  EXPECT_GE(emitted, truth * 99 / 100);
+}
+
+TEST(Integration, BulkAndPointTcfAgreeOnMembership) {
+  auto keys = util::hashed_xorwow_items(50000, 11);
+  tcf::point_tcf point(80000);
+  tcf::bulk_tcf<> bulk(80000);
+  point.insert_bulk(keys);
+  bulk.insert_bulk(keys);
+  EXPECT_EQ(point.count_contained(keys), keys.size());
+  EXPECT_EQ(bulk.count_contained(keys), keys.size());
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+#include "mhm/kmer_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "gpu/launch.h"
+#include "mhm/counting_table.h"
+#include "util/xorwow.h"
+
+namespace gf::mhm {
+namespace {
+
+TEST(CountingTable, AddAndCount) {
+  counting_table t(1000);
+  EXPECT_EQ(t.count(42), 0u);
+  EXPECT_TRUE(t.add(42));
+  EXPECT_TRUE(t.add(42, 5));
+  EXPECT_EQ(t.count(42), 6u);
+  EXPECT_EQ(t.distinct(), 1u);
+}
+
+TEST(CountingTable, ConcurrentAddsExact) {
+  counting_table t(1 << 12);
+  constexpr uint64_t kOps = 80000, kKeys = 1000;
+  gpu::launch_threads(kOps, [&](uint64_t i) {
+    ASSERT_TRUE(t.add(i % kKeys));
+  });
+  for (uint64_t k = 0; k < kKeys; ++k) ASSERT_EQ(t.count(k), kOps / kKeys);
+  EXPECT_EQ(t.distinct(), kKeys);
+}
+
+TEST(CountingTable, CapacityHasExactHeadroom) {
+  counting_table t(1000);
+  EXPECT_GE(t.capacity(), 1500u);
+  EXPECT_LE(t.capacity(), 1600u);  // no power-of-two rounding cliffs
+}
+
+TEST(CountingTable, ExtensionVotesConsensus) {
+  counting_table t(100);
+  // Key 7: left extensions vote 2x C (1), 1x G (2); right all T (3).
+  ASSERT_TRUE(t.add(7, 1, 1, 3));
+  ASSERT_TRUE(t.add(7, 1, 1, 3));
+  ASSERT_TRUE(t.add(7, 1, 2, 3));
+  auto ext = t.consensus(7);
+  EXPECT_EQ(ext.left, 1);
+  EXPECT_EQ(ext.right, 3);
+  // No-context adds (4) cast no votes.
+  ASSERT_TRUE(t.add(8, 1, 4, 4));
+  auto none = t.consensus(8);
+  EXPECT_EQ(none.left, 4);
+  EXPECT_EQ(none.right, 4);
+  // Absent key.
+  EXPECT_EQ(t.consensus(99).left, 4);
+}
+
+TEST(CountingTable, ConcurrentVotesConserved) {
+  counting_table t(64);
+  gpu::launch_threads(8000, [&](uint64_t i) {
+    ASSERT_TRUE(t.add(5, 1, static_cast<uint8_t>(i % 2), 0));
+  });
+  EXPECT_EQ(t.count(5), 8000u);
+  // Ties broken by argmax scan order; both sides voted evenly so left
+  // consensus is base 0 (first maximal).
+  EXPECT_EQ(t.consensus(5).right, 0);
+}
+
+class MhmPipeline : public ::testing::Test {
+ protected:
+  genomics::read_set make_reads(double error_rate, uint64_t reads = 4000) {
+    genomics::metagenome_params p;
+    p.num_reads = reads;
+    p.error_rate = error_rate;
+    p.seed = 77;
+    return genomics::generate_metagenome(p);
+  }
+};
+
+TEST_F(MhmPipeline, BaselineCountsEveryDistinctKmer) {
+  auto reads = make_reads(0.01);
+  auto report = analyze_kmers(reads, 21, /*use_tcf=*/false);
+  EXPECT_GT(report.kmers_processed, 100000u);
+  EXPECT_EQ(report.ht_distinct, report.distinct_kmers);
+  EXPECT_EQ(report.tcf_memory_bytes, 0u);
+  EXPECT_GT(report.singleton_fraction(), 0.3);
+}
+
+TEST_F(MhmPipeline, TcfKeepsSingletonsOutOfTheTable) {
+  auto reads = make_reads(0.01);
+  auto base = analyze_kmers(reads, 21, false);
+  auto tcf = analyze_kmers(reads, 21, true);
+  // The exact table now holds (approximately) only non-singletons.
+  uint64_t nonsingleton = tcf.distinct_kmers - tcf.singleton_kmers;
+  EXPECT_GE(tcf.ht_distinct, nonsingleton);
+  EXPECT_LE(tcf.ht_distinct, nonsingleton + tcf.distinct_kmers / 100);
+  // Table 3's headline: a large total-memory reduction.
+  EXPECT_LT(tcf.total_memory_bytes(), base.total_memory_bytes() * 6 / 10);
+  // Non-singleton counts are exact modulo rare first-sighting races.
+  EXPECT_LE(tcf.undercounted, tcf.distinct_kmers / 500 + 4);
+}
+
+TEST_F(MhmPipeline, MemoryReductionGrowsWithSingletonFraction) {
+  // Rhizo-like (high error/diversity) saves more than WA-like — the
+  // Table 3 pattern (85% vs 66% hash-table reduction).
+  auto low = make_reads(0.004);
+  auto high = make_reads(0.03);
+  auto low_base = analyze_kmers(low, 21, false);
+  auto low_tcf = analyze_kmers(low, 21, true);
+  auto high_base = analyze_kmers(high, 21, false);
+  auto high_tcf = analyze_kmers(high, 21, true);
+  double low_ratio = static_cast<double>(low_tcf.total_memory_bytes()) /
+                     static_cast<double>(low_base.total_memory_bytes());
+  double high_ratio = static_cast<double>(high_tcf.total_memory_bytes()) /
+                      static_cast<double>(high_base.total_memory_bytes());
+  EXPECT_LT(high_ratio, low_ratio);
+  EXPECT_GT(high_tcf.singleton_fraction(), low_tcf.singleton_fraction());
+}
+
+TEST_F(MhmPipeline, StreamAndReadPathsAgree) {
+  auto reads = make_reads(0.01, 1000);
+  auto kmers = genomics::extract_all_kmers(reads, 21);
+  auto a = analyze_kmers(reads, 21, true);
+  auto b = analyze_kmer_stream(kmers, true);
+  EXPECT_EQ(a.kmers_processed, b.kmers_processed);
+  EXPECT_EQ(a.distinct_kmers, b.distinct_kmers);
+  EXPECT_EQ(a.singleton_kmers, b.singleton_kmers);
+}
+
+}  // namespace
+}  // namespace gf::mhm

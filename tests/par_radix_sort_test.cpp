@@ -1,0 +1,83 @@
+#include "par/radix_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace gf::par {
+namespace {
+
+TEST(RadixSort, MatchesStdSort) {
+  std::mt19937_64 rng(42);
+  for (size_t n : {0ul, 1ul, 2ul, 100ul, 4095ul, 4096ul, 100000ul}) {
+    std::vector<uint64_t> a(n);
+    for (auto& v : a) v = rng();
+    std::vector<uint64_t> b = a;
+    radix_sort(a);
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "n=" << n;
+  }
+}
+
+TEST(RadixSort, LimitedKeyBitsSkipHighPasses) {
+  std::mt19937_64 rng(7);
+  std::vector<uint64_t> a(50000);
+  for (auto& v : a) v = rng() & 0xFFFFF;  // 20-bit keys
+  std::vector<uint64_t> b = a;
+  radix_sort(a, 20);
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RadixSort, AlreadySortedAndReversed) {
+  std::vector<uint64_t> a(100000);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = i;
+  auto expect = a;
+  radix_sort(a);
+  EXPECT_EQ(a, expect);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = a.size() - i;
+  radix_sort(a);
+  for (size_t i = 1; i < a.size(); ++i) ASSERT_LE(a[i - 1], a[i]);
+}
+
+TEST(RadixSort, ManyDuplicates) {
+  std::mt19937_64 rng(3);
+  std::vector<uint64_t> a(100000);
+  for (auto& v : a) v = rng() % 17;
+  std::vector<uint64_t> b = a;
+  radix_sort(a);
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RadixSortByKey, ValuesFollowKeys) {
+  std::mt19937_64 rng(11);
+  size_t n = 60000;
+  std::vector<uint64_t> keys(n), values(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = rng() & 0xFFFF;  // duplicates likely
+    values[i] = i;
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> ref(n);
+  for (size_t i = 0; i < n; ++i) ref[i] = {keys[i], values[i]};
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](auto& a, auto& b) { return a.first < b.first; });
+  radix_sort_by_key(keys, values, 16);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], ref[i].first) << i;
+    ASSERT_EQ(values[i], ref[i].second) << i;  // stability
+  }
+}
+
+TEST(RadixSortByKey, SmallBatchStableSortPath) {
+  std::vector<uint64_t> keys = {3, 1, 3, 2, 1};
+  std::vector<uint64_t> values = {0, 1, 2, 3, 4};
+  radix_sort_by_key(keys, values, 8);
+  EXPECT_EQ(keys, (std::vector<uint64_t>{1, 1, 2, 3, 3}));
+  EXPECT_EQ(values, (std::vector<uint64_t>{1, 4, 3, 0, 2}));
+}
+
+}  // namespace
+}  // namespace gf::par

@@ -1,0 +1,75 @@
+#include "par/reduce_by_key.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "par/radix_sort.h"
+
+namespace gf::par {
+namespace {
+
+TEST(ReduceByKey, Empty) {
+  auto r = reduce_by_key({});
+  EXPECT_TRUE(r.keys.empty());
+  EXPECT_TRUE(r.counts.empty());
+}
+
+TEST(ReduceByKey, SingleRun) {
+  std::vector<uint64_t> in(1000, 42);
+  auto r = reduce_by_key(in);
+  ASSERT_EQ(r.keys.size(), 1u);
+  EXPECT_EQ(r.keys[0], 42u);
+  EXPECT_EQ(r.counts[0], 1000u);
+}
+
+TEST(ReduceByKey, AllDistinct) {
+  std::vector<uint64_t> in(5000);
+  for (size_t i = 0; i < in.size(); ++i) in[i] = i * 3;
+  auto r = reduce_by_key(in);
+  ASSERT_EQ(r.keys.size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(r.keys[i], in[i]);
+    ASSERT_EQ(r.counts[i], 1u);
+  }
+}
+
+TEST(ReduceByKey, MatchesReferenceOnSkewedData) {
+  std::mt19937_64 rng(9);
+  for (size_t n : {1ul, 2ul, 100ul, 65536ul, 300000ul}) {
+    std::vector<uint64_t> in(n);
+    for (auto& v : in) v = rng() % 500;  // heavy duplication
+    radix_sort(in);
+    std::map<uint64_t, uint64_t> ref;
+    for (uint64_t v : in) ++ref[v];
+    auto r = reduce_by_key(in);
+    ASSERT_EQ(r.keys.size(), ref.size()) << "n=" << n;
+    size_t i = 0;
+    uint64_t total = 0;
+    for (auto& [k, c] : ref) {
+      ASSERT_EQ(r.keys[i], k);
+      ASSERT_EQ(r.counts[i], c);
+      total += r.counts[i];
+      ++i;
+    }
+    ASSERT_EQ(total, n);  // conservation
+  }
+}
+
+TEST(ReduceByKey, RunsStraddlingWorkerBoundaries) {
+  // One giant run in the middle forces the boundary-snapping logic.
+  std::vector<uint64_t> in;
+  for (int i = 0; i < 1000; ++i) in.push_back(1);
+  for (int i = 0; i < 100000; ++i) in.push_back(2);
+  for (int i = 0; i < 1000; ++i) in.push_back(3);
+  auto r = reduce_by_key(in);
+  ASSERT_EQ(r.keys.size(), 3u);
+  EXPECT_EQ(r.counts[0], 1000u);
+  EXPECT_EQ(r.counts[1], 100000u);
+  EXPECT_EQ(r.counts[2], 1000u);
+}
+
+}  // namespace
+}  // namespace gf::par

@@ -1,0 +1,58 @@
+#include "par/search.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "par/radix_sort.h"
+
+namespace gf::par {
+namespace {
+
+TEST(RegionBoundaries, EmptyInput) {
+  auto bounds =
+      region_boundaries({}, 8, [](uint64_t v) { return v / 100; });
+  ASSERT_EQ(bounds.size(), 9u);
+  for (uint64_t b : bounds) EXPECT_EQ(b, 0u);
+}
+
+TEST(RegionBoundaries, BasicPartition) {
+  std::vector<uint64_t> v = {5, 10, 15, 105, 110, 250, 399};
+  auto bounds = region_boundaries(v, 4, [](uint64_t x) { return x / 100; });
+  // region 0: [0,3), region 1: [3,5), region 2: [5,6), region 3: [6,7).
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[1], 3u);
+  EXPECT_EQ(bounds[2], 5u);
+  EXPECT_EQ(bounds[3], 6u);
+  EXPECT_EQ(bounds[4], 7u);
+}
+
+TEST(RegionBoundaries, EmptyRegionsCollapse) {
+  std::vector<uint64_t> v = {700, 701, 702};
+  auto bounds = region_boundaries(v, 8, [](uint64_t x) { return x / 100; });
+  for (uint64_t r = 0; r <= 7; ++r) EXPECT_EQ(bounds[r], r <= 7 ? 0u : 3u);
+  EXPECT_EQ(bounds[8], 3u);
+}
+
+TEST(RegionBoundaries, RandomizedAgainstLinearScan) {
+  std::mt19937_64 rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 1 + rng() % 50000;
+    uint64_t regions = 1 + rng() % 64;
+    std::vector<uint64_t> v(n);
+    for (auto& x : v) x = rng() % (regions * 1000);
+    radix_sort(v);
+    auto region_of = [](uint64_t x) { return x / 1000; };
+    auto bounds = region_boundaries(v, regions, region_of);
+    // Verify: bounds[r] is the first index with region >= r.
+    for (uint64_t r = 0; r <= regions; ++r) {
+      uint64_t expect = 0;
+      while (expect < n && region_of(v[expect]) < r) ++expect;
+      ASSERT_EQ(bounds[r], expect) << "r=" << r << " trial=" << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gf::par

@@ -1,0 +1,120 @@
+// Save/load round trips for every serializable filter, plus malformed-
+// input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gqf/gqf.h"
+#include "tcf/bulk_tcf.h"
+#include "tcf/tcf.h"
+#include "util/xorwow.h"
+
+namespace {
+
+using namespace gf;
+
+TEST(Serialization, GqfRoundTrip) {
+  gqf::gqf_filter<uint8_t> f(14, 8);
+  auto keys = util::hashed_xorwow_items(f.num_slots() * 7 / 10, 1);
+  for (uint64_t k : keys) ASSERT_TRUE(f.insert(k, k % 5 + 1));
+
+  std::stringstream buf;
+  f.save(buf);
+  auto g = gqf::gqf_filter<uint8_t>::load(buf);
+
+  EXPECT_EQ(g.size(), f.size());
+  EXPECT_EQ(g.distinct_items(), f.distinct_items());
+  for (uint64_t k : keys) ASSERT_EQ(g.query(k), f.query(k));
+  std::string why;
+  EXPECT_TRUE(g.validate(&why)) << why;
+  // The loaded filter accepts further operations.
+  ASSERT_TRUE(g.insert(0xABCDEF));
+  EXPECT_TRUE(g.contains(0xABCDEF));
+  ASSERT_TRUE(g.erase(keys[0], 1));
+}
+
+TEST(Serialization, GqfSlotWidthsRoundTrip) {
+  gqf::gqf_filter<uint16_t> f(10, 16);
+  for (uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(f.insert(k));
+  std::stringstream buf;
+  f.save(buf);
+  auto g = gqf::gqf_filter<uint16_t>::load(buf);
+  for (uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(g.contains(k));
+}
+
+TEST(Serialization, GqfRejectsWrongSlotWidth) {
+  gqf::gqf_filter<uint8_t> f(10, 8);
+  std::stringstream buf;
+  f.save(buf);
+  EXPECT_THROW(gqf::gqf_filter<uint16_t>::load(buf), std::runtime_error);
+}
+
+TEST(Serialization, TcfRoundTrip) {
+  tcf::point_tcf f(1 << 12);
+  auto keys = util::hashed_xorwow_items(f.capacity() * 9 / 10, 2);
+  ASSERT_EQ(f.insert_bulk(keys), keys.size());
+
+  std::stringstream buf;
+  f.save(buf);
+  auto g = tcf::point_tcf::load(buf);
+
+  EXPECT_EQ(g.size(), f.size());
+  EXPECT_EQ(g.capacity(), f.capacity());
+  EXPECT_EQ(g.count_contained(keys), keys.size());
+  EXPECT_EQ(g.backing_size(), f.backing_size());
+  // Deletions and reinsertions work on the loaded filter.
+  ASSERT_TRUE(g.erase(keys[0]));
+}
+
+TEST(Serialization, KvTcfPreservesValues) {
+  tcf::kv_tcf f(1 << 10);
+  for (uint64_t k = 0; k < 500; ++k)
+    ASSERT_TRUE(f.insert(k * 977 + 3, static_cast<uint16_t>(k % 16)));
+  std::stringstream buf;
+  f.save(buf);
+  auto g = tcf::kv_tcf::load(buf);
+  uint64_t wrong = 0;
+  for (uint64_t k = 0; k < 500; ++k) {
+    auto v = g.find_value(k * 977 + 3);
+    ASSERT_TRUE(v.has_value());
+    wrong += *v != k % 16;
+  }
+  EXPECT_LE(wrong, 4u);  // fingerprint aliasing only
+}
+
+TEST(Serialization, BulkTcfRoundTrip) {
+  tcf::bulk_tcf<> f(1 << 13);
+  auto keys = util::hashed_xorwow_items(f.capacity() * 8 / 10, 3);
+  ASSERT_EQ(f.insert_bulk(keys), keys.size());
+  std::stringstream buf;
+  f.save(buf);
+  auto g = tcf::bulk_tcf<>::load(buf);
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(g.count_contained(keys), keys.size());
+  // Another batch on top of the loaded state.
+  auto more = util::hashed_xorwow_items(1000, 4);
+  EXPECT_EQ(g.insert_bulk(more), more.size());
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Serialization, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("this is not a filter file at all");
+  EXPECT_THROW(gqf::gqf_filter<uint8_t>::load(garbage), std::runtime_error);
+
+  gqf::gqf_filter<uint8_t> f(10, 8);
+  f.insert(1);
+  std::stringstream buf;
+  f.save(buf);
+  std::string bytes = buf.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(gqf::gqf_filter<uint8_t>::load(truncated),
+               std::runtime_error);
+
+  // A TCF magic is not a GQF magic.
+  tcf::point_tcf t(1 << 8);
+  std::stringstream tbuf;
+  t.save(tbuf);
+  EXPECT_THROW(gqf::gqf_filter<uint8_t>::load(tbuf), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Differential fuzzing of the SQF against a reference fingerprint set:
+// randomized operation sequences with exact expectations at the
+// fingerprint level (the SQF is deterministic given fingerprints, so the
+// reference tracks hash_of(key) truncations explicitly and tolerates no
+// deviation at all).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/sqf.h"
+#include "util/bits.h"
+#include "util/hash.h"
+#include "util/xorwow.h"
+
+namespace gf::baselines {
+namespace {
+
+class SqfFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqfFuzz, RandomOpsMatchFingerprintReference) {
+  const int seed = GetParam();
+  util::xorwow rng(seed);
+  const uint32_t q = 9 + seed % 3;  // 512..2048 slots
+  const uint32_t r = seed % 2 ? 5 : 13;
+  sqf f(q, r);
+  std::set<uint64_t> ref;  // fingerprints present (set semantics)
+  const uint64_t fp_mask = util::bitmask(q + r);
+
+  uint64_t key_universe = 1 + rng.next_below(5000);
+  for (int step = 0; step < 30000; ++step) {
+    uint64_t key = rng.next_below(key_universe);
+    uint64_t fp = util::murmur64(key) & fp_mask;
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {
+        bool ok = f.insert(key);
+        if (ok) ref.insert(fp);
+        // Refusal is only legal near capacity.
+        if (!ok) {
+          ASSERT_GT(ref.size(), f.num_slots() / 2);
+        }
+        break;
+      }
+      case 2: {
+        bool had = ref.count(fp) > 0;
+        ASSERT_EQ(f.erase(key), had) << "step " << step;
+        ref.erase(fp);
+        break;
+      }
+      case 3: {
+        ASSERT_EQ(f.contains(key), ref.count(fp) > 0) << "step " << step;
+        break;
+      }
+    }
+    if (step % 5000 == 4999) {
+      ASSERT_TRUE(f.validate()) << "step " << step;
+      ASSERT_EQ(f.size(), ref.size());
+    }
+  }
+  ASSERT_TRUE(f.validate());
+  ASSERT_EQ(f.size(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqfFuzz, ::testing::Range(1, 9));
+
+TEST(SqfFuzz, AdversarialSingleQuotientRun) {
+  // Everything lands in one quotient: one maximal run, heavy shifting on
+  // every insert and a full-cluster rewrite on every delete.
+  sqf f(10, 13);
+  std::set<uint64_t> rems;
+  util::xorwow rng(99);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t rem = rng.next_below(1 << 13);
+    uint64_t hash = (uint64_t{700} << 13) | rem;
+    bool fresh = rems.insert(rem).second;
+    ASSERT_TRUE(f.insert_hash(hash));
+    (void)fresh;  // duplicates are set-semantics no-ops
+  }
+  ASSERT_EQ(f.size(), rems.size());
+  ASSERT_TRUE(f.validate());
+  for (uint64_t rem : rems)
+    ASSERT_TRUE(f.query_hash((uint64_t{700} << 13) | rem));
+  // Delete half from the middle of the run.
+  size_t removed = 0;
+  for (uint64_t rem : rems) {
+    if (removed >= rems.size() / 2) break;
+    ASSERT_TRUE(f.erase_hash((uint64_t{700} << 13) | rem));
+    ++removed;
+  }
+  ASSERT_TRUE(f.validate());
+  ASSERT_EQ(f.size(), rems.size() - removed);
+}
+
+TEST(SqfFuzz, AdversarialAdjacentQuotients) {
+  // Dense adjacent quotients form one giant cluster spanning blocks.
+  sqf f(10, 5);
+  uint64_t placed = 0;
+  for (uint64_t q = 100; q < 140; ++q)
+    for (uint64_t rem = 0; rem < 12; ++rem)
+      placed += f.insert_hash((q << 5) | (rem * 2 + 1));
+  ASSERT_EQ(placed, 40u * 12);
+  ASSERT_TRUE(f.validate());
+  for (uint64_t q = 100; q < 140; ++q)
+    for (uint64_t rem = 0; rem < 12; ++rem)
+      ASSERT_TRUE(f.query_hash((q << 5) | (rem * 2 + 1)));
+  // Absent remainders in the same quotients answer no.
+  for (uint64_t q = 100; q < 140; ++q)
+    ASSERT_FALSE(f.query_hash((q << 5) | 30));
+}
+
+}  // namespace
+}  // namespace gf::baselines

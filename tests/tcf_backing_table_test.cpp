@@ -1,0 +1,85 @@
+#include "tcf/backing_table.h"
+
+#include <gtest/gtest.h>
+
+#include "gpu/launch.h"
+#include "util/hash.h"
+
+namespace gf::tcf {
+namespace {
+
+TEST(BackingTable, InsertFindErase) {
+  backing_table t(1024);
+  auto [h1, h2] = util::hash2(42);
+  EXPECT_FALSE(t.contains(h1, h2, 0x77, 0));
+  EXPECT_TRUE(t.insert(h1, h2, 0x77));
+  EXPECT_TRUE(t.contains(h1, h2, 0x77, 0));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.erase(h1, h2, 0x77, 0));
+  EXPECT_FALSE(t.contains(h1, h2, 0x77, 0));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(BackingTable, ProbeLimitIsTwenty) {
+  // Paper §6.1: negative queries "can probe up to 20 buckets in the worst
+  // case" — the insert path gives up after the same bound.
+  EXPECT_EQ(backing_table::kMaxProbes, 20u);
+  backing_table t(64);  // tiny: will saturate
+  uint64_t failures = 0;
+  for (uint64_t k = 0; k < 200; ++k) {
+    auto [h1, h2] = util::hash2(k);
+    if (!t.insert(h1, h2, static_cast<uint16_t>(k + 2))) ++failures;
+  }
+  EXPECT_GT(failures, 0u);       // saturation is detected, not looped on
+  EXPECT_LE(t.size(), 64u);
+}
+
+TEST(BackingTable, TombstonesDoNotStopProbes) {
+  backing_table t(256);
+  // Two keys that may share probe slots: insert A, insert B, delete A,
+  // B must remain findable even if it sits behind A's tombstone.
+  for (uint64_t k = 0; k < 100; ++k) {
+    auto [h1, h2] = util::hash2(k);
+    ASSERT_TRUE(t.insert(h1, h2, static_cast<uint16_t>(k + 100)));
+  }
+  for (uint64_t k = 0; k < 100; k += 2) {
+    auto [h1, h2] = util::hash2(k);
+    ASSERT_TRUE(t.erase(h1, h2, static_cast<uint16_t>(k + 100), 0));
+  }
+  for (uint64_t k = 1; k < 100; k += 2) {
+    auto [h1, h2] = util::hash2(k);
+    EXPECT_TRUE(t.contains(h1, h2, static_cast<uint16_t>(k + 100), 0)) << k;
+  }
+}
+
+TEST(BackingTable, ValueBitsRoundTrip) {
+  backing_table t(256);
+  auto [h1, h2] = util::hash2(7);
+  // Composite = (fp << 4) | value with 4 value bits.
+  uint16_t composite = (0x123 << 4) | 0x9;
+  ASSERT_TRUE(t.insert(h1, h2, composite));
+  auto v = t.find_value(h1, h2, 0x123, 4);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0x9);
+  EXPECT_FALSE(t.find_value(h1, h2, 0x124, 4).has_value());
+}
+
+TEST(BackingTable, ConcurrentInsertsUnique) {
+  backing_table t(1u << 14);
+  std::atomic<uint64_t> ok{0};
+  gpu::launch_threads(10000, [&](uint64_t k) {
+    auto [h1, h2] = util::hash2(k);
+    if (t.insert(h1, h2, static_cast<uint16_t>((k % 60000) + 2)))
+      ok.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(t.size(), ok.load());
+  EXPECT_GE(ok.load(), 9990u);  // nearly all fit at 61% occupancy
+}
+
+TEST(BackingTable, MinimumCapacityClamped) {
+  backing_table t(1);  // clamps to kMaxProbes
+  EXPECT_GE(t.capacity(), backing_table::kMaxProbes);
+}
+
+}  // namespace
+}  // namespace gf::tcf

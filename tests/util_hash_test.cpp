@@ -1,0 +1,80 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gf::util {
+namespace {
+
+TEST(Hash, Murmur64IsInvertible) {
+  for (uint64_t k : {0ull, 1ull, 42ull, 0xdeadbeefull, ~0ull}) {
+    EXPECT_EQ(murmur64_inv(murmur64(k)), k);
+    EXPECT_EQ(murmur64(murmur64_inv(k)), k);
+  }
+  for (uint64_t k = 0; k < 10000; ++k)
+    ASSERT_EQ(murmur64_inv(murmur64(k)), k);
+}
+
+TEST(Hash, MixersDisagree) {
+  // The two digests must be usable as independent hash functions: they
+  // should (essentially) never coincide and low bits should differ.
+  int same_low_bits = 0;
+  for (uint64_t k = 0; k < 100000; ++k) {
+    auto [h1, h2] = hash2(k);
+    ASSERT_NE(h1, h2);
+    if ((h1 & 0xFFFF) == (h2 & 0xFFFF)) ++same_low_bits;
+  }
+  // 16 shared low bits should occur with probability ~2^-16.
+  EXPECT_LT(same_low_bits, 20);
+}
+
+TEST(Hash, AvalancheRough) {
+  // Flipping one input bit flips close to half the output bits.
+  double total_flips = 0;
+  int samples = 0;
+  for (uint64_t k = 1; k < 1000; ++k) {
+    for (int bit = 0; bit < 64; bit += 7) {
+      uint64_t a = murmur64(k);
+      uint64_t b = murmur64(k ^ (uint64_t{1} << bit));
+      total_flips += __builtin_popcountll(a ^ b);
+      ++samples;
+    }
+  }
+  double mean = total_flips / samples;
+  EXPECT_GT(mean, 28.0);
+  EXPECT_LT(mean, 36.0);
+}
+
+TEST(Hash, FastRangeBounds) {
+  for (uint64_t n : {1ull, 2ull, 3ull, 1000ull, 1ull << 40}) {
+    for (uint64_t k = 0; k < 1000; ++k) {
+      EXPECT_LT(fast_range(murmur64(k), n), n);
+    }
+    EXPECT_EQ(fast_range(0, n), 0u);
+    EXPECT_EQ(fast_range(~uint64_t{0}, n), n - 1);
+  }
+}
+
+TEST(Hash, FastRangeRoughlyUniform) {
+  constexpr uint64_t kBuckets = 16;
+  std::vector<int> histogram(kBuckets, 0);
+  constexpr int kSamples = 160000;
+  for (int k = 0; k < kSamples; ++k)
+    ++histogram[fast_range(murmur64(k), kBuckets)];
+  for (int count : histogram) {
+    EXPECT_GT(count, kSamples / kBuckets * 0.9);
+    EXPECT_LT(count, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(Hash, SeededMixesDiffer) {
+  std::set<uint64_t> seen;
+  for (uint64_t seed = 0; seed < 64; ++seed)
+    seen.insert(mix64_seeded(12345, seed));
+  EXPECT_EQ(seen.size(), 64u);  // all k Bloom probes land differently
+}
+
+}  // namespace
+}  // namespace gf::util

@@ -1,0 +1,78 @@
+#include "util/xorwow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace gf::util {
+namespace {
+
+TEST(Xorwow, DeterministicPerSeed) {
+  xorwow a(123), b(123), c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t va = a.next32();
+    ASSERT_EQ(va, b.next32());
+    if (va != c.next32()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xorwow, NextBelowInRange) {
+  xorwow rng(5);
+  for (uint64_t n : {1ull, 2ull, 7ull, 1000ull, 1ull << 33}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.next_below(n), n);
+  }
+}
+
+TEST(Xorwow, DoubleInUnitInterval) {
+  xorwow rng(9);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Xorwow, BitBalance) {
+  // Each of the 64 output bit positions should be set about half the time.
+  xorwow rng(77);
+  constexpr int kSamples = 40000;
+  int counts[64] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t v = rng.next64();
+    for (int b = 0; b < 64; ++b) counts[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_GT(counts[b], kSamples * 0.48) << "bit " << b;
+    EXPECT_LT(counts[b], kSamples * 0.52) << "bit " << b;
+  }
+}
+
+TEST(Xorwow, HashedItemsAreDistinct) {
+  // The paper's workload: hashed XORWOW outputs over a 64-bit universe.
+  // A million draws should contain no duplicates (birthday bound ~2^-25).
+  auto items = hashed_xorwow_items(1 << 20, 42);
+  std::set<uint64_t> unique(items.begin(), items.end());
+  EXPECT_EQ(unique.size(), items.size());
+}
+
+TEST(Xorwow, HashedItemsSeedDisjoint) {
+  // Insert and lookup workloads with different seeds must not overlap —
+  // the paper's "random queries" depend on this.
+  auto a = hashed_xorwow_items(1 << 18, 1);
+  auto b = hashed_xorwow_items(1 << 18, 2);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<uint64_t> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  EXPECT_TRUE(common.empty());
+}
+
+}  // namespace
+}  // namespace gf::util

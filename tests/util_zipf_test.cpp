@@ -1,0 +1,68 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace gf::util {
+namespace {
+
+TEST(Zipf, RanksInRange) {
+  zipf_generator gen(1000, 1.5, 42);
+  for (int i = 0; i < 100000; ++i) ASSERT_LT(gen.next(), 1000u);
+}
+
+TEST(Zipf, HeadIsHeavy) {
+  // With theta = 1.5 over a large universe, rank 0 alone should hold a
+  // large constant fraction of the mass (1/zeta(1.5) ~ 38%).
+  zipf_generator gen(1u << 20, 1.5, 7);
+  int hits = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) hits += gen.next() == 0;
+  EXPECT_GT(hits, kSamples * 0.30);
+  EXPECT_LT(hits, kSamples * 0.46);
+}
+
+TEST(Zipf, MonotoneDecreasingFrequencies) {
+  zipf_generator gen(64, 1.5, 3);
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < 400000; ++i) ++counts[gen.next()];
+  // Head ranks strictly dominate (allow sampling noise in the tail).
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+  EXPECT_GT(counts[3], counts[10]);
+  EXPECT_GT(counts[10], counts[40]);
+}
+
+TEST(Zipf, DatasetIsSkewedAndScrambled) {
+  auto data = zipfian_dataset(100000, 1.5, 11);
+  ASSERT_EQ(data.size(), 100000u);
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t v : data) ++counts[v];
+  // Far fewer distinct items than draws (the skew the GQF §5.4 optimizes).
+  EXPECT_LT(counts.size(), data.size() / 10);
+  // The hottest item is hot indeed.
+  uint64_t hottest = 0;
+  for (auto& [k, c] : counts) hottest = std::max(hottest, c);
+  EXPECT_GT(hottest, data.size() / 4);
+}
+
+TEST(Zipf, UniformCountDataset) {
+  auto data = uniform_count_dataset(100000, 100, 5);
+  ASSERT_EQ(data.size(), 100000u);
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t v : data) ++counts[v];
+  uint64_t max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // Counts are bounded by the configured maximum (plus truncation).
+  EXPECT_LE(max_count, 100u);
+  // Mean multiplicity ~ (1+100)/2.
+  double mean = static_cast<double>(data.size()) / counts.size();
+  EXPECT_GT(mean, 35.0);
+  EXPECT_LT(mean, 65.0);
+}
+
+}  // namespace
+}  // namespace gf::util

@@ -1,0 +1,61 @@
+#include "baselines/vqf.h"
+
+#include <gtest/gtest.h>
+
+#include "util/xorwow.h"
+
+namespace gf::baselines {
+namespace {
+
+TEST(Vqf, BlockIsOneCacheLine) {
+  // The VQF's defining property: one 64-byte block per probe.
+  vqf f(1000);
+  EXPECT_EQ(f.memory_bytes() % 64, 0u);
+}
+
+TEST(Vqf, InsertQueryErase) {
+  vqf f(1 << 12);
+  EXPECT_TRUE(f.insert(42));
+  EXPECT_TRUE(f.contains(42));
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_TRUE(f.erase(42));
+  EXPECT_FALSE(f.contains(42));
+  EXPECT_FALSE(f.erase(42));
+}
+
+TEST(Vqf, NoFalseNegativesAt85Load) {
+  vqf f(1 << 15);
+  auto keys = util::hashed_xorwow_items(f.capacity() * 85 / 100, 1);
+  EXPECT_EQ(f.insert_bulk(keys), keys.size());
+  EXPECT_EQ(f.count_contained(keys), keys.size());
+}
+
+TEST(Vqf, FalsePositiveRateReasonable) {
+  vqf f(1 << 15);
+  auto keys = util::hashed_xorwow_items(f.capacity() * 85 / 100, 2);
+  f.insert_bulk(keys);
+  auto absent = util::hashed_xorwow_items(200000, 3);
+  double fp = static_cast<double>(f.count_contained(absent)) /
+              static_cast<double>(absent.size());
+  // 2B/2^16 with B=28: ~0.085%, remap and load give some slack.
+  EXPECT_LT(fp, 0.003);
+}
+
+TEST(Vqf, ConcurrentInsertCountsConserved) {
+  vqf f(1 << 14);
+  auto keys = util::hashed_xorwow_items(f.capacity() / 2, 4);
+  uint64_t ok = f.insert_bulk(keys);
+  EXPECT_EQ(ok, keys.size());
+  EXPECT_EQ(f.size(), ok);  // per-block fills must not lose updates
+}
+
+TEST(Vqf, FullBlocksRefuse) {
+  vqf tiny(vqf::kSlotsPerBlock);  // a single block
+  uint64_t accepted = 0;
+  for (uint64_t k = 0; k < 200; ++k) accepted += tiny.insert(k);
+  EXPECT_EQ(accepted, vqf::kSlotsPerBlock);
+  EXPECT_EQ(tiny.size(), vqf::kSlotsPerBlock);
+}
+
+}  // namespace
+}  // namespace gf::baselines
