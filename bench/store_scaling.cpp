@@ -1,0 +1,83 @@
+// store_scaling: sharded-store throughput as a function of shard count.
+//
+// For each backend, sweeps shards ∈ {1, 2, 4, 8} at each filter size and
+// measures the three store tiers: bulk build (radix partition + per-shard
+// insert), batched async ops (enqueue + flush), and batched membership
+// queries.  On a multi-core host the per-shard drain threads run truly in
+// parallel, so throughput scales with shard count until shards exceed
+// cores; on a single-core host the series stays flat (the sweep still
+// validates the partitioning machinery).  Columns are shard counts.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "gpu/thread_pool.h"
+#include "store/store.h"
+
+using namespace gf;
+
+namespace {
+
+constexpr uint32_t kShardCounts[] = {1, 2, 4, 8};
+
+store::filter_store make_store(store::backend_kind backend, uint32_t shards,
+                               uint64_t capacity) {
+  store::store_config cfg;
+  cfg.backend = backend;
+  cfg.num_shards = shards;
+  cfg.capacity = capacity;
+  return store::filter_store(cfg);
+}
+
+void sweep_backend(store::backend_kind backend,
+                   const bench::options& opts) {
+  std::vector<std::string> cols;
+  for (uint32_t s : kShardCounts)
+    cols.push_back(std::to_string(s) + "-shard");
+
+  std::printf("\n### backend: %s\n", store::backend_name(backend));
+  for (const char* metric :
+       {"bulk insert Mops/s", "batched ops Mops/s", "bulk query Mops/s"}) {
+    bench::print_series_header(metric, cols);
+    for (int log_size : opts.log_sizes) {
+      uint64_t capacity = uint64_t{1} << log_size;
+      uint64_t n = capacity * 70 / 100;
+      auto keys = util::hashed_xorwow_items(n, 9000 + log_size);
+
+      std::vector<double> vals;
+      for (uint32_t shards : kShardCounts) {
+        auto s = make_store(backend, shards, capacity);
+        double mops = -1;
+        if (!std::strcmp(metric, "bulk insert Mops/s")) {
+          mops = bench::time_mops(n, [&] { s.insert_bulk(keys); });
+        } else if (!std::strcmp(metric, "batched ops Mops/s")) {
+          mops = bench::time_mops(n, [&] {
+            for (uint64_t k : keys) s.enqueue_insert(k);
+            s.flush();
+          });
+        } else {
+          s.insert_bulk(keys);
+          mops = bench::best_mops(3, n, [&] { s.count_contained(keys); });
+        }
+        vals.push_back(mops);
+      }
+      bench::print_series_row(log_size, vals);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::options::parse(argc, argv);
+  bench::print_banner(
+      "store_scaling: sharded store throughput vs shard count",
+      "store subsystem (beyond the paper; cf. §4.2/§5.3 bulk APIs)");
+  std::printf("host workers: %u\n", gpu::query_pool_size());
+
+  sweep_backend(store::backend_kind::tcf, opts);
+  sweep_backend(store::backend_kind::gqf, opts);
+  sweep_backend(store::backend_kind::blocked_bloom, opts);
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "gpu/launch.h"
 #include "util/counters.h"
 #include "util/hash.h"
+#include "util/io.h"
 
 namespace gf::baselines {
 
@@ -50,6 +51,25 @@ bool blocked_bloom_filter::contains(uint64_t key) const {
 
 void blocked_bloom_filter::insert_bulk(std::span<const uint64_t> keys) {
   gpu::launch_threads(keys.size(), [&](uint64_t i) { insert(keys[i]); });
+}
+
+void blocked_bloom_filter::save(std::ostream& out) const {
+  util::write_header(out, kFileMagic, kFileVersion);
+  util::write_pod(out, blocks_);
+  util::write_pod<uint32_t>(out, k_);
+  util::write_vec(out, words_);
+}
+
+blocked_bloom_filter blocked_bloom_filter::load(std::istream& in) {
+  util::expect_header(in, kFileMagic, kFileVersion);
+  uint64_t blocks = util::read_pod<uint64_t>(in);
+  uint32_t k = util::read_pod<uint32_t>(in);
+  blocked_bloom_filter f(1, 1.0, k);
+  f.words_ = util::read_vec<uint32_t>(in);
+  if (blocks == 0 || f.words_.size() != blocks * kWordsPerBlock)
+    throw std::runtime_error("gf: blocked-Bloom geometry mismatch");
+  f.blocks_ = blocks;
+  return f;
 }
 
 uint64_t blocked_bloom_filter::count_contained(

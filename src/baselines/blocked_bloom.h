@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <span>
 #include <vector>
 
@@ -28,6 +30,14 @@ class blocked_bloom_filter {
 
   uint64_t num_blocks() const { return blocks_; }
   unsigned num_hashes() const { return k_; }
+
+  /// Write the filter to a stream (util/io.h format).  Not thread-safe
+  /// against concurrent writers.
+  void save(std::ostream& out) const;
+
+  /// Read a filter previously written by save().  Throws on malformed or
+  /// truncated input.
+  static blocked_bloom_filter load(std::istream& in);
   size_t memory_bytes() const { return words_.size() * sizeof(uint32_t); }
   double bits_per_item(uint64_t items) const {
     return items ? static_cast<double>(memory_bytes()) * 8.0 /
@@ -38,6 +48,8 @@ class blocked_bloom_filter {
  private:
   static constexpr uint64_t kBlockBits = 1024;  // 128-byte cache line
   static constexpr uint64_t kWordsPerBlock = kBlockBits / 32;
+  static constexpr uint64_t kFileMagic = 0x4746'4242'4631ull;  // "GFBBF1"
+  static constexpr uint32_t kFileVersion = 1;
 
   uint64_t blocks_;
   unsigned k_;

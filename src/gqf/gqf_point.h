@@ -40,6 +40,19 @@ class gqf_point {
   gqf_point(uint32_t q_bits, uint32_t r_bits)
       : filter_(q_bits, r_bits), locks_(filter_.num_regions() + 1) {}
 
+  /// Wrap an existing core filter (e.g. one restored from a stream) in a
+  /// fresh set of region locks.
+  explicit gqf_point(gqf_filter<SlotT>&& f)
+      : filter_(std::move(f)), locks_(filter_.num_regions() + 1) {}
+
+  /// Serialization delegates to the core filter (same on-disk format, so
+  /// point- and core-written files are interchangeable).  Not thread-safe
+  /// against concurrent writers.
+  void save(std::ostream& out) const { filter_.save(out); }
+  static gqf_point load(std::istream& in) {
+    return gqf_point(gqf_filter<SlotT>::load(in));
+  }
+
   /// Thread-safe point insert of `count` instances.
   bool insert(uint64_t key, uint64_t count = 1) {
     uint64_t hash = filter_.hash_of(key);

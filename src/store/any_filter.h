@@ -1,0 +1,237 @@
+// Type-erased filter backend for the sharded store.
+//
+// The store routes every shard through this small virtual interface so the
+// backend is a runtime decision per workload (ROADMAP: multi-backend):
+//   * tcf           — point TCF (tcf/tcf.h): fastest membership + deletes,
+//                     the paper's headline structure;
+//   * gqf           — region-locked GQF (gqf/gqf_point.h): counting,
+//                     multiplicity-aware deletes, enumeration;
+//   * blocked_bloom — blocked Bloom (baselines/blocked_bloom.h): the
+//                     memory floor; membership only, no deletes.
+//
+// The virtual dispatch costs one indirect call per point op — noise next
+// to the cache-line probes each filter performs — and the bulk paths
+// amortize it further by draining whole per-shard spans per call.
+//
+// All backends are safe for concurrent insert/query/erase within a shard
+// (the TCF is lock-free, the GQF takes region locks, the blocked Bloom
+// uses atomicOr); cross-shard concurrency needs no coordination at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+
+#include "baselines/blocked_bloom.h"
+#include "gqf/gqf_point.h"
+#include "store/batch.h"
+#include "tcf/tcf.h"
+#include "util/bits.h"
+#include "util/io.h"
+
+namespace gf::store {
+
+enum class backend_kind : uint32_t {
+  tcf = 0,
+  gqf = 1,
+  blocked_bloom = 2,
+};
+
+inline const char* backend_name(backend_kind k) {
+  switch (k) {
+    case backend_kind::tcf: return "tcf";
+    case backend_kind::gqf: return "gqf";
+    case backend_kind::blocked_bloom: return "bbf";
+  }
+  return "?";
+}
+
+class any_filter {
+ public:
+  virtual ~any_filter() = default;
+
+  virtual backend_kind kind() const = 0;
+
+  /// Insert `count` instances; false when the backend refused (full).
+  /// Non-counting backends treat count > 1 as count == 1.
+  virtual bool insert(uint64_t key, uint64_t count) = 0;
+  virtual bool contains(uint64_t key) const = 0;
+  /// Stored multiplicity; membership-only backends answer 0 or 1.
+  virtual uint64_t count(uint64_t key) const = 0;
+  /// Remove one instance; false when absent or deletes are unsupported.
+  virtual bool erase(uint64_t key) = 0;
+
+  /// Live stored entries.  Semantics follow the backend's strongest
+  /// observable notion: distinct fingerprints for the GQF, stored slots
+  /// (duplicates included) for the TCF, and the raw insert tally for the
+  /// Bloom — a bit array cannot observe duplicates, so repeated-key
+  /// traffic inflates it (and load_factor() past 1.0 honestly signals
+  /// the resulting false-positive degradation).
+  virtual uint64_t size() const = 0;
+  virtual uint64_t capacity() const = 0;  ///< provisioned item budget
+  virtual size_t memory_bytes() const = 0;
+
+  virtual bool supports_deletes() const = 0;
+  virtual bool supports_counting() const = 0;
+
+  /// Serialize backend state (each backend's own magic + version + payload
+  /// via util/io.h).  Pair with load_filter().
+  virtual void save(std::ostream& out) const = 0;
+
+  double load_factor() const {
+    return capacity() ? static_cast<double>(size()) /
+                            static_cast<double>(capacity())
+                      : 0.0;
+  }
+};
+
+namespace detail {
+
+/// Slot headroom so a backend holds `capacity` items below its stable load
+/// factor (~85% for the TCF main table and the GQF's quotient space).
+inline uint64_t provisioned_slots(uint64_t capacity) {
+  return capacity + capacity / 5 + 64;
+}
+
+class tcf_backend final : public any_filter {
+ public:
+  explicit tcf_backend(uint64_t capacity)
+      : cap_(capacity), filter_(provisioned_slots(capacity)) {}
+  tcf_backend(uint64_t capacity, tcf::point_tcf&& f)
+      : cap_(capacity), filter_(std::move(f)) {}
+
+  backend_kind kind() const override { return backend_kind::tcf; }
+  bool insert(uint64_t key, uint64_t) override { return filter_.insert(key); }
+  bool contains(uint64_t key) const override { return filter_.contains(key); }
+  uint64_t count(uint64_t key) const override {
+    return filter_.contains(key) ? 1 : 0;
+  }
+  bool erase(uint64_t key) override { return filter_.erase(key); }
+  uint64_t size() const override { return filter_.size(); }
+  uint64_t capacity() const override { return cap_; }
+  size_t memory_bytes() const override { return filter_.memory_bytes(); }
+  bool supports_deletes() const override { return true; }
+  bool supports_counting() const override { return false; }
+  void save(std::ostream& out) const override { filter_.save(out); }
+
+ private:
+  uint64_t cap_;
+  tcf::point_tcf filter_;
+};
+
+class gqf_backend final : public any_filter {
+ public:
+  explicit gqf_backend(uint64_t capacity)
+      : cap_(capacity),
+        filter_(static_cast<uint32_t>(
+                    util::log2_ceil(provisioned_slots(capacity))),
+                8) {}
+  gqf_backend(uint64_t capacity, gqf::gqf_point<uint8_t>&& f)
+      : cap_(capacity), filter_(std::move(f)) {}
+
+  backend_kind kind() const override { return backend_kind::gqf; }
+  bool insert(uint64_t key, uint64_t count) override {
+    return filter_.insert(key, count == 0 ? 1 : count);
+  }
+  bool contains(uint64_t key) const override { return filter_.contains(key); }
+  uint64_t count(uint64_t key) const override { return filter_.query(key); }
+  bool erase(uint64_t key) override { return filter_.erase(key); }
+  uint64_t size() const override { return filter_.filter().distinct_items(); }
+  uint64_t capacity() const override { return cap_; }
+  size_t memory_bytes() const override { return filter_.memory_bytes(); }
+  bool supports_deletes() const override { return true; }
+  bool supports_counting() const override { return true; }
+  void save(std::ostream& out) const override { filter_.save(out); }
+
+ private:
+  uint64_t cap_;
+  gqf::gqf_point<uint8_t> filter_;
+};
+
+class bloom_backend final : public any_filter {
+ public:
+  // ~8 bits/item with 6 in-block hashes: the memory-floor configuration
+  // (false positives ~1%, no deletes; Jünger et al.'s BBF sweet spot).
+  static constexpr double kBitsPerItem = 8.0;
+  static constexpr unsigned kNumHashes = 6;
+
+  explicit bloom_backend(uint64_t capacity)
+      : cap_(capacity),
+        filter_(capacity == 0 ? 1 : capacity, kBitsPerItem, kNumHashes) {}
+  bloom_backend(uint64_t capacity, uint64_t items,
+                baselines::blocked_bloom_filter&& f)
+      : cap_(capacity), items_(items), filter_(std::move(f)) {}
+
+  backend_kind kind() const override { return backend_kind::blocked_bloom; }
+  bool insert(uint64_t key, uint64_t) override {
+    filter_.insert(key);  // Bloom inserts cannot fail (fp rate degrades)
+    items_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  bool contains(uint64_t key) const override { return filter_.contains(key); }
+  uint64_t count(uint64_t key) const override {
+    return filter_.contains(key) ? 1 : 0;
+  }
+  bool erase(uint64_t) override { return false; }
+  uint64_t size() const override {
+    return items_.load(std::memory_order_relaxed);
+  }
+  uint64_t capacity() const override { return cap_; }
+  size_t memory_bytes() const override { return filter_.memory_bytes(); }
+  bool supports_deletes() const override { return false; }
+  bool supports_counting() const override { return false; }
+  void save(std::ostream& out) const override {
+    // The bit array cannot reconstruct the insert tally; persist it ahead
+    // of the filter payload so size() survives a round trip.
+    util::write_pod(out, items_.load(std::memory_order_relaxed));
+    filter_.save(out);
+  }
+
+ private:
+  uint64_t cap_;
+  std::atomic<uint64_t> items_{0};
+  baselines::blocked_bloom_filter filter_;
+};
+
+}  // namespace detail
+
+/// Construct a fresh backend provisioned for `capacity` items.
+inline std::unique_ptr<any_filter> make_filter(backend_kind kind,
+                                               uint64_t capacity) {
+  switch (kind) {
+    case backend_kind::tcf:
+      return std::make_unique<detail::tcf_backend>(capacity);
+    case backend_kind::gqf:
+      return std::make_unique<detail::gqf_backend>(capacity);
+    case backend_kind::blocked_bloom:
+      return std::make_unique<detail::bloom_backend>(capacity);
+  }
+  throw std::runtime_error("gf: unknown store backend");
+}
+
+/// Restore a backend previously written by any_filter::save().  `capacity`
+/// is the provisioned budget recorded by the store container (store_io.h);
+/// the payload geometry is validated by each backend's own loader.
+inline std::unique_ptr<any_filter> load_filter(backend_kind kind,
+                                               uint64_t capacity,
+                                               std::istream& in) {
+  switch (kind) {
+    case backend_kind::tcf:
+      return std::make_unique<detail::tcf_backend>(capacity,
+                                                   tcf::point_tcf::load(in));
+    case backend_kind::gqf:
+      return std::make_unique<detail::gqf_backend>(
+          capacity, gqf::gqf_point<uint8_t>::load(in));
+    case backend_kind::blocked_bloom: {
+      uint64_t items = util::read_pod<uint64_t>(in);
+      return std::make_unique<detail::bloom_backend>(
+          capacity, items, baselines::blocked_bloom_filter::load(in));
+    }
+  }
+  throw std::runtime_error("gf: unknown store backend");
+}
+
+}  // namespace gf::store

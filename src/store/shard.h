@@ -1,0 +1,141 @@
+// One shard of the filter store: a backend instance, a pending-operation
+// queue for the async batched path, and per-shard operation statistics.
+//
+// Concurrency contract:
+//   * Point ops (insert/contains/count/erase) are thread-safe — they
+//     delegate to the backend, whose internal synchronization (lock-free
+//     CAS, region locks, atomicOr) carries the guarantee.
+//   * enqueue() is thread-safe (queue mutex); producers on any thread may
+//     append while other threads run point ops.
+//   * drain() detaches the queue under the mutex, then applies it outside
+//     the lock, so producers are never blocked behind filter work.  The
+//     store runs one logical thread per shard through the pool, mirroring
+//     the paper's one-thread-per-region bulk scheme (§5.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "store/any_filter.h"
+#include "store/batch.h"
+#include "util/counters.h"
+
+namespace gf::store {
+
+class shard {
+ public:
+  shard(backend_kind kind, uint64_t capacity)
+      : filter_(make_filter(kind, capacity)) {}
+  explicit shard(std::unique_ptr<any_filter> filter)
+      : filter_(std::move(filter)) {}
+
+  // -- Point ops (thread-safe, stats-counted) ------------------------------
+
+  bool insert(uint64_t key, uint64_t count = 1) {
+    stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+    bool ok = filter_->insert(key, count);
+    if (!ok) stats_.insert_failures.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+  }
+
+  bool contains(uint64_t key) const {
+    stats_.queries.fetch_add(1, std::memory_order_relaxed);
+    bool hit = filter_->contains(key);
+    if (hit) stats_.query_hits.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+
+  uint64_t count(uint64_t key) const {
+    stats_.queries.fetch_add(1, std::memory_order_relaxed);
+    uint64_t c = filter_->count(key);
+    if (c) stats_.query_hits.fetch_add(1, std::memory_order_relaxed);
+    return c;
+  }
+
+  bool erase(uint64_t key) {
+    stats_.erases.fetch_add(1, std::memory_order_relaxed);
+    bool ok = filter_->erase(key);
+    if (!ok) stats_.erase_failures.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+  }
+
+  // -- Async batched path ---------------------------------------------------
+
+  /// Append an operation to the pending queue (thread-safe, cheap).
+  void enqueue(const op& o) {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    queue_.push_back(o);
+  }
+
+  uint64_t pending() const {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    return queue_.size();
+  }
+
+  /// Detach and apply every pending operation, in enqueue order.
+  batch_result drain() {
+    std::vector<op> batch;
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      batch.swap(queue_);
+    }
+    if (batch.empty()) return {};
+    stats_.batches_drained.fetch_add(1, std::memory_order_relaxed);
+    return apply(batch);
+  }
+
+  /// Apply a span of operations belonging to this shard, in order.
+  batch_result apply(std::span<const op> ops) {
+    batch_result r;
+    for (const op& o : ops) {
+      switch (o.type) {
+        case op_type::insert:
+          if (insert(o.key, o.count))
+            ++r.inserted;
+          else
+            ++r.insert_failed;
+          break;
+        case op_type::erase:
+          if (erase(o.key))
+            ++r.erased;
+          else
+            ++r.erase_missing;
+          break;
+        case op_type::query:
+          if (contains(o.key))
+            ++r.query_hits;
+          else
+            ++r.query_misses;
+          break;
+      }
+    }
+    return r;
+  }
+
+  /// Bulk-build slice: insert a sorted-partition span of keys (store.h's
+  /// radix path).  Returns the number successfully inserted.
+  uint64_t insert_span(std::span<const uint64_t> keys) {
+    uint64_t ok = 0;
+    for (uint64_t key : keys) ok += insert(key) ? 1 : 0;
+    return ok;
+  }
+
+  // -- Introspection ---------------------------------------------------------
+
+  any_filter& filter() { return *filter_; }
+  const any_filter& filter() const { return *filter_; }
+  util::op_stats::snapshot stats() const { return stats_.read(); }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  std::unique_ptr<any_filter> filter_;
+  mutable std::mutex queue_mu_;
+  std::vector<op> queue_;
+  mutable util::op_stats stats_;
+};
+
+}  // namespace gf::store

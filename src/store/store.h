@@ -1,0 +1,242 @@
+// The sharded concurrent filter store.
+//
+// Partitions the 64-bit key space across N shards and routes operations by
+// the *high bits* of a dedicated routing hash (fast_range over
+// mix64_seeded).  Routing entropy is therefore disjoint from every
+// backend's fingerprint entropy — the GQF fingerprints low murmur64 bits,
+// the TCF mixes murmur64/mix64_b — so per-shard false-positive behavior is
+// identical to a standalone filter and no fingerprint bits are "spent" on
+// routing.
+//
+// Three operation tiers, mirroring the paper's point/bulk split:
+//   * Point ops     — route to the owning shard, delegate to its backend's
+//                     thread-safe ops.  Any number of caller threads.
+//   * Async batched — enqueue_*() appends to per-shard queues; flush()
+//                     drains all queues with one logical thread per shard
+//                     over gf::gpu::thread_pool, the paper's
+//                     one-thread-per-region bulk discipline (§5.3).
+//   * Bulk build    — insert_bulk() radix-partitions the batch by shard id
+//                     (par/radix_sort.cpp, the same sort substrate as the
+//                     paper's sort-then-bulk-insert APIs), finds shard
+//                     boundaries by successor search (par/search.h), then
+//                     inserts each contiguous slice shard-parallel.
+//
+// Backends are runtime-selected per store (store/any_filter.h); whole-store
+// persistence lives in store/store_io.h.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpu/launch.h"
+#include "par/radix_sort.h"
+#include "par/search.h"
+#include "store/any_filter.h"
+#include "store/batch.h"
+#include "store/shard.h"
+#include "util/hash.h"
+
+namespace gf::store {
+
+struct store_config {
+  backend_kind backend = backend_kind::tcf;
+  uint32_t num_shards = 4;
+  uint64_t capacity = uint64_t{1} << 20;  ///< total item budget, all shards
+};
+
+/// Shards are capped so a store header can never demand an absurd
+/// allocation (store_io.h validates against this on load).
+inline constexpr uint32_t kMaxShards = 1u << 14;
+
+class filter_store {
+ public:
+  explicit filter_store(store_config cfg) : cfg_(cfg) {
+    validate_config(cfg_);
+    shards_.reserve(cfg_.num_shards);
+    for (uint32_t s = 0; s < cfg_.num_shards; ++s)
+      shards_.push_back(
+          std::make_unique<shard>(cfg_.backend, shard_capacity(cfg_)));
+  }
+
+  /// Assemble a store around restored shards (store_io.h's load path).
+  filter_store(store_config cfg, std::vector<std::unique_ptr<shard>> shards)
+      : cfg_(cfg), shards_(std::move(shards)) {
+    validate_config(cfg_);
+    if (shards_.size() != cfg_.num_shards)
+      throw std::runtime_error("gf: store shard count mismatch");
+  }
+
+  static uint64_t shard_capacity(const store_config& cfg) {
+    return (cfg.capacity + cfg.num_shards - 1) / cfg.num_shards;
+  }
+
+  // -- Routing ---------------------------------------------------------------
+
+  /// Owning shard of a key: the high bits of an independent routing hash
+  /// (fast_range is a high-bits partition of the 64-bit hash space).
+  uint32_t shard_of(uint64_t key) const {
+    return static_cast<uint32_t>(
+        util::fast_range(route_hash(key), shards_.size()));
+  }
+
+  // -- Point API (thread-safe) ----------------------------------------------
+
+  bool insert(uint64_t key, uint64_t count = 1) {
+    return shards_[shard_of(key)]->insert(key, count);
+  }
+  bool contains(uint64_t key) const {
+    return shards_[shard_of(key)]->contains(key);
+  }
+  uint64_t count(uint64_t key) const {
+    return shards_[shard_of(key)]->count(key);
+  }
+  bool erase(uint64_t key) { return shards_[shard_of(key)]->erase(key); }
+
+  // -- Async batched API -----------------------------------------------------
+
+  void enqueue(const op& o) { shards_[shard_of(o.key)]->enqueue(o); }
+  void enqueue_insert(uint64_t key, uint64_t count = 1) {
+    enqueue(make_insert(key, count));
+  }
+  void enqueue_erase(uint64_t key) { enqueue(make_erase(key)); }
+  void enqueue_query(uint64_t key) { enqueue(make_query(key)); }
+
+  uint64_t pending() const {
+    uint64_t n = 0;
+    for (const auto& s : shards_) n += s->pending();
+    return n;
+  }
+
+  /// Drain every shard's queue, one logical thread per shard.
+  batch_result flush() {
+    std::vector<batch_result> per(shards_.size());
+    gpu::launch_threads(
+        shards_.size(), [&](uint64_t s) { per[s] = shards_[s]->drain(); },
+        /*grain=*/1);
+    batch_result total;
+    for (const batch_result& r : per) total.merge(r);
+    return total;
+  }
+
+  /// Partition one caller-owned batch by shard and apply it shard-parallel
+  /// (skips the queue mutexes; ops for the same shard keep batch order).
+  batch_result apply(std::span<const op> ops) {
+    std::vector<std::vector<op>> buckets(shards_.size());
+    for (const op& o : ops) buckets[shard_of(o.key)].push_back(o);
+    std::vector<batch_result> per(shards_.size());
+    gpu::launch_threads(
+        shards_.size(),
+        [&](uint64_t s) { per[s] = shards_[s]->apply(buckets[s]); },
+        /*grain=*/1);
+    batch_result total;
+    for (const batch_result& r : per) total.merge(r);
+    return total;
+  }
+
+  // -- Bulk-build API (sort-then-insert, paper §4.2/§5.3) --------------------
+
+  /// Radix-partition `keys` by shard id, then bulk-insert each contiguous
+  /// slice with one logical thread per shard.  Returns the number of keys
+  /// successfully inserted.
+  uint64_t insert_bulk(std::span<const uint64_t> keys) {
+    const uint64_t n = keys.size();
+    if (n == 0) return 0;
+    std::vector<uint64_t> ids(n);
+    std::vector<uint64_t> items(keys.begin(), keys.end());
+    gpu::launch_threads(n, [&](uint64_t i) { ids[i] = shard_of(items[i]); });
+    // One or two 8-bit radix passes: shard ids are small keys.
+    par::radix_sort_by_key(ids, items, shards_.size() <= 256 ? 8 : 16);
+    auto bounds = par::region_boundaries(ids, shards_.size(),
+                                         [](uint64_t id) { return id; });
+    std::atomic<uint64_t> ok{0};
+    gpu::launch_threads(
+        shards_.size(),
+        [&](uint64_t s) {
+          std::span<const uint64_t> slice(items.data() + bounds[s],
+                                          bounds[s + 1] - bounds[s]);
+          ok.fetch_add(shards_[s]->insert_span(slice),
+                       std::memory_order_relaxed);
+        },
+        /*grain=*/1);
+    return ok.load();
+  }
+
+  /// Parallel membership count over a batch (point-routed; queries need no
+  /// partitioning since they mutate nothing).
+  uint64_t count_contained(std::span<const uint64_t> keys) const {
+    std::atomic<uint64_t> found{0};
+    gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      if (contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
+    });
+    return found.load();
+  }
+
+  // -- Introspection ---------------------------------------------------------
+
+  const store_config& config() const { return cfg_; }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  shard& shard_at(uint32_t i) { return *shards_[i]; }
+  const shard& shard_at(uint32_t i) const { return *shards_[i]; }
+
+  uint64_t size() const {
+    uint64_t n = 0;
+    for (const auto& s : shards_) n += s->filter().size();
+    return n;
+  }
+  size_t memory_bytes() const {
+    size_t n = 0;
+    for (const auto& s : shards_) n += s->filter().memory_bytes();
+    return n;
+  }
+  double load_factor() const {
+    return cfg_.capacity ? static_cast<double>(size()) /
+                               static_cast<double>(cfg_.capacity)
+                         : 0.0;
+  }
+
+  struct shard_report {
+    uint32_t index = 0;
+    uint64_t items = 0;
+    double load_factor = 0.0;
+    util::op_stats::snapshot ops;
+  };
+
+  /// Per-shard occupancy and operation counts (hot-shard visibility).
+  std::vector<shard_report> report() const {
+    std::vector<shard_report> out(shards_.size());
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      out[s].index = s;
+      out[s].items = shards_[s]->filter().size();
+      out[s].load_factor = shards_[s]->filter().load_factor();
+      out[s].ops = shards_[s]->stats();
+    }
+    return out;
+  }
+
+ private:
+  static void validate_config(const store_config& cfg) {
+    if (cfg.num_shards == 0 || cfg.num_shards > kMaxShards)
+      throw std::runtime_error("gf: store shard count out of range (1.." +
+                               std::to_string(kMaxShards) + ")");
+  }
+
+  /// Routing hash: seeded and independent of every backend's key hashing,
+  /// so sharding neither biases nor correlates per-shard fingerprints.
+  static uint64_t route_hash(uint64_t key) {
+    return util::mix64_seeded(key, kRouteSeed);
+  }
+  static constexpr uint64_t kRouteSeed = 0x5348'4152'4453ull;  // "SHARDS"
+
+  store_config cfg_;
+  std::vector<std::unique_ptr<shard>> shards_;
+};
+
+}  // namespace gf::store

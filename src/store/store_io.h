@@ -1,0 +1,95 @@
+// Whole-store persistence: magic + version + geometry header, then each
+// shard's backend payload (util/io.h framing throughout).
+//
+// Layout (little-endian, host format like every filter file):
+//   u64 magic "GFSTOR"     u32 version
+//   u32 backend kind       u32 num_shards      u64 total capacity
+//   per shard: u64 provisioned capacity, u64 live items,
+//              backend payload (its own magic + version + geometry)
+// The loader validates the store header before touching any payload, each
+// backend loader re-validates its own framing and geometry, and the
+// store-layer live-item count is cross-checked against the counter the
+// backend payload carries — two separate file regions, so corruption or
+// desync of either fires.  Truncated, corrupted, or foreign files fail
+// with an exception instead of yielding a store that silently answers
+// wrong.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "store/any_filter.h"
+#include "store/store.h"
+#include "util/io.h"
+
+namespace gf::store {
+
+inline constexpr uint64_t kStoreMagic = 0x4746'5354'4F52ull;  // "GFSTOR"
+inline constexpr uint32_t kStoreVersion = 1;
+
+/// Write the store to a stream.  Not thread-safe against writers; quiesce
+/// (flush pending batches) first.
+inline void save_store(const filter_store& store, std::ostream& out) {
+  util::write_header(out, kStoreMagic, kStoreVersion);
+  util::write_pod<uint32_t>(out,
+                            static_cast<uint32_t>(store.config().backend));
+  util::write_pod<uint32_t>(out, store.num_shards());
+  util::write_pod<uint64_t>(out, store.config().capacity);
+  for (uint32_t s = 0; s < store.num_shards(); ++s) {
+    const any_filter& f = store.shard_at(s).filter();
+    util::write_pod<uint64_t>(out, f.capacity());
+    util::write_pod<uint64_t>(out, f.size());
+    f.save(out);
+  }
+}
+
+/// Read a store previously written by save_store().  Throws on malformed
+/// input, unknown backends, or geometry that disagrees with the payload.
+inline filter_store load_store(std::istream& in) {
+  util::expect_header(in, kStoreMagic, kStoreVersion);
+  uint32_t backend_raw = util::read_pod<uint32_t>(in);
+  if (backend_raw > static_cast<uint32_t>(backend_kind::blocked_bloom))
+    throw std::runtime_error("gf: store file names unknown backend " +
+                             std::to_string(backend_raw));
+  store_config cfg;
+  cfg.backend = static_cast<backend_kind>(backend_raw);
+  cfg.num_shards = util::read_pod<uint32_t>(in);
+  if (cfg.num_shards == 0 || cfg.num_shards > kMaxShards)
+    throw std::runtime_error("gf: store file shard count out of range");
+  cfg.capacity = util::read_pod<uint64_t>(in);
+
+  std::vector<std::unique_ptr<shard>> shards;
+  shards.reserve(cfg.num_shards);
+  for (uint32_t s = 0; s < cfg.num_shards; ++s) {
+    uint64_t shard_cap = util::read_pod<uint64_t>(in);
+    uint64_t items = util::read_pod<uint64_t>(in);
+    auto filter = load_filter(cfg.backend, shard_cap, in);
+    if (filter->size() != items)
+      throw std::runtime_error("gf: store shard " + std::to_string(s) +
+                               " item count disagrees with payload");
+    shards.push_back(std::make_unique<shard>(std::move(filter)));
+  }
+  return filter_store(cfg, std::move(shards));
+}
+
+/// File-path conveniences.
+inline void save_store(const filter_store& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("gf: cannot open " + path);
+  save_store(store, out);
+  if (!out) throw std::runtime_error("gf: short write to " + path);
+}
+
+inline filter_store load_store(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("gf: cannot open " + path);
+  return load_store(in);
+}
+
+}  // namespace gf::store

@@ -257,7 +257,13 @@ class bulk_tcf {
     util::write_header(out, kFileMagic, kFileVersion);
     util::write_pod<uint32_t>(out, FpBits);
     util::write_pod<uint32_t>(out, NumSlots);
-    util::write_pod(out, cfg_);
+    // Field-wise, not write_pod(cfg_): raw struct writes would include
+    // indeterminate padding bytes, breaking bit-exact round trips.
+    util::write_pod(out, cfg_.backing_fraction);
+    util::write_pod<uint8_t>(out, cfg_.enable_backing ? 1 : 0);
+    util::write_pod<uint8_t>(out, cfg_.enable_shortcut ? 1 : 0);
+    util::write_pod(out, cfg_.shortcut_cutoff);
+    util::write_pod<uint32_t>(out, cfg_.cg_size);
     util::write_pod(out, num_blocks_);
     util::write_pod(out, shortcut_threshold_);
     util::write_pod(out, live_);
@@ -273,7 +279,11 @@ class bulk_tcf {
         util::read_pod<uint32_t>(in) != NumSlots)
       throw std::runtime_error("gf: bulk TCF variant mismatch");
     bulk_tcf f(1);
-    f.cfg_ = util::read_pod<tcf_config>(in);
+    f.cfg_.backing_fraction = util::read_pod<double>(in);
+    f.cfg_.enable_backing = util::read_pod<uint8_t>(in) != 0;
+    f.cfg_.enable_shortcut = util::read_pod<uint8_t>(in) != 0;
+    f.cfg_.shortcut_cutoff = util::read_pod<double>(in);
+    f.cfg_.cg_size = util::read_pod<uint32_t>(in);
     f.num_blocks_ = util::read_pod<uint64_t>(in);
     f.shortcut_threshold_ = util::read_pod<unsigned>(in);
     f.live_ = util::read_pod<uint64_t>(in);
@@ -474,7 +484,9 @@ class bulk_tcf {
   }
 
   static constexpr uint64_t kFileMagic = 0x4746'4254'4631ull;  // "GFBTF1"
-  static constexpr uint32_t kFileVersion = 1;
+  // v2: tcf_config serialized field-wise (padding-free) instead of as a
+  // raw struct; v1 files fail with a clean version error.
+  static constexpr uint32_t kFileVersion = 2;
 
   tcf_config cfg_;
   uint64_t num_blocks_;

@@ -252,7 +252,13 @@ class tcf {
     util::write_pod<uint32_t>(out, FpBits);
     util::write_pod<uint32_t>(out, NumSlots);
     util::write_pod<uint32_t>(out, ValBits);
-    util::write_pod(out, cfg_);
+    // Field-wise, not write_pod(cfg_): raw struct writes would include
+    // indeterminate padding bytes, breaking bit-exact round trips.
+    util::write_pod(out, cfg_.backing_fraction);
+    util::write_pod<uint8_t>(out, cfg_.enable_backing ? 1 : 0);
+    util::write_pod<uint8_t>(out, cfg_.enable_shortcut ? 1 : 0);
+    util::write_pod(out, cfg_.shortcut_cutoff);
+    util::write_pod<uint32_t>(out, cfg_.cg_size);
     util::write_pod(out, shortcut_threshold_);
     util::write_pod(out, live_.load(std::memory_order_relaxed));
     util::write_vec(out, blocks_);
@@ -268,10 +274,16 @@ class tcf {
         util::read_pod<uint32_t>(in) != ValBits)
       throw std::runtime_error("gf: TCF variant mismatch");
     tcf f(1);
-    f.cfg_ = util::read_pod<tcf_config>(in);
+    f.cfg_.backing_fraction = util::read_pod<double>(in);
+    f.cfg_.enable_backing = util::read_pod<uint8_t>(in) != 0;
+    f.cfg_.enable_shortcut = util::read_pod<uint8_t>(in) != 0;
+    f.cfg_.shortcut_cutoff = util::read_pod<double>(in);
+    f.cfg_.cg_size = util::read_pod<uint32_t>(in);
     f.shortcut_threshold_ = util::read_pod<unsigned>(in);
     uint64_t live = util::read_pod<uint64_t>(in);
     f.blocks_ = util::read_vec<block_type>(in);
+    if (f.blocks_.empty() || live > (f.blocks_.size() * NumSlots) * 2)
+      throw std::runtime_error("gf: TCF geometry mismatch");
     f.backing_.load(in);
     f.live_.store(live, std::memory_order_relaxed);
     return f;
@@ -354,7 +366,9 @@ class tcf {
   }
 
   static constexpr uint64_t kFileMagic = 0x4746'5443'4631ull;  // "GFTCF1"
-  static constexpr uint32_t kFileVersion = 1;
+  // v2: tcf_config serialized field-wise (padding-free) instead of as a
+  // raw struct; v1 files fail with a clean version error.
+  static constexpr uint32_t kFileVersion = 2;
 
   tcf_config cfg_;
   std::vector<block_type> blocks_;

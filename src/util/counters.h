@@ -35,6 +35,55 @@ struct op_counters {
 /// Global counters instance (tests reset it around the code under test).
 op_counters& counters();
 
+/// Per-component operation statistics — unlike the GF_COUNT macros these
+/// are always compiled in, cheap (relaxed increments), and instantiated
+/// per owner rather than globally.  The sharded store keeps one per shard
+/// so hot shards and skewed routing are visible at runtime.
+struct op_stats {
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> insert_failures{0};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> query_hits{0};
+  std::atomic<uint64_t> erases{0};
+  std::atomic<uint64_t> erase_failures{0};
+  std::atomic<uint64_t> batches_drained{0};
+
+  /// A plain-value copy (atomics are not copyable; reports pass these).
+  struct snapshot {
+    uint64_t inserts = 0;
+    uint64_t insert_failures = 0;
+    uint64_t queries = 0;
+    uint64_t query_hits = 0;
+    uint64_t erases = 0;
+    uint64_t erase_failures = 0;
+    uint64_t batches_drained = 0;
+
+    uint64_t total_ops() const { return inserts + queries + erases; }
+  };
+
+  snapshot read() const {
+    snapshot s;
+    s.inserts = inserts.load(std::memory_order_relaxed);
+    s.insert_failures = insert_failures.load(std::memory_order_relaxed);
+    s.queries = queries.load(std::memory_order_relaxed);
+    s.query_hits = query_hits.load(std::memory_order_relaxed);
+    s.erases = erases.load(std::memory_order_relaxed);
+    s.erase_failures = erase_failures.load(std::memory_order_relaxed);
+    s.batches_drained = batches_drained.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() {
+    inserts = 0;
+    insert_failures = 0;
+    queries = 0;
+    query_hits = 0;
+    erases = 0;
+    erase_failures = 0;
+    batches_drained = 0;
+  }
+};
+
 #if defined(GF_ENABLE_COUNTERS)
 #define GF_COUNT(field, n) \
   ::gf::util::counters().field.fetch_add((n), std::memory_order_relaxed)
