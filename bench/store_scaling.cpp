@@ -1,25 +1,52 @@
 // store_scaling: sharded-store throughput as a function of shard count.
 //
 // For each backend, sweeps shards ∈ {1, 2, 4, 8} at each filter size and
-// measures the three store tiers: bulk build (radix partition + per-shard
-// insert), batched async ops (enqueue + flush), and batched membership
-// queries.  On a multi-core host the per-shard drain threads run truly in
-// parallel, so throughput scales with shard count until shards exceed
-// cores; on a single-core host the series stays flat (the sweep still
-// validates the partitioning machinery).  Columns are shard counts.
+// measures the store tiers against each other: point-routed inserts
+// (thread-per-key through the virtual point API), the native bulk tier
+// (counting-sort partition + per-shard backend bulk ops), the same bulk
+// tier under a Zipf(0.99) hot-key flood (where §5.4 count-compression
+// collapses duplicates), batched async ops (enqueue + flush), and batched
+// membership queries.  On a multi-core host the per-shard drain threads
+// run truly in parallel, so throughput scales with shard count until
+// shards exceed cores; on a single-core host the series stays flat (the
+// sweep still validates the partitioning machinery).  Columns are shard
+// counts.
+//
+// --json FILE appends one JSON object per measurement (plus derived
+// bulk-vs-point speedups and insert-failure rates) so CI can track the
+// perf trajectory per PR.
+#include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench/harness.h"
+#include "gpu/launch.h"
 #include "gpu/thread_pool.h"
 #include "store/store.h"
+#include "util/zipf.h"
 
 using namespace gf;
 
 namespace {
 
 constexpr uint32_t kShardCounts[] = {1, 2, 4, 8};
+constexpr double kZipfTheta = 0.99;
+
+FILE* g_json = nullptr;
+
+void emit_json(store::backend_kind backend, uint32_t shards, int log_size,
+               const char* metric, double value) {
+  if (!g_json) return;
+  std::fprintf(g_json,
+               "{\"bench\":\"store_scaling\",\"backend\":\"%s\","
+               "\"shards\":%u,\"log2size\":%d,\"metric\":\"%s\","
+               "\"value\":%.4f}\n",
+               store::backend_name(backend), shards, log_size, metric, value);
+}
 
 store::filter_store make_store(store::backend_kind backend, uint32_t shards,
                                uint64_t capacity) {
@@ -30,6 +57,19 @@ store::filter_store make_store(store::backend_kind backend, uint32_t shards,
   return store::filter_store(cfg);
 }
 
+struct metric_def {
+  const char* label;  ///< table row label
+  const char* json;   ///< JSON metric name
+};
+
+constexpr metric_def kMetrics[] = {
+    {"point insert Mops/s", "point_insert_mops"},
+    {"bulk insert Mops/s", "bulk_insert_mops"},
+    {"zipf bulk insert Mops/s", "zipf_insert_mops"},
+    {"batched ops Mops/s", "batched_ops_mops"},
+    {"bulk query Mops/s", "bulk_query_mops"},
+};
+
 void sweep_backend(store::backend_kind backend,
                    const bench::options& opts) {
   std::vector<std::string> cols;
@@ -37,9 +77,11 @@ void sweep_backend(store::backend_kind backend,
     cols.push_back(std::to_string(s) + "-shard");
 
   std::printf("\n### backend: %s\n", store::backend_name(backend));
-  for (const char* metric :
-       {"bulk insert Mops/s", "batched ops Mops/s", "bulk query Mops/s"}) {
-    bench::print_series_header(metric, cols);
+  // point_insert_mops per (log_size, shard index), filled by the point
+  // metric pass and reused for the derived bulk-vs-point speedups.
+  std::map<int, std::vector<double>> point_mops;
+  for (const metric_def& metric : kMetrics) {
+    bench::print_series_header(metric.label, cols);
     for (int log_size : opts.log_sizes) {
       uint64_t capacity = uint64_t{1} << log_size;
       uint64_t n = capacity * 70 / 100;
@@ -49,9 +91,32 @@ void sweep_backend(store::backend_kind backend,
       for (uint32_t shards : kShardCounts) {
         auto s = make_store(backend, shards, capacity);
         double mops = -1;
-        if (!std::strcmp(metric, "bulk insert Mops/s")) {
-          mops = bench::time_mops(n, [&] { s.insert_bulk(keys); });
-        } else if (!std::strcmp(metric, "batched ops Mops/s")) {
+        if (!std::strcmp(metric.json, "point_insert_mops")) {
+          uint64_t ok = 0;
+          mops = bench::time_mops(n, [&] {
+            std::atomic<uint64_t> landed{0};
+            gpu::launch_ranges(n, [&](unsigned, uint64_t b, uint64_t e) {
+              uint64_t local = 0;
+              for (uint64_t i = b; i < e; ++i)
+                local += s.insert(keys[i]) ? 1 : 0;
+              landed.fetch_add(local, std::memory_order_relaxed);
+            });
+            ok = landed.load();
+          });
+          emit_json(backend, shards, log_size, "point_insert_fail_rate",
+                    static_cast<double>(n - ok) / static_cast<double>(n));
+        } else if (!std::strcmp(metric.json, "bulk_insert_mops")) {
+          uint64_t ok = 0;
+          mops = bench::time_mops(n, [&] { ok = s.insert_bulk(keys); });
+          emit_json(backend, shards, log_size, "bulk_insert_fail_rate",
+                    static_cast<double>(n - ok) / static_cast<double>(n));
+        } else if (!std::strcmp(metric.json, "zipf_insert_mops")) {
+          auto zipf = util::zipfian_dataset(n, kZipfTheta, 7000 + log_size);
+          uint64_t ok = 0;
+          mops = bench::time_mops(n, [&] { ok = s.insert_bulk(zipf); });
+          emit_json(backend, shards, log_size, "zipf_insert_fail_rate",
+                    static_cast<double>(n - ok) / static_cast<double>(n));
+        } else if (!std::strcmp(metric.json, "batched_ops_mops")) {
           mops = bench::time_mops(n, [&] {
             for (uint64_t k : keys) s.enqueue_insert(k);
             s.flush();
@@ -60,9 +125,24 @@ void sweep_backend(store::backend_kind backend,
           s.insert_bulk(keys);
           mops = bench::best_mops(3, n, [&] { s.count_contained(keys); });
         }
+        emit_json(backend, shards, log_size, metric.json, mops);
         vals.push_back(mops);
       }
       bench::print_series_row(log_size, vals);
+
+      if (!std::strcmp(metric.json, "point_insert_mops"))
+        point_mops[log_size] = vals;
+
+      // Derived: native-bulk speedup over the point-routed series already
+      // measured above (the acceptance series for the bulk tier; same
+      // keys, same store configuration, same JSON artifact).
+      if (!std::strcmp(metric.json, "bulk_insert_mops")) {
+        const auto& point = point_mops[log_size];
+        for (size_t c = 0; c < vals.size() && c < point.size(); ++c)
+          if (point[c] > 0)
+            emit_json(backend, kShardCounts[c], log_size,
+                      "bulk_vs_point_speedup", vals[c] / point[c]);
+      }
     }
   }
 }
@@ -71,13 +151,25 @@ void sweep_backend(store::backend_kind backend,
 
 int main(int argc, char** argv) {
   auto opts = bench::options::parse(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      g_json = std::fopen(argv[i + 1], "w");
+      if (!g_json) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i + 1]);
+        return 1;
+      }
+    }
+  }
   bench::print_banner(
       "store_scaling: sharded store throughput vs shard count",
-      "store subsystem (beyond the paper; cf. §4.2/§5.3 bulk APIs)");
+      "store subsystem (beyond the paper; cf. §4.2/§5.3 bulk APIs, §5.4)");
   std::printf("host workers: %u\n", gpu::query_pool_size());
 
   sweep_backend(store::backend_kind::tcf, opts);
   sweep_backend(store::backend_kind::gqf, opts);
   sweep_backend(store::backend_kind::blocked_bloom, opts);
+  sweep_backend(store::backend_kind::bulk_tcf, opts);
+
+  if (g_json) std::fclose(g_json);
   return 0;
 }

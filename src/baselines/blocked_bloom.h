@@ -25,6 +25,10 @@ class blocked_bloom_filter {
   void insert(uint64_t key);
   bool contains(uint64_t key) const;
 
+  /// Batch ops: unrolled in chunks that hash first and software-prefetch
+  /// each target line, then probe — the store's native bulk tier for this
+  /// backend.  insert_bulk is safe alongside other writers (atomicOr);
+  /// count_contained is read-only.
   void insert_bulk(std::span<const uint64_t> keys);
   uint64_t count_contained(std::span<const uint64_t> keys) const;
 

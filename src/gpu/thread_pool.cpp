@@ -54,7 +54,16 @@ void thread_pool::run_on_all(const std::function<void(unsigned)>& fn) {
     ++epoch_;
   }
   cv_start_.notify_all();
-  fn(0);  // The caller is worker 0.
+  // The caller is worker 0 — mark it as such for the duration so that a
+  // nested launch issued from inside fn executes inline, exactly like it
+  // does on the spawned workers.  Without this, caller-side shard work
+  // that launches (e.g. a per-shard bulk sort) would start a second
+  // top-level launch while this one is in flight, double-booking job_ /
+  // remaining_ (an unsigned underflow parks everyone forever).
+  const thread_pool* prev = tls_owner;
+  tls_owner = this;
+  fn(0);
+  tls_owner = prev;
   std::unique_lock lock(mu_);
   cv_done_.wait(lock, [&] { return remaining_ == 0; });
   job_ = nullptr;

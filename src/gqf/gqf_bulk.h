@@ -71,6 +71,41 @@ void run_phase(gqf_filter<SlotT>& f, std::span<const uint64_t> hashes,
       /*grain=*/1);
 }
 
+/// Shared even-odd core: `hashes` are sorted (and, when `counts` is
+/// non-empty, already reduced to distinct values with multiplicities).
+/// Runs both phases plus the serial cleanup pass and fills stats.failed /
+/// stats.deferred; callers own the instance accounting.
+template <class SlotT>
+void insert_sorted_hashes(gqf_filter<SlotT>& f,
+                          std::span<const uint64_t> hashes,
+                          std::span<const uint64_t> counts,
+                          bulk_stats& stats) {
+  auto bounds = par::region_boundaries(
+      hashes, f.num_regions(),
+      [&](uint64_t h) { return f.region_of_hash(h); });
+
+  // Deferred items land in a preallocated array through a shared cursor.
+  std::vector<uint64_t> defer_h(hashes.size());
+  std::vector<uint64_t> defer_c(hashes.size());
+  std::atomic<uint64_t> cursor{0};
+  auto defer = [&](uint64_t h, uint64_t c) {
+    uint64_t at = cursor.fetch_add(1, std::memory_order_relaxed);
+    defer_h[at] = h;
+    defer_c[at] = c;
+  };
+
+  run_phase(f, hashes, counts, bounds, /*parity=*/0, defer);
+  run_phase(f, hashes, counts, bounds, /*parity=*/1, defer);
+
+  // Serial cleanup: items whose region neighbourhood was too dense (only
+  // happens near capacity) get unbounded single-threaded inserts.
+  uint64_t deferred = cursor.load();
+  stats.deferred = deferred;
+  for (uint64_t i = 0; i < deferred; ++i) {
+    if (!f.insert_hash(defer_h[i], defer_c[i])) stats.failed += defer_c[i];
+  }
+}
+
 }  // namespace detail
 
 /// Bulk insert a batch of keys.  With `map_reduce` the batch is first
@@ -93,36 +128,42 @@ bulk_stats bulk_insert(gqf_filter<SlotT>& f, std::span<const uint64_t> keys,
     counts = std::move(reduced.counts);
   }
 
-  auto bounds = par::region_boundaries(
-      hashes, f.num_regions(),
-      [&](uint64_t h) { return f.region_of_hash(h); });
-
-  // Deferred items land in a preallocated array through a shared cursor.
-  std::vector<uint64_t> defer_h(hashes.size());
-  std::vector<uint64_t> defer_c(hashes.size());
-  std::atomic<uint64_t> cursor{0};
-  auto defer = [&](uint64_t h, uint64_t c) {
-    uint64_t at = cursor.fetch_add(1, std::memory_order_relaxed);
-    defer_h[at] = h;
-    defer_c[at] = c;
-  };
-
-  detail::run_phase(f, hashes, counts, bounds, /*parity=*/0, defer);
-  detail::run_phase(f, hashes, counts, bounds, /*parity=*/1, defer);
-
-  // Serial cleanup: items whose region neighbourhood was too dense (only
-  // happens near capacity) get unbounded single-threaded inserts.
-  uint64_t deferred = cursor.load();
-  stats.deferred = deferred;
-  for (uint64_t i = 0; i < deferred; ++i) {
-    if (!f.insert_hash(defer_h[i], defer_c[i])) stats.failed += defer_c[i];
-  }
+  detail::insert_sorted_hashes(f, hashes, counts, stats);
 
   uint64_t total = 0;
   if (counts.empty())
     total = n;
   else
     for (uint64_t c : counts) total += c;
+  stats.inserted = total - stats.failed;
+  return stats;
+}
+
+/// Counted bulk insert: place counts[i] instances of keys[i] through the
+/// same even-odd schedule.  This is the §5.4 map-reduce path with the
+/// reduction done by the caller (the sharded store compresses each batch
+/// into (key, count) pairs before it reaches the backend); equal hashes in
+/// the batch are merged again here so each distinct fingerprint still
+/// performs one counted insertion.
+template <class SlotT>
+bulk_stats bulk_insert_counted(gqf_filter<SlotT>& f,
+                               std::span<const uint64_t> keys,
+                               std::span<const uint64_t> counts) {
+  bulk_stats stats;
+  const uint64_t n = keys.size();
+  if (n == 0) return stats;
+
+  std::vector<uint64_t> hashes(n);
+  std::vector<uint64_t> weights(counts.begin(), counts.end());
+  gpu::launch_threads(n, [&](uint64_t i) { hashes[i] = f.hash_of(keys[i]); });
+  par::radix_sort_by_key(hashes, weights,
+                         static_cast<int>(f.fingerprint_bits()));
+  auto reduced = par::reduce_by_key(hashes, weights);
+
+  detail::insert_sorted_hashes(f, reduced.keys, reduced.counts, stats);
+
+  uint64_t total = 0;
+  for (uint64_t c : reduced.counts) total += c;
   stats.inserted = total - stats.failed;
   return stats;
 }

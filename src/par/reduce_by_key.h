@@ -7,6 +7,7 @@
 // insertion per instance.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -15,13 +16,54 @@
 
 namespace gf::par {
 
+/// Cheap skew probe for deciding whether §5.4 compression (or a dedup
+/// sort) will pay for itself: a strided ~1k-key sample checked for
+/// duplicates in a stack-resident open-addressing table.  A hot key at
+/// ≥0.5% of the batch appears twice in the sample with high probability,
+/// and the flood rates that actually endanger a filter (a key claiming
+/// whole blocks) are far above that; a uniform 64-bit batch essentially
+/// never trips it.  O(1k) work regardless of batch size — noise next to
+/// one radix pass.
+inline bool sample_has_duplicates(std::span<const uint64_t> keys) {
+  const uint64_t n = keys.size();
+  if (n < 2) return false;
+  constexpr uint64_t kSample = 1024;
+  constexpr uint64_t kSlots = 2048;  // ≤50% load keeps probes short
+  std::array<uint64_t, kSlots> table{};  // 0 == empty slot
+  const uint64_t samples = n < kSample ? n : kSample;
+  const uint64_t stride = n / samples;
+  uint64_t zeros = 0;
+  for (uint64_t j = 0; j < samples; ++j) {
+    uint64_t k = keys[j * stride];
+    if (k == 0) {  // 0 is the table's empty sentinel; count it separately
+      if (++zeros > 1) return true;
+      continue;
+    }
+    uint64_t slot = (k * 0x9E3779B97F4A7C15ull) >> 32 & (kSlots - 1);
+    for (;;) {
+      if (table[slot] == 0) {
+        table[slot] = k;
+        break;
+      }
+      if (table[slot] == k) return true;
+      slot = (slot + 1) & (kSlots - 1);
+    }
+  }
+  return false;
+}
+
 struct keyed_counts {
   std::vector<uint64_t> keys;    ///< distinct keys, in sorted order
   std::vector<uint64_t> counts;  ///< counts[i] = multiplicity of keys[i]
 };
 
-/// Compress a *sorted* span into (distinct key, count) pairs, in parallel.
-inline keyed_counts reduce_by_key(std::span<const uint64_t> sorted) {
+namespace detail {
+
+/// Shared skeleton: `weight_of(i)` is the contribution of element i to its
+/// run's count (1 for the plain reduction, weights[i] for the weighted one).
+template <class WeightOf>
+keyed_counts reduce_by_key_impl(std::span<const uint64_t> sorted,
+                                WeightOf&& weight_of) {
   keyed_counts out;
   const uint64_t n = sorted.size();
   if (n == 0) return out;
@@ -71,25 +113,49 @@ inline keyed_counts reduce_by_key(std::span<const uint64_t> sorted) {
   out.keys.resize(total);
   out.counts.resize(total);
 
-  // Phase 2: emit.  A run that ends in range w may have started earlier;
-  // scan back to find its true start (runs crossing boundaries are counted
-  // by length, not rescanned, because begins are boundary-snapped).
+  // Phase 2: emit.  Begins are boundary-snapped, but a run longer than a
+  // whole nominal range swallows the ranges it covers and *ends* inside a
+  // later worker's range — that worker owns the run (a run ends exactly
+  // once, so ownership is unambiguous) and must walk back to the run's
+  // true start to pick up the weight that accrued in earlier ranges.
   pool.parallel_ranges(workers, [&](unsigned, uint64_t wb, uint64_t we) {
     for (uint64_t w = wb; w < we; ++w) {
       uint64_t begin = range_begin[w], end = range_begin[w + 1];
       uint64_t slot = offset[w];
-      uint64_t run_start = begin;
+      uint64_t run_weight = 0;
+      if (begin < end && begin > 0 && sorted[begin] == sorted[begin - 1]) {
+        for (uint64_t i = begin; i > 0 && sorted[i - 1] == sorted[begin];
+             --i)
+          run_weight += weight_of(i - 1);
+      }
       for (uint64_t i = begin; i < end; ++i) {
+        run_weight += weight_of(i);
         if (i + 1 == n || sorted[i] != sorted[i + 1]) {
           out.keys[slot] = sorted[i];
-          out.counts[slot] = i + 1 - run_start;
+          out.counts[slot] = run_weight;
           ++slot;
-          run_start = i + 1;
+          run_weight = 0;
         }
       }
     }
   });
   return out;
+}
+
+}  // namespace detail
+
+/// Compress a *sorted* span into (distinct key, count) pairs, in parallel.
+inline keyed_counts reduce_by_key(std::span<const uint64_t> sorted) {
+  return detail::reduce_by_key_impl(sorted, [](uint64_t) { return 1; });
+}
+
+/// Weighted reduction: counts[i] becomes the *sum of weights* over the run
+/// of keys[i].  The store's batched path uses this to merge already-counted
+/// (key, count) pairs — e.g. compressed insert ops — without re-expansion.
+inline keyed_counts reduce_by_key(std::span<const uint64_t> sorted,
+                                  std::span<const uint64_t> weights) {
+  return detail::reduce_by_key_impl(sorted,
+                                    [&](uint64_t i) { return weights[i]; });
 }
 
 }  // namespace gf::par

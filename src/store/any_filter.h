@@ -15,7 +15,18 @@
 //
 // All backends are safe for concurrent insert/query/erase within a shard
 // (the TCF is lock-free, the GQF takes region locks, the blocked Bloom
-// uses atomicOr); cross-shard concurrency needs no coordination at all.
+// uses atomicOr, the bulk TCF holds a reader-writer lock); cross-shard
+// concurrency needs no coordination at all.
+//
+// The *native bulk tier* (insert_bulk / insert_counted / contains_bulk /
+// erase_bulk) amortizes the virtual dispatch over whole per-shard spans
+// and lets each backend use its paper-native bulk machinery: the GQF's
+// even-odd phased inserts (§5.3–5.4), the TCF's sorted-slab ordering, the
+// bulk TCF's phased zip merges (§4.2), and the blocked Bloom's prefetch-
+// unrolled probes.  Bulk mutations are host-phased like the paper's bulk
+// APIs (Table 1): within one shard, callers must not run a bulk mutation
+// concurrently with other writers (the store's bulk/drain paths guarantee
+// this by running one logical thread per shard).
 #pragma once
 
 #include <atomic>
@@ -23,11 +34,15 @@
 #include <istream>
 #include <memory>
 #include <ostream>
+#include <shared_mutex>
+#include <span>
 #include <stdexcept>
 
 #include "baselines/blocked_bloom.h"
+#include "gqf/gqf_bulk.h"
 #include "gqf/gqf_point.h"
 #include "store/batch.h"
+#include "tcf/bulk_tcf.h"
 #include "tcf/tcf.h"
 #include "util/bits.h"
 #include "util/io.h"
@@ -38,13 +53,18 @@ enum class backend_kind : uint32_t {
   tcf = 0,
   gqf = 1,
   blocked_bloom = 2,
+  bulk_tcf = 3,  ///< §4.2 phased bulk TCF; fastest bulk builds, locked point ops
 };
+
+/// One past the largest valid backend_kind value (store_io validation).
+inline constexpr uint32_t kNumBackends = 4;
 
 inline const char* backend_name(backend_kind k) {
   switch (k) {
     case backend_kind::tcf: return "tcf";
     case backend_kind::gqf: return "gqf";
     case backend_kind::blocked_bloom: return "bbf";
+    case backend_kind::bulk_tcf: return "btcf";
   }
   return "?";
 }
@@ -63,6 +83,51 @@ class any_filter {
   virtual uint64_t count(uint64_t key) const = 0;
   /// Remove one instance; false when absent or deletes are unsupported.
   virtual bool erase(uint64_t key) = 0;
+
+  // -- Native bulk tier (host-phased within a shard; see header comment) ---
+
+  /// Insert a batch; returns the number of keys successfully inserted.
+  /// Defaults to the point loop; backends override with their native bulk
+  /// machinery.
+  virtual uint64_t insert_bulk(std::span<const uint64_t> keys) {
+    uint64_t ok = 0;
+    for (uint64_t key : keys) ok += insert(key, 1) ? 1 : 0;
+    return ok;
+  }
+
+  /// Insert (keys[i], counts[i]) pairs — the §5.4 count-compressed form of
+  /// a batch.  Counting backends store the multiplicity; membership-only
+  /// backends store each key once (its duplicates are answered by that one
+  /// copy).  Returns the number of batch *instances* now answered, i.e.
+  /// the sum of counts[i] over pairs that landed — the unit the store's
+  /// batch accounting works in.
+  virtual uint64_t insert_counted(std::span<const uint64_t> keys,
+                                  std::span<const uint64_t> counts) {
+    uint64_t instances = 0;
+    for (size_t i = 0; i < keys.size(); ++i)
+      if (insert(keys[i], counts[i])) instances += counts[i];
+    return instances;
+  }
+
+  /// Number of batch keys the filter answers positively.
+  virtual uint64_t contains_bulk(std::span<const uint64_t> keys) const {
+    uint64_t found = 0;
+    for (uint64_t key : keys) found += contains(key) ? 1 : 0;
+    return found;
+  }
+
+  /// Remove one instance per batch occurrence; returns instances removed.
+  virtual uint64_t erase_bulk(std::span<const uint64_t> keys) {
+    uint64_t ok = 0;
+    for (uint64_t key : keys) ok += erase(key) ? 1 : 0;
+    return ok;
+  }
+
+  /// True when insert_bulk already neutralizes duplicate-heavy batches
+  /// (the GQF's §5.4 map-reduce, the TCF's sorted-slab dedup, the Bloom's
+  /// idempotent bit sets).  When false, the shard runs the store-level
+  /// §5.4 sort + reduce_by_key compression in front of insert_counted.
+  virtual bool native_batch_dedup() const { return false; }
 
   /// Live stored entries.  Semantics follow the backend's strongest
   /// observable notion: distinct fingerprints for the GQF, stored slots
@@ -110,6 +175,20 @@ class tcf_backend final : public any_filter {
     return filter_.contains(key) ? 1 : 0;
   }
   bool erase(uint64_t key) override { return filter_.erase(key); }
+  uint64_t insert_bulk(std::span<const uint64_t> keys) override {
+    return filter_.insert_bulk_sorted(keys);
+  }
+  uint64_t insert_counted(std::span<const uint64_t> keys,
+                          std::span<const uint64_t> counts) override {
+    return filter_.insert_counted_sorted(keys, counts);
+  }
+  uint64_t contains_bulk(std::span<const uint64_t> keys) const override {
+    return filter_.count_contained(keys);
+  }
+  uint64_t erase_bulk(std::span<const uint64_t> keys) override {
+    return filter_.erase_bulk(keys);
+  }
+  bool native_batch_dedup() const override { return true; }
   uint64_t size() const override { return filter_.size(); }
   uint64_t capacity() const override { return cap_; }
   size_t memory_bytes() const override { return filter_.memory_bytes(); }
@@ -139,6 +218,23 @@ class gqf_backend final : public any_filter {
   bool contains(uint64_t key) const override { return filter_.contains(key); }
   uint64_t count(uint64_t key) const override { return filter_.query(key); }
   bool erase(uint64_t key) override { return filter_.erase(key); }
+  // Bulk ops run the even-odd phased machinery on the core filter,
+  // bypassing the point API's region locks — host-phased per shard.
+  uint64_t insert_bulk(std::span<const uint64_t> keys) override {
+    return gqf::bulk_insert(filter_.filter(), keys, /*map_reduce=*/true)
+        .inserted;
+  }
+  uint64_t insert_counted(std::span<const uint64_t> keys,
+                          std::span<const uint64_t> counts) override {
+    return gqf::bulk_insert_counted(filter_.filter(), keys, counts).inserted;
+  }
+  uint64_t contains_bulk(std::span<const uint64_t> keys) const override {
+    return filter_.count_contained(keys);
+  }
+  uint64_t erase_bulk(std::span<const uint64_t> keys) override {
+    return gqf::bulk_erase(filter_.filter(), keys);
+  }
+  bool native_batch_dedup() const override { return true; }
   uint64_t size() const override { return filter_.filter().distinct_items(); }
   uint64_t capacity() const override { return cap_; }
   size_t memory_bytes() const override { return filter_.memory_bytes(); }
@@ -176,6 +272,28 @@ class bloom_backend final : public any_filter {
     return filter_.contains(key) ? 1 : 0;
   }
   bool erase(uint64_t) override { return false; }
+  uint64_t insert_bulk(std::span<const uint64_t> keys) override {
+    filter_.insert_bulk(keys);  // prefetch-unrolled batch probe
+    items_.fetch_add(keys.size(), std::memory_order_relaxed);
+    return keys.size();
+  }
+  uint64_t insert_counted(std::span<const uint64_t> keys,
+                          std::span<const uint64_t> counts) override {
+    filter_.insert_bulk(keys);
+    // The tally stays in instance units so a compressed batch moves
+    // size() exactly as far as the equivalent point-op flood would.
+    uint64_t instances = 0;
+    for (uint64_t c : counts) instances += c;
+    items_.fetch_add(instances, std::memory_order_relaxed);
+    return instances;
+  }
+  uint64_t contains_bulk(std::span<const uint64_t> keys) const override {
+    return filter_.count_contained(keys);
+  }
+  uint64_t erase_bulk(std::span<const uint64_t>) override { return 0; }
+  // Duplicate inserts re-set the same bits in the same cache line; a
+  // store-level compression sort would cost more than it saves.
+  bool native_batch_dedup() const override { return true; }
   uint64_t size() const override {
     return items_.load(std::memory_order_relaxed);
   }
@@ -196,6 +314,84 @@ class bloom_backend final : public any_filter {
   baselines::blocked_bloom_filter filter_;
 };
 
+/// The paper's §4.2 bulk TCF as a store backend: phased zip-merge bulk
+/// inserts and binary-search queries.  The structure itself is host-phased
+/// (no internal synchronization), so point ops and bulk ops are serialized
+/// through a reader-writer lock here — queries share, mutations are
+/// exclusive.  Pick it for bulk-dominated pipelines (builds, drains);
+/// point-heavy mixed traffic belongs on the lock-free point TCF.
+class bulk_tcf_backend final : public any_filter {
+ public:
+  explicit bulk_tcf_backend(uint64_t capacity)
+      : cap_(capacity), filter_(provisioned_slots(capacity)) {}
+  bulk_tcf_backend(uint64_t capacity, tcf::bulk_tcf<>&& f)
+      : cap_(capacity), filter_(std::move(f)) {}
+
+  backend_kind kind() const override { return backend_kind::bulk_tcf; }
+  bool insert(uint64_t key, uint64_t) override {
+    std::unique_lock lk(mu_);
+    return filter_.insert(key);
+  }
+  bool contains(uint64_t key) const override {
+    std::shared_lock lk(mu_);
+    return filter_.contains(key);
+  }
+  uint64_t count(uint64_t key) const override {
+    return contains(key) ? 1 : 0;
+  }
+  bool erase(uint64_t key) override {
+    std::unique_lock lk(mu_);
+    return filter_.erase(key);
+  }
+  uint64_t insert_bulk(std::span<const uint64_t> keys) override {
+    std::unique_lock lk(mu_);
+    return filter_.insert_bulk(keys);
+  }
+  uint64_t insert_counted(std::span<const uint64_t> keys,
+                          std::span<const uint64_t> counts) override {
+    std::unique_lock lk(mu_);
+    uint64_t placed = filter_.insert_bulk(keys);
+    uint64_t instances = 0;
+    if (placed == keys.size()) {
+      for (uint64_t c : counts) instances += c;
+      return instances;
+    }
+    // The phased inserter reports how many keys placed, not which.  A
+    // refused pair loses its whole multiplicity — a hot key turned away
+    // near capacity must show up as counts[i] failures, not one — so
+    // attribute per pair by membership (fingerprint aliasing can
+    // overcount a hair; refusals themselves are the rare case).
+    for (size_t i = 0; i < keys.size(); ++i)
+      if (filter_.contains(keys[i])) instances += counts[i];
+    return instances;
+  }
+  uint64_t contains_bulk(std::span<const uint64_t> keys) const override {
+    std::shared_lock lk(mu_);
+    return filter_.count_contained(keys);
+  }
+  uint64_t erase_bulk(std::span<const uint64_t> keys) override {
+    std::unique_lock lk(mu_);
+    return filter_.erase_bulk(keys);
+  }
+  uint64_t size() const override {
+    std::shared_lock lk(mu_);
+    return filter_.size();
+  }
+  uint64_t capacity() const override { return cap_; }
+  size_t memory_bytes() const override { return filter_.memory_bytes(); }
+  bool supports_deletes() const override { return true; }
+  bool supports_counting() const override { return false; }
+  void save(std::ostream& out) const override {
+    std::shared_lock lk(mu_);
+    filter_.save(out);
+  }
+
+ private:
+  uint64_t cap_;
+  mutable std::shared_mutex mu_;
+  tcf::bulk_tcf<> filter_;
+};
+
 }  // namespace detail
 
 /// Construct a fresh backend provisioned for `capacity` items.
@@ -208,6 +404,8 @@ inline std::unique_ptr<any_filter> make_filter(backend_kind kind,
       return std::make_unique<detail::gqf_backend>(capacity);
     case backend_kind::blocked_bloom:
       return std::make_unique<detail::bloom_backend>(capacity);
+    case backend_kind::bulk_tcf:
+      return std::make_unique<detail::bulk_tcf_backend>(capacity);
   }
   throw std::runtime_error("gf: unknown store backend");
 }
@@ -230,6 +428,9 @@ inline std::unique_ptr<any_filter> load_filter(backend_kind kind,
       return std::make_unique<detail::bloom_backend>(
           capacity, items, baselines::blocked_bloom_filter::load(in));
     }
+    case backend_kind::bulk_tcf:
+      return std::make_unique<detail::bulk_tcf_backend>(
+          capacity, tcf::bulk_tcf<>::load(in));
   }
   throw std::runtime_error("gf: unknown store backend");
 }

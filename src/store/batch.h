@@ -7,7 +7,9 @@
 // with the same radix machinery the bulk-build path uses.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace gf::store {
 
@@ -28,6 +30,16 @@ inline op make_insert(uint64_t key, uint64_t count = 1) {
 }
 inline op make_erase(uint64_t key) { return {key, 1, op_type::erase}; }
 inline op make_query(uint64_t key) { return {key, 1, op_type::query}; }
+
+/// Length of the maximal run of same-type ops starting at `i`.  The drain
+/// path batches each run through the backend's native bulk ops: within a
+/// run the ops commute (inserts with inserts, etc.), and run boundaries
+/// preserve the enqueue order that gives mixed batches their semantics.
+inline size_t run_length(std::span<const op> ops, size_t i) {
+  size_t j = i + 1;
+  while (j < ops.size() && ops[j].type == ops[i].type) ++j;
+  return j - i;
+}
 
 /// Aggregate outcome of a drained batch.  Per-op results are intentionally
 /// not materialized: the batched path exists for throughput (bulk builds,

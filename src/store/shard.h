@@ -4,13 +4,27 @@
 // Concurrency contract:
 //   * Point ops (insert/contains/count/erase) are thread-safe — they
 //     delegate to the backend, whose internal synchronization (lock-free
-//     CAS, region locks, atomicOr) carries the guarantee.
+//     CAS, region locks, atomicOr, reader-writer lock) carries the
+//     guarantee.
 //   * enqueue() is thread-safe (queue mutex); producers on any thread may
 //     append while other threads run point ops.
 //   * drain() detaches the queue under the mutex, then applies it outside
 //     the lock, so producers are never blocked behind filter work.  The
 //     store runs one logical thread per shard through the pool, mirroring
 //     the paper's one-thread-per-region bulk scheme (§5.3).
+//   * The native bulk entry points (insert_span, and apply's run batching)
+//     are host-phased: at most one bulk mutation per shard at a time, and
+//     no concurrent point writers — the discipline the store's bulk/drain
+//     paths already follow (one logical thread per shard).
+//
+// §5.4 count-compression: a Zipfian flood must perform one counted insert
+// per *distinct* key, not one insert per instance.  Backends whose bulk
+// machinery already guarantees that (GQF map-reduce, TCF sorted-slab
+// dedup, Bloom idempotent bit sets) receive the raw slice; for the rest
+// (bulk TCF) the shard radix-sorts the slice and reduce_by_key-compresses
+// it into (key, count) pairs in front of insert_counted.  Either way, hot
+// keys stop devouring slots — this is what lets TCF shards survive
+// hot-key floods.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "par/radix_sort.h"
+#include "par/reduce_by_key.h"
 #include "store/any_filter.h"
 #include "store/batch.h"
 #include "util/counters.h"
@@ -32,6 +48,14 @@ class shard {
       : filter_(make_filter(kind, capacity)) {}
   explicit shard(std::unique_ptr<any_filter> filter)
       : filter_(std::move(filter)) {}
+
+  /// Batches below this size take the uncompressed path: the key sort
+  /// costs more than the duplicates it could merge.
+  static constexpr uint64_t kCompressMin = 64;
+
+  /// Same-type runs below this length go through the point ops — gathering
+  /// keys into a scratch array only pays off once the run amortizes it.
+  static constexpr size_t kBulkRunMin = 16;
 
   // -- Point ops (thread-safe, stats-counted) ------------------------------
 
@@ -88,40 +112,41 @@ class shard {
     return apply(batch);
   }
 
-  /// Apply a span of operations belonging to this shard, in order.
+  /// Apply a span of operations belonging to this shard.  Maximal runs of
+  /// same-type ops are routed through the backend's native bulk ops (ops
+  /// within a run commute; run boundaries preserve batch order), so an
+  /// all-insert flood becomes one count-compressed bulk insert instead of
+  /// one virtual dispatch per key.
   batch_result apply(std::span<const op> ops) {
     batch_result r;
-    for (const op& o : ops) {
-      switch (o.type) {
+    size_t i = 0;
+    while (i < ops.size()) {
+      size_t len = run_length(ops, i);
+      std::span<const op> run = ops.subspan(i, len);
+      switch (ops[i].type) {
         case op_type::insert:
-          if (insert(o.key, o.count))
-            ++r.inserted;
-          else
-            ++r.insert_failed;
+          apply_insert_run(run, r);
           break;
         case op_type::erase:
-          if (erase(o.key))
-            ++r.erased;
-          else
-            ++r.erase_missing;
+          apply_erase_run(run, r);
           break;
         case op_type::query:
-          if (contains(o.key))
-            ++r.query_hits;
-          else
-            ++r.query_misses;
+          apply_query_run(run, r);
           break;
       }
+      i += len;
     }
     return r;
   }
 
-  /// Bulk-build slice: insert a sorted-partition span of keys (store.h's
-  /// radix path).  Returns the number successfully inserted.
+  /// Bulk-build slice: insert a shard-partition span of keys through the
+  /// backend's native bulk path, count-compressed (store.h's bulk tier).
+  /// Stats-wise this is one drained batch of N inserts — not N virtual
+  /// point dispatches.  Returns the number successfully inserted.
   uint64_t insert_span(std::span<const uint64_t> keys) {
-    uint64_t ok = 0;
-    for (uint64_t key : keys) ok += insert(key) ? 1 : 0;
-    return ok;
+    if (keys.empty()) return 0;
+    stats_.batches_drained.fetch_add(1, std::memory_order_relaxed);
+    return bulk_insert_keys(keys);
   }
 
   // -- Introspection ---------------------------------------------------------
@@ -132,6 +157,105 @@ class shard {
   void reset_stats() { stats_.reset(); }
 
  private:
+  /// Shared native-bulk insert core: §5.4 count-compression in front of
+  /// the backend call.  Counts N inserts (+ failures) in the stats; the
+  /// caller decides whether the batch counts as a drain.
+  uint64_t bulk_insert_keys(std::span<const uint64_t> keys) {
+    const uint64_t n = keys.size();
+    stats_.inserts.fetch_add(n, std::memory_order_relaxed);
+    uint64_t ok;
+    if (n < kCompressMin || filter_->native_batch_dedup() ||
+        !par::sample_has_duplicates(keys)) {
+      // The backend's own bulk machinery already neutralizes duplicates
+      // (GQF map-reduce, TCF sorted-slab dedup, Bloom idempotence), and a
+      // duplicate-free batch (skew probe) gains nothing from compression —
+      // a store-level key sort in front would be pure overhead.
+      ok = filter_->insert_bulk(keys);
+    } else {
+      std::vector<uint64_t> sorted(keys.begin(), keys.end());
+      par::radix_sort(sorted);
+      auto reduced = par::reduce_by_key(sorted);
+      ok = reduced.keys.size() == n
+               // No duplicates: hand the backend the raw batch (it applies
+               // its own sort discipline — by hash, block, or not at all).
+               ? filter_->insert_bulk(keys)
+               : filter_->insert_counted(reduced.keys, reduced.counts);
+    }
+    if (ok < n) stats_.insert_failures.fetch_add(n - ok,
+                                                 std::memory_order_relaxed);
+    return ok;
+  }
+
+  void apply_insert_run(std::span<const op> run, batch_result& r) {
+    // Ops carrying explicit multiplicities keep exact per-op accounting
+    // through the point path (rare: counting ingest); the common count==1
+    // flood takes the compressed bulk path.
+    bool plain = run.size() >= kBulkRunMin;
+    if (plain)
+      for (const op& o : run)
+        if (o.count != 1) {
+          plain = false;
+          break;
+        }
+    if (!plain) {
+      for (const op& o : run) {
+        if (insert(o.key, o.count))
+          ++r.inserted;
+        else
+          ++r.insert_failed;
+      }
+      return;
+    }
+    std::vector<uint64_t> keys = gather_keys(run);
+    uint64_t ok = bulk_insert_keys(keys);
+    r.inserted += ok;
+    r.insert_failed += run.size() - ok;
+  }
+
+  void apply_erase_run(std::span<const op> run, batch_result& r) {
+    if (run.size() < kBulkRunMin) {
+      for (const op& o : run) {
+        if (erase(o.key))
+          ++r.erased;
+        else
+          ++r.erase_missing;
+      }
+      return;
+    }
+    std::vector<uint64_t> keys = gather_keys(run);
+    stats_.erases.fetch_add(run.size(), std::memory_order_relaxed);
+    uint64_t ok = filter_->erase_bulk(keys);
+    if (ok < run.size())
+      stats_.erase_failures.fetch_add(run.size() - ok,
+                                      std::memory_order_relaxed);
+    r.erased += ok;
+    r.erase_missing += run.size() - ok;
+  }
+
+  void apply_query_run(std::span<const op> run, batch_result& r) {
+    if (run.size() < kBulkRunMin) {
+      for (const op& o : run) {
+        if (contains(o.key))
+          ++r.query_hits;
+        else
+          ++r.query_misses;
+      }
+      return;
+    }
+    std::vector<uint64_t> keys = gather_keys(run);
+    stats_.queries.fetch_add(run.size(), std::memory_order_relaxed);
+    uint64_t hits = filter_->contains_bulk(keys);
+    if (hits) stats_.query_hits.fetch_add(hits, std::memory_order_relaxed);
+    r.query_hits += hits;
+    r.query_misses += run.size() - hits;
+  }
+
+  static std::vector<uint64_t> gather_keys(std::span<const op> run) {
+    std::vector<uint64_t> keys(run.size());
+    for (size_t i = 0; i < run.size(); ++i) keys[i] = run[i].key;
+    return keys;
+  }
+
   std::unique_ptr<any_filter> filter_;
   mutable std::mutex queue_mu_;
   std::vector<op> queue_;

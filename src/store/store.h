@@ -15,11 +15,14 @@
 //                     drains all queues with one logical thread per shard
 //                     over gf::gpu::thread_pool, the paper's
 //                     one-thread-per-region bulk discipline (§5.3).
-//   * Bulk build    — insert_bulk() radix-partitions the batch by shard id
-//                     (par/radix_sort.cpp, the same sort substrate as the
-//                     paper's sort-then-bulk-insert APIs), finds shard
-//                     boundaries by successor search (par/search.h), then
-//                     inserts each contiguous slice shard-parallel.
+//   * Bulk build    — insert_bulk() partitions the batch by shard id with
+//                     a single-allocation parallel counting sort (per-
+//                     worker histograms + one stable scatter pass — shard
+//                     ids are tiny keys, so a full radix sort and its
+//                     ping-pong buffers would be wasted work), then
+//                     bulk-inserts each contiguous slice shard-parallel
+//                     through the backend's native bulk ops with §5.4
+//                     count-compression in front (store/shard.h).
 //
 // Backends are runtime-selected per store (store/any_filter.h); whole-store
 // persistence lives in store/store_io.h.
@@ -35,8 +38,7 @@
 #include <vector>
 
 #include "gpu/launch.h"
-#include "par/radix_sort.h"
-#include "par/search.h"
+#include "gpu/thread_pool.h"
 #include "store/any_filter.h"
 #include "store/batch.h"
 #include "store/shard.h"
@@ -127,12 +129,18 @@ class filter_store {
   /// Partition one caller-owned batch by shard and apply it shard-parallel
   /// (skips the queue mutexes; ops for the same shard keep batch order).
   batch_result apply(std::span<const op> ops) {
-    std::vector<std::vector<op>> buckets(shards_.size());
-    for (const op& o : ops) buckets[shard_of(o.key)].push_back(o);
+    if (ops.empty()) return {};
+    std::vector<op> parted(ops.size());
+    auto offsets = partition_by_shard<op>(
+        ops, parted, [](const op& o) { return o.key; });
     std::vector<batch_result> per(shards_.size());
     gpu::launch_threads(
         shards_.size(),
-        [&](uint64_t s) { per[s] = shards_[s]->apply(buckets[s]); },
+        [&](uint64_t s) {
+          per[s] = shards_[s]->apply(
+              std::span<const op>(parted.data() + offsets[s],
+                                  offsets[s + 1] - offsets[s]));
+        },
         /*grain=*/1);
     batch_result total;
     for (const batch_result& r : per) total.merge(r);
@@ -141,25 +149,22 @@ class filter_store {
 
   // -- Bulk-build API (sort-then-insert, paper §4.2/§5.3) --------------------
 
-  /// Radix-partition `keys` by shard id, then bulk-insert each contiguous
-  /// slice with one logical thread per shard.  Returns the number of keys
-  /// successfully inserted.
+  /// Counting-sort `keys` into contiguous per-shard slices, then bulk-
+  /// insert each slice with one logical thread per shard (native backend
+  /// bulk ops, count-compressed).  Returns the number of keys successfully
+  /// inserted.  Host-phased: do not run concurrently with other writers.
   uint64_t insert_bulk(std::span<const uint64_t> keys) {
     const uint64_t n = keys.size();
     if (n == 0) return 0;
-    std::vector<uint64_t> ids(n);
-    std::vector<uint64_t> items(keys.begin(), keys.end());
-    gpu::launch_threads(n, [&](uint64_t i) { ids[i] = shard_of(items[i]); });
-    // One or two 8-bit radix passes: shard ids are small keys.
-    par::radix_sort_by_key(ids, items, shards_.size() <= 256 ? 8 : 16);
-    auto bounds = par::region_boundaries(ids, shards_.size(),
-                                         [](uint64_t id) { return id; });
+    std::vector<uint64_t> parted(n);
+    auto offsets = partition_by_shard<uint64_t>(
+        keys, parted, [](uint64_t k) { return k; });
     std::atomic<uint64_t> ok{0};
     gpu::launch_threads(
         shards_.size(),
         [&](uint64_t s) {
-          std::span<const uint64_t> slice(items.data() + bounds[s],
-                                          bounds[s + 1] - bounds[s]);
+          std::span<const uint64_t> slice(parted.data() + offsets[s],
+                                          offsets[s + 1] - offsets[s]);
           ok.fetch_add(shards_[s]->insert_span(slice),
                        std::memory_order_relaxed);
         },
@@ -168,12 +173,19 @@ class filter_store {
   }
 
   /// Parallel membership count over a batch (point-routed; queries need no
-  /// partitioning since they mutate nothing).
+  /// partitioning since they mutate nothing).  Each worker accumulates a
+  /// private partial and publishes it once — a shared atomic per hit would
+  /// bounce its cache line across every worker.
   uint64_t count_contained(std::span<const uint64_t> keys) const {
     std::atomic<uint64_t> found{0};
-    gpu::launch_threads(keys.size(), [&](uint64_t i) {
-      if (contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
-    });
+    gpu::launch_ranges(keys.size(),
+                       [&](unsigned, uint64_t begin, uint64_t end) {
+                         uint64_t local = 0;
+                         for (uint64_t i = begin; i < end; ++i)
+                           local += contains(keys[i]) ? 1 : 0;
+                         if (local)
+                           found.fetch_add(local, std::memory_order_relaxed);
+                       });
     return found.load();
   }
 
@@ -222,6 +234,52 @@ class filter_store {
   }
 
  private:
+  /// Stable parallel counting-sort partition of `in` into `out` by owning
+  /// shard: per-worker histograms, an exclusive scan, and one scatter pass
+  /// over identical static ranges.  `out` is the only O(n) allocation —
+  /// shard ids are recomputed in the scatter pass (a mix64 is cheaper than
+  /// streaming an id array through memory).  Returns shard offsets
+  /// (size num_shards + 1) into `out`.
+  template <class T, class KeyOf>
+  std::vector<uint64_t> partition_by_shard(std::span<const T> in,
+                                           std::vector<T>& out,
+                                           KeyOf&& key_of) const {
+    const uint64_t n = in.size();
+    const uint64_t m = shards_.size();
+    auto& pool = gpu::thread_pool::instance();
+    const unsigned workers = pool.size();
+    // Histogram rows are padded to a cache line so scatter cursors of
+    // neighbouring workers never false-share.
+    const uint64_t stride = (m + 7) & ~uint64_t{7};
+    std::vector<uint64_t> hist(workers * stride, 0);
+    pool.parallel_ranges(n, [&](unsigned w, uint64_t begin, uint64_t end) {
+      uint64_t* row = &hist[w * stride];
+      for (uint64_t i = begin; i < end; ++i)
+        ++row[shard_of(key_of(in[i]))];
+    });
+    // Exclusive scan in (shard, worker) order: worker w's slice of shard s
+    // lands after every earlier worker's slice of s — stable overall.
+    std::vector<uint64_t> offsets(m + 1);
+    uint64_t running = 0;
+    for (uint64_t s = 0; s < m; ++s) {
+      offsets[s] = running;
+      for (unsigned w = 0; w < workers; ++w) {
+        uint64_t c = hist[w * stride + s];
+        hist[w * stride + s] = running;
+        running += c;
+      }
+    }
+    offsets[m] = running;
+    // parallel_ranges partitions [0, n) identically both times, so each
+    // worker scatters exactly the elements it counted.
+    pool.parallel_ranges(n, [&](unsigned w, uint64_t begin, uint64_t end) {
+      uint64_t* cursor = &hist[w * stride];
+      for (uint64_t i = begin; i < end; ++i)
+        out[cursor[shard_of(key_of(in[i]))]++] = in[i];
+    });
+    return offsets;
+  }
+
   static void validate_config(const store_config& cfg) {
     if (cfg.num_shards == 0 || cfg.num_shards > kMaxShards)
       throw std::runtime_error("gf: store shard count out of range (1.." +

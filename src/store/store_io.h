@@ -54,7 +54,7 @@ inline void save_store(const filter_store& store, std::ostream& out) {
 inline filter_store load_store(std::istream& in) {
   util::expect_header(in, kStoreMagic, kStoreVersion);
   uint32_t backend_raw = util::read_pod<uint32_t>(in);
-  if (backend_raw > static_cast<uint32_t>(backend_kind::blocked_bloom))
+  if (backend_raw >= kNumBackends)
     throw std::runtime_error("gf: store file names unknown backend " +
                              std::to_string(backend_raw));
   store_config cfg;

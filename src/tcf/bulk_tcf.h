@@ -145,6 +145,70 @@ class bulk_tcf {
     return inserted;
   }
 
+  // -- Point ops (host-phased: NOT thread-safe; the store backend wraps
+  // -- them in a reader-writer lock) ---------------------------------------
+
+  /// Insert one key, following the same placement order as the phased bulk
+  /// path (primary to the shortcut cutoff, secondary to capacity, primary
+  /// to capacity, backing table) so point- and bulk-built tables have the
+  /// same occupancy shape.  Keeps the block's sorted invariant.
+  bool insert(uint64_t key) {
+    hashed h = hash_key(key);
+    uint64_t target;
+    if (fills_[h.b1] < shortcut_threshold_)
+      target = h.b1;
+    else if (fills_[h.b2] < NumSlots)
+      target = h.b2;
+    else if (fills_[h.b1] < NumSlots)
+      target = h.b1;
+    else {
+      uint64_t c1 = util::murmur64((h.b1 << 16) | h.fp);
+      uint64_t c2 = util::mix64_b((h.b1 << 16) | h.fp);
+      GF_COUNT(backing_inserts, 1);
+      if (!cfg_.enable_backing || !backing_.insert(c1, c2, h.fp))
+        return false;
+      ++live_;
+      return true;
+    }
+    uint16_t* s = &slots_[target * NumSlots];
+    unsigned fill = fills_[target];
+    unsigned pos = 0;
+    while (pos < fill && s[pos] < h.fp) ++pos;
+    for (unsigned i = fill; i > pos; --i) s[i] = s[i - 1];
+    s[pos] = h.fp;
+    fills_[target] = static_cast<uint8_t>(fill + 1);
+    ++live_;
+    return true;
+  }
+
+  /// Delete one stored copy of the key (block compaction keeps the sorted
+  /// invariant; no tombstones).
+  bool erase(uint64_t key) {
+    hashed h = hash_key(key);
+    for (uint64_t b : {h.b1, h.b2}) {
+      uint16_t* s = &slots_[b * NumSlots];
+      unsigned fill = fills_[b];
+      unsigned pos = 0;
+      while (pos < fill && s[pos] < h.fp) ++pos;
+      if (pos < fill && s[pos] == h.fp) {
+        for (unsigned i = pos; i + 1 < fill; ++i) s[i] = s[i + 1];
+        s[fill - 1] = kBulkEmpty;
+        fills_[b] = static_cast<uint8_t>(fill - 1);
+        --live_;
+        return true;
+      }
+    }
+    if (cfg_.enable_backing) {
+      uint64_t c1 = util::murmur64((h.b1 << 16) | h.fp);
+      uint64_t c2 = util::mix64_b((h.b1 << 16) | h.fp);
+      if (backing_.erase(c1, c2, h.fp, 0)) {
+        --live_;
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Membership for one key (binary search in up to two blocks, then the
   /// backing table).  Thread-safe against other queries, not against a
   /// concurrent insert_bulk (bulk filters are host-phased, paper Table 1).

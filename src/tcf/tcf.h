@@ -25,6 +25,7 @@
 // 8, 12, or 16; the 12-bit packed layout supports ValBits == 0 only).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <optional>
@@ -33,6 +34,8 @@
 
 #include "gpu/coop_groups.h"
 #include "gpu/launch.h"
+#include "par/radix_sort.h"
+#include "par/reduce_by_key.h"
 #include "tcf/backing_table.h"
 #include "tcf/tcf_block.h"
 #include "tcf/tcf_params.h"
@@ -209,6 +212,86 @@ class tcf {
     return ok.load();
   }
 
+  /// Sorted-slab bulk insert: order the batch by (primary block,
+  /// fingerprint) — the §5.3 sort-then-insert discipline applied to the
+  /// point TCF — so consecutive inserts probe adjacent cache lines instead
+  /// of striding the whole table, then drive the normal two-choice path.
+  /// Duplicate keys land adjacent in the sorted order (the sort is stable
+  /// and equal keys share a composite), so the batch is §5.4-deduped for
+  /// free: each repeated key is inserted once and its copies are answered
+  /// by that one stored fingerprint — this is what keeps a hot-key flood
+  /// from devouring the hot key's two candidate blocks.  Returns the
+  /// number of batch instances whose membership is now answered.  Static
+  /// worker ranges keep each worker on a contiguous slab.
+  uint64_t insert_bulk_sorted(std::span<const uint64_t> keys) {
+    const uint64_t n = keys.size();
+    if (n < kSortedSlabMin) return insert_bulk(keys);
+    // Adaptive §5.4: a duplicate-free batch gains nothing from the dedup
+    // sort (and the point path's two-choice probes are already cache-
+    // resident at CI table sizes), so only skewed batches pay for it.
+    if (!par::sample_has_duplicates(keys)) return insert_bulk(keys);
+    std::vector<uint64_t> order(n);
+    std::vector<uint64_t> payload(keys.begin(), keys.end());
+    gpu::launch_threads(n, [&](uint64_t i) {
+      const hashed h = hash_key(keys[i]);
+      order[i] = (h.b1 << 16) | h.fp;
+    });
+    par::radix_sort_by_key(order, payload,
+                           util::log2_ceil(blocks_.size()) + 16);
+    std::atomic<uint64_t> ok{0};
+    gpu::launch_ranges(n, [&](unsigned, uint64_t begin, uint64_t end) {
+      uint64_t local = 0;
+      uint64_t prev_key = 0;
+      bool have_prev = false, prev_ok = false;
+      for (uint64_t i = begin; i < end; ++i) {
+        if (have_prev && payload[i] == prev_key) {
+          // Duplicate: answered by the copy just inserted (or charged as
+          // failed along with it).
+          local += prev_ok ? 1 : 0;
+          continue;
+        }
+        prev_key = payload[i];
+        have_prev = true;
+        prev_ok = insert(prev_key);
+        local += prev_ok ? 1 : 0;
+      }
+      if (local) ok.fetch_add(local, std::memory_order_relaxed);
+    });
+    return ok.load();
+  }
+
+  /// Counted sorted-slab insert: keys[i] is stored once (the TCF has no
+  /// counter channel — §5.4 compression collapses its duplicates); returns
+  /// the sum of counts[i] over keys that landed, i.e. the number of
+  /// original batch instances whose membership is now answered.
+  uint64_t insert_counted_sorted(std::span<const uint64_t> keys,
+                                 std::span<const uint64_t> counts) {
+    const uint64_t n = keys.size();
+    if (n == 0) return 0;
+    if (n < kSortedSlabMin) {
+      uint64_t instances = 0;
+      for (uint64_t i = 0; i < n; ++i)
+        if (insert(keys[i])) instances += counts[i];
+      return instances;
+    }
+    std::vector<uint64_t> order(n);
+    std::vector<uint64_t> index(n);
+    gpu::launch_threads(n, [&](uint64_t i) {
+      order[i] = util::fast_range(util::murmur64(keys[i]), blocks_.size());
+      index[i] = i;
+    });
+    par::radix_sort_by_key(order, index,
+                           std::max(util::log2_ceil(blocks_.size()), 1));
+    std::atomic<uint64_t> instances{0};
+    gpu::launch_ranges(n, [&](unsigned, uint64_t begin, uint64_t end) {
+      uint64_t local = 0;
+      for (uint64_t i = begin; i < end; ++i)
+        if (insert(keys[index[i]])) local += counts[index[i]];
+      if (local) instances.fetch_add(local, std::memory_order_relaxed);
+    });
+    return instances.load();
+  }
+
   // -- Enumeration ------------------------------------------------------------
 
   /// Visit every stored entry as (block index, fingerprint, value) — the
@@ -364,6 +447,10 @@ class tcf {
     }
     return -1;
   }
+
+  /// Below this batch size the block sort costs more than the locality it
+  /// buys (a few blocks' worth of keys fit in cache anyway).
+  static constexpr uint64_t kSortedSlabMin = 256;
 
   static constexpr uint64_t kFileMagic = 0x4746'5443'4631ull;  // "GFTCF1"
   // v2: tcf_config serialized field-wise (padding-free) instead of as a

@@ -35,18 +35,35 @@ struct op_counters {
 /// Global counters instance (tests reset it around the code under test).
 op_counters& counters();
 
+/// One atomic counter padded to a cache line.  op_stats counters live in
+/// hot multi-threaded paths (every point op bumps one); without padding,
+/// seven adjacent atomics share one or two lines and concurrent inserters
+/// and queriers false-share even when they touch different counters.
+struct alignas(64) padded_counter {
+  std::atomic<uint64_t> value{0};
+
+  uint64_t fetch_add(uint64_t n, std::memory_order order) {
+    return value.fetch_add(n, order);
+  }
+  uint64_t load(std::memory_order order) const { return value.load(order); }
+  padded_counter& operator=(uint64_t v) {
+    value.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+};
+
 /// Per-component operation statistics — unlike the GF_COUNT macros these
 /// are always compiled in, cheap (relaxed increments), and instantiated
 /// per owner rather than globally.  The sharded store keeps one per shard
 /// so hot shards and skewed routing are visible at runtime.
 struct op_stats {
-  std::atomic<uint64_t> inserts{0};
-  std::atomic<uint64_t> insert_failures{0};
-  std::atomic<uint64_t> queries{0};
-  std::atomic<uint64_t> query_hits{0};
-  std::atomic<uint64_t> erases{0};
-  std::atomic<uint64_t> erase_failures{0};
-  std::atomic<uint64_t> batches_drained{0};
+  padded_counter inserts;
+  padded_counter insert_failures;
+  padded_counter queries;
+  padded_counter query_hits;
+  padded_counter erases;
+  padded_counter erase_failures;
+  padded_counter batches_drained;
 
   /// A plain-value copy (atomics are not copyable; reports pass these).
   struct snapshot {

@@ -54,6 +54,24 @@ TEST(ThreadPool, NestedLaunchExecutesInline) {
   EXPECT_EQ(total.load(), 1600u);
 }
 
+TEST(ThreadPool, NestedLaunchFromCallerThreadExecutesInline) {
+  // run_on_all's caller acts as worker 0.  When the item it processes
+  // itself launches (the shape of a per-shard bulk sort inside a
+  // shard-parallel store build), that nested launch must execute inline
+  // like it does on the spawned workers — a second top-level launch while
+  // one is in flight would double-book job_/remaining_ and park the pool
+  // forever.  An explicit multi-worker pool + grain 1 forces the caller
+  // into the worker-0 role even on single-core CI hosts.
+  thread_pool pool(4);
+  std::atomic<uint64_t> sum{0};
+  pool.parallel_for(0, 16, 1, [&](uint64_t) {
+    uint64_t local = 0;
+    pool.parallel_for(0, 100, 8, [&](uint64_t j) { local += j; });
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 16u * 4950u);
+}
+
 TEST(ThreadPool, SequentialLaunchesReuseWorkers) {
   // Many short launches in a row: exercises the epoch handshake.
   std::atomic<uint64_t> total{0};

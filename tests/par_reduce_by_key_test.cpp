@@ -58,6 +58,49 @@ TEST(ReduceByKey, MatchesReferenceOnSkewedData) {
   }
 }
 
+TEST(ReduceByKey, WeightedSumsPerRun) {
+  // (key, weight) pairs: counts become the per-run weight sums — the form
+  // the store's batched path feeds the GQF's counted bulk insert.
+  std::vector<uint64_t> keys = {3, 3, 3, 7, 9, 9};
+  std::vector<uint64_t> weights = {1, 10, 100, 5, 2, 2};
+  auto r = reduce_by_key(keys, weights);
+  ASSERT_EQ(r.keys.size(), 3u);
+  EXPECT_EQ(r.keys[0], 3u);
+  EXPECT_EQ(r.counts[0], 111u);
+  EXPECT_EQ(r.keys[1], 7u);
+  EXPECT_EQ(r.counts[1], 5u);
+  EXPECT_EQ(r.keys[2], 9u);
+  EXPECT_EQ(r.counts[2], 4u);
+}
+
+TEST(ReduceByKey, WeightedMatchesReference) {
+  std::mt19937_64 rng(17);
+  for (size_t n : {1ul, 100ul, 200000ul}) {
+    std::vector<uint64_t> keys(n);
+    std::vector<uint64_t> weights(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = rng() % 333;
+      weights[i] = rng() % 50;
+    }
+    radix_sort_by_key(keys, weights);
+    std::map<uint64_t, uint64_t> ref;
+    for (size_t i = 0; i < n; ++i) ref[keys[i]] += weights[i];
+    auto r = reduce_by_key(keys, weights);
+    ASSERT_EQ(r.keys.size(), ref.size()) << "n=" << n;
+    size_t i = 0;
+    for (auto& [k, w] : ref) {
+      ASSERT_EQ(r.keys[i], k);
+      ASSERT_EQ(r.counts[i], w);
+      ++i;
+    }
+  }
+}
+
+TEST(ReduceByKey, WeightedEmpty) {
+  auto r = reduce_by_key({}, {});
+  EXPECT_TRUE(r.keys.empty());
+}
+
 TEST(ReduceByKey, RunsStraddlingWorkerBoundaries) {
   // One giant run in the middle forces the boundary-snapping logic.
   std::vector<uint64_t> in;

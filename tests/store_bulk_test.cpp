@@ -1,0 +1,244 @@
+// Native bulk tier of the sharded store: bulk-vs-point equivalence per
+// backend, §5.4 count-compression (counted inserts, hot-key floods), edge
+// cases, stats accounting, and bulk paths across a save/load round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "store/store.h"
+#include "store/store_io.h"
+#include "util/xorwow.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace gf;
+using store::backend_kind;
+
+constexpr backend_kind kAllBackends[] = {
+    backend_kind::tcf, backend_kind::gqf, backend_kind::blocked_bloom,
+    backend_kind::bulk_tcf};
+
+store::store_config config(backend_kind backend, uint32_t shards,
+                           uint64_t capacity) {
+  store::store_config cfg;
+  cfg.backend = backend;
+  cfg.num_shards = shards;
+  cfg.capacity = capacity;
+  return cfg;
+}
+
+TEST(StoreBulk, BulkVsPointMembershipEquivalence) {
+  for (backend_kind backend : kAllBackends) {
+    auto keys = util::hashed_xorwow_items(20000, 311);
+    auto absent = util::hashed_xorwow_items(20000, 312);
+    store::filter_store bulk(config(backend, 4, 1 << 15));
+    store::filter_store point(config(backend, 4, 1 << 15));
+
+    EXPECT_EQ(bulk.insert_bulk(keys), keys.size()) << backend_name(backend);
+    for (uint64_t k : keys) ASSERT_TRUE(point.insert(k));
+
+    // Same membership answers on every inserted key.
+    for (uint64_t k : keys) {
+      ASSERT_TRUE(bulk.contains(k)) << backend_name(backend);
+      ASSERT_TRUE(point.contains(k)) << backend_name(backend);
+    }
+    // False positives stay at the backend's standalone rate on both paths.
+    uint64_t fp_bulk = 0, fp_point = 0;
+    for (uint64_t k : absent) {
+      fp_bulk += bulk.contains(k) ? 1 : 0;
+      fp_point += point.contains(k) ? 1 : 0;
+    }
+    EXPECT_LT(fp_bulk, absent.size() / 20) << backend_name(backend);
+    EXPECT_LT(fp_point, absent.size() / 20) << backend_name(backend);
+  }
+}
+
+TEST(StoreBulk, GqfCountsPreservedThroughCountedBulk) {
+  // A multiset batch through the bulk path must land the same per-key
+  // multiplicities as point inserts (GQF counter channel, §5.4).
+  auto base = util::hashed_xorwow_items(3000, 321);
+  std::vector<uint64_t> batch;
+  for (size_t i = 0; i < base.size(); ++i)
+    for (size_t c = 0; c < i % 5 + 1; ++c) batch.push_back(base[i]);
+
+  store::filter_store bulk(config(backend_kind::gqf, 4, 1 << 14));
+  store::filter_store point(config(backend_kind::gqf, 4, 1 << 14));
+  EXPECT_EQ(bulk.insert_bulk(batch), batch.size());
+  for (uint64_t k : batch) ASSERT_TRUE(point.insert(k));
+
+  for (size_t i = 0; i < base.size(); ++i) {
+    ASSERT_EQ(bulk.count(base[i]), point.count(base[i]))
+        << "key index " << i;
+    ASSERT_GE(bulk.count(base[i]), i % 5 + 1);  // aliases only ever add
+  }
+}
+
+TEST(StoreBulk, InsertCountedStoresMultiplicity) {
+  // Direct backend-level contract: counted pairs preserve counts on the
+  // GQF and answer membership (once) everywhere else.
+  for (backend_kind backend : kAllBackends) {
+    auto f = store::make_filter(backend, 1 << 12);
+    std::vector<uint64_t> keys = {101, 202, 303};
+    std::vector<uint64_t> counts = {7, 1, 40};
+    EXPECT_EQ(f->insert_counted(keys, counts), 48u) << backend_name(backend);
+    for (uint64_t k : keys) EXPECT_TRUE(f->contains(k));
+    if (f->supports_counting()) {
+      EXPECT_EQ(f->count(101), 7u);
+      EXPECT_EQ(f->count(303), 40u);
+    }
+  }
+}
+
+TEST(StoreBulk, EmptyAndSingleKeyBatches) {
+  for (backend_kind backend : kAllBackends) {
+    store::filter_store s(config(backend, 4, 1 << 12));
+    EXPECT_EQ(s.insert_bulk({}), 0u) << backend_name(backend);
+    EXPECT_EQ(s.size(), 0u);
+    std::vector<uint64_t> one = {0xDEADBEEFull};
+    EXPECT_EQ(s.insert_bulk(one), 1u) << backend_name(backend);
+    EXPECT_TRUE(s.contains(one[0]));
+    EXPECT_EQ(s.count_contained(one), 1u);
+    EXPECT_EQ(s.count_contained({}), 0u);
+  }
+}
+
+TEST(StoreBulk, AllDuplicatesBatchCompresses) {
+  // 50k copies of one key: count-compression must collapse the flood to
+  // one counted insert per shard slice instead of devouring slots.
+  constexpr uint64_t kCopies = 50000;
+  std::vector<uint64_t> batch(kCopies, 0xF00Dull);
+  for (backend_kind backend : kAllBackends) {
+    store::filter_store s(config(backend, 4, 1 << 12));
+    EXPECT_EQ(s.insert_bulk(batch), kCopies) << backend_name(backend);
+    EXPECT_TRUE(s.contains(0xF00Dull));
+    if (backend == backend_kind::gqf) {
+      EXPECT_EQ(s.count(0xF00Dull), kCopies);
+    } else if (backend != backend_kind::blocked_bloom) {
+      // Membership backends store one fingerprint, not 50k (a point-routed
+      // flood would have filled both candidate blocks and failed).
+      EXPECT_LE(s.size(), 4u) << backend_name(backend);
+    }
+  }
+}
+
+TEST(StoreBulk, ZipfFloodDoesNotCollapseTcf) {
+  // The ROADMAP failure mode: a Zipf(0.99) hot-key flood point-routed into
+  // a TCF overflows the hot keys' two candidate blocks and fails
+  // unboundedly.  The compressed bulk tier inserts each distinct key once.
+  constexpr uint64_t kN = 40000;
+  auto zipf = util::zipfian_dataset(kN, 0.99, 331);
+  for (backend_kind backend :
+       {backend_kind::tcf, backend_kind::bulk_tcf}) {
+    store::filter_store s(config(backend, 4, 1 << 16));
+    EXPECT_EQ(s.insert_bulk(zipf), kN) << backend_name(backend);
+    EXPECT_EQ(s.count_contained(zipf), kN) << backend_name(backend);
+    // Dedup proof: stored entries = distinct keys, far below the flood.
+    EXPECT_LT(s.size(), kN / 2) << backend_name(backend);
+  }
+}
+
+TEST(StoreBulk, InsertSpanStatsCountOneBatch) {
+  // Satellite contract: a bulk slice counts one drained batch + N inserts,
+  // not N virtual-dispatch point-op stats.
+  store::filter_store s(config(backend_kind::tcf, 1, 1 << 14));
+  auto keys = util::hashed_xorwow_items(10000, 341);
+  EXPECT_EQ(s.insert_bulk(keys), keys.size());
+  auto stats = s.shard_at(0).stats();
+  EXPECT_EQ(stats.inserts, keys.size());
+  EXPECT_EQ(stats.insert_failures, 0u);
+  EXPECT_EQ(stats.batches_drained, 1u);
+
+  // Multi-shard: inserts sum to N, one batch per (non-empty) shard.
+  store::filter_store m(config(backend_kind::tcf, 4, 1 << 14));
+  EXPECT_EQ(m.insert_bulk(keys), keys.size());
+  uint64_t inserts = 0, batches = 0;
+  for (const auto& rep : m.report()) {
+    inserts += rep.ops.inserts;
+    batches += rep.ops.batches_drained;
+  }
+  EXPECT_EQ(inserts, keys.size());
+  EXPECT_LE(batches, 4u);
+  EXPECT_GE(batches, 1u);
+}
+
+TEST(StoreBulk, FlushStatsNotDoubleCounted) {
+  // The drain path routes insert runs through the same bulk core; each
+  // flush is one drained batch per non-empty shard and N insert stats.
+  store::filter_store s(config(backend_kind::gqf, 2, 1 << 13));
+  auto keys = util::hashed_xorwow_items(4000, 351);
+  for (uint64_t k : keys) s.enqueue_insert(k);
+  auto r = s.flush();
+  EXPECT_EQ(r.inserted, keys.size());
+  uint64_t inserts = 0, batches = 0;
+  for (const auto& rep : s.report()) {
+    inserts += rep.ops.inserts;
+    batches += rep.ops.batches_drained;
+  }
+  EXPECT_EQ(inserts, keys.size());
+  EXPECT_LE(batches, 2u);
+}
+
+TEST(StoreBulk, ApplyMixedRunsBatched) {
+  // Mixed batches exercise the run scanner: large same-type runs go
+  // through the native bulk ops, preserving cross-run ordering semantics.
+  for (backend_kind backend : kAllBackends) {
+    store::filter_store s(config(backend, 4, 1 << 14));
+    auto keys = util::hashed_xorwow_items(5000, 361);
+    std::vector<store::op> batch;
+    for (uint64_t k : keys) batch.push_back(store::make_insert(k));
+    for (uint64_t k : keys) batch.push_back(store::make_query(k));
+    auto r = s.apply(batch);
+    EXPECT_EQ(r.inserted, keys.size()) << backend_name(backend);
+    EXPECT_EQ(r.query_hits, keys.size()) << backend_name(backend);
+    EXPECT_EQ(r.query_misses, 0u) << backend_name(backend);
+
+    if (s.shard_at(0).filter().supports_deletes()) {
+      batch.clear();
+      for (size_t i = 0; i < 1000; ++i)
+        batch.push_back(store::make_erase(keys[i]));
+      r = s.apply(batch);
+      EXPECT_EQ(r.erased + r.erase_missing, 1000u) << backend_name(backend);
+      EXPECT_GE(r.erased, 990u) << backend_name(backend);
+    }
+  }
+}
+
+TEST(StoreBulk, BulkPathAcrossSaveLoadRoundTrip) {
+  for (backend_kind backend : kAllBackends) {
+    auto keys = util::hashed_xorwow_items(8000, 371);
+    auto more = util::hashed_xorwow_items(8000, 372);
+    store::filter_store s(config(backend, 4, 1 << 15));
+    EXPECT_EQ(s.insert_bulk(keys), keys.size()) << backend_name(backend);
+
+    std::stringstream buf;
+    store::save_store(s, buf);
+    auto restored = store::load_store(buf);
+    EXPECT_EQ(restored.size(), s.size()) << backend_name(backend);
+    EXPECT_EQ(restored.count_contained(keys), keys.size())
+        << backend_name(backend);
+
+    // The restored store keeps a working bulk tier.
+    EXPECT_EQ(restored.insert_bulk(more), more.size())
+        << backend_name(backend);
+    EXPECT_EQ(restored.count_contained(more), more.size())
+        << backend_name(backend);
+  }
+}
+
+TEST(StoreBulk, BulkTcfBackendPointOps) {
+  // The §4.2 bulk TCF rides behind a reader-writer lock: point ops must
+  // behave like every other backend's.
+  store::filter_store s(config(backend_kind::bulk_tcf, 2, 1 << 13));
+  auto keys = util::hashed_xorwow_items(4000, 381);
+  for (uint64_t k : keys) ASSERT_TRUE(s.insert(k));
+  for (uint64_t k : keys) ASSERT_TRUE(s.contains(k));
+  for (size_t i = 0; i < 200; ++i) ASSERT_TRUE(s.erase(keys[i]));
+  uint64_t still = 0;
+  for (size_t i = 0; i < 200; ++i) still += s.contains(keys[i]) ? 1 : 0;
+  EXPECT_LT(still, 20u);  // aliasing only
+  EXPECT_EQ(s.size(), keys.size() - 200);
+}
+
+}  // namespace
