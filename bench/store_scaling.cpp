@@ -5,8 +5,9 @@
 // (thread-per-key through the virtual point API), the native bulk tier
 // (counting-sort partition + per-shard backend bulk ops), the same bulk
 // tier under a Zipf(0.99) hot-key flood (where §5.4 count-compression
-// collapses duplicates), batched async ops (enqueue + flush), and batched
-// membership queries.  On a multi-core host the per-shard drain threads
+// collapses duplicates), the same flood scaled past nominal capacity with
+// and without maintenance (overflow cascades vs the refusal storm),
+// batched async ops (enqueue + flush), and batched membership queries.  On a multi-core host the per-shard drain threads
 // run truly in parallel, so throughput scales with shard count until
 // shards exceed cores; on a single-core host the series stays flat (the
 // sweep still validates the partitioning machinery).  Columns are shard
@@ -20,6 +21,7 @@
 #include <cstring>
 #include <iterator>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -66,9 +68,24 @@ constexpr metric_def kMetrics[] = {
     {"point insert Mops/s", "point_insert_mops"},
     {"bulk insert Mops/s", "bulk_insert_mops"},
     {"zipf bulk insert Mops/s", "zipf_insert_mops"},
+    {"zipf 2x overflow Mops/s (maint)", "zipf_overflow_maint_mops"},
+    {"zipf 2x overflow Mops/s (none)", "zipf_overflow_nomaint_mops"},
     {"batched ops Mops/s", "batched_ops_mops"},
     {"bulk query Mops/s", "bulk_query_mops"},
 };
+
+/// Zipf(0.99) draws per provisioned item for the overflow columns: at 8x
+/// draws the *distinct* key load lands at ~2x the store's nominal
+/// capacity, so the flood cannot fit without growth.  With maintenance
+/// between chunks hot shards cascade and absorb it (0 refusals); without,
+/// the refusal storm the ROADMAP names is the measured outcome.
+///
+/// Growth must land *before* a level hard-fills: the pressure threshold is
+/// set so the headroom it leaves (30% of a level's budget) exceeds the
+/// distinct keys one chunk can add (~23% at 16 chunks).
+constexpr uint64_t kOverflowDrawFactor = 8;
+constexpr int kOverflowChunks = 16;
+constexpr double kOverflowPressureLoad = 0.70;
 
 void sweep_backend(store::backend_kind backend,
                    const bench::options& opts) {
@@ -116,6 +133,38 @@ void sweep_backend(store::backend_kind backend,
           mops = bench::time_mops(n, [&] { ok = s.insert_bulk(zipf); });
           emit_json(backend, shards, log_size, "zipf_insert_fail_rate",
                     static_cast<double>(n - ok) / static_cast<double>(n));
+        } else if (!std::strcmp(metric.json, "zipf_overflow_maint_mops") ||
+                   !std::strcmp(metric.json, "zipf_overflow_nomaint_mops")) {
+          const bool maint =
+              !std::strcmp(metric.json, "zipf_overflow_maint_mops");
+          const uint64_t flood_n = capacity * kOverflowDrawFactor;
+          auto flood =
+              util::zipfian_dataset(flood_n, kZipfTheta, 8000 + log_size);
+          store::maintain_config mcfg;
+          mcfg.pressure_load = kOverflowPressureLoad;
+          uint64_t ok = 0;
+          store::filter_store::maintain_result grown;
+          mops = bench::time_mops(flood_n, [&] {
+            uint64_t landed = 0;
+            for (int c = 0; c < kOverflowChunks; ++c) {
+              size_t lo = flood_n * c / kOverflowChunks;
+              size_t hi = flood_n * (c + 1) / kOverflowChunks;
+              landed += s.insert_bulk(
+                  std::span<const uint64_t>(flood).subspan(lo, hi - lo));
+              // The final pass's telemetry is the flood's end state
+              // (depth only changes inside maintain()).
+              if (maint) grown = s.maintain(mcfg);
+            }
+            ok = landed;
+          });
+          emit_json(backend, shards, log_size,
+                    maint ? "zipf_overflow_maint_fail_rate"
+                          : "zipf_overflow_nomaint_fail_rate",
+                    static_cast<double>(flood_n - ok) /
+                        static_cast<double>(flood_n));
+          if (maint)
+            emit_json(backend, shards, log_size, "zipf_overflow_maint_depth",
+                      static_cast<double>(grown.max_depth));
         } else if (!std::strcmp(metric.json, "batched_ops_mops")) {
           mops = bench::time_mops(n, [&] {
             for (uint64_t k : keys) s.enqueue_insert(k);

@@ -1,19 +1,23 @@
 // store_server: a request-loop demo of the sharded filter store.
 //
 //   build/examples/store_server [backend] [shards] [rounds]
-//     backend ∈ {tcf, gqf, bbf}   (default tcf)
-//     shards                      (default 4)
-//     rounds                      (default 8)
+//     backend ∈ {tcf, gqf, bbf, btcf}   (default tcf)
+//     shards  ∈ [1, 16384]              (default 4)
+//     rounds  ∈ [1, 1000000]            (default 8)
 //
 // Simulates a front-end serving a Zipfian request mix — the shape of a
 // cache-admission or dedup tier under heavy traffic: each round a batch of
 // requests (70% membership lookups, 25% inserts, 5% deletes where the
 // backend supports them) arrives, the server partitions it across shards
-// and applies it with one logical thread per shard, then reports per-round
-// throughput.  On shutdown the store is persisted, reloaded as a restarted
-// server would, and spot-checked; the final report shows per-shard
-// occupancy and operation counts.
+// and applies it with one logical thread per shard, then runs a
+// maintenance pass (hot shards under sustained skew grow overflow
+// cascades instead of refusing inserts) and reports per-round throughput
+// plus cascade depth.  On shutdown the store is persisted, reloaded as a
+// restarted server would, and spot-checked; the final report shows
+// per-shard occupancy, cascade depth, and operation counts.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -26,6 +30,32 @@
 
 using namespace gf;
 
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: store_server [tcf|gqf|bbf|btcf] [shards] [rounds]\n"
+               "  shards in [1, %u] (default 4), rounds in [1, 1000000] "
+               "(default 8)\n",
+               store::kMaxShards);
+  return 2;
+}
+
+/// Parse a bounded positive integer argument.  std::atoi would quietly
+/// turn garbage into 0 and negatives into absurd unsigned shard counts,
+/// leaving validate_config to die with a misleading message.
+bool parse_arg(const char* text, long min, long max, long* out) {
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < min || v > max)
+    return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
 int run(store::store_config cfg, int rounds);
 
 int main(int argc, char** argv) {
@@ -35,17 +65,20 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[1], "gqf")) cfg.backend = store::backend_kind::gqf;
     else if (!std::strcmp(argv[1], "bbf"))
       cfg.backend = store::backend_kind::blocked_bloom;
-    else if (std::strcmp(argv[1], "tcf")) {
-      std::fprintf(stderr, "usage: store_server [tcf|gqf|bbf] [shards] "
-                           "[rounds]\n");
-      return 2;
-    }
+    else if (!std::strcmp(argv[1], "btcf"))
+      cfg.backend = store::backend_kind::bulk_tcf;
+    else if (std::strcmp(argv[1], "tcf"))
+      return usage();
   }
-  cfg.num_shards = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 4;
-  int rounds = argc > 3 ? std::atoi(argv[3]) : 8;
+  long shards = 4, rounds = 8;
+  if (argc > 2 && !parse_arg(argv[2], 1, store::kMaxShards, &shards))
+    return usage();
+  if (argc > 3 && !parse_arg(argv[3], 1, 1000000, &rounds))
+    return usage();
+  cfg.num_shards = static_cast<uint32_t>(shards);
   cfg.capacity = 1 << 20;
 
-  return run(cfg, rounds);
+  return run(cfg, static_cast<int>(rounds));
 }
 
 int run(store::store_config cfg, int rounds) try {
@@ -83,21 +116,26 @@ int run(store::store_config cfg, int rounds) try {
     double secs = timer.seconds();
     total_seconds += secs;
     lifetime.merge(result);
+    // Maintenance between rounds (host-phased): hot shards that crossed
+    // the pressure thresholds grow an overflow child before the next
+    // batch arrives.
+    auto maint = server.maintain();
     std::printf("round %2d: %5.1f Mops/s  (hit rate %4.1f%%, %lu live "
-                "items)\n",
-                round, util::mops(kBatch, secs) ,
+                "items, depth %u%s)\n",
+                round, util::mops(kBatch, secs),
                 result.query_hits + result.query_misses
                     ? 100.0 * static_cast<double>(result.query_hits) /
                           static_cast<double>(result.query_hits +
                                               result.query_misses)
                     : 0.0,
-                static_cast<unsigned long>(server.size()));
+                static_cast<unsigned long>(server.size()), maint.max_depth,
+                maint.shards_grown ? ", grew" : "");
   }
 
   // Refused inserts on the TCF are Zipf hot keys flooding their two
   // candidate blocks with duplicate fingerprints — the hot-key storm the
-  // paper's counting path absorbs (§5.4); rerun with `gqf` to see them
-  // collapse into counter bumps.
+  // paper's counting path absorbs (§5.4); maintenance turns what is left
+  // into cascade growth instead of a refusal storm.
   std::printf("\nlifetime: %lu ops in %.2fs (%.1f Mops/s), %lu inserted, "
               "%lu erased, %lu refused\n",
               static_cast<unsigned long>(lifetime.total_ops()), total_seconds,
@@ -108,10 +146,10 @@ int run(store::store_config cfg, int rounds) try {
 
   std::printf("\nper-shard report:\n");
   for (const auto& rep : server.report())
-    std::printf("  shard %2u: %8lu items (load %5.1f%%), %lu ops "
+    std::printf("  shard %2u: %8lu items (load %5.1f%%, depth %u), %lu ops "
                 "(%lu ins / %lu qry / %lu del)\n",
                 rep.index, static_cast<unsigned long>(rep.items),
-                100.0 * rep.load_factor,
+                100.0 * rep.load_factor, rep.levels,
                 static_cast<unsigned long>(rep.ops.total_ops()),
                 static_cast<unsigned long>(rep.ops.inserts),
                 static_cast<unsigned long>(rep.ops.queries),

@@ -85,10 +85,20 @@ class any_filter {
   virtual bool erase(uint64_t key) = 0;
 
   // -- Native bulk tier (host-phased within a shard; see header comment) ---
+  //
+  // Return-unit contract: every bulk insert returns *batch instances now
+  // answered* — for insert_bulk, occurrences in `keys` (duplicates
+  // included, even when the backend dedups them into one stored
+  // fingerprint); for insert_counted, the sum of counts[i] over pairs
+  // that landed.  NEVER the number of distinct keys placed: the store
+  // charges `batch size - return` against insert_failures and
+  // batch_result::inserted, so a distinct-key return would spuriously
+  // inflate failures on every duplicate-heavy batch
+  // (tests/store_bulk_test.cpp locks this in per backend).
 
-  /// Insert a batch; returns the number of keys successfully inserted.
-  /// Defaults to the point loop; backends override with their native bulk
-  /// machinery.
+  /// Insert a batch; returns the number of batch instances answered (see
+  /// the tier contract above).  Defaults to the point loop; backends
+  /// override with their native bulk machinery.
   virtual uint64_t insert_bulk(std::span<const uint64_t> keys) {
     uint64_t ok = 0;
     for (uint64_t key : keys) ok += insert(key, 1) ? 1 : 0;
@@ -100,7 +110,9 @@ class any_filter {
   /// backends store each key once (its duplicates are answered by that one
   /// copy).  Returns the number of batch *instances* now answered, i.e.
   /// the sum of counts[i] over pairs that landed — the unit the store's
-  /// batch accounting works in.
+  /// batch accounting works in (see the tier contract above; returning
+  /// distinct keys placed here would make a fully-successful compressed
+  /// batch look mostly failed).
   virtual uint64_t insert_counted(std::span<const uint64_t> keys,
                                   std::span<const uint64_t> counts) {
     uint64_t instances = 0;

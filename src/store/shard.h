@@ -1,9 +1,22 @@
-// One shard of the filter store: a backend instance, a pending-operation
+// One shard of the filter store: a cascade of backend instances (a base
+// filter plus overflow children attached under load), a pending-operation
 // queue for the async batched path, and per-shard operation statistics.
+//
+// Overflow cascades: filters cannot enumerate their keys, so a hot shard
+// cannot be rehashed into a bigger table the way a hash map grows.
+// Instead, maintenance (store.h's maintain()) attaches a geometrically-
+// sized *overflow child* of the same backend when the deepest level is
+// under pressure (occupancy past maintain_config::pressure_load, or fresh
+// insert refusals).  Inserts fall through the cascade to the deepest child
+// on refusal; queries, counts, and erases walk every level; size(),
+// capacity(), and memory_bytes() aggregate levels.  This is rebuild-free
+// growth — the same constraint-driven shape as dynamic cuckoo/quotient
+// filter designs — so a sustained skewed flood ends in a deeper cascade,
+// not a refusal storm.
 //
 // Concurrency contract:
 //   * Point ops (insert/contains/count/erase) are thread-safe — they
-//     delegate to the backend, whose internal synchronization (lock-free
+//     delegate to the backends, whose internal synchronization (lock-free
 //     CAS, region locks, atomicOr, reader-writer lock) carries the
 //     guarantee.
 //   * enqueue() is thread-safe (queue mutex); producers on any thread may
@@ -16,6 +29,9 @@
 //     are host-phased: at most one bulk mutation per shard at a time, and
 //     no concurrent point writers — the discipline the store's bulk/drain
 //     paths already follow (one logical thread per shard).
+//   * maintain() mutates the cascade itself and is host-phased like the
+//     bulk ops: do not run it concurrently with any operation on the
+//     shard.  The store's maintain() is called between batches.
 //
 // §5.4 count-compression: a Zipfian flood must perform one counted insert
 // per *distinct* key, not one insert per instance.  Backends whose bulk
@@ -31,6 +47,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -42,12 +59,44 @@
 
 namespace gf::store {
 
+/// Hard cap on cascade depth per shard — a store file can never demand an
+/// absurd level walk (store_io.h validates against this on load), and
+/// maintain_config::max_levels is clamped to it.
+inline constexpr uint32_t kMaxCascadeLevels = 16;
+
+/// Thresholds for maintain(): when to attach an overflow child to a shard
+/// and how big to make it.
+struct maintain_config {
+  /// Occupancy of the deepest level that signals pressure.  The default
+  /// leaves headroom below the backends' stable load (~90% of provisioned
+  /// slots) so growth lands *before* refusals start.
+  double pressure_load = 0.85;
+  /// Insert refusals accumulated since the last growth that signal
+  /// pressure regardless of occupancy (the reactive backstop).
+  uint64_t failure_threshold = 1;
+  /// Child capacity = deepest level capacity × growth_factor (geometric
+  /// growth: each attach roughly doubles the shard's headroom by default).
+  double growth_factor = 2.0;
+  /// Cascade depth cap, base level included (clamped to
+  /// kMaxCascadeLevels).  Bounds the per-query level walk.
+  uint32_t max_levels = 8;
+};
+
 class shard {
  public:
-  shard(backend_kind kind, uint64_t capacity)
-      : filter_(make_filter(kind, capacity)) {}
-  explicit shard(std::unique_ptr<any_filter> filter)
-      : filter_(std::move(filter)) {}
+  shard(backend_kind kind, uint64_t capacity) {
+    levels_.push_back(make_filter(kind, capacity));
+  }
+  explicit shard(std::unique_ptr<any_filter> filter) {
+    levels_.push_back(std::move(filter));
+  }
+  /// Assemble a shard around a restored cascade (store_io.h's load path);
+  /// levels_[0] is the base, deeper entries are overflow children.
+  explicit shard(std::vector<std::unique_ptr<any_filter>> levels)
+      : levels_(std::move(levels)) {
+    if (levels_.empty())
+      throw std::runtime_error("gf: shard requires at least one level");
+  }
 
   /// Batches below this size take the uncompressed path: the key sort
   /// costs more than the duplicates it could merge.
@@ -57,32 +106,42 @@ class shard {
   /// keys into a scratch array only pays off once the run amortizes it.
   static constexpr size_t kBulkRunMin = 16;
 
+  /// Floor for overflow-child capacity so a tiny shard still grows by a
+  /// useful amount.
+  static constexpr uint64_t kMinChildCapacity = 64;
+
   // -- Point ops (thread-safe, stats-counted) ------------------------------
 
   bool insert(uint64_t key, uint64_t count = 1) {
     stats_.inserts.fetch_add(1, std::memory_order_relaxed);
-    bool ok = filter_->insert(key, count);
+    bool ok = cascade_insert(key, count);
     if (!ok) stats_.insert_failures.fetch_add(1, std::memory_order_relaxed);
     return ok;
   }
 
   bool contains(uint64_t key) const {
     stats_.queries.fetch_add(1, std::memory_order_relaxed);
-    bool hit = filter_->contains(key);
+    bool hit = cascade_contains(key);
     if (hit) stats_.query_hits.fetch_add(1, std::memory_order_relaxed);
     return hit;
   }
 
   uint64_t count(uint64_t key) const {
     stats_.queries.fetch_add(1, std::memory_order_relaxed);
-    uint64_t c = filter_->count(key);
+    uint64_t c = 0;
+    for (const auto& f : levels_) c += f->count(key);
     if (c) stats_.query_hits.fetch_add(1, std::memory_order_relaxed);
     return c;
   }
 
   bool erase(uint64_t key) {
     stats_.erases.fetch_add(1, std::memory_order_relaxed);
-    bool ok = filter_->erase(key);
+    bool ok = false;
+    for (const auto& f : levels_)
+      if (f->erase(key)) {
+        ok = true;
+        break;
+      }
     if (!ok) stats_.erase_failures.fetch_add(1, std::memory_order_relaxed);
     return ok;
   }
@@ -149,40 +208,267 @@ class shard {
     return bulk_insert_keys(keys);
   }
 
+  // -- Maintenance -----------------------------------------------------------
+
+  /// Attach an overflow child when the shard is under pressure: the
+  /// deepest level's occupancy crossed cfg.pressure_load, or at least
+  /// cfg.failure_threshold insert refusals accumulated since the last
+  /// growth.  The child uses the same backend, sized geometrically from
+  /// the deepest level.  Host-phased — callers must quiesce the shard
+  /// (the store's maintain() runs between batches).  Returns true when a
+  /// level was attached.
+  bool maintain(const maintain_config& cfg) {
+    uint32_t max_levels = cfg.max_levels < kMaxCascadeLevels
+                              ? cfg.max_levels
+                              : kMaxCascadeLevels;
+    if (max_levels == 0) max_levels = 1;
+    if (levels_.size() >= max_levels) return false;
+    const any_filter& deepest = *levels_.back();
+    uint64_t failures =
+        stats_.insert_failures.load(std::memory_order_relaxed);
+    bool pressure =
+        deepest.load_factor() >= cfg.pressure_load ||
+        failures - failures_at_growth_ >= cfg.failure_threshold;
+    if (!pressure) return false;
+    double factor = cfg.growth_factor > 0 ? cfg.growth_factor : 1.0;
+    uint64_t child_cap = static_cast<uint64_t>(
+        static_cast<double>(deepest.capacity()) * factor);
+    if (child_cap < kMinChildCapacity) child_cap = kMinChildCapacity;
+    levels_.push_back(make_filter(levels_.front()->kind(), child_cap));
+    failures_at_growth_ = failures;
+    return true;
+  }
+
   // -- Introspection ---------------------------------------------------------
 
-  any_filter& filter() { return *filter_; }
-  const any_filter& filter() const { return *filter_; }
+  /// Base level of the cascade (backend capability probes, v1 store_io).
+  any_filter& filter() { return *levels_.front(); }
+  const any_filter& filter() const { return *levels_.front(); }
+
+  uint32_t level_count() const {
+    return static_cast<uint32_t>(levels_.size());
+  }
+  any_filter& level(uint32_t i) { return *levels_[i]; }
+  const any_filter& level(uint32_t i) const { return *levels_[i]; }
+
+  /// Cascade aggregates: live items, provisioned budget, and footprint
+  /// across every level.
+  uint64_t size() const {
+    uint64_t n = 0;
+    for (const auto& f : levels_) n += f->size();
+    return n;
+  }
+  uint64_t capacity() const {
+    uint64_t n = 0;
+    for (const auto& f : levels_) n += f->capacity();
+    return n;
+  }
+  size_t memory_bytes() const {
+    size_t n = 0;
+    for (const auto& f : levels_) n += f->memory_bytes();
+    return n;
+  }
+  double load_factor() const {
+    uint64_t cap = capacity();
+    return cap ? static_cast<double>(size()) / static_cast<double>(cap)
+               : 0.0;
+  }
+  /// Occupancy of the deepest level — the number maintain() watches.
+  double deepest_load() const { return levels_.back()->load_factor(); }
+
   util::op_stats::snapshot stats() const { return stats_.read(); }
-  void reset_stats() { stats_.reset(); }
+  void reset_stats() {
+    stats_.reset();
+    // Keep the growth trigger's failure delta anchored to the new window:
+    // a stale baseline would underflow `failures - failures_at_growth_`
+    // and force-grow the shard on every maintenance pass.
+    failures_at_growth_ = 0;
+  }
 
  private:
+  /// A level that reached its provisioned item budget; inserts skip it in
+  /// favour of deeper children (the only routing signal backends like the
+  /// blocked Bloom — whose inserts never refuse — can give the cascade).
+  static bool level_saturated(const any_filter& f) {
+    return f.size() >= f.capacity();
+  }
+
+  bool cascade_insert(uint64_t key, uint64_t count) {
+    const size_t deepest = levels_.size() - 1;
+    // Membership backends answer an insert the moment any level answers
+    // the key: pushing another copy of an already-answered hot key deeper
+    // would burn child slots (and, via the failure trigger, grow the
+    // cascade) without changing a single query result.  Counting backends
+    // must land every instance, so they take the strict placement walk.
+    const bool membership = !levels_.front()->supports_counting();
+    for (size_t l = 0; l <= deepest; ++l) {
+      any_filter& f = *levels_[l];
+      if ((l == deepest || !level_saturated(f)) && f.insert(key, count))
+        return true;
+      if (membership && f.contains(key)) return true;
+    }
+    return false;
+  }
+
+  bool cascade_contains(uint64_t key) const {
+    for (const auto& f : levels_)
+      if (f->contains(key)) return true;
+    return false;
+  }
+
   /// Shared native-bulk insert core: §5.4 count-compression in front of
-  /// the backend call.  Counts N inserts (+ failures) in the stats; the
+  /// the backend call, cascade-aware (a depth-1 cascade degenerates to one
+  /// native bulk call).  Counts N inserts (+ failures) in the stats; the
   /// caller decides whether the batch counts as a drain.
   uint64_t bulk_insert_keys(std::span<const uint64_t> keys) {
     const uint64_t n = keys.size();
     stats_.inserts.fetch_add(n, std::memory_order_relaxed);
-    uint64_t ok;
-    if (n < kCompressMin || filter_->native_batch_dedup() ||
-        !par::sample_has_duplicates(keys)) {
-      // The backend's own bulk machinery already neutralizes duplicates
-      // (GQF map-reduce, TCF sorted-slab dedup, Bloom idempotence), and a
-      // duplicate-free batch (skew probe) gains nothing from compression —
-      // a store-level key sort in front would be pure overhead.
-      ok = filter_->insert_bulk(keys);
-    } else {
-      std::vector<uint64_t> sorted(keys.begin(), keys.end());
-      par::radix_sort(sorted);
-      auto reduced = par::reduce_by_key(sorted);
-      ok = reduced.keys.size() == n
-               // No duplicates: hand the backend the raw batch (it applies
-               // its own sort discipline — by hash, block, or not at all).
-               ? filter_->insert_bulk(keys)
-               : filter_->insert_counted(reduced.keys, reduced.counts);
-    }
+    uint64_t ok = cascade_bulk_insert(keys);
     if (ok < n) stats_.insert_failures.fetch_add(n - ok,
                                                  std::memory_order_relaxed);
+    return ok;
+  }
+
+  /// Cascade bulk insert: the slice falls through level by level.  Each
+  /// usable level takes a native bulk (or counted) insert; whatever it
+  /// refuses is carried to the next level.  Backends report *how many*
+  /// instances landed, not *which* — so for membership backends the
+  /// refused remainder is recovered by membership: a key the level now
+  /// answers is done (placed, or aliased onto an existing fingerprint —
+  /// either way the filter answers it), a key it does not answer falls
+  /// through.  Saturated levels are not inserted into but still filter the
+  /// slice, so hot keys they already answer never leak copies into
+  /// children.  Counting backends cannot use membership attribution (a
+  /// refused instance recovered "by membership" would silently drop its
+  /// count), so their batch targets a single level — the shallowest with
+  /// budget headroom, else the deepest — with strict placement accounting;
+  /// refusals surface as failures and trigger growth instead of risking
+  /// count loss.
+  /// §5.4 sort + reduce of a slice into (key, count) pairs; returns false
+  /// (pairs untouched) when the slice turns out duplicate-free.
+  static bool compress_slice(std::span<const uint64_t> keys,
+                             std::vector<uint64_t>& ck,
+                             std::vector<uint64_t>& cc) {
+    std::vector<uint64_t> sorted(keys.begin(), keys.end());
+    par::radix_sort(sorted);
+    auto reduced = par::reduce_by_key(sorted);
+    if (reduced.keys.size() == keys.size()) return false;
+    ck = std::move(reduced.keys);
+    cc = std::move(reduced.counts);
+    return true;
+  }
+
+  uint64_t cascade_bulk_insert(std::span<const uint64_t> keys) {
+    const uint64_t n = keys.size();
+    // Compress once in front of the walk for backends without native
+    // dedup; native-dedup backends re-dedup each level's slice for free
+    // (the §5.4 adaptive rule: a duplicate-free batch, per the sampling
+    // probe, gains nothing from a store-level sort).
+    std::vector<uint64_t> ck, cc;
+    bool counted = false;
+    if (n >= kCompressMin && !levels_.front()->native_batch_dedup() &&
+        par::sample_has_duplicates(keys))
+      counted = compress_slice(keys, ck, cc);
+    const size_t deepest = levels_.size() - 1;
+
+    if (levels_.front()->supports_counting()) {
+      // Counting cascades size the headroom probe by *distinct* keys: a
+      // duplicate-heavy slice collapses into its distinct count (§5.4),
+      // and raw sizing would strand shallow capacity under exactly the
+      // skew that built the cascade.  Depth-1 counting stores keep the
+      // native fast path (their bulk machinery dedups internally).
+      if (!counted && deepest > 0 && n >= kCompressMin &&
+          par::sample_has_duplicates(keys))
+        counted = compress_slice(keys, ck, cc);
+      std::span<const uint64_t> k =
+          counted ? std::span<const uint64_t>(ck) : keys;
+      // Shallowest level with conservative headroom for the whole slice
+      // (distinct keys can only collapse into fewer slots, never more);
+      // when none has room the deepest takes it and refusals surface
+      // honestly.  A mere not-yet-saturated check would let a chunk
+      // larger than the level's remaining slack hard-fill it and drop the
+      // refused counts while an empty child sat idle.
+      size_t target = deepest;
+      for (size_t l = 0; l <= deepest; ++l)
+        if (levels_[l]->size() + k.size() <= levels_[l]->capacity()) {
+          target = l;
+          break;
+        }
+      return counted ? levels_[target]->insert_counted(ck, cc)
+                     : levels_[target]->insert_bulk(keys);
+    }
+
+    std::span<const uint64_t> cur_k = counted ? std::span<const uint64_t>(ck)
+                                              : keys;
+    std::span<const uint64_t> cur_c = counted ? std::span<const uint64_t>(cc)
+                                              : std::span<const uint64_t>();
+
+    std::vector<uint64_t> hold_k, hold_c;  // backing for cur after level 0
+    std::vector<uint64_t> rem_k, rem_c;    // remainder being built
+    uint64_t unanswered = n;
+    for (size_t l = 0; l <= deepest && !cur_k.empty(); ++l) {
+      any_filter& f = *levels_[l];
+      const bool last = l == deepest;
+      // Loop invariant: `unanswered` is exactly the instance total of the
+      // current slice (n at entry — compression preserves instances — and
+      // each fall-through subtracts what the level answered).
+      const uint64_t want = unanswered;
+      uint64_t got = 0;
+      if (last || !level_saturated(f))
+        got = counted ? f.insert_counted(cur_k, cur_c) : f.insert_bulk(cur_k);
+      if (got >= want) {
+        unanswered -= want;
+        break;
+      }
+      if (last) {
+        // Bottom of the cascade: credit what the level answers (placed or
+        // aliased, same as the fall-through rule) — only keys the whole
+        // cascade cannot answer are real refusals.
+        uint64_t answered = 0;
+        for (size_t i = 0; i < cur_k.size(); ++i)
+          if (f.contains(cur_k[i])) answered += counted ? cur_c[i] : 1;
+        unanswered -= answered > got ? answered : got;
+        break;
+      }
+      rem_k.clear();
+      rem_c.clear();
+      uint64_t still = 0;
+      for (size_t i = 0; i < cur_k.size(); ++i) {
+        if (f.contains(cur_k[i])) continue;  // answered by this level
+        rem_k.push_back(cur_k[i]);
+        if (counted) rem_c.push_back(cur_c[i]);
+        still += counted ? cur_c[i] : 1;
+      }
+      unanswered -= want - still;
+      hold_k.swap(rem_k);
+      hold_c.swap(rem_c);
+      cur_k = hold_k;
+      cur_c = hold_c;
+    }
+    return n - unanswered;
+  }
+
+  /// Bulk membership over the cascade: single level uses the backend's
+  /// native batch probe; deeper cascades walk levels per key (each shard
+  /// already runs on its own logical thread).
+  uint64_t bulk_contains_keys(std::span<const uint64_t> keys) const {
+    if (levels_.size() == 1) return levels_.front()->contains_bulk(keys);
+    uint64_t hits = 0;
+    for (uint64_t k : keys) hits += cascade_contains(k) ? 1 : 0;
+    return hits;
+  }
+
+  /// Bulk erase over the cascade: one instance per batch occurrence, first
+  /// level that holds the key wins.
+  uint64_t bulk_erase_keys(std::span<const uint64_t> keys) {
+    if (levels_.size() == 1) return levels_.front()->erase_bulk(keys);
+    uint64_t ok = 0;
+    for (uint64_t k : keys)
+      for (const auto& f : levels_)
+        if (f->erase(k)) {
+          ++ok;
+          break;
+        }
     return ok;
   }
 
@@ -224,7 +510,7 @@ class shard {
     }
     std::vector<uint64_t> keys = gather_keys(run);
     stats_.erases.fetch_add(run.size(), std::memory_order_relaxed);
-    uint64_t ok = filter_->erase_bulk(keys);
+    uint64_t ok = bulk_erase_keys(keys);
     if (ok < run.size())
       stats_.erase_failures.fetch_add(run.size() - ok,
                                       std::memory_order_relaxed);
@@ -244,7 +530,7 @@ class shard {
     }
     std::vector<uint64_t> keys = gather_keys(run);
     stats_.queries.fetch_add(run.size(), std::memory_order_relaxed);
-    uint64_t hits = filter_->contains_bulk(keys);
+    uint64_t hits = bulk_contains_keys(keys);
     if (hits) stats_.query_hits.fetch_add(hits, std::memory_order_relaxed);
     r.query_hits += hits;
     r.query_misses += run.size() - hits;
@@ -256,7 +542,8 @@ class shard {
     return keys;
   }
 
-  std::unique_ptr<any_filter> filter_;
+  std::vector<std::unique_ptr<any_filter>> levels_;
+  uint64_t failures_at_growth_ = 0;
   mutable std::mutex queue_mu_;
   std::vector<op> queue_;
   mutable util::op_stats stats_;

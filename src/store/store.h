@@ -24,6 +24,12 @@
 //                     through the backend's native bulk ops with §5.4
 //                     count-compression in front (store/shard.h).
 //
+// Skew relief: routing is static, so a hot shard cannot shed load to its
+// neighbours — and filters cannot enumerate their keys, so it cannot be
+// rehashed either.  maintain() instead *grows* pressured shards in place
+// by attaching geometrically-sized overflow children (store/shard.h);
+// reports expose cascade depth so sustained skew stays visible.
+//
 // Backends are runtime-selected per store (store/any_filter.h); whole-store
 // persistence lives in store/store_io.h.
 #pragma once
@@ -172,6 +178,30 @@ class filter_store {
     return ok.load();
   }
 
+  // -- Maintenance -----------------------------------------------------------
+
+  /// Outcome of one maintenance pass (report/telemetry).
+  struct maintain_result {
+    uint32_t shards_grown = 0;  ///< shards that attached an overflow child
+    uint32_t max_depth = 1;     ///< deepest cascade after the pass
+    uint32_t total_levels = 0;  ///< sum of cascade depths across shards
+  };
+
+  /// Walk every shard and attach overflow children where the pressure
+  /// thresholds are crossed (store/shard.h).  Host-phased like the bulk
+  /// APIs: quiesce writers first — the intended cadence is between batches
+  /// or drain rounds (examples/store_server.cpp runs it once per round).
+  maintain_result maintain(const maintain_config& cfg = {}) {
+    maintain_result r;
+    for (auto& s : shards_) {
+      if (s->maintain(cfg)) ++r.shards_grown;
+      uint32_t depth = s->level_count();
+      r.total_levels += depth;
+      if (depth > r.max_depth) r.max_depth = depth;
+    }
+    return r;
+  }
+
   /// Parallel membership count over a batch (point-routed; queries need no
   /// partitioning since they mutate nothing).  Each worker accumulates a
   /// private partial and publishes it once — a shared atomic per hit would
@@ -200,34 +230,51 @@ class filter_store {
 
   uint64_t size() const {
     uint64_t n = 0;
-    for (const auto& s : shards_) n += s->filter().size();
+    for (const auto& s : shards_) n += s->size();
     return n;
   }
   size_t memory_bytes() const {
     size_t n = 0;
-    for (const auto& s : shards_) n += s->filter().memory_bytes();
+    for (const auto& s : shards_) n += s->memory_bytes();
     return n;
   }
+  /// Item budget actually provisioned across every shard and cascade
+  /// level.  Equals config().capacity (rounded up to whole shards) until
+  /// maintenance grows a shard, then exceeds it.
+  uint64_t provisioned_capacity() const {
+    uint64_t n = 0;
+    for (const auto& s : shards_) n += s->capacity();
+    return n;
+  }
+  /// Occupancy against the *provisioned* budget — the number maintenance
+  /// decisions key off.  After growth this deflates back below the
+  /// pressure thresholds even though size() exceeds the nominal
+  /// config().capacity.
   double load_factor() const {
-    return cfg_.capacity ? static_cast<double>(size()) /
-                               static_cast<double>(cfg_.capacity)
-                         : 0.0;
+    uint64_t cap = provisioned_capacity();
+    return cap ? static_cast<double>(size()) / static_cast<double>(cap)
+               : 0.0;
   }
 
   struct shard_report {
     uint32_t index = 0;
-    uint64_t items = 0;
-    double load_factor = 0.0;
+    uint64_t items = 0;         ///< live items, all cascade levels
+    double load_factor = 0.0;   ///< items / provisioned budget, all levels
+    uint32_t levels = 1;        ///< cascade depth (1 = base filter only)
+    double deepest_load = 0.0;  ///< occupancy of the deepest level
     util::op_stats::snapshot ops;
   };
 
-  /// Per-shard occupancy and operation counts (hot-shard visibility).
+  /// Per-shard occupancy, cascade depth, and operation counts (hot-shard
+  /// and skew visibility).
   std::vector<shard_report> report() const {
     std::vector<shard_report> out(shards_.size());
     for (uint32_t s = 0; s < shards_.size(); ++s) {
       out[s].index = s;
-      out[s].items = shards_[s]->filter().size();
-      out[s].load_factor = shards_[s]->filter().load_factor();
+      out[s].items = shards_[s]->size();
+      out[s].load_factor = shards_[s]->load_factor();
+      out[s].levels = shards_[s]->level_count();
+      out[s].deepest_load = shards_[s]->deepest_load();
       out[s].ops = shards_[s]->stats();
     }
     return out;

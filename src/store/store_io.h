@@ -1,18 +1,26 @@
 // Whole-store persistence: magic + version + geometry header, then each
-// shard's backend payload (util/io.h framing throughout).
+// shard's cascade of backend payloads (util/io.h framing throughout).
 //
 // Layout (little-endian, host format like every filter file):
 //   u64 magic "GFSTOR"     u32 version
 //   u32 backend kind       u32 num_shards      u64 total capacity
-//   per shard: u64 provisioned capacity, u64 live items,
-//              backend payload (its own magic + version + geometry)
+//   per shard (v2): u32 level_count, then per level:
+//                   u64 provisioned capacity, u64 live items,
+//                   backend payload (its own magic + version + geometry)
+//   per shard (v1): exactly one level, no level_count field.
+// Version 2 added overflow cascades (store/shard.h); version-1 files load
+// unchanged as depth-1 cascades, so stores written before maintenance
+// existed keep working.
+//
 // The loader validates the store header before touching any payload, each
-// backend loader re-validates its own framing and geometry, and the
+// backend loader re-validates its own framing and geometry, the header
+// capacity is cross-checked against every base level's provisioned
+// capacity (a corrupted capacity field would otherwise silently skew
+// load_factor() and every future maintenance decision), and the
 // store-layer live-item count is cross-checked against the counter the
-// backend payload carries — two separate file regions, so corruption or
-// desync of either fires.  Truncated, corrupted, or foreign files fail
-// with an exception instead of yielding a store that silently answers
-// wrong.
+// backend payload carries — separate file regions, so corruption or
+// desync of any fires.  Truncated, corrupted, or foreign files fail with
+// an exception instead of yielding a store that silently answers wrong.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +39,12 @@
 namespace gf::store {
 
 inline constexpr uint64_t kStoreMagic = 0x4746'5354'4F52ull;  // "GFSTOR"
-inline constexpr uint32_t kStoreVersion = 1;
+inline constexpr uint32_t kStoreVersion = 2;
+
+/// Ceiling on any single level's provisioned item budget in a store file —
+/// like kMaxShards, a corrupted header can never smuggle in an absurd
+/// budget that would distort load accounting.
+inline constexpr uint64_t kMaxLevelCapacity = uint64_t{1} << 48;
 
 /// Write the store to a stream.  Not thread-safe against writers; quiesce
 /// (flush pending batches) first.
@@ -42,17 +55,27 @@ inline void save_store(const filter_store& store, std::ostream& out) {
   util::write_pod<uint32_t>(out, store.num_shards());
   util::write_pod<uint64_t>(out, store.config().capacity);
   for (uint32_t s = 0; s < store.num_shards(); ++s) {
-    const any_filter& f = store.shard_at(s).filter();
-    util::write_pod<uint64_t>(out, f.capacity());
-    util::write_pod<uint64_t>(out, f.size());
-    f.save(out);
+    const shard& sh = store.shard_at(s);
+    util::write_pod<uint32_t>(out, sh.level_count());
+    for (uint32_t l = 0; l < sh.level_count(); ++l) {
+      const any_filter& f = sh.level(l);
+      util::write_pod<uint64_t>(out, f.capacity());
+      util::write_pod<uint64_t>(out, f.size());
+      f.save(out);
+    }
   }
 }
 
-/// Read a store previously written by save_store().  Throws on malformed
+/// Read a store previously written by save_store() — version 2, or a
+/// version-1 file from before overflow cascades.  Throws on malformed
 /// input, unknown backends, or geometry that disagrees with the payload.
 inline filter_store load_store(std::istream& in) {
-  util::expect_header(in, kStoreMagic, kStoreVersion);
+  if (util::read_pod<uint64_t>(in) != kStoreMagic)
+    throw std::runtime_error("gf: not a filter store file (bad magic)");
+  uint32_t version = util::read_pod<uint32_t>(in);
+  if (version != 1 && version != kStoreVersion)
+    throw std::runtime_error("gf: unsupported store file version " +
+                             std::to_string(version));
   uint32_t backend_raw = util::read_pod<uint32_t>(in);
   if (backend_raw >= kNumBackends)
     throw std::runtime_error("gf: store file names unknown backend " +
@@ -63,17 +86,39 @@ inline filter_store load_store(std::istream& in) {
   if (cfg.num_shards == 0 || cfg.num_shards > kMaxShards)
     throw std::runtime_error("gf: store file shard count out of range");
   cfg.capacity = util::read_pod<uint64_t>(in);
+  const uint64_t base_capacity = filter_store::shard_capacity(cfg);
 
   std::vector<std::unique_ptr<shard>> shards;
   shards.reserve(cfg.num_shards);
   for (uint32_t s = 0; s < cfg.num_shards; ++s) {
-    uint64_t shard_cap = util::read_pod<uint64_t>(in);
-    uint64_t items = util::read_pod<uint64_t>(in);
-    auto filter = load_filter(cfg.backend, shard_cap, in);
-    if (filter->size() != items)
+    uint32_t num_levels =
+        version >= 2 ? util::read_pod<uint32_t>(in) : uint32_t{1};
+    if (num_levels == 0 || num_levels > kMaxCascadeLevels)
       throw std::runtime_error("gf: store shard " + std::to_string(s) +
-                               " item count disagrees with payload");
-    shards.push_back(std::make_unique<shard>(std::move(filter)));
+                               " cascade depth out of range");
+    std::vector<std::unique_ptr<any_filter>> levels;
+    levels.reserve(num_levels);
+    for (uint32_t l = 0; l < num_levels; ++l) {
+      uint64_t level_cap = util::read_pod<uint64_t>(in);
+      // Cross-check the geometry the header implies: every base level was
+      // provisioned as capacity / num_shards, so a corrupted capacity
+      // field (or per-level budget) disagrees here instead of silently
+      // skewing load_factor() and future maintenance decisions.
+      if (l == 0 && level_cap != base_capacity)
+        throw std::runtime_error(
+            "gf: store shard " + std::to_string(s) +
+            " base capacity disagrees with the header capacity");
+      if (level_cap == 0 || level_cap > kMaxLevelCapacity)
+        throw std::runtime_error("gf: store shard " + std::to_string(s) +
+                                 " level budget out of range");
+      uint64_t items = util::read_pod<uint64_t>(in);
+      auto filter = load_filter(cfg.backend, level_cap, in);
+      if (filter->size() != items)
+        throw std::runtime_error("gf: store shard " + std::to_string(s) +
+                                 " item count disagrees with payload");
+      levels.push_back(std::move(filter));
+    }
+    shards.push_back(std::make_unique<shard>(std::move(levels)));
   }
   return filter_store(cfg, std::move(shards));
 }
@@ -83,6 +128,10 @@ inline void save_store(const filter_store& store, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("gf: cannot open " + path);
   save_store(store, out);
+  // Push the buffered tail to the OS before declaring success: without the
+  // flush a full disk looks like a clean save and surfaces later as a
+  // truncated, unloadable store file.
+  out.flush();
   if (!out) throw std::runtime_error("gf: short write to " + path);
 }
 

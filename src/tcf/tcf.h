@@ -225,7 +225,12 @@ class tcf {
   /// worker ranges keep each worker on a contiguous slab.
   uint64_t insert_bulk_sorted(std::span<const uint64_t> keys) {
     const uint64_t n = keys.size();
-    if (n < kSortedSlabMin) return insert_bulk(keys);
+    // Small batches skip the parallel slab machinery but must NOT skip the
+    // §5.4 dedup: 200 copies of one hot key would otherwise flood its two
+    // candidate blocks and report spurious refusals even though the one
+    // distinct key trivially fits.  A serial sort at this size is cheaper
+    // than a single stray block probe.
+    if (n < kSortedSlabMin) return insert_small_deduped(keys);
     // Adaptive §5.4: a duplicate-free batch gains nothing from the dedup
     // sort (and the point path's two-choice probes are already cache-
     // resident at CI table sizes), so only skewed batches pay for it.
@@ -263,7 +268,10 @@ class tcf {
   /// Counted sorted-slab insert: keys[i] is stored once (the TCF has no
   /// counter channel — §5.4 compression collapses its duplicates); returns
   /// the sum of counts[i] over keys that landed, i.e. the number of
-  /// original batch instances whose membership is now answered.
+  /// original batch instances whose membership is now answered — never the
+  /// number of distinct keys placed (store/any_filter.h's insert_counted
+  /// contract; the sharded store charges the shortfall against the raw
+  /// batch size as insert failures).
   uint64_t insert_counted_sorted(std::span<const uint64_t> keys,
                                  std::span<const uint64_t> counts) {
     const uint64_t n = keys.size();
@@ -290,6 +298,32 @@ class tcf {
       if (local) instances.fetch_add(local, std::memory_order_relaxed);
     });
     return instances.load();
+  }
+
+  /// Serial §5.4 path for sub-slab batches: sort, insert each distinct key
+  /// once, and answer its duplicates from that one stored fingerprint.
+  /// Returns batch instances answered, matching insert_bulk_sorted().
+  uint64_t insert_small_deduped(std::span<const uint64_t> keys) {
+    const uint64_t n = keys.size();
+    if (n < 2) return insert_bulk(keys);
+    std::vector<uint64_t> sorted(keys.begin(), keys.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
+      return insert_bulk(keys);  // duplicate-free: no dedup to exploit
+    uint64_t ok = 0;
+    uint64_t prev_key = 0;
+    bool have_prev = false, prev_ok = false;
+    for (uint64_t key : sorted) {
+      if (have_prev && key == prev_key) {
+        ok += prev_ok ? 1 : 0;
+        continue;
+      }
+      prev_key = key;
+      have_prev = true;
+      prev_ok = insert(prev_key);
+      ok += prev_ok ? 1 : 0;
+    }
+    return ok;
   }
 
   // -- Enumeration ------------------------------------------------------------

@@ -123,6 +123,43 @@ TEST(StoreBulk, AllDuplicatesBatchCompresses) {
   }
 }
 
+TEST(StoreBulk, DuplicateHeavyBatchReportsNoSpuriousFailures) {
+  // any_filter bulk-insert contract: returns batch *instances* answered,
+  // never distinct keys placed — and §5.4 dedup applies at every batch
+  // size.  An all-duplicates batch whose one distinct key trivially fits
+  // must report zero insert failures on all four backends.  The 200-copy
+  // case is the regression: it sits below the TCF's parallel-slab
+  // threshold, where the raw point loop used to flood the hot key's two
+  // candidate blocks and refuse ~half the batch.
+  for (backend_kind backend : kAllBackends) {
+    for (uint64_t copies : {uint64_t{200}, uint64_t{4096}}) {
+      store::filter_store s(config(backend, 1, 1 << 12));
+      std::vector<uint64_t> batch(copies, 0xFEEDull);
+      EXPECT_EQ(s.insert_bulk(batch), copies)
+          << backend_name(backend) << " x" << copies;
+      EXPECT_EQ(s.shard_at(0).stats().insert_failures, 0u)
+          << backend_name(backend) << " x" << copies;
+      EXPECT_TRUE(s.contains(0xFEEDull)) << backend_name(backend);
+    }
+  }
+}
+
+TEST(StoreBulk, MixedDuplicateBatchAccountsInInstanceUnits) {
+  // Half hot-key copies, half distinct keys: batch_result::inserted must
+  // come back in instance units (the full batch), not distinct-key units.
+  for (backend_kind backend : kAllBackends) {
+    store::filter_store s(config(backend, 2, 1 << 13));
+    auto distinct = util::hashed_xorwow_items(2000, 391);
+    std::vector<uint64_t> batch(2000, 0xBEEFull);
+    batch.insert(batch.end(), distinct.begin(), distinct.end());
+    std::vector<store::op> ops;
+    for (uint64_t k : batch) ops.push_back(store::make_insert(k));
+    auto r = s.apply(ops);
+    EXPECT_EQ(r.inserted, batch.size()) << backend_name(backend);
+    EXPECT_EQ(r.insert_failed, 0u) << backend_name(backend);
+  }
+}
+
 TEST(StoreBulk, ZipfFloodDoesNotCollapseTcf) {
   // The ROADMAP failure mode: a Zipf(0.99) hot-key flood point-routed into
   // a TCF overflows the hot keys' two candidate blocks and fails
