@@ -1,0 +1,200 @@
+// net_throughput: wire throughput vs in-process bulk throughput.
+//
+// The protocol's bet (src/net/frame.h) is that a batch-unit wire format
+// carries the paper's batch-amortization lesson across the network
+// boundary: once frames hold thousands of keys and the client pipelines,
+// the socket stops being the bottleneck and wire throughput converges on
+// what the store does in-process.  This bench measures exactly that —
+// a sweep of batch size × client connections over loopback, inserts then
+// queries, against an in-process baseline driven at the *same* batch size
+// (chunked filter_store::insert_bulk / count_contained), so the ratio
+// isolates pure wire overhead: framing, CRC, syscalls, loopback copies.
+//
+// Expectations on any host: tiny batches lose big (per-frame overhead
+// dominates, the round trips serialize), 4 Ki-key pipelined batches land
+// within a small factor of in-process — the acceptance line at the end
+// asserts the ≥ 50% convergence target this PR ships against.
+//
+// Flags (bench/harness.h): --full sweeps more keys; plus
+//   --backend tcf|gqf|bbf|btcf   store backend (default tcf)
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "store/store.h"
+#include "util/timer.h"
+#include "util/xorwow.h"
+
+using namespace gf;
+
+namespace {
+
+constexpr size_t kBatchSizes[] = {256, 1024, 4096};
+constexpr int kConnCounts[] = {1, 2, 4};
+constexpr size_t kWindow = 8;  ///< pipelined frames in flight per connection
+
+store::filter_store make_store(store::backend_kind backend, uint64_t n) {
+  store::store_config cfg;
+  cfg.backend = backend;
+  cfg.num_shards = 4;
+  cfg.capacity = n + n / 2;  // headroom: refusals would distort timing
+  return store::filter_store(cfg);
+}
+
+/// One client connection's share of a phase: insert or query its key slice
+/// in `batch`-key frames, `kWindow` in flight.
+void drive(net::client& cli, std::span<const uint64_t> keys, size_t batch,
+           bool inserts) {
+  std::vector<uint64_t> seqs;
+  seqs.reserve(kWindow);
+  size_t settled = 0;
+  for (size_t lo = 0; lo < keys.size(); lo += batch) {
+    auto slice = keys.subspan(lo, std::min(batch, keys.size() - lo));
+    seqs.push_back(inserts ? cli.submit_insert(slice)
+                           : cli.submit_query(slice));
+    if (seqs.size() - settled >= kWindow) cli.wait(seqs[settled++]);
+  }
+  while (settled < seqs.size()) cli.wait(seqs[settled++]);
+}
+
+struct phase_result {
+  double wire_mops[std::size(kConnCounts)] = {};
+  double inproc_mops = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::options::parse(argc, argv);
+  store::backend_kind backend = store::backend_kind::tcf;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--backend") && i + 1 < argc) {
+      const char* b = argv[++i];
+      if (!std::strcmp(b, "gqf")) backend = store::backend_kind::gqf;
+      else if (!std::strcmp(b, "bbf"))
+        backend = store::backend_kind::blocked_bloom;
+      else if (!std::strcmp(b, "btcf"))
+        backend = store::backend_kind::bulk_tcf;
+    }
+  }
+  const uint64_t n = uint64_t{1} << (opts.full ? 21 : 19);
+
+  bench::print_banner(
+      "net_throughput: wire batches vs in-process bulk over loopback",
+      "store network service (beyond the paper; batch lesson of §4.2/§5.4)");
+  std::printf("backend: %s, %lu keys per phase, window %zu, loopback TCP\n",
+              store::backend_name(backend), static_cast<unsigned long>(n),
+              kWindow);
+
+  auto keys = util::hashed_xorwow_items(n, 4242);
+
+  std::vector<std::string> cols;
+  for (int c : kConnCounts) cols.push_back(std::to_string(c) + "-conn");
+  cols.push_back("in-proc");
+  cols.push_back("best/inproc");
+
+  phase_result insert_res[std::size(kBatchSizes)];
+  phase_result query_res[std::size(kBatchSizes)];
+
+  for (size_t bi = 0; bi < std::size(kBatchSizes); ++bi) {
+    const size_t batch = kBatchSizes[bi];
+
+    // In-process baseline at the same batch size: what the store does when
+    // the batches arrive by function call instead of by socket.
+    {
+      auto st = make_store(backend, n);
+      insert_res[bi].inproc_mops = bench::time_mops(n, [&] {
+        for (size_t lo = 0; lo < keys.size(); lo += batch)
+          st.insert_bulk(std::span<const uint64_t>(keys).subspan(
+              lo, std::min(batch, keys.size() - lo)));
+      });
+      query_res[bi].inproc_mops = bench::best_mops(3, n, [&] {
+        for (size_t lo = 0; lo < keys.size(); lo += batch)
+          st.count_contained(std::span<const uint64_t>(keys).subspan(
+              lo, std::min(batch, keys.size() - lo)));
+      });
+    }
+
+    for (size_t ci = 0; ci < std::size(kConnCounts); ++ci) {
+      const int conns = kConnCounts[ci];
+      net::server srv({}, make_store(backend, n));
+      std::thread loop([&] { srv.run(); });
+
+      auto run_phase = [&](bool inserts) {
+        std::vector<std::thread> workers;
+        util::wall_timer timer;
+        for (int c = 0; c < conns; ++c) {
+          size_t lo = keys.size() * static_cast<size_t>(c) /
+                      static_cast<size_t>(conns);
+          size_t hi = keys.size() * static_cast<size_t>(c + 1) /
+                      static_cast<size_t>(conns);
+          workers.emplace_back([&, lo, hi] {
+            net::client cli("127.0.0.1", srv.port());
+            drive(cli, std::span<const uint64_t>(keys).subspan(lo, hi - lo),
+                  batch, inserts);
+          });
+        }
+        for (auto& w : workers) w.join();
+        return util::mops(n, timer.seconds());
+      };
+
+      insert_res[bi].wire_mops[ci] = run_phase(/*inserts=*/true);
+      // Queries are idempotent, so best-of-3 like the in-process baseline
+      // (bench::best_mops): read-only passes deserve equal cache warmth on
+      // both sides of the ratio.
+      for (int rep = 0; rep < 3; ++rep)
+        query_res[bi].wire_mops[ci] = std::max(
+            query_res[bi].wire_mops[ci], run_phase(/*inserts=*/false));
+
+      srv.request_stop();
+      loop.join();
+    }
+  }
+
+  auto print_phase = [&](const char* label, const phase_result* res) {
+    bench::print_series_header(label, cols);
+    for (size_t bi = 0; bi < std::size(kBatchSizes); ++bi) {
+      double best = 0;
+      std::vector<double> vals;
+      for (double v : res[bi].wire_mops) {
+        vals.push_back(v);
+        best = std::max(best, v);
+      }
+      vals.push_back(res[bi].inproc_mops);
+      vals.push_back(res[bi].inproc_mops > 0 ? best / res[bi].inproc_mops
+                                             : 0.0);
+      // Rows are batch sizes, not log2 filter sizes, in this sweep.
+      bench::print_series_row(static_cast<int>(kBatchSizes[bi]), vals);
+    }
+  };
+  std::printf("\n(rows are keys per frame; best/inproc is the convergence "
+              "ratio)\n");
+  print_phase("wire insert Mops/s", insert_res);
+  print_phase("wire query Mops/s", query_res);
+
+  // Acceptance: pipelined 4 Ki-key batches must reach ≥ 50% of in-process
+  // bulk throughput — the "wire carries the batch lesson" claim.
+  const size_t last = std::size(kBatchSizes) - 1;
+  double ins_best = 0, qry_best = 0;
+  for (double v : insert_res[last].wire_mops) ins_best = std::max(ins_best, v);
+  for (double v : query_res[last].wire_mops) qry_best = std::max(qry_best, v);
+  double ins_ratio = insert_res[last].inproc_mops > 0
+                         ? ins_best / insert_res[last].inproc_mops
+                         : 0.0;
+  double qry_ratio = query_res[last].inproc_mops > 0
+                         ? qry_best / query_res[last].inproc_mops
+                         : 0.0;
+  std::printf("\nacceptance: batch=%zu insert wire/inproc %.2f, query "
+              "wire/inproc %.2f (target >= 0.50) -> %s\n",
+              kBatchSizes[last], ins_ratio, qry_ratio,
+              ins_ratio >= 0.5 && qry_ratio >= 0.5 ? "converged"
+                                                   : "below target");
+  return 0;
+}

@@ -29,6 +29,7 @@
 #include "gpu/launch.h"
 #include "gpu/thread_pool.h"
 #include "store/store.h"
+#include "util/json.h"
 #include "util/zipf.h"
 
 using namespace gf;
@@ -43,11 +44,19 @@ FILE* g_json = nullptr;
 void emit_json(store::backend_kind backend, uint32_t shards, int log_size,
                const char* metric, double value) {
   if (!g_json) return;
-  std::fprintf(g_json,
-               "{\"bench\":\"store_scaling\",\"backend\":\"%s\","
-               "\"shards\":%u,\"log2size\":%d,\"metric\":\"%s\","
-               "\"value\":%.4f}\n",
-               store::backend_name(backend), shards, log_size, metric, value);
+  // One JSON-line per measurement through the shared writer (util/json.h)
+  // — same emitter as the store's report_json, so escaping and the fixed
+  // 4-digit value format CI greps for live in one place.
+  util::json_writer w;
+  w.object_begin()
+      .field("bench", "store_scaling")
+      .field("backend", store::backend_name(backend))
+      .field("shards", shards)
+      .field("log2size", log_size)
+      .field("metric", metric)
+      .field("value", value, 4)
+      .object_end();
+  std::fprintf(g_json, "%s\n", w.str().c_str());
 }
 
 store::filter_store make_store(store::backend_kind backend, uint32_t shards,

@@ -1,0 +1,22 @@
+// Shared CLI parsing helper for the example binaries.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace gf::examples {
+
+/// Parse a bounded integer argument.  std::atoi would quietly turn garbage
+/// into 0 and negatives into absurd unsigned values (e.g. shard counts),
+/// leaving downstream validation to die with a misleading message.
+inline bool parse_arg(const char* text, long min, long max, long* out) {
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < min || v > max)
+    return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace gf::examples

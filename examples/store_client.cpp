@@ -1,0 +1,259 @@
+// store_client: mixed-workload load generator for a store_server.
+//
+//   build/examples/store_client [--host H] [--port N] [--batches N]
+//                               [--batch K] [--window W] [--seed S]
+//                               [--theta T] [--counted]
+//                               [--stats] [--maintain] [--snapshot] [--ping]
+//
+// Default mode drives a Zipfian request mix — the shape of a cache-
+// admission or dedup tier under heavy traffic — in *batches*, the wire
+// protocol's unit: each frame carries K keys, and up to W frames ride the
+// connection at once (pipelined; responses are matched by sequence id).
+// The mix is 70% membership-query batches, 25% insert batches, 5% erase
+// batches.  --counted turns insert batches into §5.4-style (key, count)
+// compressed frames.
+//
+// One-shot flags (--stats/--maintain/--snapshot/--ping) skip the load
+// phase unless --batches is also given, and run after it when it is.
+//
+// Exit status: nonzero if any protocol error occurred — CI's loopback
+// smoke gates on "zero protocol errors" with exactly this.
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arg_parse.h"
+#include "net/client.h"
+#include "util/hash.h"
+#include "util/timer.h"
+#include "util/zipf.h"
+
+using namespace gf;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: store_client [--host H] [--port N] [--batches N] [--batch K]\n"
+      "                    [--window W] [--seed S] [--theta T] [--counted]\n"
+      "                    [--stats] [--maintain] [--snapshot] [--ping]\n");
+  return 2;
+}
+
+using examples::parse_arg;
+
+/// Connect with a short retry window so scripted "start server & run
+/// client" sequences don't race the server's bind.
+net::client connect_retry(const std::string& host, uint16_t port) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return net::client(host, port);
+    } catch (const std::exception&) {
+      if (attempt >= 24) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  }
+}
+
+struct in_flight {
+  uint64_t seq = 0;
+  net::opcode op = net::opcode::ping;
+  uint64_t batch = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string host = "127.0.0.1";
+  long port = 7717, batches = -1, batch = 4096, window = 8, seed = 42;
+  double theta = 1.1;
+  bool counted = false;
+  bool do_stats = false, do_maintain = false, do_snapshot = false,
+       do_ping = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    long v = 0;
+    if (!std::strcmp(a, "--host")) {
+      const char* s = next();
+      if (!s) return usage();
+      host = s;
+    } else if (!std::strcmp(a, "--port")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1, 65535, &port)) return usage();
+    } else if (!std::strcmp(a, "--batches")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1, 1L << 20, &batches)) return usage();
+    } else if (!std::strcmp(a, "--batch")) {
+      const char* s = next();
+      if (!s ||
+          !parse_arg(s, 1, static_cast<long>(net::kMaxKeysPerFrame), &batch))
+        return usage();
+    } else if (!std::strcmp(a, "--window")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1, 1024, &window)) return usage();
+    } else if (!std::strcmp(a, "--seed")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 0, 1L << 40, &seed)) return usage();
+    } else if (!std::strcmp(a, "--theta")) {
+      const char* s = next();
+      char* end = nullptr;
+      theta = std::strtod(s ? s : "", &end);
+      if (!s || end == s || *end != '\0' || theta <= 0) return usage();
+    } else if (!std::strcmp(a, "--counted")) {
+      counted = true;
+    } else if (!std::strcmp(a, "--stats")) {
+      do_stats = true;
+    } else if (!std::strcmp(a, "--maintain")) {
+      do_maintain = true;
+    } else if (!std::strcmp(a, "--snapshot")) {
+      do_snapshot = true;
+    } else if (!std::strcmp(a, "--ping")) {
+      do_ping = true;
+    } else {
+      return usage();
+    }
+  }
+
+  const bool one_shot_only =
+      batches < 0 && (do_stats || do_maintain || do_snapshot || do_ping);
+  if (batches < 0) batches = one_shot_only ? 0 : 32;
+
+  net::client cli = connect_retry(host, static_cast<uint16_t>(port));
+  uint64_t protocol_errors = 0;
+
+  if (batches > 0) {
+    // Hot keys repeat Zipf-style over a universe sized to the workload, and
+    // ranks are murmur-scrambled so they spread across shards.
+    uint64_t universe =
+        static_cast<uint64_t>(batches) * static_cast<uint64_t>(batch) / 2;
+    if (universe < 1024) universe = 1024;
+    util::zipf_generator zipf(universe, theta,
+                              static_cast<uint64_t>(seed));
+
+    net::pair_result inserts, erases;
+    uint64_t query_hits = 0, query_keys = 0;
+    std::deque<in_flight> window_q;
+    std::vector<uint64_t> keys(static_cast<size_t>(batch));
+    std::vector<uint64_t> ones(static_cast<size_t>(batch), 1);
+
+    auto settle = [&](const in_flight& inf) {
+      net::frame f = cli.wait(inf.seq);
+      if (f.status != net::wire_status::ok) {
+        ++protocol_errors;
+        return;
+      }
+      switch (inf.op) {
+        case net::opcode::insert:
+        case net::opcode::insert_counted: {
+          auto r = net::decode_pair_response(f);
+          inserts.ok += r.ok;
+          inserts.failed += r.failed;
+          break;
+        }
+        case net::opcode::erase: {
+          auto r = net::decode_pair_response(f);
+          erases.ok += r.ok;
+          erases.failed += r.failed;
+          break;
+        }
+        case net::opcode::query: {
+          uint64_t h = 0;
+          for (uint64_t w : net::decode_bitmap(f))
+            h += static_cast<uint64_t>(std::popcount(w));
+          query_hits += h;
+          query_keys += inf.batch;
+          break;
+        }
+        default:
+          break;
+      }
+    };
+
+    util::wall_timer timer;
+    for (long b = 0; b < batches; ++b) {
+      for (auto& k : keys) k = util::murmur64(zipf.next() + 1);
+      // Per-batch mix over a 20-round cycle, *interleaved* so even a
+      // short run touches every op kind: 5 insert batches (r % 4 == 1),
+      // 1 erase batch (r == 10), 14 query batches ≈ the 70/25/5 request
+      // mix store_server's selftest drives.
+      long r = b % 20;
+      in_flight inf;
+      inf.batch = static_cast<uint64_t>(batch);
+      if (r % 4 != 1 && r != 10) {
+        inf.op = net::opcode::query;
+        inf.seq = cli.submit_query(keys);
+      } else if (r % 4 == 1) {
+        inf.op = counted ? net::opcode::insert_counted : net::opcode::insert;
+        inf.seq = counted ? cli.submit_insert_counted(keys, ones)
+                          : cli.submit_insert(keys);
+      } else {
+        inf.op = net::opcode::erase;
+        inf.seq = cli.submit_erase(keys);
+      }
+      window_q.push_back(inf);
+      while (window_q.size() >= static_cast<size_t>(window)) {
+        settle(window_q.front());
+        window_q.pop_front();
+      }
+    }
+    while (!window_q.empty()) {
+      settle(window_q.front());
+      window_q.pop_front();
+    }
+    double secs = timer.seconds();
+
+    uint64_t total_keys =
+        static_cast<uint64_t>(batches) * static_cast<uint64_t>(batch);
+    std::printf(
+        "store_client: %lu batches x %lu keys in %.2fs (%.1f Mops/s, "
+        "window %ld)\n",
+        static_cast<unsigned long>(batches),
+        static_cast<unsigned long>(batch), secs,
+        util::mops(total_keys, secs), window);
+    std::printf("  queries: %lu keys, %4.1f%% hits\n",
+                static_cast<unsigned long>(query_keys),
+                query_keys ? 100.0 * static_cast<double>(query_hits) /
+                                 static_cast<double>(query_keys)
+                           : 0.0);
+    std::printf("  inserts: %lu ok / %lu refused\n",
+                static_cast<unsigned long>(inserts.ok),
+                static_cast<unsigned long>(inserts.failed));
+    std::printf("  erases:  %lu ok / %lu missing\n",
+                static_cast<unsigned long>(erases.ok),
+                static_cast<unsigned long>(erases.failed));
+  }
+
+  if (do_ping) {
+    cli.ping();
+    std::printf("pong\n");
+  }
+  if (do_maintain) {
+    auto m = cli.maintain();
+    std::printf("maintain: %u shards grew, max depth %u, %u total levels\n",
+                m.shards_grown, m.max_depth, m.total_levels);
+  }
+  if (do_snapshot) {
+    uint64_t bytes = cli.snapshot();
+    std::printf("snapshot: %lu bytes persisted server-side\n",
+                static_cast<unsigned long>(bytes));
+  }
+  if (do_stats) std::printf("%s\n", cli.stats_json().c_str());
+
+  std::printf("protocol errors: %lu\n",
+              static_cast<unsigned long>(protocol_errors));
+  return protocol_errors ? 1 : 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "store_client: %s\n", e.what());
+  return 1;
+}

@@ -1,27 +1,37 @@
-// store_server: a request-loop demo of the sharded filter store.
+// store_server: the sharded filter store as a network service.
 //
-//   build/examples/store_server [backend] [shards] [rounds]
-//     backend ∈ {tcf, gqf, bbf, btcf}   (default tcf)
-//     shards  ∈ [1, 16384]              (default 4)
-//     rounds  ∈ [1, 1000000]            (default 8)
+//   build/examples/store_server [--backend tcf|gqf|bbf|btcf] [--shards N]
+//                               [--capacity N] [--bind ADDR] [--port N]
+//                               [--snapshot PATH] [--selftest ROUNDS]
 //
-// Simulates a front-end serving a Zipfian request mix — the shape of a
-// cache-admission or dedup tier under heavy traffic: each round a batch of
-// requests (70% membership lookups, 25% inserts, 5% deletes where the
-// backend supports them) arrives, the server partitions it across shards
-// and applies it with one logical thread per shard, then runs a
-// maintenance pass (hot shards under sustained skew grow overflow
-// cascades instead of refusing inserts) and reports per-round throughput
-// plus cascade depth.  On shutdown the store is persisted, reloaded as a
-// restarted server would, and spot-checked; the final report shows
-// per-shard occupancy, cascade depth, and operation counts.
-#include <cerrno>
+// Network mode (default): serve the gf::net batched wire protocol
+// (src/net/frame.h) on --port.  Batches funnel into the store's bulk
+// machinery; responses carry the request's sequence id, so clients may
+// pipeline (examples/store_client.cpp is the matching load generator).
+//
+//   * --snapshot PATH arms the SNAPSHOT opcode, and the server persists
+//     the store there on shutdown.  If PATH already exists the server
+//     *restores* from it at startup — kill -TERM && restart is a clean
+//     durability cycle, not a data loss.
+//   * SIGINT/SIGTERM stop the event loop gracefully (async-signal-safe
+//     wakeup pipe); in-flight state is saved, not dropped on the floor.
+//
+// Self-test mode (--selftest N): the original self-driving simulation — a
+// Zipfian request mix (70% lookups, 25% inserts, 5% deletes) applied for N
+// rounds with a maintenance pass per round, then a persist + reload +
+// spot-check restart drill.  CI smokes use it; it needs no second process.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "arg_parse.h"
+#include "net/server.h"
+#include "store/report_json.h"
 #include "store/store.h"
 #include "store/store_io.h"
 #include "util/timer.h"
@@ -33,58 +43,158 @@ using namespace gf;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: store_server [tcf|gqf|bbf|btcf] [shards] [rounds]\n"
-               "  shards in [1, %u] (default 4), rounds in [1, 1000000] "
-               "(default 8)\n",
-               store::kMaxShards);
+  std::fprintf(
+      stderr,
+      "usage: store_server [--backend tcf|gqf|bbf|btcf] [--shards N]\n"
+      "                    [--capacity N] [--bind ADDR] [--port N]\n"
+      "                    [--snapshot PATH] [--selftest ROUNDS]\n"
+      "  shards in [1, %u], capacity in [1024, 2^30], port in [0, 65535]\n"
+      "  (port 0 picks an ephemeral port and prints it)\n",
+      store::kMaxShards);
   return 2;
 }
 
-/// Parse a bounded positive integer argument.  std::atoi would quietly
-/// turn garbage into 0 and negatives into absurd unsigned shard counts,
-/// leaving validate_config to die with a misleading message.
-bool parse_arg(const char* text, long min, long max, long* out) {
-  errno = 0;
-  char* end = nullptr;
-  long v = std::strtol(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0' || v < min || v > max)
-    return false;
-  *out = v;
-  return true;
+using examples::parse_arg;
+
+// Atomic: signal handlers may only touch lock-free atomics and
+// sig_atomic_t, and the pointer is cleared on the main thread after run()
+// returns — a plain pointer read from the handler would race that store.
+std::atomic<net::server*> g_server{nullptr};
+volatile std::sig_atomic_t g_signal = 0;
+
+/// Only async-signal-safe work here: flag the signal and ping the server's
+/// wakeup pipe (one write(2)); persistence happens on the main thread
+/// after run() returns.
+void on_signal(int sig) {
+  g_signal = sig;
+  if (net::server* s = g_server.load()) s->request_stop();
+}
+
+int selftest(store::store_config cfg, int rounds);
+
+int serve(store::store_config cfg, const std::string& bind, uint16_t port,
+          const std::string& snapshot) try {
+  const bool restore =
+      !snapshot.empty() && std::filesystem::exists(snapshot);
+  store::filter_store st =
+      restore ? store::load_store(snapshot) : store::filter_store(cfg);
+  if (restore)
+    std::printf("store_server: restored %lu items from %s\n",
+                static_cast<unsigned long>(st.size()), snapshot.c_str());
+
+  net::server_config scfg;
+  scfg.bind_addr = bind;
+  scfg.port = port;
+  scfg.snapshot_path = snapshot;
+  net::server server(std::move(scfg), std::move(st));
+
+  g_server.store(&server);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::printf("store_server: backend=%s shards=%u listening on %s:%u%s%s\n",
+              store::backend_name(server.store().config().backend),
+              server.store().num_shards(), bind.c_str(),
+              static_cast<unsigned>(server.port()),
+              snapshot.empty() ? "" : " snapshot=",
+              snapshot.c_str());
+  std::fflush(stdout);
+
+  server.run();
+  g_server.store(nullptr);
+
+  if (g_signal)
+    std::printf("store_server: caught signal %d, shutting down\n",
+                static_cast<int>(g_signal));
+  if (!snapshot.empty()) {
+    store::save_store(server.store(), snapshot);
+    std::printf("store_server: persisted %lu items to %s\n",
+                static_cast<unsigned long>(server.store().size()),
+                snapshot.c_str());
+  }
+
+  auto stats = server.stats();
+  std::printf("store_server: served %lu frames / %lu keys over %lu "
+              "connections (%lu protocol errors, %.1f MiB in, %.1f MiB "
+              "out)\n",
+              static_cast<unsigned long>(stats.frames_served),
+              static_cast<unsigned long>(stats.keys_processed),
+              static_cast<unsigned long>(stats.connections_accepted),
+              static_cast<unsigned long>(stats.protocol_errors),
+              static_cast<double>(stats.bytes_in) / 1048576,
+              static_cast<double>(stats.bytes_out) / 1048576);
+  std::printf("%s\n", store::report_json(server.store()).c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "store_server: %s\n", e.what());
+  return 2;
 }
 
 }  // namespace
 
-int run(store::store_config cfg, int rounds);
-
 int main(int argc, char** argv) {
   store::store_config cfg;
   cfg.backend = store::backend_kind::tcf;
-  if (argc > 1) {
-    if (!std::strcmp(argv[1], "gqf")) cfg.backend = store::backend_kind::gqf;
-    else if (!std::strcmp(argv[1], "bbf"))
-      cfg.backend = store::backend_kind::blocked_bloom;
-    else if (!std::strcmp(argv[1], "btcf"))
-      cfg.backend = store::backend_kind::bulk_tcf;
-    else if (std::strcmp(argv[1], "tcf"))
-      return usage();
-  }
-  long shards = 4, rounds = 8;
-  if (argc > 2 && !parse_arg(argv[2], 1, store::kMaxShards, &shards))
-    return usage();
-  if (argc > 3 && !parse_arg(argv[3], 1, 1000000, &rounds))
-    return usage();
-  cfg.num_shards = static_cast<uint32_t>(shards);
+  cfg.num_shards = 4;
   cfg.capacity = 1 << 20;
+  std::string bind = "127.0.0.1";
+  std::string snapshot;
+  long port = 0, rounds = -1;
 
-  return run(cfg, static_cast<int>(rounds));
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    long v = 0;
+    if (!std::strcmp(a, "--backend")) {
+      const char* b = next();
+      if (!b) return usage();
+      if (!std::strcmp(b, "tcf")) cfg.backend = store::backend_kind::tcf;
+      else if (!std::strcmp(b, "gqf")) cfg.backend = store::backend_kind::gqf;
+      else if (!std::strcmp(b, "bbf"))
+        cfg.backend = store::backend_kind::blocked_bloom;
+      else if (!std::strcmp(b, "btcf"))
+        cfg.backend = store::backend_kind::bulk_tcf;
+      else
+        return usage();
+    } else if (!std::strcmp(a, "--shards")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1, store::kMaxShards, &v)) return usage();
+      cfg.num_shards = static_cast<uint32_t>(v);
+    } else if (!std::strcmp(a, "--capacity")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1024, 1L << 30, &v)) return usage();
+      cfg.capacity = static_cast<uint64_t>(v);
+    } else if (!std::strcmp(a, "--bind")) {
+      const char* s = next();
+      if (!s) return usage();
+      bind = s;
+    } else if (!std::strcmp(a, "--port")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 0, 65535, &port)) return usage();
+    } else if (!std::strcmp(a, "--snapshot")) {
+      const char* s = next();
+      if (!s) return usage();
+      snapshot = s;
+    } else if (!std::strcmp(a, "--selftest")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1, 1000000, &rounds)) return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  if (rounds > 0) return selftest(cfg, static_cast<int>(rounds));
+  return serve(cfg, bind, static_cast<uint16_t>(port), snapshot);
 }
 
-int run(store::store_config cfg, int rounds) try {
+namespace {
+
+int selftest(store::store_config cfg, int rounds) try {
   store::filter_store server(cfg);
   const bool deletes = server.shard_at(0).filter().supports_deletes();
-  std::printf("store_server: backend=%s shards=%u capacity=%lu "
+  std::printf("store_server: selftest backend=%s shards=%u capacity=%lu "
               "deletes=%s\n",
               store::backend_name(cfg.backend), server.num_shards(),
               static_cast<unsigned long>(cfg.capacity),
@@ -144,16 +254,9 @@ int run(store::store_config cfg, int rounds) try {
               static_cast<unsigned long>(lifetime.erased),
               static_cast<unsigned long>(lifetime.insert_failed));
 
-  std::printf("\nper-shard report:\n");
-  for (const auto& rep : server.report())
-    std::printf("  shard %2u: %8lu items (load %5.1f%%, depth %u), %lu ops "
-                "(%lu ins / %lu qry / %lu del)\n",
-                rep.index, static_cast<unsigned long>(rep.items),
-                100.0 * rep.load_factor, rep.levels,
-                static_cast<unsigned long>(rep.ops.total_ops()),
-                static_cast<unsigned long>(rep.ops.inserts),
-                static_cast<unsigned long>(rep.ops.queries),
-                static_cast<unsigned long>(rep.ops.erases));
+  // Machine-readable closing report — same emitter the STATS opcode
+  // serves, so selftest output and the wire agree field for field.
+  std::printf("%s\n", store::report_json(server).c_str());
 
   // -- Restart drill: persist, reload, spot-check ---------------------------
   std::string path = "/tmp/store_server.gfs";
@@ -177,3 +280,5 @@ int run(store::store_config cfg, int rounds) try {
   std::fprintf(stderr, "store_server: %s\n", e.what());
   return 2;
 }
+
+}  // namespace

@@ -1,0 +1,86 @@
+// net::client — typed access to a filter-store server (net/server.h).
+//
+// Two tiers, mirroring the store's point/bulk split:
+//   * Blocking conveniences (insert/query_bitmap/erase/...): one frame out,
+//     wait for its response, decode.  Simple, but each batch pays a full
+//     network round trip.
+//   * Pipelined API (submit_* / wait): keep a window of frames in flight —
+//     submit returns the frame's sequence id immediately, wait(seq) blocks
+//     until that response arrives (stashing any other responses it reads).
+//     This is how wire throughput converges on in-process bulk throughput
+//     (bench/net_throughput): the next batches are already crossing the
+//     wire while the server works the current one.
+//
+// Error model: transport failures, malformed responses, and error-status
+// replies throw std::runtime_error (after a transport/framing error the
+// client object is unusable).  Not thread-safe — one connection, one user
+// thread; open more clients for more connections.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace gf::net {
+
+class client {
+ public:
+  client(const std::string& host, uint16_t port,
+         size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  // -- Pipelined API --------------------------------------------------------
+
+  uint64_t submit_insert(std::span<const uint64_t> keys);
+  uint64_t submit_insert_counted(std::span<const uint64_t> keys,
+                                 std::span<const uint64_t> counts);
+  uint64_t submit_query(std::span<const uint64_t> keys);
+  uint64_t submit_erase(std::span<const uint64_t> keys);
+  uint64_t submit_count(std::span<const uint64_t> keys);
+  uint64_t submit_control(opcode op);  ///< stats/maintain/snapshot/ping
+
+  /// Block until the response for `seq` arrives and return it (responses
+  /// for other in-flight sequences read along the way are stashed).  The
+  /// returned frame may carry an error status — the typed helpers below
+  /// throw on it; pipelined callers check or use expect_ok().
+  frame wait(uint64_t seq);
+
+  /// wait(), then throw if the response is not an ok-status reply to `op`.
+  frame expect_ok(uint64_t seq, opcode op);
+
+  size_t outstanding() const { return outstanding_; }
+
+  // -- Blocking conveniences ------------------------------------------------
+
+  pair_result insert(std::span<const uint64_t> keys);
+  pair_result insert_counted(std::span<const uint64_t> keys,
+                             std::span<const uint64_t> counts);
+  /// Membership bitmap (bit i answers keys[i]); optionally also the
+  /// popcount via *hits.
+  std::vector<uint64_t> query_bitmap(std::span<const uint64_t> keys,
+                                     uint64_t* hits = nullptr);
+  bool query_one(uint64_t key);
+  pair_result erase(std::span<const uint64_t> keys);
+  std::vector<uint64_t> counts(std::span<const uint64_t> keys);
+  std::string stats_json();
+  maintain_reply maintain();
+  uint64_t snapshot();  ///< bytes persisted server-side
+  void ping();
+
+ private:
+  void send_bytes(const std::vector<uint8_t>& bytes);
+  uint64_t next_seq() { return seq_++; }
+
+  socket_fd fd_;
+  frame_decoder dec_;
+  uint64_t seq_ = 1;
+  size_t outstanding_ = 0;
+  std::map<uint64_t, frame> stash_;  ///< responses read while waiting
+};
+
+}  // namespace gf::net

@@ -1,0 +1,320 @@
+// Request/response codecs over net/frame.h for the store's op vocabulary.
+//
+// Requests carry batches (the protocol's unit — see frame.h): key arrays
+// for INSERT/QUERY/ERASE/COUNT, (key, count) pairs for INSERT_COUNTED, and
+// empty payloads for the control plane (STATS/MAINTAIN/SNAPSHOT/PING).
+// Responses echo the request's opcode, sequence, and key_count, and carry
+// per-opcode payloads:
+//
+//   insert / insert_counted / erase   u64 ok, u64 failed — counted in the
+//                                     request's unit: key occurrences for
+//                                     insert/erase, (key, count) *pairs*
+//                                     for insert_counted (the server
+//                                     routes pairs as ops through
+//                                     filter_store::apply, which accounts
+//                                     per op; a client that needs
+//                                     instance totals multiplies by its
+//                                     own counts)
+//   query                             key_count membership bits, packed
+//                                     little-endian into u64 words
+//   count                             u64 multiplicity per key
+//   stats                             UTF-8 JSON text (report_json)
+//   maintain                          u32 grown, u32 max_depth,
+//                                     u32 total_levels, u32 reserved
+//   snapshot                          u64 bytes written
+//   ping                              empty
+//
+// A response whose status is not ok carries a message string instead.
+//
+// Shape validation is split from frame decoding on purpose: the decoder
+// (frame.h) proves the frame is structurally sound, and validate_request /
+// validate_response prove the payload matches the opcode's shape — the
+// server rejects the connection on either failure, so a hostile peer can
+// never steer a handler into reading past a payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace gf::net {
+
+/// u64 words needed for an n-key membership bitmap.
+inline size_t bitmap_words(size_t nkeys) { return (nkeys + 63) / 64; }
+
+/// Test bit i of a query-response bitmap.
+inline bool bitmap_test(std::span<const uint64_t> words, size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1;
+}
+
+namespace detail {
+inline void check_batch_size(size_t n) {
+  if (n > kMaxKeysPerFrame)
+    throw std::length_error(
+        "gf: batch exceeds frame capacity; chunk it across frames");
+}
+}  // namespace detail
+
+// -- Request encoders -------------------------------------------------------
+
+inline std::vector<uint8_t> encode_keys_request(
+    opcode op, uint64_t seq, std::span<const uint64_t> keys,
+    uint32_t shard_hint = kNoShardHint) {
+  detail::check_batch_size(keys.size());
+  frame f;
+  f.op = op;
+  f.sequence = seq;
+  f.shard_hint = shard_hint;
+  f.key_count = static_cast<uint32_t>(keys.size());
+  put_u64s(f.payload, keys);
+  return encode_frame(f);
+}
+
+inline std::vector<uint8_t> encode_insert_counted_request(
+    uint64_t seq, std::span<const uint64_t> keys,
+    std::span<const uint64_t> counts) {
+  if (keys.size() != counts.size())
+    throw std::invalid_argument("gf: keys/counts length mismatch");
+  detail::check_batch_size(keys.size());
+  frame f;
+  f.op = opcode::insert_counted;
+  f.sequence = seq;
+  f.key_count = static_cast<uint32_t>(keys.size());
+  f.payload.reserve(keys.size() * 16);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    put_u64(f.payload, keys[i]);
+    put_u64(f.payload, counts[i]);
+  }
+  return encode_frame(f);
+}
+
+inline std::vector<uint8_t> encode_control_request(opcode op, uint64_t seq) {
+  frame f;
+  f.op = op;
+  f.sequence = seq;
+  return encode_frame(f);
+}
+
+// -- Response encoders ------------------------------------------------------
+
+/// insert / insert_counted / erase: an (ok, failed) pair.
+inline std::vector<uint8_t> encode_pair_response(opcode op, uint64_t seq,
+                                                 uint32_t key_count,
+                                                 uint64_t ok,
+                                                 uint64_t failed) {
+  frame f;
+  f.op = op;
+  f.sequence = seq;
+  f.key_count = key_count;
+  put_u64(f.payload, ok);
+  put_u64(f.payload, failed);
+  return encode_frame(f);
+}
+
+inline std::vector<uint8_t> encode_query_response(
+    uint64_t seq, uint32_t key_count, std::span<const uint64_t> bitmap) {
+  frame f;
+  f.op = opcode::query;
+  f.sequence = seq;
+  f.key_count = key_count;
+  put_u64s(f.payload, bitmap);
+  return encode_frame(f);
+}
+
+inline std::vector<uint8_t> encode_count_response(
+    uint64_t seq, std::span<const uint64_t> counts) {
+  frame f;
+  f.op = opcode::count;
+  f.sequence = seq;
+  f.key_count = static_cast<uint32_t>(counts.size());
+  put_u64s(f.payload, counts);
+  return encode_frame(f);
+}
+
+inline std::vector<uint8_t> encode_stats_response(uint64_t seq,
+                                                  std::string_view json) {
+  frame f;
+  f.op = opcode::stats;
+  f.sequence = seq;
+  f.payload.assign(json.begin(), json.end());
+  return encode_frame(f);
+}
+
+inline std::vector<uint8_t> encode_maintain_response(uint64_t seq,
+                                                     uint32_t shards_grown,
+                                                     uint32_t max_depth,
+                                                     uint32_t total_levels) {
+  frame f;
+  f.op = opcode::maintain;
+  f.sequence = seq;
+  put_u32(f.payload, shards_grown);
+  put_u32(f.payload, max_depth);
+  put_u32(f.payload, total_levels);
+  put_u32(f.payload, 0);
+  return encode_frame(f);
+}
+
+inline std::vector<uint8_t> encode_snapshot_response(uint64_t seq,
+                                                     uint64_t bytes) {
+  frame f;
+  f.op = opcode::snapshot;
+  f.sequence = seq;
+  put_u64(f.payload, bytes);
+  return encode_frame(f);
+}
+
+inline std::vector<uint8_t> encode_ping_response(uint64_t seq) {
+  frame f;
+  f.op = opcode::ping;
+  f.sequence = seq;
+  return encode_frame(f);
+}
+
+inline std::vector<uint8_t> encode_error_response(opcode op, uint64_t seq,
+                                                  wire_status st,
+                                                  std::string_view message) {
+  frame f;
+  f.op = op;
+  f.sequence = seq;
+  f.status = st;
+  f.payload.assign(message.begin(), message.end());
+  return encode_frame(f);
+}
+
+// -- Shape validation -------------------------------------------------------
+
+/// nullptr when the request payload matches its opcode's shape, else a
+/// description.  A malformed request is indistinguishable from a desynced
+/// stream, so servers treat any non-null result as fatal to the connection.
+inline const char* validate_request(const frame& f) {
+  if (f.status != wire_status::ok) return "request carries nonzero status";
+  const size_t n = f.key_count;
+  const size_t p = f.payload.size();
+  switch (f.op) {
+    case opcode::insert:
+    case opcode::query:
+    case opcode::erase:
+    case opcode::count:
+      if (n > kMaxKeysPerFrame) return "key batch larger than the frame cap";
+      if (p != n * 8) return "key batch payload size mismatch";
+      return nullptr;
+    case opcode::insert_counted:
+      if (n > kMaxKeysPerFrame) return "key batch larger than the frame cap";
+      if (p != n * 16) return "counted batch payload size mismatch";
+      return nullptr;
+    case opcode::stats:
+    case opcode::maintain:
+    case opcode::snapshot:
+    case opcode::ping:
+      if (n != 0 || p != 0) return "control request carries a payload";
+      return nullptr;
+  }
+  return "unknown opcode";
+}
+
+/// nullptr when the response payload matches its opcode's shape.  Clients
+/// treat non-null as a protocol error (the transport is broken).
+inline const char* validate_response(const frame& f) {
+  const size_t n = f.key_count;
+  const size_t p = f.payload.size();
+  if (f.status != wire_status::ok) return nullptr;  // message string, any size
+  switch (f.op) {
+    case opcode::insert:
+    case opcode::insert_counted:
+    case opcode::erase:
+      if (p != 16) return "pair response payload size mismatch";
+      return nullptr;
+    case opcode::query:
+      if (n > kMaxKeysPerFrame) return "bitmap larger than the frame cap";
+      if (p != bitmap_words(n) * 8) return "bitmap payload size mismatch";
+      return nullptr;
+    case opcode::count:
+      if (n > kMaxKeysPerFrame) return "count batch larger than the frame cap";
+      if (p != n * 8) return "count payload size mismatch";
+      return nullptr;
+    case opcode::maintain:
+      if (p != 16) return "maintain response payload size mismatch";
+      return nullptr;
+    case opcode::snapshot:
+      if (p != 8) return "snapshot response payload size mismatch";
+      return nullptr;
+    case opcode::stats:
+      return nullptr;  // JSON text, any size
+    case opcode::ping:
+      if (p != 0) return "ping response carries a payload";
+      return nullptr;
+  }
+  return "unknown opcode";
+}
+
+// -- Typed decoders ---------------------------------------------------------
+
+struct pair_result {
+  uint64_t ok = 0;      ///< landed occurrences (insert/erase) or pairs
+                        ///< (insert_counted) — the request's unit
+  uint64_t failed = 0;  ///< refused inserts / missing erases, same unit
+};
+
+struct maintain_reply {
+  uint32_t shards_grown = 0;
+  uint32_t max_depth = 0;
+  uint32_t total_levels = 0;
+};
+
+/// Keys of a batch request (insert/query/erase/count) — callers validate
+/// the shape first.
+inline std::vector<uint64_t> decode_keys(const frame& f) {
+  std::vector<uint64_t> keys(f.key_count);
+  get_u64s(f.payload.data(), keys.size(), keys.data());
+  return keys;
+}
+
+/// (keys, counts) of an insert_counted request.
+inline void decode_pairs(const frame& f, std::vector<uint64_t>& keys,
+                         std::vector<uint64_t>& counts) {
+  keys.resize(f.key_count);
+  counts.resize(f.key_count);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = get_u64(f.payload.data() + i * 16);
+    counts[i] = get_u64(f.payload.data() + i * 16 + 8);
+  }
+}
+
+inline pair_result decode_pair_response(const frame& f) {
+  return {get_u64(f.payload.data()), get_u64(f.payload.data() + 8)};
+}
+
+/// Bitmap words of a query response (bit i answers keys[i]).
+inline std::vector<uint64_t> decode_bitmap(const frame& f) {
+  std::vector<uint64_t> words(f.payload.size() / 8);
+  get_u64s(f.payload.data(), words.size(), words.data());
+  return words;
+}
+
+/// Per-key multiplicities of a count response.
+inline std::vector<uint64_t> decode_counts(const frame& f) {
+  std::vector<uint64_t> counts(f.payload.size() / 8);
+  get_u64s(f.payload.data(), counts.size(), counts.data());
+  return counts;
+}
+
+inline maintain_reply decode_maintain_response(const frame& f) {
+  return {get_u32(f.payload.data()), get_u32(f.payload.data() + 4),
+          get_u32(f.payload.data() + 8)};
+}
+
+inline uint64_t decode_snapshot_response(const frame& f) {
+  return get_u64(f.payload.data());
+}
+
+/// Payload as text (stats JSON, error messages).
+inline std::string decode_text(const frame& f) {
+  return std::string(f.payload.begin(), f.payload.end());
+}
+
+}  // namespace gf::net

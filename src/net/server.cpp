@@ -1,0 +1,351 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <span>
+#include <utility>
+
+#include "gpu/launch.h"
+#include "net/codec.h"
+#include "store/report_json.h"
+#include "store/store_io.h"
+
+namespace gf::net {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}
+
+struct server::connection {
+  socket_fd fd;
+  frame_decoder dec;
+  std::vector<uint8_t> out;  ///< encoded responses awaiting the socket
+  size_t out_pos = 0;
+  bool dead = false;
+
+  connection(socket_fd f, size_t max_frame)
+      : fd(std::move(f)), dec(max_frame) {}
+};
+
+server::server(server_config cfg, store::filter_store st)
+    : cfg_(std::move(cfg)), store_(std::move(st)) {
+  listen_ = tcp_listen(cfg_.bind_addr, cfg_.port, cfg_.backlog);
+  set_nonblocking(listen_.get());
+  port_ = local_port(listen_);
+  int fds[2];
+  if (::pipe(fds) != 0)
+    throw std::runtime_error("gf: cannot create wakeup pipe");
+  wake_rd_ = socket_fd(fds[0]);
+  wake_wr_ = socket_fd(fds[1]);
+  set_nonblocking(wake_rd_.get());
+}
+
+server::~server() = default;
+
+void server::request_stop() {
+  // One byte on the self-pipe: the only stop mechanism that is legal from
+  // a signal handler (write(2) is async-signal-safe; mutexes and condvars
+  // are not).  A full pipe means a wakeup is already pending.
+  const uint8_t b = 1;
+  [[maybe_unused]] ssize_t rc = ::write(wake_wr_.get(), &b, 1);
+}
+
+server_stats server::stats() const {
+  server_stats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_closed = closed_.load(std::memory_order_relaxed);
+  s.frames_served = frames_.load(std::memory_order_relaxed);
+  s.keys_processed = keys_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void server::run() {
+  std::vector<pollfd> pfds;
+  for (;;) {
+    pfds.clear();
+    pfds.push_back({wake_rd_.get(), POLLIN, 0});
+    pfds.push_back({listen_.get(), POLLIN, 0});
+    // Connections polled this round; accept_ready() may append more below,
+    // and those have no pfds entry until the next round — the event scan
+    // must stop at this snapshot, not at conns_.size().
+    const size_t polled = conns_.size();
+    for (const auto& c : conns_) {
+      const size_t queued = c->out.size() - c->out_pos;
+      short events = 0;
+      // Backpressure: a connection past its response-queue cap is not
+      // read until the peer drains what it already owes us.
+      if (queued < cfg_.max_queued_response_bytes) events |= POLLIN;
+      if (queued > 0) events |= POLLOUT;
+      pfds.push_back({c->fd.get(), events, 0});
+    }
+
+    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+      if (errno == EINTR) continue;  // signal: the handler pinged the pipe
+      break;
+    }
+
+    if (pfds[0].revents & POLLIN) break;  // request_stop()
+
+    if (pfds[1].revents & POLLIN) accept_ready();
+
+    for (size_t i = 0; i < polled; ++i) {
+      connection& c = *conns_[i];
+      const short re = pfds[i + 2].revents;
+      if (re & (POLLERR | POLLNVAL)) c.dead = true;
+      if (!c.dead && (re & POLLOUT)) {
+        if (!flush_writes(c)) c.dead = true;
+      }
+      if (!c.dead && (re & (POLLIN | POLLHUP))) read_ready(c);
+    }
+
+    // Sweep: responses already queued for a dead connection are dropped
+    // with it — the peer that broke the stream forfeits them.
+    for (size_t i = conns_.size(); i-- > 0;) {
+      if (conns_[i]->dead) {
+        closed_.fetch_add(1, std::memory_order_relaxed);
+        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+  // Drain the wakeup pipe so a relaunched run() blocks again.
+  uint8_t buf[64];
+  while (::read(wake_rd_.get(), buf, sizeof(buf)) > 0) {
+  }
+  conns_.clear();
+}
+
+void server::accept_ready() {
+  for (;;) {
+    int fd = ::accept(listen_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (no more pending) or transient accept failure
+    }
+    socket_fd s(fd);
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    conns_.push_back(
+        std::make_unique<connection>(std::move(s), cfg_.max_frame_bytes));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void server::read_ready(connection& c) {
+  uint8_t buf[kReadChunk];
+  for (;;) {
+    ssize_t n = ::recv(c.fd.get(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      c.dead = true;
+      return;
+    }
+    if (n == 0) {
+      // EOF with a partial frame buffered = the peer truncated a frame.
+      if (c.dec.buffered() > 0 && !c.dec.poisoned())
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      flush_writes(c);  // best-effort: a half-closed peer may still read
+      c.dead = true;
+      return;
+    }
+    bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+    c.dec.feed(buf, static_cast<size_t>(n));
+
+    // Serve every complete frame before the next poll round — this is the
+    // server half of pipelining.
+    frame f;
+    for (;;) {
+      decode_status st = c.dec.next(f);
+      if (st == decode_status::need_more) break;
+      if (st == decode_status::error) {
+        condemn(c, c.dec.error());
+        return;
+      }
+      if (const char* shape = validate_request(f)) {
+        condemn(c, shape);
+        return;
+      }
+      handle_frame(c, f);
+    }
+    // Over the response-queue cap: stop consuming this connection's
+    // requests (what stays in the kernel buffer throttles the peer).
+    if (c.out.size() - c.out_pos >= cfg_.max_queued_response_bytes) break;
+    if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
+  }
+  if (c.out_pos < c.out.size() && !flush_writes(c)) c.dead = true;
+}
+
+bool server::flush_writes(connection& c) {
+  while (c.out_pos < c.out.size()) {
+    ssize_t w = ::send(c.fd.get(), c.out.data() + c.out_pos,
+                       c.out.size() - c.out_pos, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // poll out
+      return false;
+    }
+    bytes_out_.fetch_add(static_cast<uint64_t>(w), std::memory_order_relaxed);
+    c.out_pos += static_cast<size_t>(w);
+  }
+  c.out.clear();
+  c.out_pos = 0;
+  return true;
+}
+
+void server::condemn(connection& c, const std::string& why) {
+  (void)why;  // counted, not logged: a hostile peer can spam arbitrary bytes
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  // Best-effort flush: frames served *before* the stream broke deserve
+  // their responses (a pipelined client may have real answers queued
+  // behind the first bad byte).  What the kernel buffer will not take is
+  // forfeited with the connection.
+  flush_writes(c);
+  c.dead = true;
+}
+
+void server::append_out(connection& c, std::vector<uint8_t> bytes) {
+  c.out.insert(c.out.end(), bytes.begin(), bytes.end());
+}
+
+void server::handle_frame(connection& c, const frame& f) {
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  // Periodic skew relief: after enough mutating frames, grow pressured
+  // shards (overflow cascades) without waiting for a client to ask.
+  // Between frames the loop is the store's only writer — exactly the
+  // host-phased window maintain() requires.
+  if (cfg_.maintain_every != 0 &&
+      (f.op == opcode::insert || f.op == opcode::insert_counted ||
+       f.op == opcode::erase) &&
+      ++mutations_since_maintain_ >= cfg_.maintain_every) {
+    mutations_since_maintain_ = 0;
+    store_.maintain();
+  }
+  try {
+    switch (f.op) {
+      case opcode::insert: {
+        // Key batches take the store's native bulk tier directly: one
+        // counting-sort partition + per-shard backend bulk inserts with
+        // §5.4 count-compression (store.h) — the whole point of a
+        // batch-unit wire format.
+        std::vector<uint64_t> keys = decode_keys(f);
+        keys_.fetch_add(keys.size(), std::memory_order_relaxed);
+        uint64_t ok = store_.insert_bulk(keys);
+        append_out(c, encode_pair_response(opcode::insert, f.sequence,
+                                           f.key_count, ok,
+                                           keys.size() - ok));
+        break;
+      }
+      case opcode::insert_counted: {
+        std::vector<uint64_t> keys, counts;
+        decode_pairs(f, keys, counts);
+        keys_.fetch_add(keys.size(), std::memory_order_relaxed);
+        std::vector<store::op> ops;
+        ops.reserve(keys.size());
+        for (size_t i = 0; i < keys.size(); ++i)
+          ops.push_back(store::make_insert(keys[i], counts[i]));
+        store::batch_result r = store_.apply(ops);
+        append_out(c, encode_pair_response(opcode::insert_counted,
+                                           f.sequence, f.key_count,
+                                           r.inserted, r.insert_failed));
+        break;
+      }
+      case opcode::query: {
+        // Queries need per-key answers (a bitmap), which the aggregate
+        // apply() path cannot carry — so probe point-wise but in parallel
+        // over the pool; point queries are thread-safe on every backend.
+        // Workers partition by bitmap *word*, so every word has exactly
+        // one writer and the fill needs no atomics.
+        std::vector<uint64_t> keys = decode_keys(f);
+        keys_.fetch_add(keys.size(), std::memory_order_relaxed);
+        std::vector<uint64_t> words(bitmap_words(keys.size()), 0);
+        gpu::launch_ranges(
+            words.size(), [&](unsigned, uint64_t wb, uint64_t we) {
+              for (uint64_t w = wb; w < we; ++w) {
+                uint64_t bits = 0;
+                const uint64_t base = w * 64;
+                const uint64_t end =
+                    std::min<uint64_t>(base + 64, keys.size());
+                for (uint64_t i = base; i < end; ++i)
+                  if (store_.contains(keys[i]))
+                    bits |= uint64_t{1} << (i - base);
+                words[w] = bits;
+              }
+            });
+        append_out(c, encode_query_response(f.sequence, f.key_count, words));
+        break;
+      }
+      case opcode::erase: {
+        std::vector<uint64_t> keys = decode_keys(f);
+        keys_.fetch_add(keys.size(), std::memory_order_relaxed);
+        std::vector<store::op> ops;
+        ops.reserve(keys.size());
+        for (uint64_t k : keys) ops.push_back(store::make_erase(k));
+        store::batch_result r = store_.apply(ops);
+        append_out(c, encode_pair_response(opcode::erase, f.sequence,
+                                           f.key_count, r.erased,
+                                           r.erase_missing));
+        break;
+      }
+      case opcode::count: {
+        std::vector<uint64_t> keys = decode_keys(f);
+        keys_.fetch_add(keys.size(), std::memory_order_relaxed);
+        std::vector<uint64_t> counts(keys.size());
+        gpu::launch_ranges(keys.size(),
+                           [&](unsigned, uint64_t b, uint64_t e) {
+                             for (uint64_t i = b; i < e; ++i)
+                               counts[i] = store_.count(keys[i]);
+                           });
+        append_out(c, encode_count_response(f.sequence, counts));
+        break;
+      }
+      case opcode::stats: {
+        append_out(c, encode_stats_response(f.sequence,
+                                            store::report_json(store_)));
+        break;
+      }
+      case opcode::maintain: {
+        // Host-phased by construction: the loop is the only store writer.
+        auto m = store_.maintain();
+        append_out(c, encode_maintain_response(f.sequence, m.shards_grown,
+                                               m.max_depth, m.total_levels));
+        break;
+      }
+      case opcode::snapshot: {
+        if (cfg_.snapshot_path.empty()) {
+          append_out(c, encode_error_response(
+                            opcode::snapshot, f.sequence,
+                            wire_status::unsupported,
+                            "server was started without a snapshot path"));
+          break;
+        }
+        store::save_store(store_, cfg_.snapshot_path);
+        uint64_t bytes = static_cast<uint64_t>(
+            std::filesystem::file_size(cfg_.snapshot_path));
+        append_out(c, encode_snapshot_response(f.sequence, bytes));
+        break;
+      }
+      case opcode::ping: {
+        append_out(c, encode_ping_response(f.sequence));
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    // Handler failures (snapshot I/O, allocation) are the server's fault,
+    // not the stream's: answer with an error frame, keep the connection.
+    append_out(c, encode_error_response(f.op, f.sequence, wire_status::error,
+                                        e.what()));
+  }
+}
+
+}  // namespace gf::net

@@ -1,0 +1,124 @@
+// net::server — the sharded filter store as a TCP service.
+//
+// A poll-driven single-threaded event loop: one acceptor, a per-connection
+// frame_decoder over the read stream, and a per-connection write buffer.
+// Decoded batches funnel straight into the store's bulk machinery —
+// filter_store::insert_bulk for key batches, filter_store::apply for op
+// batches — so the paper's batch-amortization lesson (§4.2/§5.4) carries
+// across the socket: the event loop itself never touches keys one at a
+// time, and the store's per-shard parallelism (gpu::thread_pool under
+// apply/insert_bulk) does the heavy lifting while the loop is the only
+// thread doing socket work.
+//
+// Pipelining: the loop decodes and serves *every* complete frame buffered
+// on a connection before returning to poll, and each response echoes its
+// request's sequence id — a client may keep many frames in flight and
+// match responses by sequence (net/client.h's pipelined API does).
+//
+// Hostile input: a structurally malformed frame (frame.h) or a payload
+// that disagrees with its opcode's shape (codec.h) condemns the
+// connection — it is closed immediately and counted in
+// stats().protocol_errors; the server itself never crashes, over-reads,
+// or over-allocates (declared lengths are capped before buffering).
+//
+// Threading contract: run() owns the loop thread; the store must not be
+// touched by other threads while run() is live (the loop serializes all
+// store mutations, which is exactly the host-phased discipline the bulk
+// tier requires).  request_stop() is thread- AND async-signal-safe — it
+// writes one byte to a wakeup pipe — so a SIGTERM handler can stop the
+// loop and let the owner persist the store afterwards
+// (examples/store_server.cpp).  stats() is readable from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "store/store.h"
+
+namespace gf::net {
+
+struct server_config {
+  std::string bind_addr = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read the real one via port()
+  /// SNAPSHOT persists the store here; empty disables the opcode.
+  std::string snapshot_path;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Backpressure cap per connection: once this many response bytes are
+  /// queued unsent, the server stops *reading* that connection until the
+  /// peer drains — so a client that pipelines requests but never reads
+  /// responses stalls itself (TCP pushes back through the kernel buffers)
+  /// instead of growing server memory without bound.
+  size_t max_queued_response_bytes = size_t{1} << 22;  // 4 MiB
+  /// Run store.maintain() after every N mutating op frames (0 disables):
+  /// sustained skewed wire traffic grows hot-shard overflow cascades
+  /// (store/shard.h) without any client having to send MAINTAIN.  The
+  /// loop is the store's only writer, so the pass is host-phased by
+  /// construction.
+  uint32_t maintain_every = 64;
+  int backlog = 64;
+};
+
+/// Plain-value counters snapshot (readable while the loop runs).
+struct server_stats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_served = 0;
+  uint64_t keys_processed = 0;   ///< batch items across all op frames
+  uint64_t protocol_errors = 0;  ///< malformed frames / truncated streams
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class server {
+ public:
+  /// Binds immediately (throws on failure); serving starts with run().
+  server(server_config cfg, store::filter_store st);
+  ~server();
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  uint16_t port() const { return port_; }
+  store::filter_store& store() { return store_; }
+  const store::filter_store& store() const { return store_; }
+
+  /// Blocking event loop; returns after request_stop().
+  void run();
+
+  /// Wake the loop and make run() return.  Async-signal-safe.
+  void request_stop();
+
+  server_stats stats() const;
+
+ private:
+  struct connection;
+
+  void accept_ready();
+  void read_ready(connection& c);
+  bool flush_writes(connection& c);  ///< false when the peer is gone
+  void handle_frame(connection& c, const frame& f);
+  void condemn(connection& c, const std::string& why);
+  void append_out(connection& c, std::vector<uint8_t> bytes);
+
+  server_config cfg_;
+  store::filter_store store_;
+  socket_fd listen_;
+  socket_fd wake_rd_, wake_wr_;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<connection>> conns_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> frames_{0};
+  std::atomic<uint64_t> keys_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  uint32_t mutations_since_maintain_ = 0;
+};
+
+}  // namespace gf::net

@@ -1,0 +1,104 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace gf::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("gf: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void socket_fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+socket_fd tcp_listen(const std::string& addr, uint16_t port, int backlog) {
+  socket_fd s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(s.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1)
+    throw std::runtime_error("gf: bind address must be numeric IPv4: " +
+                             addr);
+  if (::bind(s.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
+    throw_errno("bind " + addr + ":" + std::to_string(port));
+  if (::listen(s.get(), backlog) != 0) throw_errno("listen");
+  return s;
+}
+
+uint16_t local_port(const socket_fd& s) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(s.get(), reinterpret_cast<sockaddr*>(&sa), &len) != 0)
+    throw_errno("getsockname");
+  return ntohs(sa.sin_port);
+}
+
+socket_fd tcp_connect(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &res);
+  if (rc != 0)
+    throw std::runtime_error("gf: resolve " + host + ": " +
+                             ::gai_strerror(rc));
+  socket_fd s;
+  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+    s = socket_fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!s.valid()) continue;
+    if (::connect(s.get(), ai->ai_addr, ai->ai_addrlen) == 0) break;
+    s.reset();
+  }
+  ::freeaddrinfo(res);
+  if (!s.valid())
+    throw std::runtime_error("gf: cannot connect to " + host + ":" +
+                             std::to_string(port));
+  set_nodelay(s.get());
+  return s;
+}
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl O_NONBLOCK");
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool send_all(int fd, const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace gf::net

@@ -1,0 +1,62 @@
+// Thin RAII layer over POSIX TCP sockets for the net server and client.
+//
+// Deliberately minimal: listen/accept/connect plus the two fd properties
+// the event loop needs (non-blocking mode, Nagle off).  Error handling is
+// exceptions at setup time (a server that cannot bind should die loudly)
+// and errno-driven return codes on the data path (the poll loop decides
+// what a failed read means).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gf::net {
+
+/// Move-only owning file descriptor.
+class socket_fd {
+ public:
+  socket_fd() = default;
+  explicit socket_fd(int fd) : fd_(fd) {}
+  ~socket_fd() { reset(); }
+  socket_fd(const socket_fd&) = delete;
+  socket_fd& operator=(const socket_fd&) = delete;
+  socket_fd(socket_fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  socket_fd& operator=(socket_fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound + listening TCP socket on a numeric IPv4 address (SO_REUSEADDR
+/// set; port 0 picks an ephemeral port — read it back via local_port).
+socket_fd tcp_listen(const std::string& addr, uint16_t port,
+                     int backlog = 64);
+
+/// Port a listening (or connected) socket is bound to.
+uint16_t local_port(const socket_fd& s);
+
+/// Blocking connect to host:port (numeric address or resolvable name).
+/// TCP_NODELAY is set — the protocol writes whole frames, so Nagle only
+/// adds latency under pipelining.
+socket_fd tcp_connect(const std::string& host, uint16_t port);
+
+void set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+/// Write all n bytes (blocking fd), retrying short writes and EINTR.
+/// Returns false when the peer is gone.
+bool send_all(int fd, const uint8_t* data, size_t n);
+
+}  // namespace gf::net

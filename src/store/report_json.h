@@ -1,0 +1,66 @@
+// Machine-readable store report: filter_store::report() as one JSON object.
+//
+// The single emitter behind every surface that exposes store telemetry —
+// the network STATS opcode (net/server.cpp), store_server's shutdown
+// report, and ad-hoc tooling — so the schema cannot drift between them.
+// Schema (one object, stable key order):
+//
+//   { "backend": "...", "shards": N, "capacity": N,
+//     "provisioned_capacity": N, "items": N, "load_factor": x.xxxx,
+//     "memory_bytes": N, "max_depth": N,
+//     "shard_reports": [ { "index": N, "items": N, "load_factor": x.xxxx,
+//                          "levels": N, "deepest_load": x.xxxx,
+//                          "ops": { "inserts": N, "insert_failures": N,
+//                                   "queries": N, "query_hits": N,
+//                                   "erases": N, "erase_failures": N,
+//                                   "batches_drained": N } }, ... ] }
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "store/store.h"
+#include "util/json.h"
+
+namespace gf::store {
+
+inline std::string report_json(const filter_store& store) {
+  util::json_writer w;
+  const auto reports = store.report();
+  uint32_t max_depth = 1;
+  for (const auto& r : reports)
+    if (r.levels > max_depth) max_depth = r.levels;
+  w.object_begin()
+      .field("backend", backend_name(store.config().backend))
+      .field("shards", store.num_shards())
+      .field("capacity", store.config().capacity)
+      .field("provisioned_capacity", store.provisioned_capacity())
+      .field("items", store.size())
+      .field("load_factor", store.load_factor(), 4)
+      .field("memory_bytes", static_cast<uint64_t>(store.memory_bytes()))
+      .field("max_depth", max_depth);
+  w.key("shard_reports").array_begin();
+  for (const auto& r : reports) {
+    w.object_begin()
+        .field("index", r.index)
+        .field("items", r.items)
+        .field("load_factor", r.load_factor, 4)
+        .field("levels", r.levels)
+        .field("deepest_load", r.deepest_load, 4);
+    w.key("ops")
+        .object_begin()
+        .field("inserts", r.ops.inserts)
+        .field("insert_failures", r.ops.insert_failures)
+        .field("queries", r.ops.queries)
+        .field("query_hits", r.ops.query_hits)
+        .field("erases", r.ops.erases)
+        .field("erase_failures", r.ops.erase_failures)
+        .field("batches_drained", r.ops.batches_drained)
+        .object_end();
+    w.object_end();
+  }
+  w.array_end().object_end();
+  return w.str();
+}
+
+}  // namespace gf::store

@@ -1,0 +1,131 @@
+// Minimal streaming JSON writer.
+//
+// One emitter shared by everything that produces machine-readable output —
+// the store's report_json (served over the wire by the STATS opcode and
+// printed by store_server), and bench/store_scaling's --json metric lines —
+// so JSON escaping and number formatting live in exactly one place instead
+// of being hand-rolled per printf site.
+//
+// Scope is deliberately tiny: build objects/arrays depth-first, strings are
+// escaped, numbers are formatted deterministically (fixed-point doubles so
+// downstream greps and diffs are stable).  No parsing, no validation of
+// nesting — callers emit well-formed documents by construction.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace gf::util {
+
+class json_writer {
+ public:
+  json_writer& object_begin() { return open('{'); }
+  json_writer& object_end() { return close('}'); }
+  json_writer& array_begin() { return open('['); }
+  json_writer& array_end() { return close(']'); }
+
+  /// Key inside an object; follow with value() or a container begin.
+  json_writer& key(std::string_view k) {
+    if (need_comma_) out_ += ',';
+    write_string(k);
+    out_ += ':';
+    need_comma_ = false;
+    after_key_ = true;
+    return *this;
+  }
+
+  json_writer& value(std::string_view v) {
+    prefix();
+    write_string(v);
+    return *this;
+  }
+  json_writer& value(const char* v) { return value(std::string_view(v)); }
+  json_writer& value(bool v) {
+    prefix();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  json_writer& value(uint64_t v) {
+    prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  json_writer& value(int64_t v) {
+    prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  json_writer& value(int v) { return value(static_cast<int64_t>(v)); }
+  json_writer& value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+  /// Fixed-point double — stable digit count for greppable artifacts.
+  json_writer& value(double v, int digits = 4) {
+    prefix();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    out_ += buf;
+    return *this;
+  }
+
+  template <class T>
+  json_writer& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+  json_writer& field(std::string_view k, double v, int digits) {
+    key(k);
+    return value(v, digits);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  json_writer& open(char c) {
+    prefix();
+    out_ += c;
+    need_comma_ = false;
+    return *this;
+  }
+  json_writer& close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    return *this;
+  }
+  /// Comma management: values after a key never take a comma; siblings do.
+  void prefix() {
+    if (after_key_)
+      after_key_ = false;
+    else if (need_comma_)
+      out_ += ',';
+    need_comma_ = true;
+  }
+  void write_string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned char>(c));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+}  // namespace gf::util
