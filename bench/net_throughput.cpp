@@ -15,8 +15,14 @@
 // within a small factor of in-process — the acceptance line at the end
 // asserts the ≥ 50% convergence target this PR ships against.
 //
+// The replicated column measures the same phases through a two-node
+// topology (net/replication.h): inserts against a primary that is live-
+// streaming every mutating batch to an attached replica (the forwarding
+// tax), queries against the replica itself (the read-scaling payoff).
+//
 // Flags (bench/harness.h): --full sweeps more keys; plus
 //   --backend tcf|gqf|bbf|btcf   store backend (default tcf)
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -27,6 +33,7 @@
 
 #include "bench/harness.h"
 #include "net/client.h"
+#include "net/replication.h"
 #include "net/server.h"
 #include "store/store.h"
 #include "util/timer.h"
@@ -66,6 +73,7 @@ void drive(net::client& cli, std::span<const uint64_t> keys, size_t batch,
 
 struct phase_result {
   double wire_mops[std::size(kConnCounts)] = {};
+  double repl_mops = 0;  ///< replicated topology (see header comment)
   double inproc_mops = 0;
 };
 
@@ -97,6 +105,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> cols;
   for (int c : kConnCounts) cols.push_back(std::to_string(c) + "-conn");
+  cols.push_back("replicated");
   cols.push_back("in-proc");
   cols.push_back("best/inproc");
 
@@ -156,6 +165,46 @@ int main(int argc, char** argv) {
       srv.request_stop();
       loop.join();
     }
+
+    // Replicated topology: a primary forwarding its mutation stream to one
+    // attached replica.  Inserts hit the primary (per-batch forwarding is
+    // the measured tax); queries hit the replica — after waiting for the
+    // stream to settle so it answers the full key set.
+    {
+      net::server primary({}, make_store(backend, n));
+      std::thread ploop([&] { primary.run(); });
+      auto sr = net::sync_from("127.0.0.1", primary.port());
+      net::server_config rcfg;
+      rcfg.read_only = true;
+      net::server replica(rcfg, std::move(sr.store));
+      replica.attach_feed(std::move(sr.feed), std::move(sr.dec),
+                          sr.repl_seq + 1);
+      std::thread rloop([&] { replica.run(); });
+
+      {
+        net::client cli("127.0.0.1", primary.port());
+        util::wall_timer timer;
+        drive(cli, keys, batch, /*inserts=*/true);
+        insert_res[bi].repl_mops = util::mops(n, timer.seconds());
+      }
+      // Replication is asynchronous: wait until the replica acknowledged
+      // the primary's whole stream before timing reads against it.
+      while (replica.stats().feed_last_seq <
+             primary.stats().repl_seq)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      for (int rep = 0; rep < 3; ++rep) {
+        net::client cli("127.0.0.1", replica.port());
+        util::wall_timer timer;
+        drive(cli, keys, batch, /*inserts=*/false);
+        query_res[bi].repl_mops = std::max(
+            query_res[bi].repl_mops, util::mops(n, timer.seconds()));
+      }
+
+      replica.request_stop();
+      rloop.join();
+      primary.request_stop();
+      ploop.join();
+    }
   }
 
   auto print_phase = [&](const char* label, const phase_result* res) {
@@ -167,6 +216,7 @@ int main(int argc, char** argv) {
         vals.push_back(v);
         best = std::max(best, v);
       }
+      vals.push_back(res[bi].repl_mops);
       vals.push_back(res[bi].inproc_mops);
       vals.push_back(res[bi].inproc_mops > 0 ? best / res[bi].inproc_mops
                                              : 0.0);
@@ -175,7 +225,8 @@ int main(int argc, char** argv) {
     }
   };
   std::printf("\n(rows are keys per frame; best/inproc is the convergence "
-              "ratio)\n");
+              "ratio; the\n replicated column inserts against a live-"
+              "streaming primary and queries its replica)\n");
   print_phase("wire insert Mops/s", insert_res);
   print_phase("wire query Mops/s", query_res);
 

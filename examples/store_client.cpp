@@ -3,6 +3,7 @@
 //   build/examples/store_client [--host H] [--port N] [--batches N]
 //                               [--batch K] [--window W] [--seed S]
 //                               [--theta T] [--counted]
+//                               [--read-from HOST:PORT]
 //                               [--stats] [--maintain] [--snapshot] [--ping]
 //
 // Default mode drives a Zipfian request mix — the shape of a cache-
@@ -12,6 +13,12 @@
 // The mix is 70% membership-query batches, 25% insert batches, 5% erase
 // batches.  --counted turns insert batches into §5.4-style (key, count)
 // compressed frames.
+//
+// --read-from HOST:PORT splits the mix across a replicated topology:
+// mutations keep going to --host/--port (the primary) while query batches
+// go to the replica named here — the classic read-scaling deployment.
+// Replication is asynchronous, so a replica's hit rate may trail the
+// primary's by the in-flight window; it converges when mutations pause.
 //
 // One-shot flags (--stats/--maintain/--snapshot/--ping) skip the load
 // phase unless --batches is also given, and run after it when it is.
@@ -24,12 +31,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "arg_parse.h"
 #include "net/client.h"
+#include "net/replication.h"
 #include "util/hash.h"
 #include "util/timer.h"
 #include "util/zipf.h"
@@ -43,6 +52,7 @@ int usage() {
       stderr,
       "usage: store_client [--host H] [--port N] [--batches N] [--batch K]\n"
       "                    [--window W] [--seed S] [--theta T] [--counted]\n"
+      "                    [--read-from HOST:PORT]\n"
       "                    [--stats] [--maintain] [--snapshot] [--ping]\n");
   return 2;
 }
@@ -66,12 +76,14 @@ struct in_flight {
   uint64_t seq = 0;
   net::opcode op = net::opcode::ping;
   uint64_t batch = 0;
+  bool on_replica = false;  ///< which connection owes the response
 };
 
 }  // namespace
 
 int main(int argc, char** argv) try {
   std::string host = "127.0.0.1";
+  std::string read_from;
   long port = 7717, batches = -1, batch = 4096, window = 8, seed = 42;
   double theta = 1.1;
   bool counted = false;
@@ -110,6 +122,10 @@ int main(int argc, char** argv) try {
       char* end = nullptr;
       theta = std::strtod(s ? s : "", &end);
       if (!s || end == s || *end != '\0' || theta <= 0) return usage();
+    } else if (!std::strcmp(a, "--read-from")) {
+      const char* s = next();
+      if (!s) return usage();
+      read_from = s;
     } else if (!std::strcmp(a, "--counted")) {
       counted = true;
     } else if (!std::strcmp(a, "--stats")) {
@@ -130,6 +146,11 @@ int main(int argc, char** argv) try {
   if (batches < 0) batches = one_shot_only ? 0 : 32;
 
   net::client cli = connect_retry(host, static_cast<uint16_t>(port));
+  std::optional<net::client> replica;
+  if (!read_from.empty()) {
+    auto [rhost, rport] = net::parse_host_port(read_from);
+    replica.emplace(connect_retry(rhost, rport));
+  }
   uint64_t protocol_errors = 0;
 
   if (batches > 0) {
@@ -148,7 +169,8 @@ int main(int argc, char** argv) try {
     std::vector<uint64_t> ones(static_cast<size_t>(batch), 1);
 
     auto settle = [&](const in_flight& inf) {
-      net::frame f = cli.wait(inf.seq);
+      net::frame f =
+          (inf.on_replica ? *replica : cli).wait(inf.seq);
       if (f.status != net::wire_status::ok) {
         ++protocol_errors;
         return;
@@ -192,7 +214,8 @@ int main(int argc, char** argv) try {
       inf.batch = static_cast<uint64_t>(batch);
       if (r % 4 != 1 && r != 10) {
         inf.op = net::opcode::query;
-        inf.seq = cli.submit_query(keys);
+        inf.on_replica = replica.has_value();
+        inf.seq = (replica ? *replica : cli).submit_query(keys);
       } else if (r % 4 == 1) {
         inf.op = counted ? net::opcode::insert_counted : net::opcode::insert;
         inf.seq = counted ? cli.submit_insert_counted(keys, ones)
@@ -221,7 +244,8 @@ int main(int argc, char** argv) try {
         static_cast<unsigned long>(batches),
         static_cast<unsigned long>(batch), secs,
         util::mops(total_keys, secs), window);
-    std::printf("  queries: %lu keys, %4.1f%% hits\n",
+    std::printf("  queries%s: %lu keys, %4.1f%% hits\n",
+                replica ? " (replica)" : "",
                 static_cast<unsigned long>(query_keys),
                 query_keys ? 100.0 * static_cast<double>(query_hits) /
                                  static_cast<double>(query_keys)

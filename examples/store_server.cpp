@@ -3,6 +3,8 @@
 //   build/examples/store_server [--backend tcf|gqf|bbf|btcf] [--shards N]
 //                               [--capacity N] [--bind ADDR] [--port N]
 //                               [--snapshot PATH] [--selftest ROUNDS]
+//                               [--replica-of HOST:PORT] [--replica]
+//                               [--replicate-to HOST:PORT]
 //
 // Network mode (default): serve the gf::net batched wire protocol
 // (src/net/frame.h) on --port.  Batches funnel into the store's bulk
@@ -10,11 +12,25 @@
 // pipeline (examples/store_client.cpp is the matching load generator).
 //
 //   * --snapshot PATH arms the SNAPSHOT opcode, and the server persists
-//     the store there on shutdown.  If PATH already exists the server
-//     *restores* from it at startup — kill -TERM && restart is a clean
-//     durability cycle, not a data loss.
+//     the store there on shutdown (atomically: tmp + fsync + rename, so a
+//     crash mid-save keeps the previous snapshot).  If PATH already exists
+//     the server *restores* from it at startup — kill -TERM && restart is
+//     a clean durability cycle, not a data loss.
 //   * SIGINT/SIGTERM stop the event loop gracefully (async-signal-safe
 //     wakeup pipe); in-flight state is saved, not dropped on the floor.
+//
+// Replication (src/net/replication.h):
+//   * --replica-of HOST:PORT boots as a replica: SYNC-bootstrap the whole
+//     store from that primary (through --snapshot's atomic write when
+//     set), then apply its live mutation stream.  The replica answers
+//     QUERY/COUNT/STATS/PING (and serves SYNC to chain further replicas)
+//     but refuses client mutations in-band; if the primary dies it keeps
+//     serving the last acknowledged stream position.
+//   * --replica boots as an empty read-only *standby* that waits for a
+//     primary's invite.
+//   * --replicate-to HOST:PORT (repeatable) makes this server invite the
+//     standby at that address to sync from it (best-effort, sent once at
+//     startup; replicas attaching via --replica-of need no flag here).
 //
 // Self-test mode (--selftest N): the original self-driving simulation — a
 // Zipfian request mix (70% lookups, 25% inserts, 5% deletes) applied for N
@@ -26,10 +42,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "arg_parse.h"
+#include "net/replication.h"
 #include "net/server.h"
 #include "store/report_json.h"
 #include "store/store.h"
@@ -48,8 +66,13 @@ int usage() {
       "usage: store_server [--backend tcf|gqf|bbf|btcf] [--shards N]\n"
       "                    [--capacity N] [--bind ADDR] [--port N]\n"
       "                    [--snapshot PATH] [--selftest ROUNDS]\n"
+      "                    [--replica-of HOST:PORT] [--replica]\n"
+      "                    [--replicate-to HOST:PORT]\n"
       "  shards in [1, %u], capacity in [1024, 2^30], port in [0, 65535]\n"
-      "  (port 0 picks an ephemeral port and prints it)\n",
+      "  (port 0 picks an ephemeral port and prints it)\n"
+      "  --replica-of: bootstrap from that primary and serve read-only\n"
+      "  --replica: empty read-only standby awaiting a primary's invite\n"
+      "  --replicate-to: invite that standby to sync from this server\n",
       store::kMaxShards);
   return 2;
 }
@@ -72,32 +95,66 @@ void on_signal(int sig) {
 
 int selftest(store::store_config cfg, int rounds);
 
-int serve(store::store_config cfg, const std::string& bind, uint16_t port,
-          const std::string& snapshot) try {
-  const bool restore =
-      !snapshot.empty() && std::filesystem::exists(snapshot);
-  store::filter_store st =
-      restore ? store::load_store(snapshot) : store::filter_store(cfg);
+struct serve_options {
+  std::string bind = "127.0.0.1";
+  uint16_t port = 0;
+  std::string snapshot;
+  std::string replica_of;            ///< HOST:PORT of the primary, or ""
+  bool standby = false;              ///< empty read-only, awaits an invite
+  std::vector<std::string> replicate_to;
+};
+
+int serve(store::store_config cfg, const serve_options& opt) try {
+  net::server_config scfg;
+  scfg.bind_addr = opt.bind;
+  scfg.port = opt.port;
+  scfg.snapshot_path = opt.snapshot;
+  scfg.read_only = opt.standby || !opt.replica_of.empty();
+  scfg.invite = opt.replicate_to;
+
+  // Three ways to a starting store: a replica SYNCs it from its primary
+  // (through the atomic snapshot write when --snapshot is set), a restart
+  // reloads the persisted snapshot, everything else starts fresh.
+  std::optional<net::sync_result> sync;
+  if (!opt.replica_of.empty()) {
+    auto [host, rport] = net::parse_host_port(opt.replica_of);
+    sync.emplace(net::sync_from(host, rport, opt.snapshot,
+                                net::kDefaultMaxFrameBytes,
+                                /*connect_retries=*/24));
+    std::printf("store_server: synced %lu items (%.1f MiB) at seq %lu "
+                "from %s\n",
+                static_cast<unsigned long>(sync->store.size()),
+                static_cast<double>(sync->snapshot_bytes) / 1048576,
+                static_cast<unsigned long>(sync->repl_seq),
+                opt.replica_of.c_str());
+  }
+  const bool restore = !sync && !opt.snapshot.empty() &&
+                       std::filesystem::exists(opt.snapshot);
+  store::filter_store st = sync      ? std::move(sync->store)
+                           : restore ? store::load_store(opt.snapshot)
+                                     : store::filter_store(cfg);
   if (restore)
     std::printf("store_server: restored %lu items from %s\n",
-                static_cast<unsigned long>(st.size()), snapshot.c_str());
+                static_cast<unsigned long>(st.size()), opt.snapshot.c_str());
 
-  net::server_config scfg;
-  scfg.bind_addr = bind;
-  scfg.port = port;
-  scfg.snapshot_path = snapshot;
   net::server server(std::move(scfg), std::move(st));
+  if (sync)
+    server.attach_feed(std::move(sync->feed), std::move(sync->dec),
+                       sync->repl_seq + 1);
 
   g_server.store(&server);
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
-  std::printf("store_server: backend=%s shards=%u listening on %s:%u%s%s\n",
+  const char* role = !opt.replica_of.empty() ? " (replica)"
+                     : opt.standby           ? " (standby replica)"
+                                             : "";
+  std::printf("store_server: backend=%s shards=%u listening on %s:%u%s%s%s\n",
               store::backend_name(server.store().config().backend),
-              server.store().num_shards(), bind.c_str(),
+              server.store().num_shards(), opt.bind.c_str(),
               static_cast<unsigned>(server.port()),
-              snapshot.empty() ? "" : " snapshot=",
-              snapshot.c_str());
+              opt.snapshot.empty() ? "" : " snapshot=",
+              opt.snapshot.c_str(), role);
   std::fflush(stdout);
 
   server.run();
@@ -106,11 +163,11 @@ int serve(store::store_config cfg, const std::string& bind, uint16_t port,
   if (g_signal)
     std::printf("store_server: caught signal %d, shutting down\n",
                 static_cast<int>(g_signal));
-  if (!snapshot.empty()) {
-    store::save_store(server.store(), snapshot);
+  if (!opt.snapshot.empty()) {
+    store::save_store(server.store(), opt.snapshot);
     std::printf("store_server: persisted %lu items to %s\n",
                 static_cast<unsigned long>(server.store().size()),
-                snapshot.c_str());
+                opt.snapshot.c_str());
   }
 
   auto stats = server.stats();
@@ -123,6 +180,18 @@ int serve(store::store_config cfg, const std::string& bind, uint16_t port,
               static_cast<unsigned long>(stats.protocol_errors),
               static_cast<double>(stats.bytes_in) / 1048576,
               static_cast<double>(stats.bytes_out) / 1048576);
+  if (stats.frames_forwarded || stats.feed_applied)
+    std::printf("store_server: replication seq %lu, %lu forwarded to %lu "
+                "subscribers (%lu drops), feed applied %lu (last seq %lu, "
+                "%lu gaps, lost %lu)\n",
+                static_cast<unsigned long>(stats.repl_seq),
+                static_cast<unsigned long>(stats.frames_forwarded),
+                static_cast<unsigned long>(stats.subscribers),
+                static_cast<unsigned long>(stats.subscriber_drops),
+                static_cast<unsigned long>(stats.feed_applied),
+                static_cast<unsigned long>(stats.feed_last_seq),
+                static_cast<unsigned long>(stats.feed_gaps),
+                static_cast<unsigned long>(stats.feed_lost));
   std::printf("%s\n", store::report_json(server.store()).c_str());
   return 0;
 } catch (const std::exception& e) {
@@ -137,8 +206,7 @@ int main(int argc, char** argv) {
   cfg.backend = store::backend_kind::tcf;
   cfg.num_shards = 4;
   cfg.capacity = 1 << 20;
-  std::string bind = "127.0.0.1";
-  std::string snapshot;
+  serve_options opt;
   long port = 0, rounds = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -169,24 +237,46 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(a, "--bind")) {
       const char* s = next();
       if (!s) return usage();
-      bind = s;
+      opt.bind = s;
     } else if (!std::strcmp(a, "--port")) {
       const char* s = next();
       if (!s || !parse_arg(s, 0, 65535, &port)) return usage();
     } else if (!std::strcmp(a, "--snapshot")) {
       const char* s = next();
       if (!s) return usage();
-      snapshot = s;
+      opt.snapshot = s;
     } else if (!std::strcmp(a, "--selftest")) {
       const char* s = next();
       if (!s || !parse_arg(s, 1, 1000000, &rounds)) return usage();
+    } else if (!std::strcmp(a, "--replica-of")) {
+      const char* s = next();
+      if (!s) return usage();
+      opt.replica_of = s;
+    } else if (!std::strcmp(a, "--replica")) {
+      opt.standby = true;
+    } else if (!std::strcmp(a, "--replicate-to")) {
+      const char* s = next();
+      if (!s) return usage();
+      opt.replicate_to.push_back(s);
     } else {
       return usage();
     }
   }
+  // A replica cannot also be a standby, and a standby's store arrives by
+  // invite — sanity-check the spec strings up front so a typo dies at
+  // startup, not mid-topology.
+  if (!opt.replica_of.empty() && opt.standby) return usage();
+  try {
+    if (!opt.replica_of.empty()) net::parse_host_port(opt.replica_of);
+    for (const auto& spec : opt.replicate_to) net::parse_host_port(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "store_server: %s\n", e.what());
+    return usage();
+  }
 
   if (rounds > 0) return selftest(cfg, static_cast<int>(rounds));
-  return serve(cfg, bind, static_cast<uint16_t>(port), snapshot);
+  opt.port = static_cast<uint16_t>(port);
+  return serve(cfg, opt);
 }
 
 namespace {

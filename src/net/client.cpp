@@ -56,6 +56,10 @@ uint64_t client::submit_count(std::span<const uint64_t> keys) {
 }
 
 uint64_t client::submit_control(opcode op) {
+  if (op == opcode::sync)
+    throw std::invalid_argument(
+        "gf: sync is a chunked transfer that subscribes the connection; "
+        "use net::sync_from (net/replication.h)");
   uint64_t seq = next_seq();
   send_bytes(encode_control_request(op, seq));
   ++outstanding_;

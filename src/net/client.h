@@ -42,7 +42,10 @@ class client {
   uint64_t submit_query(std::span<const uint64_t> keys);
   uint64_t submit_erase(std::span<const uint64_t> keys);
   uint64_t submit_count(std::span<const uint64_t> keys);
-  uint64_t submit_control(opcode op);  ///< stats/maintain/snapshot/ping
+  /// stats/maintain/snapshot/ping.  SYNC is refused here: its response is
+  /// chunked and turns the connection into a replication subscriber —
+  /// that lifecycle belongs to net::sync_from (net/replication.h).
+  uint64_t submit_control(opcode op);
 
   /// Block until the response for `seq` arrives and return it (responses
   /// for other in-flight sequences read along the way are stashed).  The

@@ -2,7 +2,9 @@
 //
 // Requests carry batches (the protocol's unit — see frame.h): key arrays
 // for INSERT/QUERY/ERASE/COUNT, (key, count) pairs for INSERT_COUNTED, and
-// empty payloads for the control plane (STATS/MAINTAIN/SNAPSHOT/PING).
+// empty payloads for the control plane (STATS/MAINTAIN/SNAPSHOT/PING/SYNC;
+// a SYNC request whose shard_hint is kSyncInviteHint instead carries the
+// inviting server's port).
 // Responses echo the request's opcode, sequence, and key_count, and carry
 // per-opcode payloads:
 //
@@ -23,6 +25,9 @@
 //                                     u32 total_levels, u32 reserved
 //   snapshot                          u64 bytes written
 //   ping                              empty
+//   sync                              chunked snapshot transfer — the one
+//                                     response spanning several frames;
+//                                     see encode_sync_chunk below
 //
 // A response whose status is not ok carries a message string instead.
 //
@@ -52,11 +57,25 @@ inline bool bitmap_test(std::span<const uint64_t> words, size_t i) {
   return (words[i >> 6] >> (i & 63)) & 1;
 }
 
+/// Thrown by every request/response encoder handed a batch that cannot be
+/// represented in one frame.  The frame's key_count field is a u32 and the
+/// codecs cap batches far below it (kMaxKeysPerFrame), so without this
+/// check a huge batch would silently truncate its count while the payload
+/// length disagreed — a frame the receiving side must treat as hostile.
+/// Typed so callers can distinguish "chunk your batch" from transport
+/// failures.
+class batch_too_large : public std::length_error {
+ public:
+  explicit batch_too_large(size_t n)
+      : std::length_error(
+            "gf: batch of " + std::to_string(n) +
+            " items exceeds the frame capacity (" +
+            std::to_string(kMaxKeysPerFrame) + "); chunk it across frames") {}
+};
+
 namespace detail {
 inline void check_batch_size(size_t n) {
-  if (n > kMaxKeysPerFrame)
-    throw std::length_error(
-        "gf: batch exceeds frame capacity; chunk it across frames");
+  if (n > kMaxKeysPerFrame) throw batch_too_large(n);
 }
 }  // namespace detail
 
@@ -100,6 +119,24 @@ inline std::vector<uint8_t> encode_control_request(opcode op, uint64_t seq) {
   return encode_frame(f);
 }
 
+/// Replication invite: "connect back to me and SYNC".  Sent by a primary
+/// started with --replicate-to; the receiving standby replica combines the
+/// connection's peer address with the port named here and bootstraps from
+/// it (net/replication.h).
+inline std::vector<uint8_t> encode_sync_invite(uint64_t seq, uint16_t port) {
+  frame f;
+  f.op = opcode::sync;
+  f.sequence = seq;
+  f.shard_hint = kSyncInviteHint;
+  put_u64(f.payload, port);
+  return encode_frame(f);
+}
+
+/// Listening port carried by a sync invite (validate the shape first).
+inline uint16_t decode_sync_invite(const frame& f) {
+  return static_cast<uint16_t>(get_u64(f.payload.data()));
+}
+
 // -- Response encoders ------------------------------------------------------
 
 /// insert / insert_counted / erase: an (ok, failed) pair.
@@ -128,6 +165,7 @@ inline std::vector<uint8_t> encode_query_response(
 
 inline std::vector<uint8_t> encode_count_response(
     uint64_t seq, std::span<const uint64_t> counts) {
+  detail::check_batch_size(counts.size());
   frame f;
   f.op = opcode::count;
   f.sequence = seq;
@@ -166,6 +204,46 @@ inline std::vector<uint8_t> encode_snapshot_response(uint64_t seq,
   f.sequence = seq;
   put_u64(f.payload, bytes);
   return encode_frame(f);
+}
+
+/// One SYNC response chunk.  A snapshot transfer is the one response that
+/// spans frames: every chunk echoes the request's sequence, shard_hint
+/// carries the chunk index and key_count the total chunk count (the two
+/// fields the batch opcodes leave unused here).  Chunk 0's payload leads
+/// with a 16-byte header — u64 repl_seq (the mutation-stream position the
+/// snapshot captures; the live stream resumes at repl_seq + 1) and u64
+/// total snapshot bytes — followed by the first data slice; later chunks
+/// are raw data.  Each chunk rides the frame CRC, so a corrupted transfer
+/// dies in the decoder, never in load_store.
+inline constexpr size_t kSyncChunk0Header = 16;
+
+inline std::vector<uint8_t> encode_sync_chunk(uint64_t seq, uint32_t index,
+                                              uint32_t total_chunks,
+                                              uint64_t repl_seq,
+                                              uint64_t total_bytes,
+                                              std::span<const uint8_t> data) {
+  frame f;
+  f.op = opcode::sync;
+  f.sequence = seq;
+  f.shard_hint = index;
+  f.key_count = total_chunks;
+  if (index == 0) {
+    f.payload.reserve(kSyncChunk0Header + data.size());
+    put_u64(f.payload, repl_seq);
+    put_u64(f.payload, total_bytes);
+  }
+  f.payload.insert(f.payload.end(), data.begin(), data.end());
+  return encode_frame(f);
+}
+
+struct sync_chunk_header {
+  uint64_t repl_seq = 0;     ///< stream position the snapshot captures
+  uint64_t total_bytes = 0;  ///< assembled snapshot size across all chunks
+};
+
+/// Chunk 0's header (validate the shape first; data follows the header).
+inline sync_chunk_header decode_sync_chunk_header(const frame& f) {
+  return {get_u64(f.payload.data()), get_u64(f.payload.data() + 8)};
 }
 
 inline std::vector<uint8_t> encode_ping_response(uint64_t seq) {
@@ -213,6 +291,14 @@ inline const char* validate_request(const frame& f) {
     case opcode::ping:
       if (n != 0 || p != 0) return "control request carries a payload";
       return nullptr;
+    case opcode::sync:
+      if (n != 0) return "sync request carries a key count";
+      if (f.shard_hint == kSyncInviteHint) {
+        if (p != 8) return "sync invite payload size mismatch";
+        return nullptr;
+      }
+      if (p != 0) return "sync request carries a payload";
+      return nullptr;
   }
   return "unknown opcode";
 }
@@ -247,6 +333,13 @@ inline const char* validate_response(const frame& f) {
       return nullptr;  // JSON text, any size
     case opcode::ping:
       if (p != 0) return "ping response carries a payload";
+      return nullptr;
+    case opcode::sync:
+      // Chunked: key_count is the chunk total, shard_hint the chunk index.
+      if (n == 0) return "sync response declares zero chunks";
+      if (f.shard_hint >= n) return "sync chunk index out of range";
+      if (f.shard_hint == 0 && p < kSyncChunk0Header)
+        return "sync chunk 0 shorter than its header";
       return nullptr;
   }
   return "unknown opcode";

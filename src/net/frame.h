@@ -60,8 +60,11 @@ enum class opcode : uint8_t {
   maintain = 6,        ///< () → (shards grown, max depth, total levels)
   snapshot = 7,        ///< () → bytes persisted to the server's snapshot path
   ping = 8,            ///< () → ()
+  sync = 9,            ///< replica bootstrap: () → chunked snapshot frames,
+                       ///< then the connection carries the live mutation
+                       ///< stream (net/replication.h)
 };
-inline constexpr uint8_t kNumOpcodes = 9;
+inline constexpr uint8_t kNumOpcodes = 10;
 
 enum class wire_status : uint8_t {
   ok = 0,
@@ -71,6 +74,13 @@ enum class wire_status : uint8_t {
 inline constexpr uint8_t kNumStatuses = 3;
 
 inline constexpr uint32_t kNoShardHint = 0xFFFF'FFFFu;
+
+/// shard_hint value that turns a SYNC *request* into a replication invite
+/// (codec.h): "sync yourself from the sender" — the payload names the
+/// sender's listening port, the peer address of the connection names its
+/// host.  Ordinary SYNC requests and responses never use this value (a
+/// response's shard_hint is a chunk index, bounded by the chunk count).
+inline constexpr uint32_t kSyncInviteHint = 0xFFFF'FFFEu;
 
 /// Fixed header bytes between the length field and the payload.
 inline constexpr size_t kHeaderTailBytes = 24;
@@ -189,24 +199,36 @@ struct frame {
   std::vector<uint8_t> payload;
 };
 
-/// Append one encoded frame to `out` (length prefix, header, payload, CRC).
-inline void encode_frame(const frame& f, std::vector<uint8_t>& out) {
+/// Append one encoded frame to `out` from explicit fields and a payload
+/// view — the form re-encoders use (e.g. the replication forwarder, which
+/// restamps only the sequence of a decoded frame) so the payload is never
+/// copied into an intermediate frame object first.
+inline void encode_frame(opcode op, wire_status status, uint32_t shard_hint,
+                         uint32_t key_count, uint64_t sequence,
+                         std::span<const uint8_t> payload,
+                         std::vector<uint8_t>& out) {
   const uint32_t length =
-      static_cast<uint32_t>(kHeaderTailBytes + f.payload.size() + 4);
+      static_cast<uint32_t>(kHeaderTailBytes + payload.size() + 4);
   out.reserve(out.size() + 4 + length);
   put_u32(out, length);
   const size_t crc_from = out.size();
   put_u32(out, kWireMagic);
   put_u8(out, kWireVersion);
-  put_u8(out, static_cast<uint8_t>(f.op));
-  put_u8(out, static_cast<uint8_t>(f.status));
+  put_u8(out, static_cast<uint8_t>(op));
+  put_u8(out, static_cast<uint8_t>(status));
   put_u8(out, 0);  // reserved
-  put_u32(out, f.shard_hint);
-  put_u32(out, f.key_count);
-  put_u64(out, f.sequence);
-  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  put_u32(out, shard_hint);
+  put_u32(out, key_count);
+  put_u64(out, sequence);
+  out.insert(out.end(), payload.begin(), payload.end());
   put_u32(out, crc32(out.data() + crc_from,
-                     kHeaderTailBytes + f.payload.size()));
+                     kHeaderTailBytes + payload.size()));
+}
+
+/// Append one encoded frame to `out` (length prefix, header, payload, CRC).
+inline void encode_frame(const frame& f, std::vector<uint8_t>& out) {
+  encode_frame(f.op, f.status, f.shard_hint, f.key_count, f.sequence,
+               f.payload, out);
 }
 
 inline std::vector<uint8_t> encode_frame(const frame& f) {

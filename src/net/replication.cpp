@@ -1,0 +1,128 @@
+#include "net/replication.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "net/codec.h"
+#include "store/store_io.h"
+
+namespace gf::net {
+
+std::pair<std::string, uint16_t> parse_host_port(const std::string& spec) {
+  const size_t colon = spec.find_last_of(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size())
+    throw std::runtime_error("gf: expected HOST:PORT, got '" + spec + "'");
+  char* end = nullptr;
+  const long port = std::strtol(spec.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port < 1 || port > 65535)
+    throw std::runtime_error("gf: port out of range in '" + spec + "'");
+  return {spec.substr(0, colon), static_cast<uint16_t>(port)};
+}
+
+sync_result sync_from(const std::string& host, uint16_t port,
+                      const std::string& snapshot_path,
+                      size_t max_frame_bytes, int connect_retries) {
+  socket_fd fd;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      fd = tcp_connect(host, port);
+      break;
+    } catch (const std::exception&) {
+      if (attempt >= connect_retries) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  }
+  // Bound every read of the transfer: a primary that accepts and then
+  // stalls (or a hostile invite target) must not hang the caller forever —
+  // for a standby, that caller is its own event loop (server.cpp's
+  // handle_invite).  Each arriving chunk resets the clock; the timeout is
+  // per-silence, not per-snapshot.  The feed the caller adopts afterwards
+  // is switched to non-blocking, so this setting dies with the handshake.
+  timeval rcv_timeout{30, 0};
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout,
+               sizeof(rcv_timeout));
+
+  const uint64_t req_seq = 1;
+  auto req = encode_control_request(opcode::sync, req_seq);
+  if (!send_all(fd.get(), req.data(), req.size()))
+    throw std::runtime_error("gf: connection lost sending sync request");
+
+  // Assemble the chunked snapshot.  Chunks must arrive in order (the
+  // primary queues them in order on one TCP stream); each one's framing
+  // and CRC were already proven by the decoder.
+  frame_decoder dec(max_frame_bytes);
+  std::string bytes;
+  uint64_t repl_seq = 0, total_bytes = 0;
+  uint32_t total_chunks = 0, received = 0;
+  uint8_t buf[64 * 1024];
+  frame f;
+  while (total_chunks == 0 || received < total_chunks) {
+    const decode_status st = dec.next(f);
+    if (st == decode_status::error)
+      throw std::runtime_error("gf: sync stream malformed: " + dec.error());
+    if (st == decode_status::need_more) {
+      const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+          throw std::runtime_error("gf: sync timed out waiting for data");
+        throw std::runtime_error(std::string("gf: sync read failed: ") +
+                                 std::strerror(errno));
+      }
+      if (n == 0)
+        throw std::runtime_error("gf: primary closed mid-sync");
+      dec.feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (const char* shape = validate_response(f))
+      throw std::runtime_error(std::string("gf: malformed sync frame: ") +
+                               shape);
+    if (f.op != opcode::sync || f.sequence != req_seq)
+      throw std::runtime_error("gf: unexpected frame during sync");
+    if (f.status != wire_status::ok)
+      throw std::runtime_error("gf: primary refused sync: " +
+                               decode_text(f));
+    if (f.shard_hint != received)
+      throw std::runtime_error("gf: sync chunk out of order");
+    if (received == 0) {
+      total_chunks = f.key_count;
+      const sync_chunk_header h = decode_sync_chunk_header(f);
+      repl_seq = h.repl_seq;
+      total_bytes = h.total_bytes;
+      bytes.reserve(total_bytes);
+      bytes.append(
+          reinterpret_cast<const char*>(f.payload.data()) + kSyncChunk0Header,
+          f.payload.size() - kSyncChunk0Header);
+    } else {
+      if (f.key_count != total_chunks)
+        throw std::runtime_error("gf: sync chunk total changed mid-transfer");
+      bytes.append(reinterpret_cast<const char*>(f.payload.data()),
+                   f.payload.size());
+    }
+    ++received;
+  }
+  if (bytes.size() != total_bytes)
+    throw std::runtime_error("gf: sync transfer size mismatch");
+
+  // Install: through the crash-safe file cycle when this replica persists
+  // (its first snapshot on disk is the one it booted from), else straight
+  // from memory.
+  if (!snapshot_path.empty()) {
+    store::atomic_write_file(snapshot_path, bytes.data(), bytes.size());
+    return sync_result{store::load_store(snapshot_path), repl_seq,
+                       bytes.size(), std::move(fd), std::move(dec)};
+  }
+  std::istringstream in(bytes, std::ios::binary);
+  return sync_result{store::load_store(in), repl_seq, bytes.size(),
+                     std::move(fd), std::move(dec)};
+}
+
+}  // namespace gf::net

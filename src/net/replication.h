@@ -1,0 +1,62 @@
+// Replica bootstrap for the filter-store wire protocol.
+//
+// Topology: replicas *pull*.  A replica opens one ordinary protocol
+// connection to its primary and sends SYNC; the primary answers with the
+// whole store as chunked, CRC-framed snapshot chunks and — atomically with
+// the snapshot, because the primary's event loop is its store's only
+// writer — marks that same connection as a subscriber.  Every mutating
+// batch the primary applies from then on is copied down the connection,
+// stamped with the primary's replication sequence.  The snapshot's chunk 0
+// names the sequence it captures, so the stream the replica then applies
+// begins at exactly repl_seq + 1: no mutation can fall between bootstrap
+// and live streaming, and any later discontinuity (a dropped or replayed
+// frame after a reconnect) is detectable by sequence and surfaces in
+// STATS.
+//
+// sync_from() performs the bootstrap half: connect, transfer, install.
+// When a snapshot path is given the received bytes are first written to
+// disk atomically (store_io.h's tmp + fsync + rename) and loaded from
+// there — the replica's own durability cycle starts from its first byte.
+// The returned feed (socket + decoder, which may already hold live
+// frames) is handed to net::server::attach_feed, whose event loop applies
+// the stream, acks each frame, and keeps serving reads if the primary
+// dies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "store/store.h"
+
+namespace gf::net {
+
+/// Everything a bootstrap produces: the installed store, the stream
+/// position its snapshot captures, and the subscribed connection with its
+/// decoder state (live frames may already be buffered behind the chunks).
+struct sync_result {
+  store::filter_store store;
+  uint64_t repl_seq = 0;       ///< stream position of the snapshot
+  uint64_t snapshot_bytes = 0; ///< assembled snapshot size
+  socket_fd feed;              ///< subscribed connection to the primary
+  frame_decoder dec;           ///< decoder carrying any early stream frames
+};
+
+/// Bootstrap from a primary: SYNC, assemble the chunked snapshot, install
+/// it (atomically through `snapshot_path` when non-empty, else from
+/// memory), and return the live feed.  Retries the initial connect
+/// `connect_retries` times at 250 ms — "start primary & replica" scripts
+/// should not race the primary's bind.  Throws on any protocol or I/O
+/// failure.
+sync_result sync_from(const std::string& host, uint16_t port,
+                      const std::string& snapshot_path = "",
+                      size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                      int connect_retries = 0);
+
+/// Split a "host:port" spec (the --replica-of / --replicate-to argument
+/// form); throws on a malformed spec or an out-of-range port.
+std::pair<std::string, uint16_t> parse_host_port(const std::string& spec);
+
+}  // namespace gf::net

@@ -1,5 +1,7 @@
 #include "net/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -15,21 +17,47 @@
 
 #include "gpu/launch.h"
 #include "net/codec.h"
+#include "net/replication.h"
 #include "store/report_json.h"
 #include "store/store_io.h"
+#include "util/json.h"
 
 namespace gf::net {
 
 namespace {
 constexpr size_t kReadChunk = 64 * 1024;
+
+/// Numeric peer address of a connected socket (the host a sync invite's
+/// recipient dials back).
+std::string peer_ip(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0)
+    throw std::runtime_error("gf: getpeername failed");
+  char buf[INET_ADDRSTRLEN] = {0};
+  if (!::inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof(buf)))
+    throw std::runtime_error("gf: inet_ntop failed");
+  return buf;
 }
+}  // namespace
 
 struct server::connection {
+  /// What the frames on this connection mean:
+  ///   client     — requests in, responses out (the default);
+  ///   subscriber — a replica we feed: forwarded mutations out, acks in;
+  ///   feed       — our primary: forwarded mutations in, acks out.
+  enum class role : uint8_t { client, subscriber, feed };
+
   socket_fd fd;
   frame_decoder dec;
   std::vector<uint8_t> out;  ///< encoded responses awaiting the socket
   size_t out_pos = 0;
   bool dead = false;
+  role kind = role::client;
+  uint64_t last_acked = 0;  ///< subscriber: highest sequence acknowledged
+  /// Subscriber queue cap: the configured cap, grown to cover the
+  /// bootstrap snapshot burst (which is queued in one go).
+  size_t queue_cap = 0;
 
   connection(socket_fd f, size_t max_frame)
       : fd(std::move(f)), dec(max_frame) {}
@@ -67,12 +95,96 @@ server_stats server::stats() const {
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.repl_seq = repl_seq_.load(std::memory_order_relaxed);
+  s.subscribers = subscribers_.load(std::memory_order_relaxed);
+  s.frames_forwarded = frames_forwarded_.load(std::memory_order_relaxed);
+  s.subscriber_drops = subscriber_drops_.load(std::memory_order_relaxed);
+  s.subscriber_acked = subscriber_acked_.load(std::memory_order_relaxed);
+  s.subscriber_errors = subscriber_errors_.load(std::memory_order_relaxed);
+  s.invites_failed = invites_failed_.load(std::memory_order_relaxed);
+  s.feed_attached = feed_attached_.load(std::memory_order_relaxed);
+  s.feed_applied = feed_applied_.load(std::memory_order_relaxed);
+  s.feed_gaps = feed_gaps_.load(std::memory_order_relaxed);
+  s.feed_last_seq = feed_last_seq_.load(std::memory_order_relaxed);
+  s.feed_lost = feed_lost_.load(std::memory_order_relaxed);
+  s.read_only_refusals = read_only_refusals_.load(std::memory_order_relaxed);
   return s;
 }
 
+void server::attach_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq) {
+  adopt_feed(std::move(fd), std::move(dec), next_seq);
+}
+
+void server::adopt_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq) {
+  set_nonblocking(fd.get());
+  set_nodelay(fd.get());
+  auto conn =
+      std::make_unique<connection>(std::move(fd), cfg_.max_frame_bytes);
+  conn->dec = std::move(dec);
+  conn->kind = connection::role::feed;
+  ever_fed_ = true;
+  feed_expected_ = next_seq;
+  repl_seq_.store(next_seq == 0 ? 0 : next_seq - 1,
+                  std::memory_order_relaxed);
+  feed_attached_.store(1, std::memory_order_relaxed);
+  conns_.push_back(std::move(conn));
+  // The sync handshake's decoder may already hold live stream frames that
+  // arrived behind the snapshot chunks — apply them now, don't wait for
+  // the next socket read.
+  connection& c = *conns_.back();
+  if (drain_frames(c)) {
+    if (c.out_pos < c.out.size() && !flush_writes(c)) c.dead = true;
+  }
+}
+
+void server::send_invites() {
+  for (const std::string& spec : cfg_.invite) {
+    try {
+      auto [host, port] = parse_host_port(spec);
+      socket_fd s = tcp_connect(host, port);
+      auto bytes = encode_sync_invite(/*seq=*/1, port_);
+      if (!send_all(s.get(), bytes.data(), bytes.size()))
+        throw std::runtime_error("gf: invite send failed");
+      // Fire-and-forget: the standby replica dials back and SYNCs like
+      // any other subscriber; nothing to wait for here.
+    } catch (const std::exception&) {
+      invites_failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void server::sweep_dead() {
+  for (size_t i = conns_.size(); i-- > 0;) {
+    if (!conns_[i]->dead) continue;
+    switch (conns_[i]->kind) {
+      case connection::role::subscriber:
+        subscribers_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      case connection::role::feed:
+        // The primary is gone.  Keep serving reads from the last applied
+        // sequence — that is the whole point of a replica.
+        feed_attached_.store(0, std::memory_order_relaxed);
+        feed_lost_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case connection::role::client:
+        break;
+    }
+    closed_.fetch_add(1, std::memory_order_relaxed);
+    conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  recompute_acked();
+}
+
 void server::run() {
+  if (!invites_sent_) {
+    invites_sent_ = true;
+    send_invites();
+  }
   std::vector<pollfd> pfds;
   for (;;) {
+    // Sweep first so pre-run condemnations (a poisoned feed handed to
+    // attach_feed) and last round's casualties never reach poll().
+    sweep_dead();
     pfds.clear();
     pfds.push_back({wake_rd_.get(), POLLIN, 0});
     pfds.push_back({listen_.get(), POLLIN, 0});
@@ -83,9 +195,13 @@ void server::run() {
     for (const auto& c : conns_) {
       const size_t queued = c->out.size() - c->out_pos;
       short events = 0;
-      // Backpressure: a connection past its response-queue cap is not
-      // read until the peer drains what it already owes us.
-      if (queued < cfg_.max_queued_response_bytes) events |= POLLIN;
+      // Backpressure: a client past its response-queue cap is not read
+      // until the peer drains what it already owes us.  Subscriber acks
+      // and feed frames are always read — their flow control is the
+      // drop-slow-subscriber cap and the primary's own pacing.
+      if (c->kind != connection::role::client ||
+          queued < cfg_.max_queued_response_bytes)
+        events |= POLLIN;
       if (queued > 0) events |= POLLOUT;
       pfds.push_back({c->fd.get(), events, 0});
     }
@@ -108,16 +224,8 @@ void server::run() {
       }
       if (!c.dead && (re & (POLLIN | POLLHUP))) read_ready(c);
     }
-
-    // Sweep: responses already queued for a dead connection are dropped
-    // with it — the peer that broke the stream forfeits them.
-    for (size_t i = conns_.size(); i-- > 0;) {
-      if (conns_[i]->dead) {
-        closed_.fetch_add(1, std::memory_order_relaxed);
-        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
-      }
-    }
   }
+  sweep_dead();
   // Drain the wakeup pipe so a relaunched run() blocks again.
   uint8_t buf[64];
   while (::read(wake_rd_.get(), buf, sizeof(buf)) > 0) {
@@ -130,7 +238,13 @@ void server::accept_ready() {
     int fd = ::accept(listen_.get(), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // EAGAIN (no more pending) or transient accept failure
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // drained
+      // Anything else — EMFILE/ENFILE above all — leaves the pending
+      // connection in the backlog and the listener readable, so a bare
+      // break would spin poll() at full CPU until an fd frees up.  Brief
+      // pause instead; the backlog holds the peers meanwhile.
+      ::poll(nullptr, 0, 50);
+      break;
     }
     socket_fd s(fd);
     set_nonblocking(fd);
@@ -138,6 +252,44 @@ void server::accept_ready() {
     conns_.push_back(
         std::make_unique<connection>(std::move(s), cfg_.max_frame_bytes));
     accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool server::drain_frames(connection& c) {
+  frame f;
+  for (;;) {
+    decode_status st = c.dec.next(f);
+    if (st == decode_status::need_more) return true;
+    if (st == decode_status::error) {
+      condemn(c, c.dec.error());
+      return false;
+    }
+    switch (c.kind) {
+      case connection::role::client:
+        if (const char* shape = validate_request(f)) {
+          condemn(c, shape);
+          return false;
+        }
+        handle_frame(c, f);
+        break;
+      case connection::role::subscriber:
+        // Frames coming *back* from a replica are acks: ordinary
+        // responses echoing the forwarded stream sequence.
+        if (const char* shape = validate_response(f)) {
+          condemn(c, shape);
+          return false;
+        }
+        subscriber_ack(c, f);
+        break;
+      case connection::role::feed:
+        if (const char* shape = validate_request(f)) {
+          condemn(c, shape);
+          return false;
+        }
+        feed_frame(c, f);
+        break;
+    }
+    if (c.dead) return false;
   }
 }
 
@@ -164,23 +316,12 @@ void server::read_ready(connection& c) {
 
     // Serve every complete frame before the next poll round — this is the
     // server half of pipelining.
-    frame f;
-    for (;;) {
-      decode_status st = c.dec.next(f);
-      if (st == decode_status::need_more) break;
-      if (st == decode_status::error) {
-        condemn(c, c.dec.error());
-        return;
-      }
-      if (const char* shape = validate_request(f)) {
-        condemn(c, shape);
-        return;
-      }
-      handle_frame(c, f);
-    }
+    if (!drain_frames(c)) return;
     // Over the response-queue cap: stop consuming this connection's
     // requests (what stays in the kernel buffer throttles the peer).
-    if (c.out.size() - c.out_pos >= cfg_.max_queued_response_bytes) break;
+    if (c.kind == connection::role::client &&
+        c.out.size() - c.out_pos >= cfg_.max_queued_response_bytes)
+      break;
     if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
   }
   if (c.out_pos < c.out.size() && !flush_writes(c)) c.dead = true;
@@ -218,18 +359,214 @@ void server::append_out(connection& c, std::vector<uint8_t> bytes) {
   c.out.insert(c.out.end(), bytes.begin(), bytes.end());
 }
 
+// -- Replication -------------------------------------------------------------
+
+void server::replicate(const frame& f, bool from_feed) {
+  // The stream sequence advances on *every* applied mutation, subscribers
+  // or not — it is the store's mutation-log position, and a SYNC snapshot
+  // must name it so a later replica knows where its stream begins.  A
+  // feed-applied frame keeps its upstream sequence (chained replicas stay
+  // aligned with the root primary's log).
+  uint64_t seq;
+  if (from_feed) {
+    seq = f.sequence;
+    repl_seq_.store(seq, std::memory_order_relaxed);
+  } else {
+    seq = repl_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  forward_to_subscribers(f, seq);
+}
+
+void server::forward_to_subscribers(const frame& f, uint64_t seq) {
+  bool any = false;
+  for (const auto& c : conns_)
+    if (!c->dead && c->kind == connection::role::subscriber) {
+      any = true;
+      break;
+    }
+  if (!any) return;
+  // Re-encode straight from the decoded frame's fields with the stream
+  // sequence stamped in — the payload (multi-MiB for big batches) is
+  // written once into the wire bytes, never copied into a temporary.
+  std::vector<uint8_t> bytes;
+  encode_frame(f.op, wire_status::ok, f.shard_hint, f.key_count, seq,
+               f.payload, bytes);
+  for (auto& c : conns_) {
+    if (c->dead || c->kind != connection::role::subscriber) continue;
+    append_out(*c, bytes);
+    frames_forwarded_.fetch_add(1, std::memory_order_relaxed);
+    // A subscriber that cannot drain its stream is cut loose: async
+    // replication must never let one slow replica grow this process
+    // without bound.  The replica sees the EOF, counts a lost feed, and
+    // can bootstrap again.
+    if (c->out.size() - c->out_pos > c->queue_cap) {
+      subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
+      c->dead = true;
+    }
+  }
+}
+
+void server::subscriber_ack(connection& c, const frame& f) {
+  if (f.status != wire_status::ok) {
+    // The replica failed *applying* a forwarded frame (its handler threw):
+    // its store may have diverged.  Count it and hold the ack watermark —
+    // STATS must not report a diverged replica as caught up.
+    subscriber_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (f.sequence > c.last_acked) {
+    c.last_acked = f.sequence;
+    recompute_acked();
+  }
+}
+
+void server::recompute_acked() {
+  uint64_t min_acked = 0;
+  bool first = true;
+  for (const auto& c : conns_) {
+    if (c->dead || c->kind != connection::role::subscriber) continue;
+    if (first || c->last_acked < min_acked) min_acked = c->last_acked;
+    first = false;
+  }
+  subscriber_acked_.store(first ? 0 : min_acked, std::memory_order_relaxed);
+}
+
+void server::serve_sync(connection& c, const frame& f) {
+  if (f.shard_hint == kSyncInviteHint) {
+    handle_invite(c, f);
+    return;
+  }
+  // A standby that has never bootstrapped has no authoritative dataset:
+  // serving SYNC from it would hand a downstream replica an empty
+  // snapshot at sequence 0, and the standby's own later bootstrap
+  // (handle_invite) would replace the store underneath that subscriber —
+  // silent, permanent divergence.  Refuse until this server has data of
+  // its own lineage.  (A replica whose feed *died* still serves SYNC:
+  // its last-acknowledged state is a real snapshot.)
+  if (cfg_.read_only && !ever_fed_) {
+    append_out(c, encode_error_response(
+                      opcode::sync, f.sequence, wire_status::unsupported,
+                      "standby replica has not bootstrapped yet"));
+    return;
+  }
+  // Snapshot + subscribe, atomically with respect to mutations: the event
+  // loop is the store's only writer, so every mutation at or below the
+  // sequence recorded here is inside the snapshot and every later one
+  // will be forwarded down this connection.  Nothing falls in between.
+  const std::string bytes = store::serialize_store(store_);
+  const uint64_t seq_pos = repl_seq_.load(std::memory_order_relaxed);
+  size_t cap = std::min(cfg_.sync_chunk_bytes,
+                        cfg_.max_frame_bytes - kFrameOverhead);
+  if (cap <= kSyncChunk0Header) cap = kSyncChunk0Header + 1;
+  auto data = std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  const size_t first_data = std::min(bytes.size(), cap - kSyncChunk0Header);
+  const size_t rest = bytes.size() - first_data;
+  const uint32_t total =
+      static_cast<uint32_t>(1 + (rest + cap - 1) / cap);
+  append_out(c, encode_sync_chunk(f.sequence, 0, total, seq_pos,
+                                  bytes.size(), data.subspan(0, first_data)));
+  size_t off = first_data;
+  for (uint32_t idx = 1; off < bytes.size(); ++idx) {
+    const size_t slice = std::min(cap, bytes.size() - off);
+    append_out(c, encode_sync_chunk(f.sequence, idx, total, 0, 0,
+                                    data.subspan(off, slice)));
+    off += slice;
+  }
+  c.kind = connection::role::subscriber;
+  c.queue_cap = std::max(cfg_.max_subscriber_queue_bytes, 2 * bytes.size());
+  subscribers_.fetch_add(1, std::memory_order_relaxed);
+  recompute_acked();
+}
+
+void server::handle_invite(connection& c, const frame& f) {
+  // Only a standby replica (read-only, not yet fed) takes an invite: on
+  // anything else a hostile invite would overwrite a live store.
+  if (!cfg_.read_only || feed_attached_.load(std::memory_order_relaxed)) {
+    append_out(c, encode_error_response(opcode::sync, f.sequence,
+                                        wire_status::unsupported,
+                                        "not a standby replica"));
+    return;
+  }
+  try {
+    const std::string host = peer_ip(c.fd.get());
+    const uint16_t port = decode_sync_invite(f);
+    // Blocking bootstrap inside the loop: acceptable for a standby that
+    // is, by definition, not serving anything yet.
+    sync_result sr =
+        sync_from(host, port, cfg_.snapshot_path, cfg_.max_frame_bytes);
+    store_ = std::move(sr.store);
+    // The store was just replaced wholesale: any subscriber synced off
+    // the pre-invite state (defense in depth — serve_sync refuses on a
+    // never-fed standby) is cut loose so it bootstraps from the new
+    // lineage instead of silently diverging.
+    for (auto& sub : conns_)
+      if (!sub->dead && sub->kind == connection::role::subscriber) {
+        subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
+        sub->dead = true;
+      }
+    adopt_feed(std::move(sr.feed), std::move(sr.dec), sr.repl_seq + 1);
+    // No success response: the inviter fired and forgot; convergence is
+    // observable through STATS on either end.
+  } catch (const std::exception& e) {
+    append_out(c, encode_error_response(opcode::sync, f.sequence,
+                                        wire_status::error, e.what()));
+  }
+}
+
+void server::feed_frame(connection& c, const frame& f) {
+  // Only mutating opcodes ride the feed; anything else means the stream
+  // is not what we subscribed to.
+  if (f.op != opcode::insert && f.op != opcode::insert_counted &&
+      f.op != opcode::erase && f.op != opcode::maintain) {
+    condemn(c, "non-mutating opcode on the replication feed");
+    return;
+  }
+  if (f.sequence != feed_expected_) {
+    // A discontinuity: count it so STATS surfaces the divergence.  An
+    // older-than-expected frame is a replay and is dropped; a jump is
+    // applied (the stream is still the freshest data we can get) with the
+    // gap on record.
+    feed_gaps_.fetch_add(1, std::memory_order_relaxed);
+    if (f.sequence < feed_expected_) return;
+  }
+  feed_expected_ = f.sequence + 1;
+  feed_last_seq_.store(f.sequence, std::memory_order_relaxed);
+  feed_applied_.fetch_add(1, std::memory_order_relaxed);
+  handle_frame(c, f);  // applies, acks on this connection, chains downstream
+}
+
 void server::handle_frame(connection& c, const frame& f) {
   frames_.fetch_add(1, std::memory_order_relaxed);
+  const bool from_feed = c.kind == connection::role::feed;
+  const bool mutating = f.op == opcode::insert ||
+                        f.op == opcode::insert_counted ||
+                        f.op == opcode::erase;
+  // A replica takes mutations only from its feed; clients get an in-band
+  // error and keep their connection (they meant well — they just talked
+  // to the wrong end of the topology).
+  if ((mutating || f.op == opcode::maintain) && cfg_.read_only &&
+      !from_feed) {
+    read_only_refusals_.fetch_add(1, std::memory_order_relaxed);
+    append_out(c, encode_error_response(
+                      f.op, f.sequence, wire_status::unsupported,
+                      "read-only replica: send mutations to the primary"));
+    return;
+  }
   // Periodic skew relief: after enough mutating frames, grow pressured
   // shards (overflow cascades) without waiting for a client to ask.
   // Between frames the loop is the store's only writer — exactly the
-  // host-phased window maintain() requires.
-  if (cfg_.maintain_every != 0 &&
-      (f.op == opcode::insert || f.op == opcode::insert_counted ||
-       f.op == opcode::erase) &&
+  // host-phased window maintain() requires.  Feed traffic never triggers
+  // this: the primary's forwarded MAINTAIN frames (including the
+  // synthesized ones below) drive replica growth at the same stream
+  // positions, keeping cascade shapes in lockstep.
+  if (!from_feed && cfg_.maintain_every != 0 && mutating &&
       ++mutations_since_maintain_ >= cfg_.maintain_every) {
     mutations_since_maintain_ = 0;
     store_.maintain();
+    frame m;
+    m.op = opcode::maintain;
+    replicate(m, /*from_feed=*/false);
   }
   try {
     switch (f.op) {
@@ -244,6 +581,7 @@ void server::handle_frame(connection& c, const frame& f) {
         append_out(c, encode_pair_response(opcode::insert, f.sequence,
                                            f.key_count, ok,
                                            keys.size() - ok));
+        replicate(f, from_feed);
         break;
       }
       case opcode::insert_counted: {
@@ -258,6 +596,7 @@ void server::handle_frame(connection& c, const frame& f) {
         append_out(c, encode_pair_response(opcode::insert_counted,
                                            f.sequence, f.key_count,
                                            r.inserted, r.insert_failed));
+        replicate(f, from_feed);
         break;
       }
       case opcode::query: {
@@ -295,6 +634,7 @@ void server::handle_frame(connection& c, const frame& f) {
         append_out(c, encode_pair_response(opcode::erase, f.sequence,
                                            f.key_count, r.erased,
                                            r.erase_missing));
+        replicate(f, from_feed);
         break;
       }
       case opcode::count: {
@@ -310,8 +650,31 @@ void server::handle_frame(connection& c, const frame& f) {
         break;
       }
       case opcode::stats: {
-        append_out(c, encode_stats_response(f.sequence,
-                                            store::report_json(store_)));
+        // The store report plus the replication plane — role, stream
+        // position, subscriber lag, and (on a replica) feed health and
+        // gap count, so divergence is observable over the wire.
+        util::json_writer w;
+        w.object_begin();
+        store::report_json_fields(store_, w);
+        const server_stats s = stats();
+        w.key("replication").object_begin();
+        w.field("role", cfg_.read_only || s.feed_attached ? "replica"
+                                                          : "primary")
+            .field("read_only", cfg_.read_only)
+            .field("repl_seq", s.repl_seq)
+            .field("subscribers", s.subscribers)
+            .field("frames_forwarded", s.frames_forwarded)
+            .field("subscriber_acked", s.subscriber_acked)
+            .field("subscriber_drops", s.subscriber_drops)
+            .field("subscriber_errors", s.subscriber_errors)
+            .field("feed_attached", s.feed_attached != 0)
+            .field("feed_last_seq", s.feed_last_seq)
+            .field("feed_applied", s.feed_applied)
+            .field("feed_gaps", s.feed_gaps)
+            .field("read_only_refusals", s.read_only_refusals);
+        w.object_end();
+        w.object_end();
+        append_out(c, encode_stats_response(f.sequence, w.str()));
         break;
       }
       case opcode::maintain: {
@@ -319,6 +682,7 @@ void server::handle_frame(connection& c, const frame& f) {
         auto m = store_.maintain();
         append_out(c, encode_maintain_response(f.sequence, m.shards_grown,
                                                m.max_depth, m.total_levels));
+        replicate(f, from_feed);
         break;
       }
       case opcode::snapshot: {
@@ -333,6 +697,10 @@ void server::handle_frame(connection& c, const frame& f) {
         uint64_t bytes = static_cast<uint64_t>(
             std::filesystem::file_size(cfg_.snapshot_path));
         append_out(c, encode_snapshot_response(f.sequence, bytes));
+        break;
+      }
+      case opcode::sync: {
+        serve_sync(c, f);
         break;
       }
       case opcode::ping: {

@@ -15,6 +15,19 @@
 // request's sequence id — a client may keep many frames in flight and
 // match responses by sequence (net/client.h's pipelined API does).
 //
+// Replication (net/replication.h): a connection that sends SYNC becomes a
+// *subscriber* — it receives the snapshot (chunked frames) and, from that
+// exact stream position on, a copy of every mutating batch the server
+// applies, stamped with a monotone replication sequence.  Because the
+// event loop is the store's only writer, snapshot + subscription are
+// atomic: nothing falls between the snapshot and the live stream.  A
+// server in replica mode (read_only + attach_feed) applies the stream
+// coming down its *feed* connection, acks each frame with the ordinary
+// response, detects sequence gaps, refuses client mutations in-band, and
+// keeps serving reads if the primary dies.  Subscribers' frames are acks
+// (validated as responses); a replica subscribing elsewhere chains
+// naturally, since feed-applied mutations are forwarded downstream too.
+//
 // Hostile input: a structurally malformed frame (frame.h) or a payload
 // that disagrees with its opcode's shape (codec.h) condemns the
 // connection — it is closed immediately and counted in
@@ -24,10 +37,11 @@
 // Threading contract: run() owns the loop thread; the store must not be
 // touched by other threads while run() is live (the loop serializes all
 // store mutations, which is exactly the host-phased discipline the bulk
-// tier requires).  request_stop() is thread- AND async-signal-safe — it
-// writes one byte to a wakeup pipe — so a SIGTERM handler can stop the
-// loop and let the owner persist the store afterwards
-// (examples/store_server.cpp).  stats() is readable from any thread.
+// tier requires).  attach_feed() must be called before run().
+// request_stop() is thread- AND async-signal-safe — it writes one byte to
+// a wakeup pipe — so a SIGTERM handler can stop the loop and let the
+// owner persist the store afterwards (examples/store_server.cpp).
+// stats() is readable from any thread.
 #pragma once
 
 #include <atomic>
@@ -45,7 +59,9 @@ namespace gf::net {
 struct server_config {
   std::string bind_addr = "127.0.0.1";
   uint16_t port = 0;  ///< 0 = ephemeral; read the real one via port()
-  /// SNAPSHOT persists the store here; empty disables the opcode.
+  /// SNAPSHOT persists the store here; empty disables the opcode.  A
+  /// replica also routes its SYNC bootstrap through this path (written
+  /// atomically — store/store_io.h).
   std::string snapshot_path;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Backpressure cap per connection: once this many response bytes are
@@ -58,9 +74,32 @@ struct server_config {
   /// sustained skewed wire traffic grows hot-shard overflow cascades
   /// (store/shard.h) without any client having to send MAINTAIN.  The
   /// loop is the store's only writer, so the pass is host-phased by
-  /// construction.
+  /// construction.  On a replica the feed's forwarded MAINTAIN frames
+  /// drive growth instead, keeping cascade shapes in lockstep with the
+  /// primary (feed traffic never triggers the local cadence).
   uint32_t maintain_every = 64;
   int backlog = 64;
+
+  // -- Replication ----------------------------------------------------------
+
+  /// Refuse client mutations (INSERT / INSERT_COUNTED / ERASE / MAINTAIN
+  /// answered with an in-band error; the connection survives).  QUERY,
+  /// COUNT, STATS, PING, SNAPSHOT, and SYNC keep working — a replica is a
+  /// read endpoint and a valid sync source for chained replication.
+  bool read_only = false;
+  /// Slice size of SYNC snapshot chunks (clamped to the frame cap).
+  size_t sync_chunk_bytes = size_t{1} << 20;
+  /// Cap on a subscriber's unsent forwarded bytes (grown to twice its
+  /// bootstrap snapshot when that is larger).  A replica that cannot keep
+  /// up is dropped — it detects the loss and can re-SYNC — instead of
+  /// growing primary memory without bound.  Replication is asynchronous:
+  /// the primary never waits for acks.
+  size_t max_subscriber_queue_bytes = size_t{1} << 26;  // 64 MiB
+  /// Replication invites sent once when run() starts ("host:port" each):
+  /// the target — a standby replica (read_only, no feed) — is told to
+  /// SYNC back from this server's address.  Best-effort: a dead target
+  /// counts in stats().invites_failed and the server serves on.
+  std::vector<std::string> invite;
 };
 
 /// Plain-value counters snapshot (readable while the loop runs).
@@ -72,6 +111,26 @@ struct server_stats {
   uint64_t protocol_errors = 0;  ///< malformed frames / truncated streams
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
+
+  // Replication, primary side.
+  uint64_t repl_seq = 0;           ///< mutation-stream position
+  uint64_t subscribers = 0;        ///< live subscriber connections
+  uint64_t frames_forwarded = 0;   ///< frames queued to subscribers
+  uint64_t subscriber_drops = 0;   ///< subscribers dropped (too slow, or
+                                   ///< cut on a store-replacing invite)
+  uint64_t subscriber_acked = 0;   ///< lowest sequence every live
+                                   ///< subscriber has acknowledged
+  uint64_t subscriber_errors = 0;  ///< error-status acks: a replica
+                                   ///< failed applying a forwarded frame
+  uint64_t invites_failed = 0;
+
+  // Replication, replica side.
+  uint64_t feed_attached = 0;  ///< 1 while the live stream is connected
+  uint64_t feed_applied = 0;   ///< stream frames applied
+  uint64_t feed_gaps = 0;      ///< sequence discontinuities observed
+  uint64_t feed_last_seq = 0;  ///< last stream sequence applied
+  uint64_t feed_lost = 0;      ///< times the feed connection died
+  uint64_t read_only_refusals = 0;
 };
 
 class server {
@@ -86,6 +145,13 @@ class server {
   store::filter_store& store() { return store_; }
   const store::filter_store& store() const { return store_; }
 
+  /// Join a primary's live mutation stream (replica mode).  `fd` is the
+  /// connection net::sync_from() left subscribed, `dec` its decoder —
+  /// which may already hold streamed frames; they are applied here —
+  /// and `next_seq` the first expected stream sequence (the snapshot's
+  /// repl_seq + 1).  Must be called before run().
+  void attach_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq);
+
   /// Blocking event loop; returns after request_stop().
   void run();
 
@@ -99,8 +165,24 @@ class server {
 
   void accept_ready();
   void read_ready(connection& c);
+  /// Decode-and-dispatch every buffered frame; false when the connection
+  /// was condemned.
+  bool drain_frames(connection& c);
   bool flush_writes(connection& c);  ///< false when the peer is gone
   void handle_frame(connection& c, const frame& f);
+  void serve_sync(connection& c, const frame& f);
+  void handle_invite(connection& c, const frame& f);
+  void feed_frame(connection& c, const frame& f);
+  void subscriber_ack(connection& c, const frame& f);
+  /// Stamp a just-applied mutation with its stream sequence and copy it to
+  /// every subscriber.
+  void replicate(const frame& f, bool from_feed);
+  void forward_to_subscribers(const frame& f, uint64_t seq);
+  void recompute_acked();
+  void send_invites();
+  /// Adopt a subscribed primary connection as this server's feed.
+  void adopt_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq);
+  void sweep_dead();
   void condemn(connection& c, const std::string& why);
   void append_out(connection& c, std::vector<uint8_t> bytes);
 
@@ -119,6 +201,24 @@ class server {
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
   uint32_t mutations_since_maintain_ = 0;
+
+  std::atomic<uint64_t> repl_seq_{0};
+  std::atomic<uint64_t> subscribers_{0};
+  std::atomic<uint64_t> frames_forwarded_{0};
+  std::atomic<uint64_t> subscriber_drops_{0};
+  std::atomic<uint64_t> subscriber_acked_{0};
+  std::atomic<uint64_t> subscriber_errors_{0};
+  std::atomic<uint64_t> invites_failed_{0};
+  std::atomic<uint64_t> feed_attached_{0};
+  std::atomic<uint64_t> feed_applied_{0};
+  std::atomic<uint64_t> feed_gaps_{0};
+  std::atomic<uint64_t> feed_last_seq_{0};
+  std::atomic<uint64_t> feed_lost_{0};
+  std::atomic<uint64_t> read_only_refusals_{0};
+  uint64_t feed_expected_ = 0;  ///< next stream sequence the feed owes us
+  bool ever_fed_ = false;  ///< a feed was attached at least once — i.e.
+                           ///< this server's data has a real lineage
+  bool invites_sent_ = false;
 };
 
 }  // namespace gf::net

@@ -24,14 +24,17 @@
 
 namespace gf::store {
 
-inline std::string report_json(const filter_store& store) {
-  util::json_writer w;
+/// Emit the report fields into an already-open JSON object — callers that
+/// wrap the store report with extra sections (net/server.cpp adds a
+/// "replication" object to STATS) reuse the exact schema instead of
+/// re-emitting it.
+inline void report_json_fields(const filter_store& store,
+                               util::json_writer& w) {
   const auto reports = store.report();
   uint32_t max_depth = 1;
   for (const auto& r : reports)
     if (r.levels > max_depth) max_depth = r.levels;
-  w.object_begin()
-      .field("backend", backend_name(store.config().backend))
+  w.field("backend", backend_name(store.config().backend))
       .field("shards", store.num_shards())
       .field("capacity", store.config().capacity)
       .field("provisioned_capacity", store.provisioned_capacity())
@@ -59,7 +62,14 @@ inline std::string report_json(const filter_store& store) {
         .object_end();
     w.object_end();
   }
-  w.array_end().object_end();
+  w.array_end();
+}
+
+inline std::string report_json(const filter_store& store) {
+  util::json_writer w;
+  w.object_begin();
+  report_json_fields(store, w);
+  w.object_end();
   return w.str();
 }
 

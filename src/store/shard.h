@@ -448,27 +448,62 @@ class shard {
     return n - unanswered;
   }
 
-  /// Bulk membership over the cascade: single level uses the backend's
-  /// native batch probe; deeper cascades walk levels per key (each shard
-  /// already runs on its own logical thread).
+  /// Bulk membership over the cascade: every level takes the backend's
+  /// native batch probe over a narrowing remainder (mirroring
+  /// cascade_bulk_insert's fall-through), so the deep cascades on exactly
+  /// the shards that grew children keep the bulk tier instead of decaying
+  /// to one virtual point probe per key per level.  When a level answers
+  /// the whole remainder (the hot-level common case) or none of it, no
+  /// per-key work happens at all; a mixed level narrows the remainder by
+  /// membership — the same predicate its batch probe just counted, so the
+  /// total is exactly the per-key walk's answer.
   uint64_t bulk_contains_keys(std::span<const uint64_t> keys) const {
     if (levels_.size() == 1) return levels_.front()->contains_bulk(keys);
     uint64_t hits = 0;
-    for (uint64_t k : keys) hits += cascade_contains(k) ? 1 : 0;
+    std::vector<uint64_t> hold, rem;
+    std::span<const uint64_t> cur = keys;
+    for (size_t l = 0; l < levels_.size() && !cur.empty(); ++l) {
+      const any_filter& f = *levels_[l];
+      const uint64_t got = f.contains_bulk(cur);
+      hits += got;
+      if (got == cur.size() || l + 1 == levels_.size()) break;
+      if (got == 0) continue;  // whole remainder falls through untouched
+      rem.clear();
+      for (uint64_t k : cur)
+        if (!f.contains(k)) rem.push_back(k);
+      hold.swap(rem);
+      cur = hold;
+    }
     return hits;
   }
 
-  /// Bulk erase over the cascade: one instance per batch occurrence, first
-  /// level that holds the key wins.
+  /// Bulk erase over the cascade: per level, the remainder is partitioned
+  /// by membership — the occurrences a level answers are erased there with
+  /// one native erase_bulk call (first level that holds the key wins, and
+  /// for btcf one writer lock per level instead of one per key), the rest
+  /// fall through.  Attribution is per *key*: duplicate occurrences beyond
+  /// a level's stored copies are charged to that level rather than retried
+  /// deeper — the same membership-attribution rule the bulk insert path
+  /// documents, and it can only under-count, never double-erase.
   uint64_t bulk_erase_keys(std::span<const uint64_t> keys) {
     if (levels_.size() == 1) return levels_.front()->erase_bulk(keys);
     uint64_t ok = 0;
-    for (uint64_t k : keys)
-      for (const auto& f : levels_)
-        if (f->erase(k)) {
-          ++ok;
-          break;
-        }
+    std::vector<uint64_t> mine, hold, rest;
+    std::span<const uint64_t> cur = keys;
+    for (size_t l = 0; l < levels_.size() && !cur.empty(); ++l) {
+      any_filter& f = *levels_[l];
+      if (l + 1 == levels_.size()) {
+        // Deepest level: whatever it cannot erase is a real miss.
+        ok += f.erase_bulk(cur);
+        break;
+      }
+      mine.clear();
+      rest.clear();
+      for (uint64_t k : cur) (f.contains(k) ? mine : rest).push_back(k);
+      if (!mine.empty()) ok += f.erase_bulk(mine);
+      hold.swap(rest);
+      cur = hold;
+    }
     return ok;
   }
 

@@ -23,11 +23,18 @@
 // an exception instead of yielding a store that silently answers wrong.
 #pragma once
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <memory>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -123,16 +130,89 @@ inline filter_store load_store(std::istream& in) {
   return filter_store(cfg, std::move(shards));
 }
 
-/// File-path conveniences.
+/// Serialize the whole store to bytes — the snapshot form the SYNC wire
+/// transfer ships (net/server.cpp) and the atomic file save writes.
+inline std::string serialize_store(const filter_store& store) {
+  std::ostringstream buf(std::ios::binary);
+  save_store(store, buf);
+  return std::move(buf).str();
+}
+
+/// Atomically replace `path` with `data`: write to `path + ".tmp"`, fsync,
+/// then rename(2) over the target.  At every instant `path` is either the
+/// previous complete file or the new complete file — a crash (SIGKILL, a
+/// mid-SIGTERM persist, power loss) mid-save leaves the old snapshot
+/// loadable instead of a truncated one.  Throws on any failure; the tmp
+/// file is cleaned up on the error paths.
+inline void atomic_write_file(const std::string& path, const void* data,
+                              size_t n) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    throw std::runtime_error("gf: cannot open " + tmp + ": " +
+                             std::strerror(errno));
+  auto fail = [&](const std::string& what) -> std::runtime_error {
+    int err = errno;
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return std::runtime_error("gf: " + what + " " + tmp + ": " +
+                              std::strerror(err));
+  };
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t left = n;
+  while (left > 0) {
+    ssize_t w = ::write(fd, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw fail("short write to");
+    }
+    p += static_cast<size_t>(w);
+    left -= static_cast<size_t>(w);
+  }
+  // The data must be durable *before* the rename publishes it: a journaled
+  // filesystem may commit the rename first, and a crash between the two
+  // would publish a hole-filled file.
+  if (::fsync(fd) != 0) throw fail("fsync of");
+  if (::close(fd) != 0) {
+    fd = -1;
+    throw fail("close of");
+  }
+  fd = -1;
+  if (::rename(tmp.c_str(), path.c_str()) != 0)
+    throw fail("rename over " + path + " of");
+  // Durability of the *name* needs the directory synced too; best-effort
+  // (the data itself is already safe, and some filesystems refuse
+  // directory fsync).
+  std::string dir = path;
+  size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash + 1);
+  int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+/// File-path conveniences.  The file form is crash-safe: the snapshot is
+/// staged at `path + ".tmp"` and renamed over the target only after an
+/// fsync, so an interrupted save can never destroy the previous snapshot
+/// (see atomic_write_file).  Non-regular targets — pipes, devices — cannot
+/// be renamed over, so they are streamed directly with the flush-and-check
+/// guard (a full disk still surfaces as "short write", not a silent
+/// truncation).
 inline void save_store(const filter_store& store, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("gf: cannot open " + path);
-  save_store(store, out);
-  // Push the buffered tail to the OS before declaring success: without the
-  // flush a full disk looks like a clean save and surfaces later as a
-  // truncated, unloadable store file.
-  out.flush();
-  if (!out) throw std::runtime_error("gf: short write to " + path);
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec) &&
+      !std::filesystem::is_regular_file(path, ec)) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("gf: cannot open " + path);
+    save_store(store, out);
+    out.flush();
+    if (!out) throw std::runtime_error("gf: short write to " + path);
+    return;
+  }
+  const std::string bytes = serialize_store(store);
+  atomic_write_file(path, bytes.data(), bytes.size());
 }
 
 inline filter_store load_store(const std::string& path) {

@@ -350,3 +350,90 @@ TEST(NetFrame, BatchSizeCapEnforcedByEncoders) {
   EXPECT_THROW(net::encode_keys_request(opcode::insert, 1, huge),
                std::length_error);
 }
+
+TEST(NetFrame, BatchSizeBoundaryIsTyped) {
+  // Exactly the cap encodes; one past it throws the *typed* error — the
+  // u32 key_count field can never be handed a silently-truncated count.
+  std::vector<uint64_t> at_cap(net::kMaxKeysPerFrame, 1);
+  frame f = decode_one(net::encode_keys_request(opcode::query, 9, at_cap));
+  EXPECT_EQ(net::validate_request(f), nullptr);
+  EXPECT_EQ(f.key_count, net::kMaxKeysPerFrame);
+
+  std::vector<uint64_t> over(net::kMaxKeysPerFrame + 1, 1);
+  EXPECT_THROW(net::encode_keys_request(opcode::erase, 1, over),
+               net::batch_too_large);
+  EXPECT_THROW(net::encode_insert_counted_request(1, over, over),
+               net::batch_too_large);
+  // Response encoders carry the same cast and the same guard.
+  EXPECT_THROW(net::encode_count_response(1, over), net::batch_too_large);
+}
+
+TEST(NetFrame, TruncatedCountShapedFrameIsRejected) {
+  // The aftermath of an unchecked size_t → u32 narrowing is a key_count
+  // far below the payload length: shape validation must reject exactly
+  // that disagreement instead of misreading the batch.
+  auto keys = some_keys(64);
+  frame f;
+  f.op = opcode::insert;
+  f.sequence = 3;
+  f.key_count = 5;  // lies: payload carries 64 keys
+  net::put_u64s(f.payload, keys);
+  frame decoded = decode_one(net::encode_frame(f));
+  EXPECT_NE(net::validate_request(decoded), nullptr);
+}
+
+TEST(NetFrame, SyncChunkRoundTrip) {
+  std::vector<uint8_t> blob(5000);
+  for (size_t i = 0; i < blob.size(); ++i)
+    blob[i] = static_cast<uint8_t>(i * 31);
+  auto half = std::span<const uint8_t>(blob).subspan(0, 2500);
+  auto rest = std::span<const uint8_t>(blob).subspan(2500);
+
+  frame c0 = decode_one(
+      net::encode_sync_chunk(7, 0, 2, /*repl_seq=*/99, blob.size(), half));
+  EXPECT_EQ(net::validate_response(c0), nullptr);
+  EXPECT_EQ(c0.op, opcode::sync);
+  EXPECT_EQ(c0.shard_hint, 0u);
+  EXPECT_EQ(c0.key_count, 2u);
+  auto h = net::decode_sync_chunk_header(c0);
+  EXPECT_EQ(h.repl_seq, 99u);
+  EXPECT_EQ(h.total_bytes, blob.size());
+  ASSERT_EQ(c0.payload.size(), net::kSyncChunk0Header + half.size());
+  EXPECT_EQ(0, std::memcmp(c0.payload.data() + net::kSyncChunk0Header,
+                           half.data(), half.size()));
+
+  frame c1 = decode_one(net::encode_sync_chunk(7, 1, 2, 0, 0, rest));
+  EXPECT_EQ(net::validate_response(c1), nullptr);
+  EXPECT_EQ(c1.shard_hint, 1u);
+  ASSERT_EQ(c1.payload.size(), rest.size());
+  EXPECT_EQ(0, std::memcmp(c1.payload.data(), rest.data(), rest.size()));
+}
+
+TEST(NetFrame, SyncShapes) {
+  // Plain sync request: empty control frame.
+  frame req = decode_one(net::encode_control_request(opcode::sync, 1));
+  EXPECT_EQ(net::validate_request(req), nullptr);
+  req.payload.push_back(0);
+  EXPECT_NE(net::validate_request(req), nullptr);
+
+  // Invite: exactly 8 payload bytes under the invite hint.
+  frame inv = decode_one(net::encode_sync_invite(1, 7717));
+  EXPECT_EQ(net::validate_request(inv), nullptr);
+  EXPECT_EQ(inv.shard_hint, net::kSyncInviteHint);
+  EXPECT_EQ(net::decode_sync_invite(inv), 7717);
+  inv.payload.pop_back();
+  EXPECT_NE(net::validate_request(inv), nullptr);
+
+  // Chunk responses: zero totals, out-of-range indices, and a chunk 0
+  // shorter than its header are all malformed.
+  frame bad = decode_one(net::encode_sync_chunk(1, 0, 1, 0, 0, {}));
+  EXPECT_EQ(net::validate_response(bad), nullptr);
+  bad.key_count = 0;
+  EXPECT_NE(net::validate_response(bad), nullptr);
+  bad.key_count = 1;
+  bad.shard_hint = 1;  // index == total
+  EXPECT_NE(net::validate_response(bad), nullptr);
+  bad.shard_hint = 0;
+  bad.payload.resize(net::kSyncChunk0Header - 1);
+  EXPECT_NE(net::validate_response(bad), nullptr);
+}

@@ -1,8 +1,13 @@
 // Whole-store persistence: bit-exact round trips for every backend, plus
 // rejection of corrupted, truncated, and foreign inputs.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -150,6 +155,83 @@ TEST(StoreIo, RejectsPayloadDisagreement) {
   tcf::point_tcf f(1 << 10);
   f.save(buf);
   EXPECT_THROW(store::load_store(buf), std::runtime_error);
+}
+
+// -- Atomic file saves -------------------------------------------------------
+//
+// save_store(path) stages the snapshot at path + ".tmp" and renames it
+// over the target only after an fsync: at every instant the target is a
+// complete snapshot.  One test plants the crash state directly (a partial
+// tmp file that never reached rename), the other produces it for real
+// with a SIGKILL torture loop.
+
+TEST(StoreIo, CrashMidSaveKeepsPreviousSnapshot) {
+  const std::string path = "/tmp/gf_atomic_save_test.gfs";
+  const std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+
+  auto good = populated(backend_kind::tcf, 881);
+  store::save_store(good, path);
+  const std::string good_bytes = store::serialize_store(good);
+
+  // Crash state: a later save died mid-write, leaving a partial tmp file
+  // (any prefix of a different store's bytes) and never reaching rename.
+  auto other = populated(backend_kind::tcf, 882);
+  const std::string other_bytes = store::serialize_store(other);
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{17}, size_t{4096},
+                     other_bytes.size() / 2, other_bytes.size() - 1}) {
+    std::ofstream partial(tmp, std::ios::binary | std::ios::trunc);
+    partial.write(other_bytes.data(),
+                  static_cast<std::streamsize>(std::min(cut,
+                                                        other_bytes.size())));
+    partial.close();
+    // The published snapshot is untouched by the dead tmp file.
+    auto loaded = store::load_store(path);
+    EXPECT_EQ(store::serialize_store(loaded), good_bytes) << "cut " << cut;
+  }
+
+  // A subsequent completed save replaces both the target and the stale tmp.
+  store::save_store(other, path);
+  EXPECT_EQ(store::serialize_store(store::load_store(path)), other_bytes);
+  EXPECT_FALSE(std::ifstream(tmp).good()) << "tmp file left behind";
+  std::remove(path.c_str());
+}
+
+TEST(StoreIo, SigkillDuringSaveLeavesLoadableSnapshot) {
+  // The real thing: a child process saves in a tight loop and is SIGKILLed
+  // at a different point each round; wherever the kill lands — mid-write,
+  // mid-fsync, right before or after the rename — the snapshot at `path`
+  // must stay loadable.
+  const std::string path = "/tmp/gf_atomic_sigkill_test.gfs";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  auto first = populated(backend_kind::tcf, 883);
+  store::save_store(first, path);
+  auto churn = populated(backend_kind::tcf, 884);
+
+  for (int round = 0; round < 6; ++round) {
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: save forever; the parent's SIGKILL is the only way out.
+      for (;;) store::save_store(churn, path);
+    }
+    ::usleep(2000 + 9000 * round);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    // Interrupted wherever it was, the published snapshot loads and is one
+    // of the two complete stores — never a torn hybrid.
+    auto loaded = store::load_store(path);
+    EXPECT_TRUE(loaded.size() == first.size() ||
+                loaded.size() == churn.size())
+        << "round " << round;
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 }  // namespace
