@@ -22,6 +22,9 @@
 //
 // Flags (bench/harness.h): --full sweeps more keys; plus
 //   --backend tcf|gqf|bbf|btcf   store backend (default tcf)
+//   --json FILE                  append one JSON object per measurement
+//                                (schema: BENCH_net_throughput.json) so CI
+//                                can track the perf trajectory per PR
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -36,6 +39,7 @@
 #include "net/replication.h"
 #include "net/server.h"
 #include "store/store.h"
+#include "util/json.h"
 #include "util/timer.h"
 #include "util/xorwow.h"
 
@@ -46,6 +50,28 @@ namespace {
 constexpr size_t kBatchSizes[] = {256, 1024, 4096};
 constexpr int kConnCounts[] = {1, 2, 4};
 constexpr size_t kWindow = 8;  ///< pipelined frames in flight per connection
+
+FILE* g_json = nullptr;
+
+void emit_json(store::backend_kind backend, const char* phase, size_t batch,
+               int conns, const char* metric, double value) {
+  if (!g_json) return;
+  // One JSON-line per measurement, same writer/format discipline as
+  // store_scaling's emitter — the trajectory schema CI assembles into
+  // BENCH_net_throughput.json.  conns is 0 for rows that aren't a
+  // per-connection wire measurement (in-proc, replicated, ratios).
+  util::json_writer w;
+  w.object_begin()
+      .field("bench", "net_throughput")
+      .field("backend", store::backend_name(backend))
+      .field("phase", phase)
+      .field("batch", static_cast<uint64_t>(batch))
+      .field("conns", static_cast<uint64_t>(conns))
+      .field("metric", metric)
+      .field("value", value, 4)
+      .object_end();
+  std::fprintf(g_json, "%s\n", w.str().c_str());
+}
 
 store::filter_store make_store(store::backend_kind backend, uint64_t n) {
   store::store_config cfg;
@@ -90,6 +116,13 @@ int main(int argc, char** argv) {
         backend = store::backend_kind::blocked_bloom;
       else if (!std::strcmp(b, "btcf"))
         backend = store::backend_kind::bulk_tcf;
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      g_json = std::fopen(argv[i + 1], "w");
+      if (!g_json) {
+        std::fprintf(stderr, "net_throughput: cannot open %s\n", argv[i + 1]);
+        return 2;
+      }
+      ++i;
     }
   }
   const uint64_t n = uint64_t{1} << (opts.full ? 21 : 19);
@@ -230,6 +263,26 @@ int main(int argc, char** argv) {
   print_phase("wire insert Mops/s", insert_res);
   print_phase("wire query Mops/s", query_res);
 
+  auto emit_phase = [&](const char* phase, const phase_result* res) {
+    for (size_t bi = 0; bi < std::size(kBatchSizes); ++bi) {
+      double best = 0;
+      for (size_t ci = 0; ci < std::size(kConnCounts); ++ci) {
+        emit_json(backend, phase, kBatchSizes[bi], kConnCounts[ci],
+                  "wire_mops", res[bi].wire_mops[ci]);
+        best = std::max(best, res[bi].wire_mops[ci]);
+      }
+      emit_json(backend, phase, kBatchSizes[bi], 0, "replicated_mops",
+                res[bi].repl_mops);
+      emit_json(backend, phase, kBatchSizes[bi], 0, "inproc_mops",
+                res[bi].inproc_mops);
+      if (res[bi].inproc_mops > 0)
+        emit_json(backend, phase, kBatchSizes[bi], 0, "convergence_ratio",
+                  best / res[bi].inproc_mops);
+    }
+  };
+  emit_phase("insert", insert_res);
+  emit_phase("query", query_res);
+
   // Acceptance: pipelined 4 Ki-key batches must reach ≥ 50% of in-process
   // bulk throughput — the "wire carries the batch lesson" claim.
   const size_t last = std::size(kBatchSizes) - 1;
@@ -247,5 +300,6 @@ int main(int argc, char** argv) {
               kBatchSizes[last], ins_ratio, qry_ratio,
               ins_ratio >= 0.5 && qry_ratio >= 0.5 ? "converged"
                                                    : "below target");
+  if (g_json) std::fclose(g_json);
   return 0;
 }

@@ -20,8 +20,15 @@
 // Replication is asynchronous, so a replica's hit rate may trail the
 // primary's by the in-flight window; it converges when mutations pause.
 //
-// One-shot flags (--stats/--maintain/--snapshot/--ping) skip the load
-// phase unless --batches is also given, and run after it when it is.
+// One-shot flags (--stats/--metrics/--trace/--maintain/--snapshot/--ping)
+// skip the load phase unless --batches is also given, and run after it
+// when it is.  --metrics prints the server's Prometheus-style text
+// exposition; --trace prints its recent events as chrome://tracing JSON.
+//
+// --latency keeps a client-side per-opcode latency histogram (submit to
+// settle, i.e. wire round trip including pipelining queue time) and prints
+// a p50/p99/max table after the load phase.  Purely observational: it
+// never changes the exit code.
 //
 // Exit status: nonzero if any protocol error occurred — CI's loopback
 // smoke gates on "zero protocol errors" with exactly this.
@@ -39,6 +46,8 @@
 #include "arg_parse.h"
 #include "net/client.h"
 #include "net/replication.h"
+#include "obs/clock.h"
+#include "obs/histogram.h"
 #include "util/hash.h"
 #include "util/timer.h"
 #include "util/zipf.h"
@@ -52,8 +61,9 @@ int usage() {
       stderr,
       "usage: store_client [--host H] [--port N] [--batches N] [--batch K]\n"
       "                    [--window W] [--seed S] [--theta T] [--counted]\n"
-      "                    [--read-from HOST:PORT]\n"
-      "                    [--stats] [--maintain] [--snapshot] [--ping]\n");
+      "                    [--read-from HOST:PORT] [--latency]\n"
+      "                    [--stats] [--metrics] [--trace]\n"
+      "                    [--maintain] [--snapshot] [--ping]\n");
   return 2;
 }
 
@@ -77,7 +87,19 @@ struct in_flight {
   net::opcode op = net::opcode::ping;
   uint64_t batch = 0;
   bool on_replica = false;  ///< which connection owes the response
+  uint64_t t_submit = 0;    ///< obs::now_ns() at submit (--latency)
 };
+
+const char* opcode_name(net::opcode op) {
+  switch (op) {
+    case net::opcode::insert: return "insert";
+    case net::opcode::insert_counted: return "insert_counted";
+    case net::opcode::query: return "query";
+    case net::opcode::erase: return "erase";
+    case net::opcode::count: return "count";
+    default: return "other";
+  }
+}
 
 }  // namespace
 
@@ -86,9 +108,9 @@ int main(int argc, char** argv) try {
   std::string read_from;
   long port = 7717, batches = -1, batch = 4096, window = 8, seed = 42;
   double theta = 1.1;
-  bool counted = false;
-  bool do_stats = false, do_maintain = false, do_snapshot = false,
-       do_ping = false;
+  bool counted = false, latency = false;
+  bool do_stats = false, do_metrics = false, do_trace = false,
+       do_maintain = false, do_snapshot = false, do_ping = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -128,8 +150,14 @@ int main(int argc, char** argv) try {
       read_from = s;
     } else if (!std::strcmp(a, "--counted")) {
       counted = true;
+    } else if (!std::strcmp(a, "--latency")) {
+      latency = true;
     } else if (!std::strcmp(a, "--stats")) {
       do_stats = true;
+    } else if (!std::strcmp(a, "--metrics")) {
+      do_metrics = true;
+    } else if (!std::strcmp(a, "--trace")) {
+      do_trace = true;
     } else if (!std::strcmp(a, "--maintain")) {
       do_maintain = true;
     } else if (!std::strcmp(a, "--snapshot")) {
@@ -142,7 +170,8 @@ int main(int argc, char** argv) try {
   }
 
   const bool one_shot_only =
-      batches < 0 && (do_stats || do_maintain || do_snapshot || do_ping);
+      batches < 0 && (do_stats || do_metrics || do_trace || do_maintain ||
+                      do_snapshot || do_ping);
   if (batches < 0) batches = one_shot_only ? 0 : 32;
 
   net::client cli = connect_retry(host, static_cast<uint16_t>(port));
@@ -167,10 +196,17 @@ int main(int argc, char** argv) try {
     std::deque<in_flight> window_q;
     std::vector<uint64_t> keys(static_cast<size_t>(batch));
     std::vector<uint64_t> ones(static_cast<size_t>(batch), 1);
+    // Client-side round-trip histograms, one per opcode (--latency).  The
+    // measured interval is submit→settle, so with a deep window it
+    // includes time the response spent parked in the stash.
+    obs::latency_histogram lat[net::kNumOpcodes];
 
     auto settle = [&](const in_flight& inf) {
       net::frame f =
           (inf.on_replica ? *replica : cli).wait(inf.seq);
+      if (latency)
+        lat[static_cast<size_t>(inf.op)].record(obs::now_ns() -
+                                                inf.t_submit);
       if (f.status != net::wire_status::ok) {
         ++protocol_errors;
         return;
@@ -212,6 +248,7 @@ int main(int argc, char** argv) try {
       long r = b % 20;
       in_flight inf;
       inf.batch = static_cast<uint64_t>(batch);
+      if (latency) inf.t_submit = obs::now_ns();
       if (r % 4 != 1 && r != 10) {
         inf.op = net::opcode::query;
         inf.on_replica = replica.has_value();
@@ -256,6 +293,22 @@ int main(int argc, char** argv) try {
     std::printf("  erases:  %lu ok / %lu missing\n",
                 static_cast<unsigned long>(erases.ok),
                 static_cast<unsigned long>(erases.failed));
+
+    if (latency) {
+      std::printf("  latency (client-side round trip, per batch):\n");
+      std::printf("    %-16s %8s %10s %10s %10s\n", "op", "batches", "p50",
+                  "p99", "max");
+      for (size_t op = 0; op < net::kNumOpcodes; ++op) {
+        const obs::histogram_snapshot s = lat[op].snapshot();
+        if (s.count() == 0) continue;
+        std::printf("    %-16s %8lu %8.1fus %8.1fus %8.1fus\n",
+                    opcode_name(static_cast<net::opcode>(op)),
+                    static_cast<unsigned long>(s.count()),
+                    static_cast<double>(s.percentile(0.50)) / 1000.0,
+                    static_cast<double>(s.percentile(0.99)) / 1000.0,
+                    static_cast<double>(s.max()) / 1000.0);
+      }
+    }
   }
 
   if (do_ping) {
@@ -273,6 +326,8 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long>(bytes));
   }
   if (do_stats) std::printf("%s\n", cli.stats_json().c_str());
+  if (do_metrics) std::printf("%s", cli.metrics_text().c_str());
+  if (do_trace) std::printf("%s\n", cli.trace_json().c_str());
 
   std::printf("protocol errors: %lu\n",
               static_cast<unsigned long>(protocol_errors));

@@ -5,6 +5,7 @@
 //                               [--snapshot PATH] [--selftest ROUNDS]
 //                               [--replica-of HOST:PORT] [--replica]
 //                               [--replicate-to HOST:PORT]
+//                               [--trace-out PATH]
 //
 // Network mode (default): serve the gf::net batched wire protocol
 // (src/net/frame.h) on --port.  Batches funnel into the store's bulk
@@ -31,6 +32,13 @@
 //   * --replicate-to HOST:PORT (repeatable) makes this server invite the
 //     standby at that address to sync from it (best-effort, sent once at
 //     startup; replicas attaching via --replica-of need no flag here).
+//
+// Observability: the running server serves Prometheus-style metrics and a
+// chrome://tracing event dump in-band over STATS (see src/net/frame.h's
+// kStatsMetricsHint / kStatsTraceHint; store_client --metrics / --trace
+// fetches them).  --trace-out PATH additionally writes the trace ring to
+// PATH as chrome://tracing JSON after the event loop exits — load it at
+// chrome://tracing or https://ui.perfetto.dev.
 //
 // Self-test mode (--selftest N): the original self-driving simulation — a
 // Zipfian request mix (70% lookups, 25% inserts, 5% deletes) applied for N
@@ -67,12 +75,13 @@ int usage() {
       "                    [--capacity N] [--bind ADDR] [--port N]\n"
       "                    [--snapshot PATH] [--selftest ROUNDS]\n"
       "                    [--replica-of HOST:PORT] [--replica]\n"
-      "                    [--replicate-to HOST:PORT]\n"
+      "                    [--replicate-to HOST:PORT] [--trace-out PATH]\n"
       "  shards in [1, %u], capacity in [1024, 2^30], port in [0, 65535]\n"
       "  (port 0 picks an ephemeral port and prints it)\n"
       "  --replica-of: bootstrap from that primary and serve read-only\n"
       "  --replica: empty read-only standby awaiting a primary's invite\n"
-      "  --replicate-to: invite that standby to sync from this server\n",
+      "  --replicate-to: invite that standby to sync from this server\n"
+      "  --trace-out: write chrome://tracing JSON of recent events on exit\n",
       store::kMaxShards);
   return 2;
 }
@@ -102,6 +111,7 @@ struct serve_options {
   std::string replica_of;            ///< HOST:PORT of the primary, or ""
   bool standby = false;              ///< empty read-only, awaits an invite
   std::vector<std::string> replicate_to;
+  std::string trace_out;             ///< chrome trace JSON path, or ""
 };
 
 int serve(store::store_config cfg, const serve_options& opt) try {
@@ -168,6 +178,20 @@ int serve(store::store_config cfg, const serve_options& opt) try {
     std::printf("store_server: persisted %lu items to %s\n",
                 static_cast<unsigned long>(server.store().size()),
                 opt.snapshot.c_str());
+  }
+
+  if (!opt.trace_out.empty()) {
+    // The loop has exited, so reading the ring off-thread is safe here.
+    const std::string json = server.trace_json();
+    if (std::FILE* out = std::fopen(opt.trace_out.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), out);
+      std::fclose(out);
+      std::printf("store_server: wrote trace (%zu bytes) to %s\n",
+                  json.size(), opt.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "store_server: cannot write trace to %s\n",
+                   opt.trace_out.c_str());
+    }
   }
 
   auto stats = server.stats();
@@ -258,6 +282,10 @@ int main(int argc, char** argv) {
       const char* s = next();
       if (!s) return usage();
       opt.replicate_to.push_back(s);
+    } else if (!std::strcmp(a, "--trace-out")) {
+      const char* s = next();
+      if (!s) return usage();
+      opt.trace_out = s;
     } else {
       return usage();
     }

@@ -55,13 +55,13 @@ uint64_t client::submit_count(std::span<const uint64_t> keys) {
   return seq;
 }
 
-uint64_t client::submit_control(opcode op) {
+uint64_t client::submit_control(opcode op, uint32_t shard_hint) {
   if (op == opcode::sync)
     throw std::invalid_argument(
         "gf: sync is a chunked transfer that subscribes the connection; "
         "use net::sync_from (net/replication.h)");
   uint64_t seq = next_seq();
-  send_bytes(encode_control_request(op, seq));
+  send_bytes(encode_control_request(op, seq, shard_hint));
   ++outstanding_;
   return seq;
 }
@@ -154,6 +154,16 @@ std::vector<uint64_t> client::counts(std::span<const uint64_t> keys) {
 
 std::string client::stats_json() {
   return decode_text(expect_ok(submit_control(opcode::stats), opcode::stats));
+}
+
+std::string client::metrics_text() {
+  return decode_text(expect_ok(
+      submit_control(opcode::stats, kStatsMetricsHint), opcode::stats));
+}
+
+std::string client::trace_json() {
+  return decode_text(expect_ok(
+      submit_control(opcode::stats, kStatsTraceHint), opcode::stats));
 }
 
 maintain_reply client::maintain() {

@@ -45,7 +45,9 @@ class client {
   /// stats/maintain/snapshot/ping.  SYNC is refused here: its response is
   /// chunked and turns the connection into a replication subscriber —
   /// that lifecycle belongs to net::sync_from (net/replication.h).
-  uint64_t submit_control(opcode op);
+  /// `shard_hint` selects request variants (the STATS exposition hints in
+  /// frame.h); the default is a plain request.
+  uint64_t submit_control(opcode op, uint32_t shard_hint = kNoShardHint);
 
   /// Block until the response for `seq` arrives and return it (responses
   /// for other in-flight sequences read along the way are stashed).  The
@@ -71,6 +73,10 @@ class client {
   pair_result erase(std::span<const uint64_t> keys);
   std::vector<uint64_t> counts(std::span<const uint64_t> keys);
   std::string stats_json();
+  /// Prometheus-style text exposition (STATS with kStatsMetricsHint).
+  std::string metrics_text();
+  /// Recent server events as chrome://tracing JSON (kStatsTraceHint).
+  std::string trace_json();
   maintain_reply maintain();
   uint64_t snapshot();  ///< bytes persisted server-side
   void ping();

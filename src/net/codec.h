@@ -112,10 +112,15 @@ inline std::vector<uint8_t> encode_insert_counted_request(
   return encode_frame(f);
 }
 
-inline std::vector<uint8_t> encode_control_request(opcode op, uint64_t seq) {
+/// Control request (empty payload).  `shard_hint` selects request variants
+/// for opcodes that have them — the STATS exposition hints (frame.h); the
+/// default is a plain request.
+inline std::vector<uint8_t> encode_control_request(
+    opcode op, uint64_t seq, uint32_t shard_hint = kNoShardHint) {
   frame f;
   f.op = op;
   f.sequence = seq;
+  f.shard_hint = shard_hint;
   return encode_frame(f);
 }
 

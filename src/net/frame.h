@@ -82,6 +82,16 @@ inline constexpr uint32_t kNoShardHint = 0xFFFF'FFFFu;
 /// response's shard_hint is a chunk index, bounded by the chunk count).
 inline constexpr uint32_t kSyncInviteHint = 0xFFFF'FFFEu;
 
+/// shard_hint values that select a STATS *variant*.  The default
+/// (kNoShardHint) returns the report JSON, kStatsMetricsHint the
+/// Prometheus-style text exposition, kStatsTraceHint the chrome://tracing
+/// event dump (src/obs/).  Multiplexing on the hint keeps the opcode set
+/// and wire version unchanged: a stats request's hint was never validated,
+/// so old servers answer new clients with the JSON report and nothing
+/// breaks.
+inline constexpr uint32_t kStatsMetricsHint = 0xFFFF'FFFDu;
+inline constexpr uint32_t kStatsTraceHint = 0xFFFF'FFFCu;
+
 /// Fixed header bytes between the length field and the payload.
 inline constexpr size_t kHeaderTailBytes = 24;
 /// Total non-payload bytes per frame: length + header tail + CRC.

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "net/codec.h"
+#include "obs/clock.h"
 #include "store/store_io.h"
 
 namespace gf::net {
@@ -30,6 +31,7 @@ std::pair<std::string, uint16_t> parse_host_port(const std::string& spec) {
 sync_result sync_from(const std::string& host, uint16_t port,
                       const std::string& snapshot_path,
                       size_t max_frame_bytes, int connect_retries) {
+  const uint64_t t_start = obs::now_ns();
   socket_fd fd;
   for (int attempt = 0;; ++attempt) {
     try {
@@ -117,12 +119,15 @@ sync_result sync_from(const std::string& host, uint16_t port,
   // from memory.
   if (!snapshot_path.empty()) {
     store::atomic_write_file(snapshot_path, bytes.data(), bytes.size());
-    return sync_result{store::load_store(snapshot_path), repl_seq,
-                       bytes.size(), std::move(fd), std::move(dec)};
+    store::filter_store st = store::load_store(snapshot_path);
+    return sync_result{std::move(st), repl_seq, bytes.size(),
+                       obs::now_ns() - t_start, std::move(fd),
+                       std::move(dec)};
   }
   std::istringstream in(bytes, std::ios::binary);
-  return sync_result{store::load_store(in), repl_seq, bytes.size(),
-                     std::move(fd), std::move(dec)};
+  store::filter_store st = store::load_store(in);
+  return sync_result{std::move(st), repl_seq, bytes.size(),
+                     obs::now_ns() - t_start, std::move(fd), std::move(dec)};
 }
 
 }  // namespace gf::net

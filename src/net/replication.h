@@ -40,6 +40,9 @@ struct sync_result {
   store::filter_store store;
   uint64_t repl_seq = 0;       ///< stream position of the snapshot
   uint64_t snapshot_bytes = 0; ///< assembled snapshot size
+  uint64_t bootstrap_ns = 0;   ///< wall time of the whole bootstrap
+                               ///< (connect + transfer + install) —
+                               ///< surfaced in traces and CLI output
   socket_fd feed;              ///< subscribed connection to the primary
   frame_decoder dec;           ///< decoder carrying any early stream frames
 };

@@ -18,6 +18,8 @@
 #include "gpu/launch.h"
 #include "net/codec.h"
 #include "net/replication.h"
+#include "obs/build_info.h"
+#include "obs/clock.h"
 #include "store/report_json.h"
 #include "store/store_io.h"
 #include "util/json.h"
@@ -26,6 +28,23 @@ namespace gf::net {
 
 namespace {
 constexpr size_t kReadChunk = 64 * 1024;
+
+/// Stable opcode names for metric labels and trace events.
+const char* op_name(opcode op) {
+  switch (op) {
+    case opcode::insert: return "insert";
+    case opcode::insert_counted: return "insert_counted";
+    case opcode::query: return "query";
+    case opcode::erase: return "erase";
+    case opcode::count: return "count";
+    case opcode::stats: return "stats";
+    case opcode::maintain: return "maintain";
+    case opcode::snapshot: return "snapshot";
+    case opcode::ping: return "ping";
+    case opcode::sync: return "sync";
+  }
+  return "unknown";
+}
 
 /// Numeric peer address of a connected socket (the host a sync invite's
 /// recipient dials back).
@@ -64,7 +83,9 @@ struct server::connection {
 };
 
 server::server(server_config cfg, store::filter_store st)
-    : cfg_(std::move(cfg)), store_(std::move(st)) {
+    : cfg_(std::move(cfg)),
+      store_(std::move(st)),
+      trace_(cfg_.trace_capacity) {
   listen_ = tcp_listen(cfg_.bind_addr, cfg_.port, cfg_.backlog);
   set_nonblocking(listen_.get());
   port_ = local_port(listen_);
@@ -74,6 +95,201 @@ server::server(server_config cfg, store::filter_store st)
   wake_rd_ = socket_fd(fds[0]);
   wake_wr_ = socket_fd(fds[1]);
   set_nonblocking(wake_rd_.get());
+  start_ns_ = obs::now_ns();
+  register_metrics();
+}
+
+void server::register_metrics() {
+  registry_ = obs::metrics_registry();
+  auto relaxed = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+
+  // Build identity and uptime.
+  registry_.add_gauge(
+      "gf_build_info",
+      std::string("version=\"") + obs::kVersion + "\",compiler=\"" +
+          obs::metrics_registry::escape_label_value(obs::kCompiler) +
+          "\",build=\"" + obs::kBuildType + "\"",
+      [] { return 1.0; });
+  registry_.add_gauge("gf_uptime_seconds", "", [this] {
+    return static_cast<double>(obs::now_ns() - start_ns_) / 1e9;
+  });
+
+  // Wire plane.
+  registry_.add_counter("gf_server_frames_total", "",
+                        [this, relaxed] { return relaxed(frames_); });
+  registry_.add_counter("gf_server_keys_total", "",
+                        [this, relaxed] { return relaxed(keys_); });
+  registry_.add_counter("gf_server_protocol_errors_total", "",
+                        [this, relaxed] { return relaxed(protocol_errors_); });
+  registry_.add_counter("gf_server_bytes_total", "dir=\"in\"",
+                        [this, relaxed] { return relaxed(bytes_in_); });
+  registry_.add_counter("gf_server_bytes_total", "dir=\"out\"",
+                        [this, relaxed] { return relaxed(bytes_out_); });
+  registry_.add_counter("gf_server_connections_total", "event=\"accepted\"",
+                        [this, relaxed] { return relaxed(accepted_); });
+  registry_.add_counter("gf_server_connections_total", "event=\"closed\"",
+                        [this, relaxed] { return relaxed(closed_); });
+  registry_.add_counter("gf_server_read_only_refusals_total", "",
+                        [this, relaxed] {
+                          return relaxed(read_only_refusals_);
+                        });
+  registry_.add_counter("gf_trace_events_total", "",
+                        [this] { return trace_.recorded(); });
+
+  // Replication plane.
+  registry_.add_counter("gf_repl_frames_forwarded_total", "",
+                        [this, relaxed] { return relaxed(frames_forwarded_); });
+  registry_.add_counter("gf_repl_subscriber_drops_total", "",
+                        [this, relaxed] { return relaxed(subscriber_drops_); });
+  registry_.add_counter("gf_repl_subscriber_errors_total", "",
+                        [this, relaxed] {
+                          return relaxed(subscriber_errors_);
+                        });
+  registry_.add_counter("gf_repl_invites_failed_total", "",
+                        [this, relaxed] { return relaxed(invites_failed_); });
+  registry_.add_counter("gf_repl_feed_applied_total", "",
+                        [this, relaxed] { return relaxed(feed_applied_); });
+  registry_.add_counter("gf_repl_feed_gaps_total", "",
+                        [this, relaxed] { return relaxed(feed_gaps_); });
+  registry_.add_counter("gf_repl_feed_lost_total", "",
+                        [this, relaxed] { return relaxed(feed_lost_); });
+  registry_.add_gauge("gf_repl_seq", "", [this, relaxed] {
+    return static_cast<double>(relaxed(repl_seq_));
+  });
+  registry_.add_gauge("gf_repl_subscribers", "", [this, relaxed] {
+    return static_cast<double>(relaxed(subscribers_));
+  });
+  registry_.add_gauge("gf_repl_subscriber_acked", "", [this, relaxed] {
+    return static_cast<double>(relaxed(subscriber_acked_));
+  });
+  // Lag: stream positions the slowest live subscriber still owes us.
+  registry_.add_gauge("gf_repl_lag_frames", "", [this, relaxed] {
+    if (relaxed(subscribers_) == 0) return 0.0;
+    const uint64_t seq = relaxed(repl_seq_);
+    const uint64_t acked = relaxed(subscriber_acked_);
+    return seq > acked ? static_cast<double>(seq - acked) : 0.0;
+  });
+  // Ack age: seconds since any subscriber last acknowledged progress.
+  registry_.add_gauge("gf_repl_ack_age_seconds", "", [this, relaxed] {
+    const uint64_t last = relaxed(last_ack_ns_);
+    if (relaxed(subscribers_) == 0 || last == 0) return 0.0;
+    return static_cast<double>(obs::now_ns() - last) / 1e9;
+  });
+  registry_.add_gauge("gf_repl_feed_attached", "", [this, relaxed] {
+    return static_cast<double>(relaxed(feed_attached_));
+  });
+  registry_.add_gauge("gf_repl_feed_last_seq", "", [this, relaxed] {
+    return static_cast<double>(relaxed(feed_last_seq_));
+  });
+
+  // Store aggregates (walk the shards at render time — a scrape does what
+  // one STATS report does).
+  auto sum_stats = [this](uint64_t util::op_stats::snapshot::* field) {
+    uint64_t n = 0;
+    for (uint32_t s = 0; s < store_.num_shards(); ++s)
+      n += store_.shard_at(s).stats().*field;
+    return n;
+  };
+  using snap = util::op_stats::snapshot;
+  registry_.add_counter("gf_store_inserts_total", "",
+                        [sum_stats] { return sum_stats(&snap::inserts); });
+  registry_.add_counter("gf_store_insert_failures_total", "", [sum_stats] {
+    return sum_stats(&snap::insert_failures);
+  });
+  registry_.add_counter("gf_store_queries_total", "",
+                        [sum_stats] { return sum_stats(&snap::queries); });
+  registry_.add_counter("gf_store_query_hits_total", "",
+                        [sum_stats] { return sum_stats(&snap::query_hits); });
+  registry_.add_counter("gf_store_erases_total", "",
+                        [sum_stats] { return sum_stats(&snap::erases); });
+  registry_.add_counter("gf_store_erase_failures_total", "", [sum_stats] {
+    return sum_stats(&snap::erase_failures);
+  });
+  registry_.add_counter("gf_store_batches_drained_total", "", [sum_stats] {
+    return sum_stats(&snap::batches_drained);
+  });
+  registry_.add_counter("gf_store_overflow_answered_total", "", [this] {
+    return store_.metrics().overflow_answered.load(std::memory_order_relaxed);
+  });
+  registry_.add_gauge("gf_store_items", "", [this] {
+    return static_cast<double>(store_.size());
+  });
+  registry_.add_gauge("gf_store_provisioned_capacity", "", [this] {
+    return static_cast<double>(store_.provisioned_capacity());
+  });
+  registry_.add_gauge("gf_store_memory_bytes", "", [this] {
+    return static_cast<double>(store_.memory_bytes());
+  });
+  registry_.add_gauge("gf_store_load_factor", "",
+                      [this] { return store_.load_factor(); });
+  registry_.add_gauge("gf_store_shards", "", [this] {
+    return static_cast<double>(store_.num_shards());
+  });
+  registry_.add_gauge("gf_store_cascade_max_depth", "", [this] {
+    uint32_t depth = 0;
+    for (uint32_t s = 0; s < store_.num_shards(); ++s)
+      depth = std::max(depth, store_.shard_at(s).level_count());
+    return static_cast<double>(depth);
+  });
+
+  // Structural GF_COUNT counters, scoped to this server's store.  Always
+  // registered (stable schema); they stay 0 unless the build sets
+  // GF_ENABLE_COUNTERS.
+  auto gf_count = [this](std::atomic<uint64_t> util::op_counters::* field) {
+    return (store_.metrics().gf_counters.*field)
+        .load(std::memory_order_relaxed);
+  };
+  using opc = util::op_counters;
+  registry_.add_counter("gf_filter_cache_lines_touched_total", "",
+                        [gf_count] {
+                          return gf_count(&opc::cache_lines_touched);
+                        });
+  registry_.add_counter("gf_filter_cas_attempts_total", "", [gf_count] {
+    return gf_count(&opc::cas_attempts);
+  });
+  registry_.add_counter("gf_filter_cas_failures_total", "", [gf_count] {
+    return gf_count(&opc::cas_failures);
+  });
+  registry_.add_counter("gf_filter_backing_inserts_total", "", [gf_count] {
+    return gf_count(&opc::backing_inserts);
+  });
+  registry_.add_counter("gf_filter_shortcut_inserts_total", "", [gf_count] {
+    return gf_count(&opc::shortcut_inserts);
+  });
+  registry_.add_counter("gf_filter_ballot_rounds_total", "", [gf_count] {
+    return gf_count(&opc::ballot_rounds);
+  });
+  registry_.add_counter("gf_filter_slots_shifted_total", "", [gf_count] {
+    return gf_count(&opc::slots_shifted);
+  });
+
+  // Latency histograms.  Per-opcode wire latency plus the four-stage
+  // breakdown, then the store's bulk tier (pointers into the store's
+  // metrics bundle — register_metrics() reruns when the store is
+  // replaced).
+  for (uint8_t i = 0; i < kNumOpcodes; ++i)
+    registry_.add_histogram(
+        "gf_wire_latency_ns",
+        std::string("op=\"") + op_name(static_cast<opcode>(i)) + "\"",
+        &op_hist_[i]);
+  registry_.add_histogram("gf_wire_stage_ns", "stage=\"decode\"",
+                          &stage_decode_ns_);
+  registry_.add_histogram("gf_wire_stage_ns", "stage=\"apply\"",
+                          &stage_apply_ns_);
+  registry_.add_histogram("gf_wire_stage_ns", "stage=\"encode\"",
+                          &stage_encode_ns_);
+  registry_.add_histogram("gf_wire_stage_ns", "stage=\"flush\"",
+                          &stage_flush_ns_);
+  registry_.add_histogram("gf_store_bulk_shard_ns", "path=\"insert\"",
+                          &store_.metrics().bulk_insert_shard_ns);
+  registry_.add_histogram("gf_store_bulk_shard_ns", "path=\"apply\"",
+                          &store_.metrics().apply_shard_ns);
+  registry_.add_histogram("gf_store_bulk_shard_ns", "path=\"drain\"",
+                          &store_.metrics().drain_shard_ns);
+  registry_.add_histogram("gf_store_maintain_ns", "",
+                          &store_.metrics().maintain_ns);
 }
 
 server::~server() = default;
@@ -258,12 +474,14 @@ void server::accept_ready() {
 bool server::drain_frames(connection& c) {
   frame f;
   for (;;) {
+    const uint64_t t0 = obs::now_ns();
     decode_status st = c.dec.next(f);
     if (st == decode_status::need_more) return true;
     if (st == decode_status::error) {
       condemn(c, c.dec.error());
       return false;
     }
+    stage_decode_ns_.record(obs::now_ns() - t0);
     switch (c.kind) {
       case connection::role::client:
         if (const char* shape = validate_request(f)) {
@@ -328,20 +546,27 @@ void server::read_ready(connection& c) {
 }
 
 bool server::flush_writes(connection& c) {
+  if (c.out_pos >= c.out.size()) return true;  // nothing queued: no timing
+  const uint64_t t0 = obs::now_ns();
+  bool alive = true;
   while (c.out_pos < c.out.size()) {
     ssize_t w = ::send(c.fd.get(), c.out.data() + c.out_pos,
                        c.out.size() - c.out_pos, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // poll out
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // poll out later
+      alive = false;
+      break;
     }
     bytes_out_.fetch_add(static_cast<uint64_t>(w), std::memory_order_relaxed);
     c.out_pos += static_cast<size_t>(w);
   }
-  c.out.clear();
-  c.out_pos = 0;
-  return true;
+  if (alive && c.out_pos >= c.out.size()) {
+    c.out.clear();
+    c.out_pos = 0;
+  }
+  stage_flush_ns_.record(obs::now_ns() - t0);
+  return alive;
 }
 
 void server::condemn(connection& c, const std::string& why) {
@@ -414,6 +639,7 @@ void server::subscriber_ack(connection& c, const frame& f) {
     subscriber_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  last_ack_ns_.store(obs::now_ns(), std::memory_order_relaxed);
   if (f.sequence > c.last_acked) {
     c.last_acked = f.sequence;
     recompute_acked();
@@ -453,6 +679,7 @@ void server::serve_sync(connection& c, const frame& f) {
   // loop is the store's only writer, so every mutation at or below the
   // sequence recorded here is inside the snapshot and every later one
   // will be forwarded down this connection.  Nothing falls in between.
+  const uint64_t t0 = obs::now_ns();
   const std::string bytes = store::serialize_store(store_);
   const uint64_t seq_pos = repl_seq_.load(std::memory_order_relaxed);
   size_t cap = std::min(cfg_.sync_chunk_bytes,
@@ -477,6 +704,8 @@ void server::serve_sync(connection& c, const frame& f) {
   c.queue_cap = std::max(cfg_.max_subscriber_queue_bytes, 2 * bytes.size());
   subscribers_.fetch_add(1, std::memory_order_relaxed);
   recompute_acked();
+  trace_.add("repl", "sync_serve", t0, obs::now_ns() - t0, "bytes",
+             bytes.size());
 }
 
 void server::handle_invite(connection& c, const frame& f) {
@@ -493,9 +722,15 @@ void server::handle_invite(connection& c, const frame& f) {
     const uint16_t port = decode_sync_invite(f);
     // Blocking bootstrap inside the loop: acceptable for a standby that
     // is, by definition, not serving anything yet.
+    const uint64_t t0 = obs::now_ns();
     sync_result sr =
         sync_from(host, port, cfg_.snapshot_path, cfg_.max_frame_bytes);
+    trace_.add("repl", "bootstrap", t0, sr.bootstrap_ns, "bytes",
+               sr.snapshot_bytes);
     store_ = std::move(sr.store);
+    // The registry's histogram entries point into the replaced store's
+    // metrics bundle — rebuild them against the new store.
+    register_metrics();
     // The store was just replaced wholesale: any subscriber synced off
     // the pre-invite state (defense in depth — serve_sync refuses on a
     // never-fed standby) is cut loose so it bootstraps from the new
@@ -528,6 +763,8 @@ void server::feed_frame(connection& c, const frame& f) {
     // applied (the stream is still the freshest data we can get) with the
     // gap on record.
     feed_gaps_.fetch_add(1, std::memory_order_relaxed);
+    trace_.add("repl", "feed_gap", obs::now_ns(), 0, "expected",
+               feed_expected_);
     if (f.sequence < feed_expected_) return;
   }
   feed_expected_ = f.sequence + 1;
@@ -563,11 +800,19 @@ void server::handle_frame(connection& c, const frame& f) {
   if (!from_feed && cfg_.maintain_every != 0 && mutating &&
       ++mutations_since_maintain_ >= cfg_.maintain_every) {
     mutations_since_maintain_ = 0;
+    const uint64_t mt0 = obs::now_ns();
     store_.maintain();
+    trace_.add("store", "maintain", mt0, obs::now_ns() - mt0, "cadence",
+               cfg_.maintain_every);
     frame m;
     m.op = opcode::maintain;
     replicate(m, /*from_feed=*/false);
   }
+  // Stage marks: t_start → t_applied is "apply" (payload decode + store
+  // work), t_applied → done is "encode" (response build + replication
+  // forwarding).  Each case marks t_applied when its store work ends.
+  const uint64_t t_start = obs::now_ns();
+  uint64_t t_applied = t_start;
   try {
     switch (f.op) {
       case opcode::insert: {
@@ -578,6 +823,7 @@ void server::handle_frame(connection& c, const frame& f) {
         std::vector<uint64_t> keys = decode_keys(f);
         keys_.fetch_add(keys.size(), std::memory_order_relaxed);
         uint64_t ok = store_.insert_bulk(keys);
+        t_applied = obs::now_ns();
         append_out(c, encode_pair_response(opcode::insert, f.sequence,
                                            f.key_count, ok,
                                            keys.size() - ok));
@@ -593,6 +839,7 @@ void server::handle_frame(connection& c, const frame& f) {
         for (size_t i = 0; i < keys.size(); ++i)
           ops.push_back(store::make_insert(keys[i], counts[i]));
         store::batch_result r = store_.apply(ops);
+        t_applied = obs::now_ns();
         append_out(c, encode_pair_response(opcode::insert_counted,
                                            f.sequence, f.key_count,
                                            r.inserted, r.insert_failed));
@@ -621,6 +868,7 @@ void server::handle_frame(connection& c, const frame& f) {
                 words[w] = bits;
               }
             });
+        t_applied = obs::now_ns();
         append_out(c, encode_query_response(f.sequence, f.key_count, words));
         break;
       }
@@ -631,6 +879,7 @@ void server::handle_frame(connection& c, const frame& f) {
         ops.reserve(keys.size());
         for (uint64_t k : keys) ops.push_back(store::make_erase(k));
         store::batch_result r = store_.apply(ops);
+        t_applied = obs::now_ns();
         append_out(c, encode_pair_response(opcode::erase, f.sequence,
                                            f.key_count, r.erased,
                                            r.erase_missing));
@@ -646,17 +895,47 @@ void server::handle_frame(connection& c, const frame& f) {
                              for (uint64_t i = b; i < e; ++i)
                                counts[i] = store_.count(keys[i]);
                            });
+        t_applied = obs::now_ns();
         append_out(c, encode_count_response(f.sequence, counts));
         break;
       }
       case opcode::stats: {
-        // The store report plus the replication plane — role, stream
-        // position, subscriber lag, and (on a replica) feed health and
-        // gap count, so divergence is observable over the wire.
+        // Exposition variants ride the shard_hint (frame.h): metrics is
+        // the Prometheus-style text scrape, trace the chrome://tracing
+        // dump.  The default stays the report JSON.
+        if (f.shard_hint == kStatsMetricsHint) {
+          std::string text = registry_.render();
+          t_applied = obs::now_ns();
+          append_out(c, encode_stats_response(f.sequence, text));
+          break;
+        }
+        if (f.shard_hint == kStatsTraceHint) {
+          std::string text = trace_.to_chrome_json();
+          t_applied = obs::now_ns();
+          append_out(c, encode_stats_response(f.sequence, text));
+          break;
+        }
+        // The store report plus the server identity and the replication
+        // plane — role, stream position, subscriber lag, and (on a
+        // replica) feed health and gap count, so divergence is observable
+        // over the wire.
         util::json_writer w;
         w.object_begin();
         store::report_json_fields(store_, w);
         const server_stats s = stats();
+        w.key("server").object_begin();
+        w.field("version", obs::kVersion)
+            .field("build", obs::kBuildType)
+            .field("compiler", obs::kCompiler)
+            .field("counters_enabled", obs::kCountersEnabled)
+            .field("uptime_seconds",
+                   static_cast<double>(obs::now_ns() - start_ns_) / 1e9, 3)
+            .field("frames_served", s.frames_served)
+            .field("keys_processed", s.keys_processed)
+            .field("protocol_errors", s.protocol_errors)
+            .field("bytes_in", s.bytes_in)
+            .field("bytes_out", s.bytes_out);
+        w.object_end();
         w.key("replication").object_begin();
         w.field("role", cfg_.read_only || s.feed_attached ? "replica"
                                                           : "primary")
@@ -674,12 +953,16 @@ void server::handle_frame(connection& c, const frame& f) {
             .field("read_only_refusals", s.read_only_refusals);
         w.object_end();
         w.object_end();
+        t_applied = obs::now_ns();
         append_out(c, encode_stats_response(f.sequence, w.str()));
         break;
       }
       case opcode::maintain: {
         // Host-phased by construction: the loop is the only store writer.
         auto m = store_.maintain();
+        t_applied = obs::now_ns();
+        trace_.add("store", "maintain", t_start, t_applied - t_start,
+                   "levels", m.total_levels);
         append_out(c, encode_maintain_response(f.sequence, m.shards_grown,
                                                m.max_depth, m.total_levels));
         replicate(f, from_feed);
@@ -696,14 +979,19 @@ void server::handle_frame(connection& c, const frame& f) {
         store::save_store(store_, cfg_.snapshot_path);
         uint64_t bytes = static_cast<uint64_t>(
             std::filesystem::file_size(cfg_.snapshot_path));
+        t_applied = obs::now_ns();
+        trace_.add("store", "snapshot", t_start, t_applied - t_start,
+                   "bytes", bytes);
         append_out(c, encode_snapshot_response(f.sequence, bytes));
         break;
       }
       case opcode::sync: {
         serve_sync(c, f);
+        t_applied = obs::now_ns();
         break;
       }
       case opcode::ping: {
+        t_applied = obs::now_ns();
         append_out(c, encode_ping_response(f.sequence));
         break;
       }
@@ -711,9 +999,16 @@ void server::handle_frame(connection& c, const frame& f) {
   } catch (const std::exception& e) {
     // Handler failures (snapshot I/O, allocation) are the server's fault,
     // not the stream's: answer with an error frame, keep the connection.
+    t_applied = obs::now_ns();
     append_out(c, encode_error_response(f.op, f.sequence, wire_status::error,
                                         e.what()));
   }
+  const uint64_t t_done = obs::now_ns();
+  stage_apply_ns_.record(t_applied - t_start);
+  stage_encode_ns_.record(t_done - t_applied);
+  op_hist_[static_cast<size_t>(f.op)].record(t_done - t_start);
+  trace_.add("wire", op_name(f.op), t_start, t_done - t_start, "keys",
+             f.key_count);
 }
 
 }  // namespace gf::net

@@ -52,6 +52,9 @@
 
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/histogram.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "store/store.h"
 
 namespace gf::net {
@@ -79,6 +82,10 @@ struct server_config {
   /// primary (feed traffic never triggers the local cadence).
   uint32_t maintain_every = 64;
   int backlog = 64;
+  /// Event capacity of the in-memory trace ring (obs/trace.h): frame
+  /// lifecycle, maintenance passes, snapshot/sync activity.  The ring
+  /// overwrites its oldest events, so this bounds memory, not runtime.
+  size_t trace_capacity = obs::trace_ring::kDefaultCapacity;
 
   // -- Replication ----------------------------------------------------------
 
@@ -160,6 +167,18 @@ class server {
 
   server_stats stats() const;
 
+  /// Prometheus-style text exposition of every registered metric (what the
+  /// STATS request with shard_hint = kStatsMetricsHint returns).  Reads
+  /// live store state: call from the loop thread (the wire path does) or
+  /// while run() is not live.
+  std::string metrics_text() const { return registry_.render(); }
+
+  /// Recent events as chrome://tracing JSON (the STATS request with
+  /// shard_hint = kStatsTraceHint; examples/store_server.cpp's --trace-out
+  /// writes it after run() returns).  Same threading contract as
+  /// metrics_text().
+  std::string trace_json() const { return trace_.to_chrome_json(); }
+
  private:
   struct connection;
 
@@ -185,6 +204,10 @@ class server {
   void sweep_dead();
   void condemn(connection& c, const std::string& why);
   void append_out(connection& c, std::vector<uint8_t> bytes);
+  /// (Re)build the metrics registry.  Called at construction and again
+  /// whenever the store is replaced wholesale (a bootstrap invite), since
+  /// histogram registrations point into the store's metrics bundle.
+  void register_metrics();
 
   server_config cfg_;
   store::filter_store store_;
@@ -219,6 +242,21 @@ class server {
   bool ever_fed_ = false;  ///< a feed was attached at least once — i.e.
                            ///< this server's data has a real lineage
   bool invites_sent_ = false;
+
+  // -- Observability (src/obs/) ---------------------------------------------
+  // All histograms are single-lane: the event loop is their only writer.
+
+  /// Server-side latency per opcode: frame decoded → response queued.
+  obs::latency_histogram op_hist_[kNumOpcodes];
+  /// Wire-stage breakdown: decode (byte stream → validated frame), apply
+  /// (payload decode + store work), encode (response build + replication
+  /// forwarding), flush (socket writes, per flush_writes call with data).
+  obs::latency_histogram stage_decode_ns_, stage_apply_ns_, stage_encode_ns_,
+      stage_flush_ns_;
+  obs::trace_ring trace_;
+  obs::metrics_registry registry_;
+  uint64_t start_ns_ = 0;              ///< construction time (uptime)
+  std::atomic<uint64_t> last_ack_ns_{0};  ///< newest ok subscriber ack
 };
 
 }  // namespace gf::net

@@ -1,0 +1,35 @@
+// Build identity, exposed as the `gf_build_info` metric and in the STATS
+// JSON "server" section so an operator can tell which binary answered a
+// scrape.  The version string tracks the PR sequence (bump when the wire
+// or metrics surface changes meaningfully); compiler and assert level come
+// from the toolchain.
+#pragma once
+
+namespace gf::obs {
+
+inline constexpr const char* kVersion = "0.6.0";
+
+inline constexpr const char* kCompiler =
+#if defined(__clang__)
+    "clang " __clang_version__;
+#elif defined(__GNUC__)
+    "gcc " __VERSION__;
+#else
+    "unknown";
+#endif
+
+inline constexpr const char* kBuildType =
+#if defined(NDEBUG)
+    "release";
+#else
+    "debug";
+#endif
+
+inline constexpr bool kCountersEnabled =
+#if defined(GF_ENABLE_COUNTERS)
+    true;
+#else
+    false;
+#endif
+
+}  // namespace gf::obs

@@ -1,0 +1,22 @@
+// Monotonic nanosecond timestamps for instrumentation.
+//
+// Every obs component (histograms, trace ring, stage timers) stamps events
+// with the same clock so durations computed across components line up.
+// steady_clock::now() costs ~20ns on Linux (vDSO clock_gettime); the wire
+// path takes ~5 stamps per multi-thousand-key frame, which is noise next
+// to the hundreds of microseconds the frame itself takes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gf::obs {
+
+inline uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace gf::obs

@@ -1,0 +1,145 @@
+// Lock-free log-bucketed latency histograms.
+//
+// A histogram is an array of power-of-two buckets: a recorded value v lands
+// in bucket bit_width(v), so bucket 0 holds {0} and bucket i holds
+// [2^(i-1), 2^i).  Log bucketing trades precision for a fixed footprint —
+// any uint64_t maps to one of 64 buckets with two instructions, and a
+// percentile is exact to within a factor of two, which is the right
+// resolution for "did p99 regress 10x" questions.  Matching buckets also
+// make snapshots mergeable across lanes, workers, and processes by plain
+// element-wise addition.
+//
+// Recording is wait-free: one relaxed fetch_add into a per-lane bucket plus
+// one into the lane's running sum.  Lanes exist so concurrent writers
+// (thread-pool workers, one lane per worker) do not contend or false-share —
+// each lane's bucket array is cache-line aligned, mirroring the padding
+// discipline of util::op_stats.  Lane collisions are a performance detail,
+// never a correctness one: the atomics stay exact under any interleaving.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace gf::obs {
+
+inline constexpr unsigned kHistogramBuckets = 64;
+
+/// Plain-value copy of a histogram (mergeable, queryable).  Bucket i covers
+/// [2^(i-1), 2^i) for i >= 1 and {0} for i == 0; the last bucket absorbs
+/// everything at or above 2^62 so 64 buckets cover the full uint64 range.
+struct histogram_snapshot {
+  uint64_t buckets[kHistogramBuckets] = {};
+  uint64_t sum = 0;
+
+  /// Inclusive upper bound of bucket i (the value percentile() reports).
+  static constexpr uint64_t bucket_upper(unsigned i) {
+    return i >= kHistogramBuckets - 1 ? UINT64_MAX : (uint64_t{1} << i) - 1;
+  }
+
+  uint64_t count() const {
+    uint64_t n = 0;
+    for (uint64_t b : buckets) n += b;
+    return n;
+  }
+
+  void merge(const histogram_snapshot& other) {
+    for (unsigned i = 0; i < kHistogramBuckets; ++i)
+      buckets[i] += other.buckets[i];
+    sum += other.sum;
+  }
+
+  /// Upper bound of the bucket containing the p-quantile sample (rank
+  /// ceil(p * count), 1-based).  The true sample is within 2x below the
+  /// returned value.  Returns 0 for an empty histogram.
+  uint64_t percentile(double p) const {
+    uint64_t n = count();
+    if (n == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n));
+    if (rank == 0) rank = 1;
+    if (rank > n) rank = n;
+    uint64_t seen = 0;
+    for (unsigned i = 0; i < kHistogramBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank) return bucket_upper(i);
+    }
+    return bucket_upper(kHistogramBuckets - 1);
+  }
+
+  /// Upper bound of the highest non-empty bucket (0 when empty).
+  uint64_t max() const {
+    for (unsigned i = kHistogramBuckets; i-- > 0;)
+      if (buckets[i] != 0) return bucket_upper(i);
+    return 0;
+  }
+
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+  }
+};
+
+/// Concurrent recording surface.  Construct with one lane per expected
+/// concurrent writer (thread-pool size); single-writer users (the server
+/// event loop, the client CLI) default to one lane.  Not movable — owners
+/// that move (filter_store into net::server) hold histograms behind a
+/// unique_ptr-owned bundle (obs::store_metrics).
+class latency_histogram {
+ public:
+  explicit latency_histogram(unsigned lanes = 1)
+      : lanes_(lanes == 0 ? 1 : lanes) {}
+  latency_histogram(const latency_histogram&) = delete;
+  latency_histogram& operator=(const latency_histogram&) = delete;
+
+  unsigned lanes() const { return static_cast<unsigned>(lanes_.size()); }
+
+  /// Record into an explicit lane (callers with a worker/shard index).
+  void record_lane(unsigned lane, uint64_t value) {
+    auto& l = lanes_[lane % lanes_.size()];
+    l.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    l.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Record from a single-writer context (lane 0).
+  void record(uint64_t value) { record_lane(0, value); }
+
+  /// Merged view across all lanes.  Concurrent with recording: relaxed
+  /// loads may tear across buckets (count and sum can disagree by
+  /// in-flight records) but every completed record is eventually visible.
+  histogram_snapshot snapshot() const {
+    histogram_snapshot s;
+    for (const auto& l : lanes_) {
+      for (unsigned i = 0; i < kHistogramBuckets; ++i)
+        s.buckets[i] += l.buckets[i].load(std::memory_order_relaxed);
+      s.sum += l.sum.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  void reset() {
+    for (auto& l : lanes_) {
+      for (auto& b : l.buckets) b.store(0, std::memory_order_relaxed);
+      l.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  static constexpr unsigned bucket_of(uint64_t value) {
+    unsigned i = static_cast<unsigned>(std::bit_width(value));
+    return i >= kHistogramBuckets ? kHistogramBuckets - 1 : i;
+  }
+
+ private:
+  struct alignas(64) lane {
+    std::atomic<uint64_t> buckets[kHistogramBuckets] = {};
+    std::atomic<uint64_t> sum{0};
+  };
+
+  std::vector<lane> lanes_;
+};
+
+}  // namespace gf::obs

@@ -1,0 +1,53 @@
+// Per-store observability bundle: latency histograms for the bulk tier and
+// maintenance, the overflow-cascade counter, and this store's GF_COUNT
+// sink.
+//
+// The bundle lives behind a unique_ptr on filter_store (histograms and
+// counters are atomics, hence immovable, while stores move — net::server
+// takes its store by value), so shards can hold a stable raw pointer across
+// store moves.
+//
+// Lane discipline: the bulk-tier histograms are recorded with the shard
+// index as the lane (the store runs one logical thread per shard), sized to
+// the thread-pool width; collisions under shards > workers are correct,
+// just shared (obs/histogram.h).
+//
+// gf_counters scopes the GF_ENABLE_COUNTERS structural counters to this
+// store: filter_store installs a util::counters_scope around every path
+// that enters backend code, so two stores in one process (replication
+// tests run primary + replica in-proc) stop clobbering each other's
+// cache-line/CAS tallies.  Code outside any store (raw filter tests,
+// counters_test.cpp) still lands in util::default_counters().
+#pragma once
+
+#include "obs/histogram.h"
+#include "util/counters.h"
+
+namespace gf::obs {
+
+struct store_metrics {
+  explicit store_metrics(unsigned lanes)
+      : bulk_insert_shard_ns(lanes),
+        apply_shard_ns(lanes),
+        drain_shard_ns(lanes) {}
+
+  /// Per-shard slice duration of insert_bulk() (one sample per shard per
+  /// bulk call: partition + native backend bulk insert for that slice).
+  latency_histogram bulk_insert_shard_ns;
+  /// Per-shard slice duration of apply() (run-batched mixed ops).
+  latency_histogram apply_shard_ns;
+  /// Per-shard drain duration of flush() (queue detach + apply).
+  latency_histogram drain_shard_ns;
+  /// Whole maintain() passes (host-phased, single recorder).
+  latency_histogram maintain_ns;
+
+  /// Instances answered below a shard's base level (placed in or aliased
+  /// by an overflow child) — how much traffic the cascades absorb.
+  util::padded_counter overflow_answered;
+
+  /// This store's GF_COUNT sink (always present; only written in
+  /// GF_ENABLE_COUNTERS builds).
+  util::op_counters gf_counters;
+};
+
+}  // namespace gf::obs

@@ -1,0 +1,104 @@
+// Bounded in-memory trace of recent events, exportable as chrome://tracing
+// JSON (load the output of store_server --trace-out, or the STATS trace
+// variant, into chrome://tracing or https://ui.perfetto.dev).
+//
+// The ring records complete-duration events ("ph":"X") — frame lifecycle,
+// maintenance passes, snapshot writes, sync chunk streams — into a fixed
+// array, overwriting the oldest once full.  Event names and categories are
+// static strings (no allocation on the record path); one optional numeric
+// argument carries the interesting payload size (keys, bytes, sequence).
+//
+// Single-writer by design: the server event loop is the only recorder, and
+// exports happen on the same thread (the STATS handler) or after run()
+// returns (--trace-out).  This keeps add() to a couple of stores — no
+// atomics, no locks — at the cost of not being scrape-safe from other
+// threads, which nothing needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace gf::obs {
+
+struct trace_event {
+  const char* cat = nullptr;   // static category string ("wire", "store", ...)
+  const char* name = nullptr;  // static event name ("insert", "maintain", ...)
+  uint64_t ts_ns = 0;          // monotonic start timestamp
+  uint64_t dur_ns = 0;
+  const char* arg_name = nullptr;  // optional static arg key, nullptr = none
+  uint64_t arg = 0;
+};
+
+class trace_ring {
+ public:
+  explicit trace_ring(size_t capacity = kDefaultCapacity)
+      : events_(capacity == 0 ? 1 : capacity) {}
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  void add(const char* cat, const char* name, uint64_t ts_ns, uint64_t dur_ns,
+           const char* arg_name = nullptr, uint64_t arg = 0) {
+    trace_event& e = events_[next_];
+    e.cat = cat;
+    e.name = name;
+    e.ts_ns = ts_ns;
+    e.dur_ns = dur_ns;
+    e.arg_name = arg_name;
+    e.arg = arg;
+    next_ = (next_ + 1) % events_.size();
+    ++recorded_;
+  }
+
+  size_t capacity() const { return events_.size(); }
+  /// Total events ever recorded (recorded() - size() have been overwritten).
+  uint64_t recorded() const { return recorded_; }
+  size_t size() const {
+    return recorded_ < events_.size() ? static_cast<size_t>(recorded_)
+                                      : events_.size();
+  }
+
+  void clear() {
+    next_ = 0;
+    recorded_ = 0;
+  }
+
+  /// Chrome trace-event JSON: an array of "ph":"X" objects, oldest first.
+  /// Timestamps/durations are microseconds (the chrome unit), emitted with
+  /// fractional ns so nothing rounds to zero.
+  std::string to_chrome_json() const {
+    util::json_writer w;
+    w.array_begin();
+    size_t n = size();
+    size_t start = recorded_ < events_.size() ? 0 : next_;
+    for (size_t i = 0; i < n; ++i) {
+      const trace_event& e = events_[(start + i) % events_.size()];
+      w.object_begin();
+      w.field("name", e.name);
+      w.field("cat", e.cat);
+      w.field("ph", "X");
+      w.field("ts", static_cast<double>(e.ts_ns) / 1000.0, 3);
+      w.field("dur", static_cast<double>(e.dur_ns) / 1000.0, 3);
+      w.field("pid", 1);
+      w.field("tid", 1);
+      if (e.arg_name != nullptr) {
+        w.key("args").object_begin();
+        w.field(e.arg_name, e.arg);
+        w.object_end();
+      }
+      w.object_end();
+    }
+    w.array_end();
+    return w.str();
+  }
+
+ private:
+  std::vector<trace_event> events_;
+  size_t next_ = 0;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace gf::obs

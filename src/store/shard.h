@@ -51,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/store_metrics.h"
 #include "par/radix_sort.h"
 #include "par/reduce_by_key.h"
 #include "store/any_filter.h"
@@ -276,6 +277,12 @@ class shard {
   /// Occupancy of the deepest level — the number maintain() watches.
   double deepest_load() const { return levels_.back()->load_factor(); }
 
+  /// Attach the owning store's metrics bundle (nullptr = standalone shard,
+  /// all hooks no-op).  The bundle outlives the shard (both are owned by
+  /// the store; the bundle is heap-allocated so store moves keep the
+  /// pointer stable).
+  void set_metrics(obs::store_metrics* m) { metrics_ = m; }
+
   util::op_stats::snapshot stats() const { return stats_.read(); }
   void reset_stats() {
     stats_.reset();
@@ -293,6 +300,14 @@ class shard {
     return f.size() >= f.capacity();
   }
 
+  /// Credit `instances` insert instances to the overflow levels (answered
+  /// anywhere below the base filter).
+  void note_overflow(uint64_t instances) const {
+    if (metrics_ != nullptr && instances != 0)
+      metrics_->overflow_answered.fetch_add(instances,
+                                            std::memory_order_relaxed);
+  }
+
   bool cascade_insert(uint64_t key, uint64_t count) {
     const size_t deepest = levels_.size() - 1;
     // Membership backends answer an insert the moment any level answers
@@ -303,9 +318,14 @@ class shard {
     const bool membership = !levels_.front()->supports_counting();
     for (size_t l = 0; l <= deepest; ++l) {
       any_filter& f = *levels_[l];
-      if ((l == deepest || !level_saturated(f)) && f.insert(key, count))
+      if ((l == deepest || !level_saturated(f)) && f.insert(key, count)) {
+        if (l > 0) note_overflow(count);
         return true;
-      if (membership && f.contains(key)) return true;
+      }
+      if (membership && f.contains(key)) {
+        if (l > 0) note_overflow(count);
+        return true;
+      }
     }
     return false;
   }
@@ -394,8 +414,10 @@ class shard {
           target = l;
           break;
         }
-      return counted ? levels_[target]->insert_counted(ck, cc)
-                     : levels_[target]->insert_bulk(keys);
+      uint64_t got = counted ? levels_[target]->insert_counted(ck, cc)
+                             : levels_[target]->insert_bulk(keys);
+      if (target > 0) note_overflow(got);
+      return got;
     }
 
     std::span<const uint64_t> cur_k = counted ? std::span<const uint64_t>(ck)
@@ -418,6 +440,7 @@ class shard {
         got = counted ? f.insert_counted(cur_k, cur_c) : f.insert_bulk(cur_k);
       if (got >= want) {
         unanswered -= want;
+        if (l > 0) note_overflow(want);
         break;
       }
       if (last) {
@@ -427,7 +450,9 @@ class shard {
         uint64_t answered = 0;
         for (size_t i = 0; i < cur_k.size(); ++i)
           if (f.contains(cur_k[i])) answered += counted ? cur_c[i] : 1;
-        unanswered -= answered > got ? answered : got;
+        uint64_t credit = answered > got ? answered : got;
+        unanswered -= credit;
+        if (l > 0) note_overflow(credit);
         break;
       }
       rem_k.clear();
@@ -440,6 +465,7 @@ class shard {
         still += counted ? cur_c[i] : 1;
       }
       unanswered -= want - still;
+      if (l > 0) note_overflow(want - still);
       hold_k.swap(rem_k);
       hold_c.swap(rem_c);
       cur_k = hold_k;
@@ -578,6 +604,7 @@ class shard {
   }
 
   std::vector<std::unique_ptr<any_filter>> levels_;
+  obs::store_metrics* metrics_ = nullptr;
   uint64_t failures_at_growth_ = 0;
   mutable std::mutex queue_mu_;
   std::vector<op> queue_;

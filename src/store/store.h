@@ -45,9 +45,12 @@
 
 #include "gpu/launch.h"
 #include "gpu/thread_pool.h"
+#include "obs/clock.h"
+#include "obs/store_metrics.h"
 #include "store/any_filter.h"
 #include "store/batch.h"
 #include "store/shard.h"
+#include "util/counters.h"
 #include "util/hash.h"
 
 namespace gf::store {
@@ -70,6 +73,7 @@ class filter_store {
     for (uint32_t s = 0; s < cfg_.num_shards; ++s)
       shards_.push_back(
           std::make_unique<shard>(cfg_.backend, shard_capacity(cfg_)));
+    attach_metrics();
   }
 
   /// Assemble a store around restored shards (store_io.h's load path).
@@ -78,6 +82,7 @@ class filter_store {
     validate_config(cfg_);
     if (shards_.size() != cfg_.num_shards)
       throw std::runtime_error("gf: store shard count mismatch");
+    attach_metrics();
   }
 
   static uint64_t shard_capacity(const store_config& cfg) {
@@ -96,15 +101,21 @@ class filter_store {
   // -- Point API (thread-safe) ----------------------------------------------
 
   bool insert(uint64_t key, uint64_t count = 1) {
+    util::counters_scope cs(metrics_->gf_counters);
     return shards_[shard_of(key)]->insert(key, count);
   }
   bool contains(uint64_t key) const {
+    util::counters_scope cs(metrics_->gf_counters);
     return shards_[shard_of(key)]->contains(key);
   }
   uint64_t count(uint64_t key) const {
+    util::counters_scope cs(metrics_->gf_counters);
     return shards_[shard_of(key)]->count(key);
   }
-  bool erase(uint64_t key) { return shards_[shard_of(key)]->erase(key); }
+  bool erase(uint64_t key) {
+    util::counters_scope cs(metrics_->gf_counters);
+    return shards_[shard_of(key)]->erase(key);
+  }
 
   // -- Async batched API -----------------------------------------------------
 
@@ -125,7 +136,14 @@ class filter_store {
   batch_result flush() {
     std::vector<batch_result> per(shards_.size());
     gpu::launch_threads(
-        shards_.size(), [&](uint64_t s) { per[s] = shards_[s]->drain(); },
+        shards_.size(),
+        [&](uint64_t s) {
+          util::counters_scope cs(metrics_->gf_counters);
+          const uint64_t t0 = obs::now_ns();
+          per[s] = shards_[s]->drain();
+          metrics_->drain_shard_ns.record_lane(static_cast<unsigned>(s),
+                                               obs::now_ns() - t0);
+        },
         /*grain=*/1);
     batch_result total;
     for (const batch_result& r : per) total.merge(r);
@@ -143,9 +161,13 @@ class filter_store {
     gpu::launch_threads(
         shards_.size(),
         [&](uint64_t s) {
+          util::counters_scope cs(metrics_->gf_counters);
+          const uint64_t t0 = obs::now_ns();
           per[s] = shards_[s]->apply(
               std::span<const op>(parted.data() + offsets[s],
                                   offsets[s + 1] - offsets[s]));
+          metrics_->apply_shard_ns.record_lane(static_cast<unsigned>(s),
+                                               obs::now_ns() - t0);
         },
         /*grain=*/1);
     batch_result total;
@@ -169,10 +191,14 @@ class filter_store {
     gpu::launch_threads(
         shards_.size(),
         [&](uint64_t s) {
+          util::counters_scope cs(metrics_->gf_counters);
+          const uint64_t t0 = obs::now_ns();
           std::span<const uint64_t> slice(parted.data() + offsets[s],
                                           offsets[s + 1] - offsets[s]);
           ok.fetch_add(shards_[s]->insert_span(slice),
                        std::memory_order_relaxed);
+          metrics_->bulk_insert_shard_ns.record_lane(static_cast<unsigned>(s),
+                                                     obs::now_ns() - t0);
         },
         /*grain=*/1);
     return ok.load();
@@ -192,6 +218,7 @@ class filter_store {
   /// APIs: quiesce writers first — the intended cadence is between batches
   /// or drain rounds (examples/store_server.cpp runs it once per round).
   maintain_result maintain(const maintain_config& cfg = {}) {
+    const uint64_t t0 = obs::now_ns();
     maintain_result r;
     for (auto& s : shards_) {
       if (s->maintain(cfg)) ++r.shards_grown;
@@ -199,6 +226,7 @@ class filter_store {
       r.total_levels += depth;
       if (depth > r.max_depth) r.max_depth = depth;
     }
+    metrics_->maintain_ns.record(obs::now_ns() - t0);
     return r;
   }
 
@@ -210,9 +238,13 @@ class filter_store {
     std::atomic<uint64_t> found{0};
     gpu::launch_ranges(keys.size(),
                        [&](unsigned, uint64_t begin, uint64_t end) {
+                         util::counters_scope cs(metrics_->gf_counters);
                          uint64_t local = 0;
                          for (uint64_t i = begin; i < end; ++i)
-                           local += contains(keys[i]) ? 1 : 0;
+                           local += shards_[shard_of(keys[i])]->contains(
+                                        keys[i])
+                                        ? 1
+                                        : 0;
                          if (local)
                            found.fetch_add(local, std::memory_order_relaxed);
                        });
@@ -222,6 +254,12 @@ class filter_store {
   // -- Introspection ---------------------------------------------------------
 
   const store_config& config() const { return cfg_; }
+
+  /// This store's observability bundle (bulk-tier/maintenance histograms,
+  /// overflow counter, scoped GF_COUNT sink).  Always present; stable
+  /// across store moves (heap-owned).
+  obs::store_metrics& metrics() const { return *metrics_; }
+
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }
@@ -340,8 +378,18 @@ class filter_store {
   }
   static constexpr uint64_t kRouteSeed = 0x5348'4152'4453ull;  // "SHARDS"
 
+  /// Allocate the metrics bundle (lane count = pool width, the bulk tier's
+  /// writer count) and hand every shard a pointer to it.  Both ctors end
+  /// here, so restored stores are instrumented identically to fresh ones.
+  void attach_metrics() {
+    metrics_ =
+        std::make_unique<obs::store_metrics>(gpu::query_pool_size() + 1);
+    for (auto& s : shards_) s->set_metrics(metrics_.get());
+  }
+
   store_config cfg_;
   std::vector<std::unique_ptr<shard>> shards_;
+  std::unique_ptr<obs::store_metrics> metrics_;
 };
 
 }  // namespace gf::store

@@ -2,9 +2,29 @@
 
 namespace gf::util {
 
-op_counters& counters() {
+namespace {
+// The innermost scope's target for this thread (nullptr = no scope).
+// Thread-local rather than per-call plumbing because GF_COUNT call sites
+// live deep inside backend headers with no store context to thread
+// through.
+thread_local op_counters* tl_active = nullptr;
+}  // namespace
+
+op_counters& default_counters() {
   static op_counters instance;
   return instance;
 }
+
+op_counters& counters() {
+  return tl_active != nullptr ? *tl_active : default_counters();
+}
+
+#if defined(GF_ENABLE_COUNTERS)
+counters_scope::counters_scope(op_counters& target) : prev_(tl_active) {
+  tl_active = &target;
+}
+
+counters_scope::~counters_scope() { tl_active = prev_; }
+#endif
 
 }  // namespace gf::util

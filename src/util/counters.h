@@ -32,8 +32,42 @@ struct op_counters {
   }
 };
 
-/// Global counters instance (tests reset it around the code under test).
+/// The active counters instance for this thread: the innermost
+/// counters_scope when one is installed, else the process-wide default.
+/// Historically this returned a process-global singleton, which meant two
+/// stores in one process (replication tests run primary + replica
+/// in-proc) clobbered each other's tallies; call sites (the GF_COUNT
+/// macro) are unchanged, only the resolution is scoped now.
 op_counters& counters();
+
+/// The process-wide fallback instance — what counters() resolves to when
+/// no scope is installed.  Tests that exercise raw filters (no store)
+/// reset and read this one, exactly as before.
+op_counters& default_counters();
+
+#if defined(GF_ENABLE_COUNTERS)
+/// RAII: route this thread's GF_COUNT traffic into `target` for the
+/// scope's lifetime (nestable; restores the previous target).  The store
+/// installs one around every path that enters backend code, pointing at
+/// its own obs::store_metrics sink.
+class counters_scope {
+ public:
+  explicit counters_scope(op_counters& target);
+  ~counters_scope();
+  counters_scope(const counters_scope&) = delete;
+  counters_scope& operator=(const counters_scope&) = delete;
+
+ private:
+  op_counters* prev_;
+};
+#else
+/// Without GF_ENABLE_COUNTERS the scope is an empty object — instrumented
+/// paths pay nothing in release builds.
+class counters_scope {
+ public:
+  explicit counters_scope(op_counters&) {}
+};
+#endif
 
 /// One atomic counter padded to a cache line.  op_stats counters live in
 /// hot multi-threaded paths (every point op bumps one); without padding,
