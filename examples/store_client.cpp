@@ -2,7 +2,7 @@
 //
 //   build/examples/store_client [--host H] [--port N] [--batches N]
 //                               [--batch K] [--window W] [--seed S]
-//                               [--theta T] [--counted]
+//                               [--theta T] [--counted] [--timeout-ms N]
 //                               [--read-from HOST:PORT]
 //                               [--stats] [--maintain] [--snapshot] [--ping]
 //
@@ -30,8 +30,15 @@
 // a p50/p99/max table after the load phase.  Purely observational: it
 // never changes the exit code.
 //
+// --timeout-ms arms per-operation send/recv deadlines on every
+// connection; a stalled server then throws net::timeout_error instead of
+// hanging the client (exit 1 with a clear message).
+//
 // Exit status: nonzero if any protocol error occurred — CI's loopback
-// smoke gates on "zero protocol errors" with exactly this.
+// smoke gates on "zero protocol errors" with exactly this.  Responses
+// carrying wire_status::ok_async (the server's replica-ack gate degraded
+// to async) count as *degraded*, not errors: the mutation was applied,
+// only its replication-durability answer was softened.
 #include <bit>
 #include <cstdint>
 #include <cstdio>
@@ -61,8 +68,8 @@ int usage() {
       stderr,
       "usage: store_client [--host H] [--port N] [--batches N] [--batch K]\n"
       "                    [--window W] [--seed S] [--theta T] [--counted]\n"
-      "                    [--read-from HOST:PORT] [--latency]\n"
-      "                    [--stats] [--metrics] [--trace]\n"
+      "                    [--timeout-ms N] [--read-from HOST:PORT]\n"
+      "                    [--latency] [--stats] [--metrics] [--trace]\n"
       "                    [--maintain] [--snapshot] [--ping]\n");
   return 2;
 }
@@ -71,10 +78,13 @@ using examples::parse_arg;
 
 /// Connect with a short retry window so scripted "start server & run
 /// client" sequences don't race the server's bind.
-net::client connect_retry(const std::string& host, uint16_t port) {
+net::client connect_retry(const std::string& host, uint16_t port,
+                          int timeout_ms) {
   for (int attempt = 0;; ++attempt) {
     try {
-      return net::client(host, port);
+      return net::client(host, port, net::kDefaultMaxFrameBytes, timeout_ms);
+    } catch (const net::timeout_error&) {
+      throw;  // the server accepted but stalled — retrying won't help
     } catch (const std::exception&) {
       if (attempt >= 24) throw;
       std::this_thread::sleep_for(std::chrono::milliseconds(250));
@@ -107,6 +117,7 @@ int main(int argc, char** argv) try {
   std::string host = "127.0.0.1";
   std::string read_from;
   long port = 7717, batches = -1, batch = 4096, window = 8, seed = 42;
+  long timeout_ms = 0;
   double theta = 1.1;
   bool counted = false, latency = false;
   bool do_stats = false, do_metrics = false, do_trace = false,
@@ -144,6 +155,9 @@ int main(int argc, char** argv) try {
       char* end = nullptr;
       theta = std::strtod(s ? s : "", &end);
       if (!s || end == s || *end != '\0' || theta <= 0) return usage();
+    } else if (!std::strcmp(a, "--timeout-ms")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1, 600000, &timeout_ms)) return usage();
     } else if (!std::strcmp(a, "--read-from")) {
       const char* s = next();
       if (!s) return usage();
@@ -174,13 +188,14 @@ int main(int argc, char** argv) try {
                       do_snapshot || do_ping);
   if (batches < 0) batches = one_shot_only ? 0 : 32;
 
-  net::client cli = connect_retry(host, static_cast<uint16_t>(port));
+  net::client cli = connect_retry(host, static_cast<uint16_t>(port),
+                                  static_cast<int>(timeout_ms));
   std::optional<net::client> replica;
   if (!read_from.empty()) {
     auto [rhost, rport] = net::parse_host_port(read_from);
-    replica.emplace(connect_retry(rhost, rport));
+    replica.emplace(connect_retry(rhost, rport, static_cast<int>(timeout_ms)));
   }
-  uint64_t protocol_errors = 0;
+  uint64_t protocol_errors = 0, degraded_acks = 0;
 
   if (batches > 0) {
     // Hot keys repeat Zipf-style over a universe sized to the workload, and
@@ -207,7 +222,11 @@ int main(int argc, char** argv) try {
       if (latency)
         lat[static_cast<size_t>(inf.op)].record(obs::now_ns() -
                                                 inf.t_submit);
-      if (f.status != net::wire_status::ok) {
+      if (f.status == net::wire_status::ok_async) {
+        // The ack gate degraded: applied, durability answer softened.
+        // Count it (and report below) but decode the payload normally.
+        ++degraded_acks;
+      } else if (f.status != net::wire_status::ok) {
         ++protocol_errors;
         return;
       }
@@ -293,6 +312,10 @@ int main(int argc, char** argv) try {
     std::printf("  erases:  %lu ok / %lu missing\n",
                 static_cast<unsigned long>(erases.ok),
                 static_cast<unsigned long>(erases.failed));
+    if (degraded_acks)
+      std::printf("  degraded acks: %lu (applied; replica ack deadline "
+                  "missed)\n",
+                  static_cast<unsigned long>(degraded_acks));
 
     if (latency) {
       std::printf("  latency (client-side round trip, per batch):\n");

@@ -5,7 +5,8 @@
 //                               [--snapshot PATH] [--selftest ROUNDS]
 //                               [--replica-of HOST:PORT] [--replica]
 //                               [--replicate-to HOST:PORT]
-//                               [--trace-out PATH]
+//                               [--ack-replicas N] [--ack-timeout-ms N]
+//                               [--replay-ring-mb N] [--trace-out PATH]
 //
 // Network mode (default): serve the gf::net batched wire protocol
 // (src/net/frame.h) on --port.  Batches funnel into the store's bulk
@@ -32,6 +33,15 @@
 //   * --replicate-to HOST:PORT (repeatable) makes this server invite the
 //     standby at that address to sync from it (best-effort, sent once at
 //     startup; replicas attaching via --replica-of need no flag here).
+//   * A --replica-of replica *supervises* its feed: if the primary dies
+//     or the stream gaps, it reconnects with jittered exponential backoff
+//     and re-syncs — by replayed delta when the primary's replay ring
+//     still covers the gap, by full snapshot otherwise.
+//   * --ack-replicas N gates mutating client responses on N subscriber
+//     acks; --ack-timeout-ms bounds the wait (on expiry the response is
+//     released with wire_status::ok_async — applied, durability softened).
+//   * --replay-ring-mb sizes the primary's replay ring (delta re-sync
+//     window); 0 disables deltas and forces snapshot re-syncs.
 //
 // Observability: the running server serves Prometheus-style metrics and a
 // chrome://tracing event dump in-band over STATS (see src/net/frame.h's
@@ -75,12 +85,18 @@ int usage() {
       "                    [--capacity N] [--bind ADDR] [--port N]\n"
       "                    [--snapshot PATH] [--selftest ROUNDS]\n"
       "                    [--replica-of HOST:PORT] [--replica]\n"
-      "                    [--replicate-to HOST:PORT] [--trace-out PATH]\n"
+      "                    [--replicate-to HOST:PORT]\n"
+      "                    [--ack-replicas N] [--ack-timeout-ms N]\n"
+      "                    [--replay-ring-mb N] [--trace-out PATH]\n"
       "  shards in [1, %u], capacity in [1024, 2^30], port in [0, 65535]\n"
       "  (port 0 picks an ephemeral port and prints it)\n"
       "  --replica-of: bootstrap from that primary and serve read-only\n"
+      "    (the feed is supervised: lost connections reconnect + re-sync)\n"
       "  --replica: empty read-only standby awaiting a primary's invite\n"
       "  --replicate-to: invite that standby to sync from this server\n"
+      "  --ack-replicas: hold mutation replies for N subscriber acks\n"
+      "  --ack-timeout-ms: ack-gate deadline before degrading to async\n"
+      "  --replay-ring-mb: delta re-sync window in MiB (0 = snapshots only)\n"
       "  --trace-out: write chrome://tracing JSON of recent events on exit\n",
       store::kMaxShards);
   return 2;
@@ -112,6 +128,9 @@ struct serve_options {
   bool standby = false;              ///< empty read-only, awaits an invite
   std::vector<std::string> replicate_to;
   std::string trace_out;             ///< chrome trace JSON path, or ""
+  uint32_t ack_replicas = 0;         ///< gate mutations on N subscriber acks
+  uint32_t ack_timeout_ms = 250;     ///< ack-gate deadline before ok_async
+  long replay_ring_mb = -1;          ///< delta window in MiB, -1 = default
 };
 
 int serve(store::store_config cfg, const serve_options& opt) try {
@@ -121,6 +140,14 @@ int serve(store::store_config cfg, const serve_options& opt) try {
   scfg.snapshot_path = opt.snapshot;
   scfg.read_only = opt.standby || !opt.replica_of.empty();
   scfg.invite = opt.replicate_to;
+  scfg.ack_replicas = opt.ack_replicas;
+  scfg.ack_timeout_ms = opt.ack_timeout_ms;
+  if (opt.replay_ring_mb >= 0)
+    scfg.replay_ring_bytes =
+        static_cast<size_t>(opt.replay_ring_mb) << 20;
+  // Naming the primary arms feed supervision: on a lost feed the event
+  // loop reconnects (jittered backoff) and re-syncs by delta or snapshot.
+  scfg.feed_addr = opt.replica_of;
 
   // Three ways to a starting store: a replica SYNCs it from its primary
   // (through the atomic snapshot write when --snapshot is set), a restart
@@ -216,6 +243,17 @@ int serve(store::store_config cfg, const serve_options& opt) try {
                 static_cast<unsigned long>(stats.feed_last_seq),
                 static_cast<unsigned long>(stats.feed_gaps),
                 static_cast<unsigned long>(stats.feed_lost));
+  if (stats.feed_reconnects || stats.resyncs_delta || stats.resyncs_snapshot ||
+      stats.ack_waits)
+    std::printf("store_server: self-healing: %lu feed reconnects (%lu "
+                "failures), %lu delta + %lu snapshot re-syncs, %lu ack "
+                "waits (%lu degraded)\n",
+                static_cast<unsigned long>(stats.feed_reconnects),
+                static_cast<unsigned long>(stats.reconnect_failures),
+                static_cast<unsigned long>(stats.resyncs_delta),
+                static_cast<unsigned long>(stats.resyncs_snapshot),
+                static_cast<unsigned long>(stats.ack_waits),
+                static_cast<unsigned long>(stats.ack_degraded));
   std::printf("%s\n", store::report_json(server.store()).c_str());
   return 0;
 } catch (const std::exception& e) {
@@ -282,6 +320,18 @@ int main(int argc, char** argv) {
       const char* s = next();
       if (!s) return usage();
       opt.replicate_to.push_back(s);
+    } else if (!std::strcmp(a, "--ack-replicas")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 0, 1024, &v)) return usage();
+      opt.ack_replicas = static_cast<uint32_t>(v);
+    } else if (!std::strcmp(a, "--ack-timeout-ms")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1, 600000, &v)) return usage();
+      opt.ack_timeout_ms = static_cast<uint32_t>(v);
+    } else if (!std::strcmp(a, "--replay-ring-mb")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 0, 4096, &v)) return usage();
+      opt.replay_ring_mb = v;
     } else if (!std::strcmp(a, "--trace-out")) {
       const char* s = next();
       if (!s) return usage();

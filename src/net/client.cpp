@@ -10,13 +10,19 @@
 
 namespace gf::net {
 
-client::client(const std::string& host, uint16_t port,
-               size_t max_frame_bytes)
-    : fd_(tcp_connect(host, port)), dec_(max_frame_bytes) {}
+client::client(const std::string& host, uint16_t port, size_t max_frame_bytes,
+               int timeout_ms, const connect_fn& connector)
+    : fd_(connector ? connector(host, port) : tcp_connect(host, port)),
+      dec_(max_frame_bytes) {
+  if (timeout_ms > 0) set_io_timeouts(fd_.get(), timeout_ms);
+}
 
 void client::send_bytes(const std::vector<uint8_t>& bytes) {
-  if (!send_all(fd_.get(), bytes.data(), bytes.size()))
+  if (!send_all(fd_.get(), bytes.data(), bytes.size())) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw timeout_error("gf: send deadline expired (server stalled?)");
     throw std::runtime_error("gf: connection lost while sending");
+  }
 }
 
 uint64_t client::submit_insert(std::span<const uint64_t> keys) {
@@ -92,9 +98,10 @@ frame client::wait(uint64_t seq) {
       }
       stash_.emplace(f.sequence, std::move(f));
     }
-    ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    ssize_t n = sock_recv(fd_.get(), buf, sizeof(buf));
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw timeout_error("gf: receive deadline expired (server stalled?)");
       throw std::runtime_error(std::string("gf: connection read failed: ") +
                                std::strerror(errno));
     }
@@ -108,7 +115,9 @@ frame client::expect_ok(uint64_t seq, opcode op) {
   frame f = wait(seq);
   if (f.op != op)
     throw std::runtime_error("gf: response opcode mismatch");
-  if (f.status != wire_status::ok)
+  // ok_async is success with softened durability (the server's ack gate
+  // degraded): the payload is the ordinary ok-shaped answer.
+  if (f.status != wire_status::ok && f.status != wire_status::ok_async)
     throw std::runtime_error("gf: server " +
                              std::string(f.status == wire_status::unsupported
                                              ? "unsupported"

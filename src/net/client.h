@@ -13,8 +13,14 @@
 //
 // Error model: transport failures, malformed responses, and error-status
 // replies throw std::runtime_error (after a transport/framing error the
-// client object is unusable).  Not thread-safe — one connection, one user
-// thread; open more clients for more connections.
+// client object is unusable).  With a nonzero `timeout_ms` every send and
+// receive carries a per-operation deadline (SO_SNDTIMEO/SO_RCVTIMEO);
+// blowing it throws net::timeout_error — a stalled server can never hang
+// a client indefinitely.  A wire_status::ok_async reply (the server's
+// replica-ack gate degraded to async) is *success* here: the mutation was
+// applied; only the durability answer was softened.  Not thread-safe —
+// one connection, one user thread; open more clients for more
+// connections.
 #pragma once
 
 #include <cstdint>
@@ -31,8 +37,12 @@ namespace gf::net {
 
 class client {
  public:
+  /// `timeout_ms` arms per-operation send/recv deadlines (0 = block
+  /// forever); `connector` substitutes how the connection is made (tests
+  /// inject fault-armed sockets; null = tcp_connect).
   client(const std::string& host, uint16_t port,
-         size_t max_frame_bytes = kDefaultMaxFrameBytes);
+         size_t max_frame_bytes = kDefaultMaxFrameBytes, int timeout_ms = 0,
+         const connect_fn& connector = nullptr);
 
   // -- Pipelined API --------------------------------------------------------
 

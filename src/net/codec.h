@@ -142,15 +142,37 @@ inline uint16_t decode_sync_invite(const frame& f) {
   return static_cast<uint16_t>(get_u64(f.payload.data()));
 }
 
+/// Delta re-sync request: "I last applied stream sequence `last_seq`; send
+/// me what I missed."  The primary serves the delta from its replay ring
+/// when it still covers last_seq + 1, else falls back to a full chunked
+/// snapshot on the same connection (net/replication.h's sync_resume
+/// handles both answers).
+inline std::vector<uint8_t> encode_sync_resume_request(uint64_t seq,
+                                                       uint64_t last_seq) {
+  frame f;
+  f.op = opcode::sync;
+  f.sequence = seq;
+  f.shard_hint = kSyncResumeHint;
+  put_u64(f.payload, last_seq);
+  return encode_frame(f);
+}
+
+/// Last applied sequence named by a resume request (validate shape first).
+inline uint64_t decode_sync_resume(const frame& f) {
+  return get_u64(f.payload.data());
+}
+
 // -- Response encoders ------------------------------------------------------
 
-/// insert / insert_counted / erase: an (ok, failed) pair.
-inline std::vector<uint8_t> encode_pair_response(opcode op, uint64_t seq,
-                                                 uint32_t key_count,
-                                                 uint64_t ok,
-                                                 uint64_t failed) {
+/// insert / insert_counted / erase: an (ok, failed) pair.  `status` is ok
+/// by default; the ack-gated write path re-encodes a held response with
+/// wire_status::ok_async when its replica-ack deadline expires.
+inline std::vector<uint8_t> encode_pair_response(
+    opcode op, uint64_t seq, uint32_t key_count, uint64_t ok, uint64_t failed,
+    wire_status status = wire_status::ok) {
   frame f;
   f.op = op;
+  f.status = status;
   f.sequence = seq;
   f.key_count = key_count;
   put_u64(f.payload, ok);
@@ -251,6 +273,31 @@ inline sync_chunk_header decode_sync_chunk_header(const frame& f) {
   return {get_u64(f.payload.data()), get_u64(f.payload.data() + 8)};
 }
 
+/// Delta-accept response to a resume request: the replayed frames that
+/// follow on this connection cover sequences (resume_from .. upto]; when
+/// resume_from == upto the replica was already current and the connection
+/// goes straight to live streaming.
+inline std::vector<uint8_t> encode_sync_delta_response(uint64_t seq,
+                                                       uint64_t resume_from,
+                                                       uint64_t upto) {
+  frame f;
+  f.op = opcode::sync;
+  f.sequence = seq;
+  f.shard_hint = kSyncDeltaHint;
+  put_u64(f.payload, resume_from);
+  put_u64(f.payload, upto);
+  return encode_frame(f);
+}
+
+struct sync_delta_header {
+  uint64_t resume_from = 0;  ///< the replica's last applied sequence
+  uint64_t upto = 0;         ///< primary stream position at accept time
+};
+
+inline sync_delta_header decode_sync_delta_header(const frame& f) {
+  return {get_u64(f.payload.data()), get_u64(f.payload.data() + 8)};
+}
+
 inline std::vector<uint8_t> encode_ping_response(uint64_t seq) {
   frame f;
   f.op = opcode::ping;
@@ -302,6 +349,10 @@ inline const char* validate_request(const frame& f) {
         if (p != 8) return "sync invite payload size mismatch";
         return nullptr;
       }
+      if (f.shard_hint == kSyncResumeHint) {
+        if (p != 8) return "sync resume payload size mismatch";
+        return nullptr;
+      }
       if (p != 0) return "sync request carries a payload";
       return nullptr;
   }
@@ -313,6 +364,15 @@ inline const char* validate_request(const frame& f) {
 inline const char* validate_response(const frame& f) {
   const size_t n = f.key_count;
   const size_t p = f.payload.size();
+  if (f.status == wire_status::ok_async) {
+    // Only an ack-gate-degraded mutation response carries this status, and
+    // its payload is the ordinary ok-shaped pair.
+    if (f.op != opcode::insert && f.op != opcode::insert_counted &&
+        f.op != opcode::erase)
+      return "ok_async status on a non-mutating opcode";
+    if (p != 16) return "pair response payload size mismatch";
+    return nullptr;
+  }
   if (f.status != wire_status::ok) return nullptr;  // message string, any size
   switch (f.op) {
     case opcode::insert:
@@ -340,6 +400,12 @@ inline const char* validate_response(const frame& f) {
       if (p != 0) return "ping response carries a payload";
       return nullptr;
     case opcode::sync:
+      // Delta-accept: a resume was granted; replayed frames follow.
+      if (f.shard_hint == kSyncDeltaHint) {
+        if (n != 0) return "sync delta response carries a key count";
+        if (p != 16) return "sync delta payload size mismatch";
+        return nullptr;
+      }
       // Chunked: key_count is the chunk total, shard_hint the chunk index.
       if (n == 0) return "sync response declares zero chunks";
       if (f.shard_hint >= n) return "sync chunk index out of range";

@@ -1,0 +1,143 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace gf::net {
+
+fault_engine& fault_engine::instance() {
+  static fault_engine e;
+  return e;
+}
+
+void fault_engine::arm(int fd, fault_plan plan) {
+  std::lock_guard<std::mutex> lk(mu_);
+  plans_[fd] = armed_plan{std::move(plan)};
+  armed_.store(static_cast<int>(plans_.size()), std::memory_order_relaxed);
+}
+
+void fault_engine::disarm(int fd) {
+  std::lock_guard<std::mutex> lk(mu_);
+  plans_.erase(fd);
+  armed_.store(static_cast<int>(plans_.size()), std::memory_order_relaxed);
+}
+
+void fault_engine::disarm_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  plans_.clear();
+  connect_queue_.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+void fault_engine::queue_connect_plan(fault_plan plan) {
+  std::lock_guard<std::mutex> lk(mu_);
+  connect_queue_.push_back(std::move(plan));
+}
+
+void fault_engine::clear_connect_plans() {
+  std::lock_guard<std::mutex> lk(mu_);
+  connect_queue_.clear();
+}
+
+bool fault_engine::arm_next_connect(int fd) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (connect_queue_.empty()) return false;
+  plans_[fd] = armed_plan{std::move(connect_queue_.front())};
+  connect_queue_.erase(connect_queue_.begin());
+  armed_.store(static_cast<int>(plans_.size()), std::memory_order_relaxed);
+  return true;
+}
+
+size_t fault_engine::before_io(int fd, fault_dir dir, size_t want,
+                               int* fail_errno, ptrdiff_t* corrupt_at,
+                               bool* swallow) {
+  *fail_errno = 0;
+  *corrupt_at = -1;
+  *swallow = false;
+  uint32_t stall_ms = 0;
+  size_t n = want;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = plans_.find(fd);
+    if (it == plans_.end()) return want;
+    armed_plan& ap = it->second;
+    const bool is_send = dir == fault_dir::send;
+    const uint64_t counter = is_send ? ap.sent : ap.received;
+
+    // Fire every event whose trigger offset this direction has reached,
+    // earliest first; then clamp the transfer so the next unfired event's
+    // offset lands exactly on a transfer boundary (that is what makes a
+    // corrupt-byte-1234 script corrupt byte 1234, not "somewhere nearby").
+    for (;;) {
+      size_t best = SIZE_MAX;
+      uint64_t best_at = UINT64_MAX;
+      for (size_t i = 0; i < ap.plan.events.size(); ++i) {
+        const fault_event& e = ap.plan.events[i];
+        if (e.dir != dir) continue;
+        if (e.at_bytes < best_at) {
+          best_at = e.at_bytes;
+          best = i;
+        }
+      }
+      if (best == SIZE_MAX) break;
+      if (counter < best_at) {
+        n = std::min(n, static_cast<size_t>(best_at - counter));
+        break;
+      }
+      const fault_event e = ap.plan.events[best];
+      ap.plan.events.erase(ap.plan.events.begin() +
+                           static_cast<std::ptrdiff_t>(best));
+      switch (e.kind) {
+        case fault_kind::cut:
+          (is_send ? ap.cut_send : ap.cut_recv) = true;
+          break;
+        case fault_kind::stall:
+          stall_ms += e.arg;
+          break;
+        case fault_kind::short_io:
+          (is_send ? ap.short_left_send : ap.short_left_recv) = e.arg;
+          break;
+        case fault_kind::corrupt:
+          *corrupt_at = 0;  // clamping put the trigger on this boundary
+          break;
+        case fault_kind::partition:
+          (is_send ? ap.part_send : ap.part_recv) = true;
+          break;
+      }
+    }
+
+    const bool cut = is_send ? ap.cut_send : ap.cut_recv;
+    const bool part = is_send ? ap.part_send : ap.part_recv;
+    uint32_t& short_left = is_send ? ap.short_left_send : ap.short_left_recv;
+    if (cut) {
+      if (is_send) *fail_errno = ECONNRESET;
+      n = 0;  // recv: EOF
+    } else if (part) {
+      if (is_send) {
+        *swallow = true;  // bytes vanish silently
+      } else {
+        *fail_errno = EAGAIN;  // peer has gone quiet
+        n = 0;
+      }
+    } else if (short_left > 0 && n > 1) {
+      n = 1;
+      --short_left;
+    } else if (short_left > 0) {
+      --short_left;
+    }
+  }
+  if (stall_ms != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  return n;
+}
+
+void fault_engine::commit_io(int fd, fault_dir dir, size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = plans_.find(fd);
+  if (it == plans_.end()) return;
+  (dir == fault_dir::send ? it->second.sent : it->second.received) += n;
+}
+
+}  // namespace gf::net

@@ -1,0 +1,116 @@
+// Deterministic fault injection for the wire tier.
+//
+// Every socket byte the server, client, and replication paths move goes
+// through sock_recv()/sock_send() (net/socket.h).  When the process-wide
+// fault engine is armed, those hooks consult a per-fd, per-direction
+// script of events — cut the connection, stall, force 1-byte transfers,
+// flip a payload byte — each triggered when the cumulative byte count in
+// that direction crosses the event's threshold.  The script is seeded
+// data, not randomness: a test that kills the feed after exactly 1 MiB of
+// stream traffic kills it after exactly 1 MiB, every run, every machine.
+//
+// The engine is a global singleton with an atomic fast path: when no test
+// has armed it, the hot path costs one relaxed load.  Production binaries
+// never arm it; tests arm a plan per connection (via the injectable
+// connector in net/socket.h, or explicitly by fd) and the chaos CI smoke
+// drives the same machinery from outside with signals instead.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace gf::net {
+
+enum class fault_kind : uint8_t {
+  cut,       ///< from the trigger on, this direction returns ECONNRESET
+             ///< (send) / 0 i.e. EOF (recv) — the peer is gone
+  stall,     ///< sleep `arg_ms` once when triggered, then continue
+  short_io,  ///< the next `arg_count` transfers move at most 1 byte each
+  corrupt,   ///< XOR 0xFF into the byte at the trigger offset (CRC bait)
+  partition, ///< like cut, but silently: send pretends to succeed and the
+             ///< bytes vanish; recv blocks as if the peer went quiet
+};
+
+enum class fault_dir : uint8_t { send, recv };
+
+struct fault_event {
+  fault_kind kind = fault_kind::cut;
+  fault_dir dir = fault_dir::send;
+  /// Cumulative byte offset in `dir` at which the event fires (the event
+  /// triggers on the first transfer that reaches or crosses it).
+  uint64_t at_bytes = 0;
+  /// stall: milliseconds to sleep.  short_io: number of clamped transfers.
+  uint32_t arg = 0;
+};
+
+/// One connection's scripted fate, attached to an fd when it is armed.
+struct fault_plan {
+  std::vector<fault_event> events;
+};
+
+/// Process-wide registry of armed fds.  All methods are thread-safe; the
+/// unarmed fast path is a single relaxed atomic load.
+class fault_engine {
+ public:
+  static fault_engine& instance();
+
+  /// True when any fd is armed — the hot-path gate.
+  bool active() const { return armed_.load(std::memory_order_relaxed) > 0; }
+
+  /// Attach `plan` to `fd` (replacing any previous plan and resetting its
+  /// byte counters).  The plan stays armed until disarm(fd) — which
+  /// socket_fd::reset() calls on close, so plans never leak across fd
+  /// reuse.
+  void arm(int fd, fault_plan plan);
+  void disarm(int fd);
+  void disarm_all();
+
+  /// The next outbound connect made through faulty_connector() arms the
+  /// new fd with `plan`.  Plans queue FIFO, one per connect — reconnect
+  /// attempt N gets plan N — and an empty queue arms nothing.
+  void queue_connect_plan(fault_plan plan);
+  void clear_connect_plans();
+  /// Pops the next queued connect plan onto `fd`; false when none queued.
+  bool arm_next_connect(int fd);
+
+  // -- Hook entry points (called from sock_send/sock_recv) -------------------
+
+  /// Consulted before a transfer of up to `want` bytes on `fd`/`dir`.
+  /// Returns the clamped transfer size (0 = simulate EOF on recv), sets
+  /// `*fail_errno` nonzero to fail the call instead, may request a
+  /// byte-corruption via `*corrupt_at` (offset within this transfer, -1 =
+  /// none), and sets `*swallow` when the caller should pretend the bytes
+  /// were sent without touching the wire (partition).  The caller reports
+  /// the bytes actually moved via commit_io — events trigger on those
+  /// committed cumulative counts, so short network reads cannot skip a
+  /// scripted offset.
+  size_t before_io(int fd, fault_dir dir, size_t want, int* fail_errno,
+                   ptrdiff_t* corrupt_at, bool* swallow);
+
+  /// Record that `n` bytes actually moved on `fd` in `dir`.
+  void commit_io(int fd, fault_dir dir, size_t n);
+
+ private:
+  struct armed_plan {
+    fault_plan plan;
+    uint64_t sent = 0;
+    uint64_t received = 0;
+    uint32_t short_left_send = 0;
+    uint32_t short_left_recv = 0;
+    bool cut_send = false, cut_recv = false;
+    bool part_send = false, part_recv = false;
+  };
+
+  fault_engine() = default;
+
+  mutable std::mutex mu_;
+  std::atomic<int> armed_{0};
+  std::unordered_map<int, armed_plan> plans_;
+  std::vector<fault_plan> connect_queue_;
+};
+
+}  // namespace gf::net

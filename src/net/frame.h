@@ -70,8 +70,13 @@ enum class wire_status : uint8_t {
   ok = 0,
   error = 1,        ///< server-side failure; payload is a message string
   unsupported = 2,  ///< operation not available (e.g. no snapshot path)
+  ok_async = 3,     ///< mutation applied, but the ack-gate deadline expired
+                    ///< before the configured replica count acknowledged it
+                    ///< (net/server.h's ack_replicas) — the write degraded
+                    ///< to ordinary async replication.  Payload is the
+                    ///< normal ok-shaped response.
 };
-inline constexpr uint8_t kNumStatuses = 3;
+inline constexpr uint8_t kNumStatuses = 4;
 
 inline constexpr uint32_t kNoShardHint = 0xFFFF'FFFFu;
 
@@ -91,6 +96,21 @@ inline constexpr uint32_t kSyncInviteHint = 0xFFFF'FFFEu;
 /// breaks.
 inline constexpr uint32_t kStatsMetricsHint = 0xFFFF'FFFDu;
 inline constexpr uint32_t kStatsTraceHint = 0xFFFF'FFFCu;
+
+/// shard_hint value that turns a SYNC *request* into a delta re-sync: the
+/// 8-byte payload names the replica's last applied stream sequence.  The
+/// primary answers either with a kSyncDeltaHint frame followed by the
+/// missed mutation frames replayed from its replay ring (net/replay_ring.h)
+/// — the connection is a subscriber again, no snapshot moved — or, when the
+/// ring has wrapped past the requested position (or the replica is ahead of
+/// this primary, e.g. after a crash-restart from an older snapshot), with
+/// an ordinary chunked snapshot bootstrap.
+inline constexpr uint32_t kSyncResumeHint = 0xFFFF'FFFBu;
+/// shard_hint of the SYNC *response* frame accepting a delta re-sync; the
+/// 16-byte payload is (u64 resume_from, u64 upto) — the sequence range the
+/// replayed frames that follow will cover (empty when the replica was
+/// already current).
+inline constexpr uint32_t kSyncDeltaHint = 0xFFFF'FFFAu;
 
 /// Fixed header bytes between the length field and the payload.
 inline constexpr size_t kHeaderTailBytes = 24;

@@ -1,0 +1,45 @@
+#include "net/replay_ring.h"
+
+namespace gf::net {
+
+void replay_ring::push(uint64_t seq, std::vector<uint8_t> encoded) {
+  if (budget_ == 0) return;
+  if (!frames_.empty() && seq != frames_.back().seq + 1) clear();
+  bytes_ += encoded.size();
+  frames_.push_back({seq, std::move(encoded)});
+  // Evict oldest-first down to the budget, but always keep the newest
+  // frame: a lone over-budget frame can still serve a 1-frame delta,
+  // which beats forcing a snapshot.
+  while (bytes_ > budget_ && frames_.size() > 1) {
+    bytes_ -= frames_.front().bytes.size();
+    frames_.pop_front();
+  }
+}
+
+bool replay_ring::covers(uint64_t after_seq, uint64_t current_seq) const {
+  if (after_seq == current_seq) return true;  // already current; empty delta
+  if (after_seq > current_seq) return false;  // replica ahead: snapshot
+  if (frames_.empty()) return false;
+  // Need frames (after_seq, current_seq] — i.e. first stored sequence must
+  // be <= after_seq + 1 and the ring must extend to current_seq.
+  return frames_.front().seq <= after_seq + 1 &&
+         frames_.back().seq >= current_seq;
+}
+
+size_t replay_ring::encode_from(uint64_t after_seq,
+                                std::vector<uint8_t>& out) const {
+  size_t n = 0;
+  for (const entry& e : frames_) {
+    if (e.seq <= after_seq) continue;
+    out.insert(out.end(), e.bytes.begin(), e.bytes.end());
+    ++n;
+  }
+  return n;
+}
+
+void replay_ring::clear() {
+  frames_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace gf::net

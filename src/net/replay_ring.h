@@ -1,0 +1,69 @@
+// Bounded ring of recent replication frames, the primary-side half of
+// delta re-sync (net/replication.h).
+//
+// Every mutation the server replicates is pushed here as the fully encoded,
+// sequence-stamped wire frame — exactly the bytes a live subscriber saw.
+// When a replica reconnects and presents its last applied sequence, the
+// server replays the missed suffix straight out of this ring instead of
+// shipping a whole snapshot: a reconnect after a 50 ms blip costs a few
+// frames, not O(store) bytes.  The ring is byte-budgeted, not count-
+// budgeted — one 4 Ki-key frame and one single-key frame are wildly
+// different replay costs — and evicts oldest-first, so the reachable
+// window is always a contiguous sequence range [first_seq, last_seq].
+// A resume point the ring has wrapped past falls back to the snapshot
+// bootstrap path; that decision (`covers`) is the whole protocol.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace gf::net {
+
+class replay_ring {
+ public:
+  /// `budget_bytes` bounds the sum of stored encoded-frame sizes; pushing
+  /// past it evicts oldest frames first.  A zero budget disables the ring
+  /// (covers() is false for every range → every re-sync is a snapshot).
+  explicit replay_ring(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  /// Record one encoded frame stamped with stream sequence `seq`.
+  /// Sequences must arrive in ascending order (the server's replicate()
+  /// chokepoint guarantees it); a non-contiguous push clears the ring
+  /// first, because a gap would make the stored range unreplayable.
+  void push(uint64_t seq, std::vector<uint8_t> encoded);
+
+  /// True when every frame in (after_seq, last_seq] is still stored, i.e.
+  /// a replica that applied everything through `after_seq` can be caught
+  /// up by replay.  A fully current replica (after_seq == last pushed) is
+  /// covered even when the ring is empty.
+  bool covers(uint64_t after_seq, uint64_t current_seq) const;
+
+  /// Append the encoded bytes of every stored frame with sequence >
+  /// `after_seq` to `out`, in sequence order.  Returns the number of
+  /// frames appended.  Callers must have checked covers() first.
+  size_t encode_from(uint64_t after_seq, std::vector<uint8_t>& out) const;
+
+  void clear();
+
+  bool empty() const { return frames_.empty(); }
+  size_t size() const { return frames_.size(); }
+  size_t bytes() const { return bytes_; }
+  size_t budget() const { return budget_; }
+  /// Sequence range currently stored; meaningless when empty().
+  uint64_t first_seq() const { return frames_.empty() ? 0 : frames_.front().seq; }
+  uint64_t last_seq() const { return frames_.empty() ? 0 : frames_.back().seq; }
+
+ private:
+  struct entry {
+    uint64_t seq;
+    std::vector<uint8_t> bytes;
+  };
+
+  size_t budget_;
+  size_t bytes_ = 0;
+  std::deque<entry> frames_;
+};
+
+}  // namespace gf::net

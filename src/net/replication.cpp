@@ -1,8 +1,5 @@
 #include "net/replication.h"
 
-#include <sys/socket.h>
-#include <sys/time.h>
-
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -28,106 +25,189 @@ std::pair<std::string, uint16_t> parse_host_port(const std::string& spec) {
   return {spec.substr(0, colon), static_cast<uint16_t>(port)};
 }
 
-sync_result sync_from(const std::string& host, uint16_t port,
-                      const std::string& snapshot_path,
-                      size_t max_frame_bytes, int connect_retries) {
-  const uint64_t t_start = obs::now_ns();
-  socket_fd fd;
-  for (int attempt = 0;; ++attempt) {
-    try {
-      fd = tcp_connect(host, port);
-      break;
-    } catch (const std::exception&) {
-      if (attempt >= connect_retries) throw;
-      std::this_thread::sleep_for(std::chrono::milliseconds(250));
-    }
-  }
-  // Bound every read of the transfer: a primary that accepts and then
-  // stalls (or a hostile invite target) must not hang the caller forever —
-  // for a standby, that caller is its own event loop (server.cpp's
-  // handle_invite).  Each arriving chunk resets the clock; the timeout is
-  // per-silence, not per-snapshot.  The feed the caller adopts afterwards
-  // is switched to non-blocking, so this setting dies with the handshake.
-  timeval rcv_timeout{30, 0};
-  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout,
-               sizeof(rcv_timeout));
+namespace {
 
-  const uint64_t req_seq = 1;
-  auto req = encode_control_request(opcode::sync, req_seq);
-  if (!send_all(fd.get(), req.data(), req.size()))
-    throw std::runtime_error("gf: connection lost sending sync request");
-
-  // Assemble the chunked snapshot.  Chunks must arrive in order (the
-  // primary queues them in order on one TCP stream); each one's framing
-  // and CRC were already proven by the decoder.
-  frame_decoder dec(max_frame_bytes);
-  std::string bytes;
-  uint64_t repl_seq = 0, total_bytes = 0;
-  uint32_t total_chunks = 0, received = 0;
+/// Pump the socket until one complete frame decodes.  Throws
+/// timeout_error after `timeout_ms` of per-read silence (armed on the fd
+/// by the caller via set_io_timeouts) and runtime_error on EOF or a
+/// malformed stream.
+void read_frame(int fd, frame_decoder& dec, frame& f) {
   uint8_t buf[64 * 1024];
-  frame f;
-  while (total_chunks == 0 || received < total_chunks) {
+  for (;;) {
     const decode_status st = dec.next(f);
     if (st == decode_status::error)
       throw std::runtime_error("gf: sync stream malformed: " + dec.error());
-    if (st == decode_status::need_more) {
-      const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK)
-          throw std::runtime_error("gf: sync timed out waiting for data");
-        throw std::runtime_error(std::string("gf: sync read failed: ") +
-                                 std::strerror(errno));
-      }
-      if (n == 0)
-        throw std::runtime_error("gf: primary closed mid-sync");
-      dec.feed(buf, static_cast<size_t>(n));
-      continue;
+    if (st == decode_status::ok) return;
+    const ssize_t n = sock_recv(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw timeout_error("gf: sync timed out waiting for data");
+      throw std::runtime_error(std::string("gf: sync read failed: ") +
+                               std::strerror(errno));
     }
+    if (n == 0) throw std::runtime_error("gf: primary closed mid-sync");
+    dec.feed(buf, static_cast<size_t>(n));
+  }
+}
+
+struct assembled_snapshot {
+  std::string bytes;
+  uint64_t repl_seq = 0;
+};
+
+/// Assemble the chunked snapshot transfer whose chunk 0 is already in
+/// `f`.  Chunks must arrive in order (the primary queues them in order on
+/// one TCP stream); each one's framing and CRC were already proven by the
+/// decoder.
+assembled_snapshot assemble_snapshot(int fd, frame_decoder& dec,
+                                     uint64_t req_seq, frame& f) {
+  assembled_snapshot out;
+  uint64_t total_bytes = 0;
+  uint32_t total_chunks = 0, received = 0;
+  for (;;) {
     if (const char* shape = validate_response(f))
       throw std::runtime_error(std::string("gf: malformed sync frame: ") +
                                shape);
     if (f.op != opcode::sync || f.sequence != req_seq)
       throw std::runtime_error("gf: unexpected frame during sync");
     if (f.status != wire_status::ok)
-      throw std::runtime_error("gf: primary refused sync: " +
-                               decode_text(f));
+      throw std::runtime_error("gf: primary refused sync: " + decode_text(f));
     if (f.shard_hint != received)
       throw std::runtime_error("gf: sync chunk out of order");
     if (received == 0) {
       total_chunks = f.key_count;
       const sync_chunk_header h = decode_sync_chunk_header(f);
-      repl_seq = h.repl_seq;
+      out.repl_seq = h.repl_seq;
       total_bytes = h.total_bytes;
-      bytes.reserve(total_bytes);
-      bytes.append(
+      out.bytes.reserve(total_bytes);
+      out.bytes.append(
           reinterpret_cast<const char*>(f.payload.data()) + kSyncChunk0Header,
           f.payload.size() - kSyncChunk0Header);
     } else {
       if (f.key_count != total_chunks)
         throw std::runtime_error("gf: sync chunk total changed mid-transfer");
-      bytes.append(reinterpret_cast<const char*>(f.payload.data()),
-                   f.payload.size());
+      out.bytes.append(reinterpret_cast<const char*>(f.payload.data()),
+                       f.payload.size());
     }
-    ++received;
+    if (++received >= total_chunks) break;
+    read_frame(fd, dec, f);
   }
-  if (bytes.size() != total_bytes)
+  if (out.bytes.size() != total_bytes)
     throw std::runtime_error("gf: sync transfer size mismatch");
+  return out;
+}
 
-  // Install: through the crash-safe file cycle when this replica persists
-  // (its first snapshot on disk is the one it booted from), else straight
-  // from memory.
+/// Install an assembled snapshot: through the crash-safe file cycle when
+/// this replica persists (its first snapshot on disk is the one it booted
+/// from), else straight from memory.
+store::filter_store install_snapshot(const assembled_snapshot& snap,
+                                     const std::string& snapshot_path) {
   if (!snapshot_path.empty()) {
-    store::atomic_write_file(snapshot_path, bytes.data(), bytes.size());
-    store::filter_store st = store::load_store(snapshot_path);
-    return sync_result{std::move(st), repl_seq, bytes.size(),
-                       obs::now_ns() - t_start, std::move(fd),
-                       std::move(dec)};
+    store::atomic_write_file(snapshot_path, snap.bytes.data(),
+                             snap.bytes.size());
+    return store::load_store(snapshot_path);
   }
-  std::istringstream in(bytes, std::ios::binary);
-  store::filter_store st = store::load_store(in);
-  return sync_result{std::move(st), repl_seq, bytes.size(),
+  std::istringstream in(snap.bytes, std::ios::binary);
+  return store::load_store(in);
+}
+
+socket_fd make_connection(const std::string& host, uint16_t port,
+                          const connect_fn& connector, int timeout_ms) {
+  socket_fd fd = connector ? connector(host, port) : tcp_connect(host, port);
+  // Bound every read (and write) of the transfer: a primary that accepts
+  // and then stalls (or a hostile invite target) must not hang the caller
+  // forever — for a standby, that caller is its own event loop
+  // (server.cpp's handle_invite).  Each arriving chunk resets the clock;
+  // the timeout is per-silence, not per-snapshot.  The feed the caller
+  // adopts afterwards is switched to non-blocking, so this setting dies
+  // with the handshake.
+  if (timeout_ms > 0) set_io_timeouts(fd.get(), timeout_ms);
+  return fd;
+}
+
+}  // namespace
+
+sync_result sync_from(const std::string& host, uint16_t port,
+                      const std::string& snapshot_path,
+                      size_t max_frame_bytes, int connect_retries,
+                      int timeout_ms, const connect_fn& connector) {
+  const uint64_t t_start = obs::now_ns();
+  socket_fd fd;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      fd = make_connection(host, port, connector, timeout_ms);
+      break;
+    } catch (const std::exception&) {
+      if (attempt >= connect_retries) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  }
+
+  const uint64_t req_seq = 1;
+  auto req = encode_control_request(opcode::sync, req_seq);
+  if (!send_all(fd.get(), req.data(), req.size()))
+    throw std::runtime_error("gf: connection lost sending sync request");
+
+  frame_decoder dec(max_frame_bytes);
+  frame f;
+  read_frame(fd.get(), dec, f);
+  assembled_snapshot snap = assemble_snapshot(fd.get(), dec, req_seq, f);
+  store::filter_store st = install_snapshot(snap, snapshot_path);
+  return sync_result{std::move(st), snap.repl_seq, snap.bytes.size(),
                      obs::now_ns() - t_start, std::move(fd), std::move(dec)};
+}
+
+resync_result sync_resume(const std::string& host, uint16_t port,
+                          uint64_t last_seq, const std::string& snapshot_path,
+                          size_t max_frame_bytes, int timeout_ms,
+                          const connect_fn& connector) {
+  const uint64_t t_start = obs::now_ns();
+  socket_fd fd = make_connection(host, port, connector, timeout_ms);
+
+  const uint64_t req_seq = 1;
+  auto req = encode_sync_resume_request(req_seq, last_seq);
+  if (!send_all(fd.get(), req.data(), req.size()))
+    throw std::runtime_error("gf: connection lost sending resume request");
+
+  frame_decoder dec(max_frame_bytes);
+  frame f;
+  read_frame(fd.get(), dec, f);
+  if (const char* shape = validate_response(f))
+    throw std::runtime_error(std::string("gf: malformed resync frame: ") +
+                             shape);
+  if (f.op != opcode::sync || f.sequence != req_seq)
+    throw std::runtime_error("gf: unexpected frame during resync");
+  if (f.status != wire_status::ok)
+    throw std::runtime_error("gf: primary refused resync: " + decode_text(f));
+
+  resync_result out;
+  if (f.shard_hint == kSyncDeltaHint) {
+    // Delta granted: the replayed frames (if any) follow on this same
+    // connection, indistinguishable from live stream traffic — the
+    // event loop applies them by sequence like any other.
+    const sync_delta_header h = decode_sync_delta_header(f);
+    if (h.resume_from != last_seq)
+      throw std::runtime_error("gf: resync resume point mismatch");
+    out.kind = resync_kind::delta;
+    out.resume_from = h.resume_from;
+    out.repl_seq = h.upto;
+    out.bootstrap_ns = obs::now_ns() - t_start;
+    out.feed = std::move(fd);
+    out.dec = std::move(dec);
+    return out;
+  }
+
+  // Snapshot fallback: the frame in hand is chunk 0 of a full bootstrap.
+  assembled_snapshot snap = assemble_snapshot(fd.get(), dec, req_seq, f);
+  out.kind = resync_kind::snapshot;
+  out.store.emplace(install_snapshot(snap, snapshot_path));
+  out.repl_seq = snap.repl_seq;
+  out.resume_from = last_seq;
+  out.snapshot_bytes = snap.bytes.size();
+  out.bootstrap_ns = obs::now_ns() - t_start;
+  out.feed = std::move(fd);
+  out.dec = std::move(dec);
+  return out;
 }
 
 }  // namespace gf::net

@@ -1,4 +1,4 @@
-// Replica bootstrap for the filter-store wire protocol.
+// Replica bootstrap + re-sync for the filter-store wire protocol.
 //
 // Topology: replicas *pull*.  A replica opens one ordinary protocol
 // connection to its primary and sends SYNC; the primary answers with the
@@ -13,17 +13,28 @@
 // frame after a reconnect) is detectable by sequence and surfaces in
 // STATS.
 //
-// sync_from() performs the bootstrap half: connect, transfer, install.
+// sync_from() performs the full bootstrap: connect, transfer, install.
 // When a snapshot path is given the received bytes are first written to
 // disk atomically (store_io.h's tmp + fsync + rename) and loaded from
 // there — the replica's own durability cycle starts from its first byte.
-// The returned feed (socket + decoder, which may already hold live
-// frames) is handed to net::server::attach_feed, whose event loop applies
-// the stream, acks each frame, and keeps serving reads if the primary
-// dies.
+//
+// sync_resume() is the cheap path a replica takes after *losing* a feed it
+// already had: it presents its last applied sequence and the primary
+// either replays just the missed frames out of its replay ring
+// (net/replay_ring.h) — no snapshot moves, the store it already has stays
+// — or, when the ring has wrapped past that position, falls back to the
+// same chunked snapshot bootstrap.  The caller learns which happened from
+// resync_result::kind.
+//
+// Either way the returned feed (socket + decoder, which may already hold
+// live frames) is handed to net::server::attach_feed, whose event loop
+// applies the stream, acks each frame, and keeps serving reads if the
+// primary dies.  The server's feed supervisor (server_config::feed_addr)
+// drives sync_resume itself on loss, with jittered exponential backoff.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -51,12 +62,50 @@ struct sync_result {
 /// it (atomically through `snapshot_path` when non-empty, else from
 /// memory), and return the live feed.  Retries the initial connect
 /// `connect_retries` times at 250 ms — "start primary & replica" scripts
-/// should not race the primary's bind.  Throws on any protocol or I/O
-/// failure.
+/// should not race the primary's bind.  Every read of the transfer is
+/// bounded by `timeout_ms` of silence (net::timeout_error past it); 0
+/// waits forever.  `connector` substitutes how the outbound connection is
+/// made (tests inject fault-armed sockets); null means tcp_connect.
+/// Throws on any protocol or I/O failure.
 sync_result sync_from(const std::string& host, uint16_t port,
                       const std::string& snapshot_path = "",
                       size_t max_frame_bytes = kDefaultMaxFrameBytes,
-                      int connect_retries = 0);
+                      int connect_retries = 0, int timeout_ms = 30000,
+                      const connect_fn& connector = nullptr);
+
+/// How a lost replica caught back up.
+enum class resync_kind : uint8_t {
+  delta,     ///< primary replayed the missed frames from its ring; the
+             ///< store the replica already has is still the right one
+  snapshot,  ///< ring wrapped (or the replica was ahead of a restarted
+             ///< primary): full bootstrap, `store` is engaged
+};
+
+struct resync_result {
+  resync_kind kind = resync_kind::delta;
+  /// Engaged only for resync_kind::snapshot (filter_store has no default
+  /// construction — a delta re-sync never builds one).
+  std::optional<store::filter_store> store;
+  uint64_t repl_seq = 0;     ///< snapshot: captured position; delta: the
+                             ///< `upto` end of the promised replay range
+  uint64_t resume_from = 0;  ///< delta: position the replay resumes after
+                             ///< (echoes the request's last_seq)
+  uint64_t snapshot_bytes = 0;
+  uint64_t bootstrap_ns = 0;
+  socket_fd feed;
+  frame_decoder dec;
+};
+
+/// Re-sync after feed loss: present `last_seq` (the last stream sequence
+/// this replica applied) and take whichever path the primary grants —
+/// delta replay or snapshot fallback.  Parameters as sync_from; no
+/// connect retries (the caller's reconnect supervisor owns backoff).
+resync_result sync_resume(const std::string& host, uint16_t port,
+                          uint64_t last_seq,
+                          const std::string& snapshot_path = "",
+                          size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                          int timeout_ms = 30000,
+                          const connect_fn& connector = nullptr);
 
 /// Split a "host:port" spec (the --replica-of / --replicate-to argument
 /// form); throws on a malformed spec or an out-of-range port.

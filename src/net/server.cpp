@@ -85,10 +85,14 @@ struct server::connection {
 server::server(server_config cfg, store::filter_store st)
     : cfg_(std::move(cfg)),
       store_(std::move(st)),
+      ring_(cfg_.replay_ring_bytes),
       trace_(cfg_.trace_capacity) {
   listen_ = tcp_listen(cfg_.bind_addr, cfg_.port, cfg_.backlog);
   set_nonblocking(listen_.get());
   port_ = local_port(listen_);
+  jitter_state_ = cfg_.reconnect_jitter_seed != 0
+                      ? cfg_.reconnect_jitter_seed
+                      : 0x9E3779B97F4A7C15ull ^ (uint64_t{port_} << 17);
   int fds[2];
   if (::pipe(fds) != 0)
     throw std::runtime_error("gf: cannot create wakeup pipe");
@@ -141,7 +145,7 @@ void server::register_metrics() {
   // Replication plane.
   registry_.add_counter("gf_repl_frames_forwarded_total", "",
                         [this, relaxed] { return relaxed(frames_forwarded_); });
-  registry_.add_counter("gf_repl_subscriber_drops_total", "",
+  registry_.add_counter("gf_repl_dropped_subscribers_total", "",
                         [this, relaxed] { return relaxed(subscriber_drops_); });
   registry_.add_counter("gf_repl_subscriber_errors_total", "",
                         [this, relaxed] {
@@ -155,6 +159,28 @@ void server::register_metrics() {
                         [this, relaxed] { return relaxed(feed_gaps_); });
   registry_.add_counter("gf_repl_feed_lost_total", "",
                         [this, relaxed] { return relaxed(feed_lost_); });
+  registry_.add_counter("gf_repl_reconnects_total", "",
+                        [this, relaxed] { return relaxed(feed_reconnects_); });
+  registry_.add_counter("gf_repl_reconnect_failures_total", "",
+                        [this, relaxed] {
+                          return relaxed(reconnect_failures_);
+                        });
+  registry_.add_counter("gf_repl_resyncs_total", "kind=\"delta\"",
+                        [this, relaxed] { return relaxed(resyncs_delta_); });
+  registry_.add_counter("gf_repl_resyncs_total", "kind=\"snapshot\"",
+                        [this, relaxed] { return relaxed(resyncs_snapshot_); });
+  registry_.add_counter("gf_repl_deltas_served_total", "",
+                        [this, relaxed] { return relaxed(deltas_served_); });
+  registry_.add_counter("gf_repl_ack_waits_total", "",
+                        [this, relaxed] { return relaxed(ack_waits_); });
+  registry_.add_counter("gf_repl_ack_degraded_total", "",
+                        [this, relaxed] { return relaxed(ack_degraded_); });
+  registry_.add_gauge("gf_repl_replay_ring_bytes", "", [this] {
+    return static_cast<double>(ring_.bytes());
+  });
+  registry_.add_gauge("gf_repl_replay_ring_frames", "", [this] {
+    return static_cast<double>(ring_.size());
+  });
   registry_.add_gauge("gf_repl_seq", "", [this, relaxed] {
     return static_cast<double>(relaxed(repl_seq_));
   });
@@ -323,6 +349,13 @@ server_stats server::stats() const {
   s.feed_gaps = feed_gaps_.load(std::memory_order_relaxed);
   s.feed_last_seq = feed_last_seq_.load(std::memory_order_relaxed);
   s.feed_lost = feed_lost_.load(std::memory_order_relaxed);
+  s.deltas_served = deltas_served_.load(std::memory_order_relaxed);
+  s.ack_waits = ack_waits_.load(std::memory_order_relaxed);
+  s.ack_degraded = ack_degraded_.load(std::memory_order_relaxed);
+  s.feed_reconnects = feed_reconnects_.load(std::memory_order_relaxed);
+  s.reconnect_failures = reconnect_failures_.load(std::memory_order_relaxed);
+  s.resyncs_delta = resyncs_delta_.load(std::memory_order_relaxed);
+  s.resyncs_snapshot = resyncs_snapshot_.load(std::memory_order_relaxed);
   s.read_only_refusals = read_only_refusals_.load(std::memory_order_relaxed);
   return s;
 }
@@ -334,11 +367,15 @@ void server::attach_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq) {
 void server::adopt_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq) {
   set_nonblocking(fd.get());
   set_nodelay(fd.get());
+  set_io_timeouts(fd.get(), 0);  // handshake deadlines die with the handshake
   auto conn =
       std::make_unique<connection>(std::move(fd), cfg_.max_frame_bytes);
   conn->dec = std::move(dec);
   conn->kind = connection::role::feed;
   ever_fed_ = true;
+  reconnect_pending_ = false;
+  reconnect_attempt_ = 0;
+  feed_last_rx_ns_ = obs::now_ns();
   feed_expected_ = next_seq;
   repl_seq_.store(next_seq == 0 ? 0 : next_seq - 1,
                   std::memory_order_relaxed);
@@ -357,7 +394,8 @@ void server::send_invites() {
   for (const std::string& spec : cfg_.invite) {
     try {
       auto [host, port] = parse_host_port(spec);
-      socket_fd s = tcp_connect(host, port);
+      socket_fd s =
+          cfg_.connector ? cfg_.connector(host, port) : tcp_connect(host, port);
       auto bytes = encode_sync_invite(/*seq=*/1, port_);
       if (!send_all(s.get(), bytes.data(), bytes.size()))
         throw std::runtime_error("gf: invite send failed");
@@ -370,25 +408,39 @@ void server::send_invites() {
 }
 
 void server::sweep_dead() {
+  bool any_dead = false;
   for (size_t i = conns_.size(); i-- > 0;) {
     if (!conns_[i]->dead) continue;
+    any_dead = true;
     switch (conns_[i]->kind) {
       case connection::role::subscriber:
         subscribers_.fetch_sub(1, std::memory_order_relaxed);
         break;
       case connection::role::feed:
         // The primary is gone.  Keep serving reads from the last applied
-        // sequence — that is the whole point of a replica.
+        // sequence — that is the whole point of a replica — and, when a
+        // supervisor is configured, start dialing it back.
         feed_attached_.store(0, std::memory_order_relaxed);
         feed_lost_.fetch_add(1, std::memory_order_relaxed);
+        if (!cfg_.feed_addr.empty() && !reconnect_pending_)
+          schedule_reconnect(obs::now_ns());
         break;
       case connection::role::client:
         break;
     }
+    // A gated response whose client died is moot — drop it before the
+    // connection object (and the parked pointer into it) goes away.
+    std::erase_if(pending_acks_, [&](const pending_ack& p) {
+      return p.conn == conns_[i].get();
+    });
     closed_.fetch_add(1, std::memory_order_relaxed);
     conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
   }
   recompute_acked();
+  // A lost subscriber may leave the gate short of its quorum: degrade
+  // promptly (clients should not sit out the full deadline for a replica
+  // that is already gone).
+  if (any_dead && !pending_acks_.empty()) service_acks(obs::now_ns());
 }
 
 void server::run() {
@@ -400,6 +452,11 @@ void server::run() {
   for (;;) {
     // Sweep first so pre-run condemnations (a poisoned feed handed to
     // attach_feed) and last round's casualties never reach poll().
+    sweep_dead();
+    // Fire due timers — reconnect attempts, ack-gate deadlines, feed
+    // idleness — then sweep again: a timer may have condemned the feed or
+    // adopted a fresh one whose drained frames condemned it right back.
+    service_timers(obs::now_ns());
     sweep_dead();
     pfds.clear();
     pfds.push_back({wake_rd_.get(), POLLIN, 0});
@@ -422,10 +479,13 @@ void server::run() {
       pfds.push_back({c->fd.get(), events, 0});
     }
 
-    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+    const int rc =
+        ::poll(pfds.data(), pfds.size(), poll_timeout_ms(obs::now_ns()));
+    if (rc < 0) {
       if (errno == EINTR) continue;  // signal: the handler pinged the pipe
       break;
     }
+    if (rc == 0) continue;  // timer expiry: loop back to service_timers
 
     if (pfds[0].revents & POLLIN) break;  // request_stop()
 
@@ -441,6 +501,13 @@ void server::run() {
       if (!c.dead && (re & (POLLIN | POLLHUP))) read_ready(c);
     }
   }
+  // Shutdown: every still-gated response is released as ok_async (its
+  // mutation *was* applied) and best-effort flushed — a client must never
+  // lose an answer to a rug-pulled gate.
+  service_acks(obs::now_ns(), /*flush_deadline=*/true);
+  for (auto& c : conns_)
+    if (!c->dead && c->out_pos < c->out.size()) flush_writes(*c);
+  pending_acks_.clear();
   sweep_dead();
   // Drain the wakeup pipe so a relaunched run() blocks again.
   uint8_t buf[64];
@@ -514,9 +581,8 @@ bool server::drain_frames(connection& c) {
 void server::read_ready(connection& c) {
   uint8_t buf[kReadChunk];
   for (;;) {
-    ssize_t n = ::recv(c.fd.get(), buf, sizeof(buf), 0);
+    ssize_t n = sock_recv(c.fd.get(), buf, sizeof(buf));
     if (n < 0) {
-      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       c.dead = true;
       return;
@@ -530,6 +596,7 @@ void server::read_ready(connection& c) {
       return;
     }
     bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+    if (c.kind == connection::role::feed) feed_last_rx_ns_ = obs::now_ns();
     c.dec.feed(buf, static_cast<size_t>(n));
 
     // Serve every complete frame before the next poll round — this is the
@@ -550,10 +617,9 @@ bool server::flush_writes(connection& c) {
   const uint64_t t0 = obs::now_ns();
   bool alive = true;
   while (c.out_pos < c.out.size()) {
-    ssize_t w = ::send(c.fd.get(), c.out.data() + c.out_pos,
-                       c.out.size() - c.out_pos, MSG_NOSIGNAL);
+    ssize_t w = sock_send(c.fd.get(), c.out.data() + c.out_pos,
+                          c.out.size() - c.out_pos);
     if (w < 0) {
-      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // poll out later
       alive = false;
       break;
@@ -586,7 +652,7 @@ void server::append_out(connection& c, std::vector<uint8_t> bytes) {
 
 // -- Replication -------------------------------------------------------------
 
-void server::replicate(const frame& f, bool from_feed) {
+uint64_t server::replicate(const frame& f, bool from_feed) {
   // The stream sequence advances on *every* applied mutation, subscribers
   // or not — it is the store's mutation-log position, and a SYNC snapshot
   // must name it so a later replica knows where its stream begins.  A
@@ -599,17 +665,13 @@ void server::replicate(const frame& f, bool from_feed) {
   } else {
     seq = repl_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
-  forward_to_subscribers(f, seq);
-}
-
-void server::forward_to_subscribers(const frame& f, uint64_t seq) {
   bool any = false;
   for (const auto& c : conns_)
     if (!c->dead && c->kind == connection::role::subscriber) {
       any = true;
       break;
     }
-  if (!any) return;
+  if (!any && ring_.budget() == 0) return seq;
   // Re-encode straight from the decoded frame's fields with the stream
   // sequence stamped in — the payload (multi-MiB for big batches) is
   // written once into the wire bytes, never copied into a temporary.
@@ -622,13 +684,18 @@ void server::forward_to_subscribers(const frame& f, uint64_t seq) {
     frames_forwarded_.fetch_add(1, std::memory_order_relaxed);
     // A subscriber that cannot drain its stream is cut loose: async
     // replication must never let one slow replica grow this process
-    // without bound.  The replica sees the EOF, counts a lost feed, and
-    // can bootstrap again.
+    // without bound.  The replica sees the EOF, counts a lost feed, and —
+    // with a supervisor — comes back with a resume request that the very
+    // bytes recorded below will answer.
     if (c->out.size() - c->out_pos > c->queue_cap) {
       subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
       c->dead = true;
     }
   }
+  // The ring gets the exact bytes a live subscriber saw, so a delta
+  // replay is byte-identical to having never disconnected.
+  ring_.push(seq, std::move(bytes));
+  return seq;
 }
 
 void server::subscriber_ack(connection& c, const frame& f) {
@@ -639,10 +706,14 @@ void server::subscriber_ack(connection& c, const frame& f) {
     subscriber_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  last_ack_ns_.store(obs::now_ns(), std::memory_order_relaxed);
+  const uint64_t now = obs::now_ns();
+  last_ack_ns_.store(now, std::memory_order_relaxed);
   if (f.sequence > c.last_acked) {
     c.last_acked = f.sequence;
     recompute_acked();
+    // Fresh progress may satisfy gated responses — release them now, not
+    // at the next poll wakeup.
+    if (!pending_acks_.empty()) service_acks(now);
   }
 }
 
@@ -655,6 +726,168 @@ void server::recompute_acked() {
     first = false;
   }
   subscriber_acked_.store(first ? 0 : min_acked, std::memory_order_relaxed);
+}
+
+// -- Ack-gated writes ---------------------------------------------------------
+
+void server::queue_mutation_response(connection& c, bool from_feed, opcode op,
+                                     uint64_t client_seq, uint32_t key_count,
+                                     uint64_t a, uint64_t b,
+                                     uint64_t stream_seq) {
+  // Feed acks are never gated (the primary upstream is not waiting on our
+  // replicas), and with the gate off this is the ordinary async path.
+  if (from_feed || cfg_.ack_replicas == 0) {
+    append_out(c, encode_pair_response(op, client_seq, key_count, a, b));
+    return;
+  }
+  ack_waits_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t live = 0;
+  for (const auto& s : conns_)
+    if (!s->dead && s->kind == connection::role::subscriber) ++live;
+  if (live < cfg_.ack_replicas) {
+    // Not enough replicas even attached: degrade immediately rather than
+    // making the client sit out a deadline that cannot be met.
+    ack_degraded_.fetch_add(1, std::memory_order_relaxed);
+    append_out(c, encode_pair_response(op, client_seq, key_count, a, b,
+                                       wire_status::ok_async));
+    return;
+  }
+  pending_acks_.push_back({&c, stream_seq,
+                           obs::now_ns() + uint64_t{cfg_.ack_timeout_ms} *
+                                               1'000'000ull,
+                           op, client_seq, key_count, a, b});
+}
+
+void server::service_acks(uint64_t now_ns, bool flush_deadline) {
+  if (pending_acks_.empty()) return;
+  uint64_t live = 0;
+  for (const auto& s : conns_)
+    if (!s->dead && s->kind == connection::role::subscriber) ++live;
+  std::erase_if(pending_acks_, [&](const pending_ack& p) {
+    uint64_t acked = 0;
+    for (const auto& s : conns_)
+      if (!s->dead && s->kind == connection::role::subscriber &&
+          s->last_acked >= p.stream_seq)
+        ++acked;
+    if (acked >= cfg_.ack_replicas) {
+      append_out(*p.conn, encode_pair_response(p.op, p.client_seq,
+                                               p.key_count, p.a, p.b));
+      return true;
+    }
+    if (flush_deadline || now_ns >= p.deadline_ns ||
+        live < cfg_.ack_replicas) {
+      // Deadline, shutdown, or the quorum became unreachable: the write
+      // is applied and replicating asynchronously — say so in-band and
+      // move on.  Never a hang.
+      ack_degraded_.fetch_add(1, std::memory_order_relaxed);
+      append_out(*p.conn, encode_pair_response(p.op, p.client_seq,
+                                               p.key_count, p.a, p.b,
+                                               wire_status::ok_async));
+      return true;
+    }
+    return false;
+  });
+}
+
+// -- Feed supervision ---------------------------------------------------------
+
+uint64_t server::next_jitter() {
+  // xorshift64: tiny, seedable, and good enough to de-synchronize a fleet
+  // of replicas hammering a rebooted primary.
+  uint64_t x = jitter_state_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  jitter_state_ = x;
+  return x;
+}
+
+void server::schedule_reconnect(uint64_t now_ns) {
+  reconnect_pending_ = true;
+  const uint32_t shift = std::min(reconnect_attempt_, 16u);
+  uint64_t base = uint64_t{cfg_.reconnect_base_ms} << shift;
+  base = std::min<uint64_t>(base, cfg_.reconnect_max_ms);
+  if (base == 0) base = 1;
+  // Full jitter over [base/2, base): exponential spacing without a
+  // thundering herd when many replicas lost the same primary.
+  const uint64_t delay_ms = base / 2 + next_jitter() % (base - base / 2);
+  reconnect_at_ns_ = now_ns + delay_ms * 1'000'000ull;
+  ++reconnect_attempt_;
+  trace_.add("repl", "reconnect_scheduled", now_ns, 0, "delay_ms", delay_ms);
+}
+
+void server::try_resync_feed() {
+  reconnect_pending_ = false;
+  const uint64_t t0 = obs::now_ns();
+  try {
+    auto [host, port] = parse_host_port(cfg_.feed_addr);
+    const uint64_t last = repl_seq_.load(std::memory_order_relaxed);
+    // Blocking re-sync on the loop thread, bounded by resync_timeout_ms
+    // per silent read: a replica that is catching up is allowed to pause
+    // its (read-only) service — its data is stale until this finishes
+    // anyway.
+    resync_result rr =
+        sync_resume(host, port, last, cfg_.snapshot_path,
+                    cfg_.max_frame_bytes, cfg_.resync_timeout_ms,
+                    cfg_.connector);
+    if (rr.kind == resync_kind::snapshot) {
+      resyncs_snapshot_.fetch_add(1, std::memory_order_relaxed);
+      store_ = std::move(*rr.store);
+      register_metrics();
+      // New lineage: any subscriber synced off the pre-resync store is
+      // cut loose to bootstrap afresh, and the ring's frames describe a
+      // store that no longer exists.
+      for (auto& sub : conns_)
+        if (!sub->dead && sub->kind == connection::role::subscriber) {
+          subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
+          sub->dead = true;
+        }
+      ring_.clear();
+      adopt_feed(std::move(rr.feed), std::move(rr.dec), rr.repl_seq + 1);
+    } else {
+      resyncs_delta_.fetch_add(1, std::memory_order_relaxed);
+      // The store we have is still the right one; the replayed frames
+      // arrive on the adopted connection exactly like live stream
+      // traffic, starting at last + 1.
+      adopt_feed(std::move(rr.feed), std::move(rr.dec), last + 1);
+    }
+    feed_reconnects_.fetch_add(1, std::memory_order_relaxed);
+    trace_.add("repl", "resync", t0, obs::now_ns() - t0, "kind",
+               rr.kind == resync_kind::delta ? 0 : 1);
+  } catch (const std::exception&) {
+    reconnect_failures_.fetch_add(1, std::memory_order_relaxed);
+    schedule_reconnect(obs::now_ns());
+  }
+}
+
+void server::service_timers(uint64_t now_ns) {
+  if (reconnect_pending_ && now_ns >= reconnect_at_ns_) try_resync_feed();
+  service_acks(now_ns);
+  if (cfg_.feed_idle_timeout_ms != 0 &&
+      feed_attached_.load(std::memory_order_relaxed) != 0 &&
+      now_ns - feed_last_rx_ns_ >
+          uint64_t{cfg_.feed_idle_timeout_ms} * 1'000'000ull) {
+    for (auto& c : conns_)
+      if (!c->dead && c->kind == connection::role::feed)
+        condemn(*c, "feed idle past the configured timeout");
+  }
+}
+
+int server::poll_timeout_ms(uint64_t now_ns) const {
+  uint64_t next = UINT64_MAX;
+  if (reconnect_pending_) next = std::min(next, reconnect_at_ns_);
+  for (const pending_ack& p : pending_acks_)
+    next = std::min(next, p.deadline_ns);
+  if (cfg_.feed_idle_timeout_ms != 0 &&
+      feed_attached_.load(std::memory_order_relaxed) != 0)
+    next = std::min<uint64_t>(
+        next, feed_last_rx_ns_ +
+                  uint64_t{cfg_.feed_idle_timeout_ms} * 1'000'000ull);
+  if (next == UINT64_MAX) return -1;
+  if (next <= now_ns) return 0;
+  // +1 ms: round up so a timer never fires a poll round early and spins.
+  return static_cast<int>(
+      std::min<uint64_t>((next - now_ns) / 1'000'000ull + 1, 60'000));
 }
 
 void server::serve_sync(connection& c, const frame& f) {
@@ -675,6 +908,44 @@ void server::serve_sync(connection& c, const frame& f) {
                       "standby replica has not bootstrapped yet"));
     return;
   }
+  if (f.shard_hint == kSyncResumeHint) {
+    serve_resume(c, f);
+    return;
+  }
+  serve_snapshot(c, f);
+}
+
+void server::serve_resume(connection& c, const frame& f) {
+  const uint64_t last = decode_sync_resume(f);
+  const uint64_t cur = repl_seq_.load(std::memory_order_relaxed);
+  // Delta only when the ring still holds every frame the replica missed
+  // — and never at stream position 0: a primary restarted from a
+  // snapshot is back at sequence 0 with a *different* store, and a
+  // replica whose bootstrap also happened at 0 would otherwise be
+  // granted an empty delta against data it has never seen.  At 0 the
+  // snapshot is authoritative and cheap to prove.
+  if (cur != 0 && ring_.covers(last, cur)) {
+    std::vector<uint8_t> out = encode_sync_delta_response(f.sequence, last,
+                                                          cur);
+    const size_t replayed = ring_.encode_from(last, out);
+    const size_t out_bytes = out.size();
+    append_out(c, std::move(out));
+    c.kind = connection::role::subscriber;
+    c.last_acked = last;
+    c.queue_cap = std::max(cfg_.max_subscriber_queue_bytes, 2 * out_bytes);
+    subscribers_.fetch_add(1, std::memory_order_relaxed);
+    recompute_acked();
+    deltas_served_.fetch_add(1, std::memory_order_relaxed);
+    trace_.add("repl", "delta_serve", obs::now_ns(), 0, "frames", replayed);
+    return;
+  }
+  // Ring wrapped past the resume point (or the replica lives in this
+  // primary's future — a crash-restart from an older snapshot): the only
+  // safe catch-up is a full bootstrap.
+  serve_snapshot(c, f);
+}
+
+void server::serve_snapshot(connection& c, const frame& f) {
   // Snapshot + subscribe, atomically with respect to mutations: the event
   // loop is the store's only writer, so every mutation at or below the
   // sequence recorded here is inside the snapshot and every later one
@@ -724,7 +995,9 @@ void server::handle_invite(connection& c, const frame& f) {
     // is, by definition, not serving anything yet.
     const uint64_t t0 = obs::now_ns();
     sync_result sr =
-        sync_from(host, port, cfg_.snapshot_path, cfg_.max_frame_bytes);
+        sync_from(host, port, cfg_.snapshot_path, cfg_.max_frame_bytes,
+                  /*connect_retries=*/0, cfg_.resync_timeout_ms,
+                  cfg_.connector);
     trace_.add("repl", "bootstrap", t0, sr.bootstrap_ns, "bytes",
                sr.snapshot_bytes);
     store_ = std::move(sr.store);
@@ -759,13 +1032,20 @@ void server::feed_frame(connection& c, const frame& f) {
   }
   if (f.sequence != feed_expected_) {
     // A discontinuity: count it so STATS surfaces the divergence.  An
-    // older-than-expected frame is a replay and is dropped; a jump is
-    // applied (the stream is still the freshest data we can get) with the
-    // gap on record.
+    // older-than-expected frame is a replay and is dropped.  A forward
+    // jump splits on supervision: unsupervised (PR 5 behavior, no way to
+    // recover the gap) applies it — the stream is still the freshest data
+    // we can get — with the gap on record; a supervised feed *can* close
+    // the gap, so the connection is condemned and the re-sync path
+    // replays exactly the missed frames instead of accepting a hole.
     feed_gaps_.fetch_add(1, std::memory_order_relaxed);
     trace_.add("repl", "feed_gap", obs::now_ns(), 0, "expected",
                feed_expected_);
     if (f.sequence < feed_expected_) return;
+    if (!cfg_.feed_addr.empty()) {
+      condemn(c, "unbridged gap on a supervised feed");
+      return;
+    }
   }
   feed_expected_ = f.sequence + 1;
   feed_last_seq_.store(f.sequence, std::memory_order_relaxed);
@@ -824,10 +1104,9 @@ void server::handle_frame(connection& c, const frame& f) {
         keys_.fetch_add(keys.size(), std::memory_order_relaxed);
         uint64_t ok = store_.insert_bulk(keys);
         t_applied = obs::now_ns();
-        append_out(c, encode_pair_response(opcode::insert, f.sequence,
-                                           f.key_count, ok,
-                                           keys.size() - ok));
-        replicate(f, from_feed);
+        const uint64_t sseq = replicate(f, from_feed);
+        queue_mutation_response(c, from_feed, opcode::insert, f.sequence,
+                                f.key_count, ok, keys.size() - ok, sseq);
         break;
       }
       case opcode::insert_counted: {
@@ -840,10 +1119,10 @@ void server::handle_frame(connection& c, const frame& f) {
           ops.push_back(store::make_insert(keys[i], counts[i]));
         store::batch_result r = store_.apply(ops);
         t_applied = obs::now_ns();
-        append_out(c, encode_pair_response(opcode::insert_counted,
-                                           f.sequence, f.key_count,
-                                           r.inserted, r.insert_failed));
-        replicate(f, from_feed);
+        const uint64_t sseq = replicate(f, from_feed);
+        queue_mutation_response(c, from_feed, opcode::insert_counted,
+                                f.sequence, f.key_count, r.inserted,
+                                r.insert_failed, sseq);
         break;
       }
       case opcode::query: {
@@ -880,10 +1159,9 @@ void server::handle_frame(connection& c, const frame& f) {
         for (uint64_t k : keys) ops.push_back(store::make_erase(k));
         store::batch_result r = store_.apply(ops);
         t_applied = obs::now_ns();
-        append_out(c, encode_pair_response(opcode::erase, f.sequence,
-                                           f.key_count, r.erased,
-                                           r.erase_missing));
-        replicate(f, from_feed);
+        const uint64_t sseq = replicate(f, from_feed);
+        queue_mutation_response(c, from_feed, opcode::erase, f.sequence,
+                                f.key_count, r.erased, r.erase_missing, sseq);
         break;
       }
       case opcode::count: {
@@ -950,6 +1228,18 @@ void server::handle_frame(connection& c, const frame& f) {
             .field("feed_last_seq", s.feed_last_seq)
             .field("feed_applied", s.feed_applied)
             .field("feed_gaps", s.feed_gaps)
+            .field("feed_lost", s.feed_lost)
+            .field("feed_reconnects", s.feed_reconnects)
+            .field("reconnect_failures", s.reconnect_failures)
+            .field("resyncs_delta", s.resyncs_delta)
+            .field("resyncs_snapshot", s.resyncs_snapshot)
+            .field("deltas_served", s.deltas_served)
+            .field("ack_replicas", cfg_.ack_replicas)
+            .field("ack_waits", s.ack_waits)
+            .field("ack_degraded", s.ack_degraded)
+            .field("ack_pending", pending_acks_.size())
+            .field("ring_frames", ring_.size())
+            .field("ring_bytes", ring_.bytes())
             .field("read_only_refusals", s.read_only_refusals);
         w.object_end();
         w.object_end();

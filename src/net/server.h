@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/replay_ring.h"
 #include "net/socket.h"
 #include "obs/histogram.h"
 #include "obs/registry.h"
@@ -107,6 +108,51 @@ struct server_config {
   /// SYNC back from this server's address.  Best-effort: a dead target
   /// counts in stats().invites_failed and the server serves on.
   std::vector<std::string> invite;
+
+  // -- Self-healing replication ---------------------------------------------
+
+  /// Byte budget of the replay ring backing delta re-sync (replay_ring.h):
+  /// a reconnecting replica inside this window is caught up by replaying
+  /// the frames it missed instead of moving a whole snapshot.  0 disables
+  /// the ring — every re-sync is a snapshot bootstrap.
+  size_t replay_ring_bytes = size_t{1} << 24;  // 16 MiB
+  /// Primary this server follows ("host:port").  Empty = unsupervised (a
+  /// feed handed to attach_feed is used until it dies, PR 5 behavior).
+  /// Non-empty arms the feed supervisor: on loss (EOF, error, an idle
+  /// timeout, or a stream gap the replica cannot bridge) the event loop
+  /// retries with jittered exponential backoff and re-syncs by delta
+  /// (sync_resume), falling back to snapshot only when the primary's ring
+  /// has wrapped.
+  std::string feed_addr;
+  uint32_t reconnect_base_ms = 50;   ///< first backoff step
+  uint32_t reconnect_max_ms = 5000;  ///< backoff ceiling
+  /// Seed of the deterministic jitter sequence (0 derives one from the
+  /// port) — tests pin it so fault schedules replay identically.
+  uint64_t reconnect_jitter_seed = 0;
+  /// Per-silence deadline of a re-sync transfer (net::timeout_error past
+  /// it; the supervisor counts it as a failed attempt and backs off).
+  int resync_timeout_ms = 30000;
+  /// Condemn the feed after this long without a byte from the primary
+  /// (0 disables).  Only meaningful with a supervisor to win the replica
+  /// a fresh connection afterwards.
+  uint32_t feed_idle_timeout_ms = 0;
+
+  // -- Ack-gated writes -----------------------------------------------------
+
+  /// Hold each mutating client response until this many subscribers have
+  /// acknowledged its stream sequence (0 = fully async, never wait).
+  /// Bounded by ack_timeout_ms: past the deadline — or the moment fewer
+  /// than this many subscribers are even attached — the response is
+  /// released with wire_status::ok_async instead.  The mutation is
+  /// applied either way; the gate only delays the *answer*, so a dead
+  /// replica can degrade durability but never deadlock a client.
+  uint32_t ack_replicas = 0;
+  uint32_t ack_timeout_ms = 250;
+
+  /// How the server makes outbound connections (re-sync, invites); null
+  /// means tcp_connect.  Tests inject net::faulty_connector() so every
+  /// reconnect attempt picks up its scripted fault plan.
+  connect_fn connector;
 };
 
 /// Plain-value counters snapshot (readable while the loop runs).
@@ -131,12 +177,22 @@ struct server_stats {
                                    ///< failed applying a forwarded frame
   uint64_t invites_failed = 0;
 
+  // Replication, primary side: resume serving and ack gating.
+  uint64_t deltas_served = 0;     ///< resume requests answered by replay
+  uint64_t ack_waits = 0;         ///< responses that entered the ack gate
+  uint64_t ack_degraded = 0;      ///< gates released as ok_async (deadline
+                                  ///< hit, or too few subscribers attached)
+
   // Replication, replica side.
   uint64_t feed_attached = 0;  ///< 1 while the live stream is connected
   uint64_t feed_applied = 0;   ///< stream frames applied
   uint64_t feed_gaps = 0;      ///< sequence discontinuities observed
   uint64_t feed_last_seq = 0;  ///< last stream sequence applied
   uint64_t feed_lost = 0;      ///< times the feed connection died
+  uint64_t feed_reconnects = 0;      ///< supervised re-attaches that worked
+  uint64_t reconnect_failures = 0;   ///< attempts that failed (backed off)
+  uint64_t resyncs_delta = 0;        ///< re-syncs satisfied by replay
+  uint64_t resyncs_snapshot = 0;     ///< re-syncs that moved a snapshot
   uint64_t read_only_refusals = 0;
 };
 
@@ -190,14 +246,33 @@ class server {
   bool flush_writes(connection& c);  ///< false when the peer is gone
   void handle_frame(connection& c, const frame& f);
   void serve_sync(connection& c, const frame& f);
+  void serve_snapshot(connection& c, const frame& f);
+  void serve_resume(connection& c, const frame& f);
   void handle_invite(connection& c, const frame& f);
   void feed_frame(connection& c, const frame& f);
   void subscriber_ack(connection& c, const frame& f);
-  /// Stamp a just-applied mutation with its stream sequence and copy it to
-  /// every subscriber.
-  void replicate(const frame& f, bool from_feed);
-  void forward_to_subscribers(const frame& f, uint64_t seq);
+  /// Stamp a just-applied mutation with its stream sequence, copy it to
+  /// every subscriber, and record it in the replay ring.  Returns the
+  /// stream sequence the frame was stamped with.
+  uint64_t replicate(const frame& f, bool from_feed);
   void recompute_acked();
+  /// Queue a mutating op's pair response — immediately, or parked behind
+  /// the ack gate when cfg_.ack_replicas demands replica acknowledgment.
+  void queue_mutation_response(connection& c, bool from_feed, opcode op,
+                               uint64_t client_seq, uint32_t key_count,
+                               uint64_t a, uint64_t b, uint64_t stream_seq);
+  /// Release every gated response whose ack quorum arrived; degrade (with
+  /// wire_status::ok_async) the ones past their deadline or short of
+  /// attached subscribers.  `flush_deadline` forces degradation of
+  /// everything still parked (shutdown).
+  void service_acks(uint64_t now_ns, bool flush_deadline = false);
+  /// Fire due timers: reconnect attempts, ack deadlines, feed idleness.
+  void service_timers(uint64_t now_ns);
+  /// Milliseconds until the nearest timer, -1 when none is armed.
+  int poll_timeout_ms(uint64_t now_ns) const;
+  void schedule_reconnect(uint64_t now_ns);
+  void try_resync_feed();
+  uint64_t next_jitter();  ///< deterministic xorshift64 step
   void send_invites();
   /// Adopt a subscribed primary connection as this server's feed.
   void adopt_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq);
@@ -215,6 +290,22 @@ class server {
   socket_fd wake_rd_, wake_wr_;
   uint16_t port_ = 0;
   std::vector<std::unique_ptr<connection>> conns_;
+  replay_ring ring_;
+
+  /// One client response parked behind the ack gate: released as ok when
+  /// cfg_.ack_replicas subscribers ack stream_seq, as ok_async past the
+  /// deadline.  The response is re-encoded at release time (the status
+  /// byte differs), so the park holds fields, not bytes.
+  struct pending_ack {
+    connection* conn;       ///< the waiting client (dropped if it dies)
+    uint64_t stream_seq;    ///< replication sequence being waited on
+    uint64_t deadline_ns;
+    opcode op;
+    uint64_t client_seq;
+    uint32_t key_count;
+    uint64_t a, b;          ///< the pair response's two counters
+  };
+  std::vector<pending_ack> pending_acks_;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};
@@ -238,10 +329,25 @@ class server {
   std::atomic<uint64_t> feed_last_seq_{0};
   std::atomic<uint64_t> feed_lost_{0};
   std::atomic<uint64_t> read_only_refusals_{0};
+  std::atomic<uint64_t> deltas_served_{0};
+  std::atomic<uint64_t> ack_waits_{0};
+  std::atomic<uint64_t> ack_degraded_{0};
+  std::atomic<uint64_t> feed_reconnects_{0};
+  std::atomic<uint64_t> reconnect_failures_{0};
+  std::atomic<uint64_t> resyncs_delta_{0};
+  std::atomic<uint64_t> resyncs_snapshot_{0};
   uint64_t feed_expected_ = 0;  ///< next stream sequence the feed owes us
   bool ever_fed_ = false;  ///< a feed was attached at least once — i.e.
                            ///< this server's data has a real lineage
   bool invites_sent_ = false;
+
+  // Feed supervision (loop-thread state; only live when cfg_.feed_addr is
+  // set).
+  bool reconnect_pending_ = false;
+  uint64_t reconnect_at_ns_ = 0;
+  uint32_t reconnect_attempt_ = 0;
+  uint64_t jitter_state_ = 0;
+  uint64_t feed_last_rx_ns_ = 0;
 
   // -- Observability (src/obs/) ---------------------------------------------
   // All histograms are single-lane: the event loop is their only writer.

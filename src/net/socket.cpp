@@ -5,12 +5,17 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "net/fault.h"
 
 namespace gf::net {
 
@@ -20,10 +25,31 @@ namespace {
   throw std::runtime_error("gf: " + what + ": " + std::strerror(errno));
 }
 
+/// Finish a connect that EINTR interrupted: the kernel keeps completing
+/// the handshake, so wait for writability and read the outcome from
+/// SO_ERROR (the POSIX-blessed dance — calling connect() again would
+/// race to EALREADY/EISCONN).
+bool finish_interrupted_connect(int fd) {
+  pollfd p{fd, POLLOUT, 0};
+  int rc;
+  do {
+    rc = ::poll(&p, 1, -1);
+  } while (rc < 0 && errno == EINTR);
+  if (rc <= 0) return false;
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return false;
+  return err == 0;
+}
+
 }  // namespace
 
 void socket_fd::reset() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    fault_engine& eng = fault_engine::instance();
+    if (eng.active()) eng.disarm(fd_);
+    ::close(fd_);
+  }
   fd_ = -1;
 }
 
@@ -67,6 +93,7 @@ socket_fd tcp_connect(const std::string& host, uint16_t port) {
     s = socket_fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
     if (!s.valid()) continue;
     if (::connect(s.get(), ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (errno == EINTR && finish_interrupted_connect(s.get())) break;
     s.reset();
   }
   ::freeaddrinfo(res);
@@ -75,6 +102,14 @@ socket_fd tcp_connect(const std::string& host, uint16_t port) {
                              std::to_string(port));
   set_nodelay(s.get());
   return s;
+}
+
+connect_fn faulty_connector() {
+  return [](const std::string& host, uint16_t port) {
+    socket_fd s = tcp_connect(host, port);
+    fault_engine::instance().arm_next_connect(s.get());
+    return s;
+  };
 }
 
 void set_nonblocking(int fd) {
@@ -88,14 +123,87 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void set_io_timeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+ssize_t sock_recv(int fd, void* buf, size_t n) {
+  fault_engine& eng = fault_engine::instance();
+  if (!eng.active()) {
+    ssize_t r;
+    do {
+      r = ::recv(fd, buf, n, 0);
+    } while (r < 0 && errno == EINTR);
+    return r;
+  }
+  int fail = 0;
+  ptrdiff_t corrupt_at = -1;
+  bool swallow = false;
+  const size_t clamped =
+      eng.before_io(fd, fault_dir::recv, n, &fail, &corrupt_at, &swallow);
+  if (fail != 0) {
+    errno = fail;
+    return -1;
+  }
+  if (clamped == 0) return 0;  // scripted EOF
+  ssize_t r;
+  do {
+    r = ::recv(fd, buf, clamped, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r > 0) {
+    if (corrupt_at >= 0 && corrupt_at < r)
+      static_cast<uint8_t*>(buf)[corrupt_at] ^= 0xFF;
+    eng.commit_io(fd, fault_dir::recv, static_cast<size_t>(r));
+  }
+  return r;
+}
+
+ssize_t sock_send(int fd, const void* buf, size_t n) {
+  fault_engine& eng = fault_engine::instance();
+  if (!eng.active()) {
+    ssize_t w;
+    do {
+      w = ::send(fd, buf, n, MSG_NOSIGNAL);
+    } while (w < 0 && errno == EINTR);
+    return w;
+  }
+  int fail = 0;
+  ptrdiff_t corrupt_at = -1;
+  bool swallow = false;
+  const size_t clamped =
+      eng.before_io(fd, fault_dir::send, n, &fail, &corrupt_at, &swallow);
+  if (fail != 0) {
+    errno = fail;
+    return -1;
+  }
+  if (swallow) {  // partition: the bytes vanish, the caller believes
+    eng.commit_io(fd, fault_dir::send, clamped);
+    return static_cast<ssize_t>(clamped);
+  }
+  const uint8_t* out = static_cast<const uint8_t*>(buf);
+  std::vector<uint8_t> mangled;
+  if (corrupt_at >= 0 && static_cast<size_t>(corrupt_at) < clamped) {
+    mangled.assign(out, out + clamped);
+    mangled[static_cast<size_t>(corrupt_at)] ^= 0xFF;
+    out = mangled.data();
+  }
+  ssize_t w;
+  do {
+    w = ::send(fd, out, clamped, MSG_NOSIGNAL);
+  } while (w < 0 && errno == EINTR);
+  if (w > 0) eng.commit_io(fd, fault_dir::send, static_cast<size_t>(w));
+  return w;
+}
+
 bool send_all(int fd, const uint8_t* data, size_t n) {
   size_t sent = 0;
   while (sent < n) {
-    ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
+    ssize_t w = sock_send(fd, data + sent, n - sent);
+    if (w < 0) return false;
     sent += static_cast<size_t>(w);
   }
   return true;

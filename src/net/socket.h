@@ -5,13 +5,31 @@
 // exceptions at setup time (a server that cannot bind should die loudly)
 // and errno-driven return codes on the data path (the poll loop decides
 // what a failed read means).
+//
+// Every data-path byte moves through sock_recv()/sock_send(): EINTR is
+// retried there, SIGPIPE is suppressed (MSG_NOSIGNAL), and when a test
+// has armed the process-wide fault engine (net/fault.h) the scripted
+// drop/stall/short-io/corrupt events are applied there — one relaxed
+// atomic load on the unarmed fast path.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <stdexcept>
 #include <string>
 
 namespace gf::net {
+
+/// A peer failed to respond within the configured deadline (SO_RCVTIMEO /
+/// SO_SNDTIMEO, see set_io_timeouts).  Distinct from the generic
+/// runtime_error so callers can treat "slow" differently from "broken" —
+/// the replication supervisor retries a timeout with backoff where a
+/// protocol error condemns the connection.
+class timeout_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Move-only owning file descriptor.
 class socket_fd {
@@ -33,6 +51,8 @@ class socket_fd {
 
   int get() const { return fd_; }
   bool valid() const { return fd_ >= 0; }
+  /// Closes the fd and disarms any fault plan attached to it, so a plan
+  /// never leaks onto an unrelated connection that reuses the fd number.
   void reset();
 
  private:
@@ -49,14 +69,40 @@ uint16_t local_port(const socket_fd& s);
 
 /// Blocking connect to host:port (numeric address or resolvable name).
 /// TCP_NODELAY is set — the protocol writes whole frames, so Nagle only
-/// adds latency under pipelining.
+/// adds latency under pipelining.  EINTR during connect is handled (the
+/// kernel completes the handshake asynchronously; we wait for it).
 socket_fd tcp_connect(const std::string& host, uint16_t port);
+
+/// How outbound connections are made.  The server's replication
+/// supervisor, sync_from, and net::client all accept one of these so
+/// tests can substitute a connector that arms each new fd with a fault
+/// plan (faulty_connector) — production code never pays for it.
+using connect_fn = std::function<socket_fd(const std::string&, uint16_t)>;
+
+/// A connector that behaves like tcp_connect, then arms the new fd with
+/// the next fault plan queued on the fault engine (net/fault.h's
+/// queue_connect_plan) — reconnect attempt N gets plan N.
+connect_fn faulty_connector();
 
 void set_nonblocking(int fd);
 void set_nodelay(int fd);
 
+/// Arm SO_RCVTIMEO + SO_SNDTIMEO on a blocking fd; 0 clears both (block
+/// forever).  After a timeout the affected recv/send fails with EAGAIN —
+/// callers surface that as net::timeout_error.
+void set_io_timeouts(int fd, int timeout_ms);
+
+/// recv(2) with EINTR retried and fault injection applied.  Returns the
+/// byte count, 0 at EOF, or -1 with errno set (EAGAIN after an armed
+/// SO_RCVTIMEO deadline).
+ssize_t sock_recv(int fd, void* buf, size_t n);
+
+/// One send(2) attempt (short sends possible) with EINTR retried,
+/// MSG_NOSIGNAL, and fault injection applied.
+ssize_t sock_send(int fd, const void* buf, size_t n);
+
 /// Write all n bytes (blocking fd), retrying short writes and EINTR.
-/// Returns false when the peer is gone.
+/// Returns false when the peer is gone or the send deadline expired.
 bool send_all(int fd, const uint8_t* data, size_t n);
 
 }  // namespace gf::net

@@ -1,0 +1,541 @@
+// Self-healing replication under deterministic fault injection
+// (net/fault.h + the supervised feed in net/server.cpp):
+//   * a supervised replica whose feed is cut five times mid-workload
+//     reconnects with backoff, re-syncs by delta each time, and ends
+//     byte-identical to its primary;
+//   * a delta re-sync replays exactly the missed frames — no snapshot
+//     moves — while a wrapped replay ring forces the snapshot fallback;
+//   * a primary restarted from its snapshot is back at sequence 0, so a
+//     surviving replica's resume is answered by snapshot (never a bogus
+//     delta against a different lineage) and the replica re-attaches;
+//   * ack-gated writes release as ok when the replica acknowledges,
+//     degrade to ok_async on the deadline or when no subscriber is
+//     attached — and never hang a client;
+//   * a corrupted payload byte condemns exactly the connection that
+//     carried it (CRC), a partitioned or silent peer trips the typed
+//     net::timeout_error, and short 1-byte reads still deliver frames.
+//
+// Every fault is a seeded script keyed on cumulative byte offsets —
+// identical runs on every machine, no sleeps standing in for faults.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/fault.h"
+#include "net/replay_ring.h"
+#include "net/replication.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "store/store.h"
+#include "store/store_io.h"
+#include "util/xorwow.h"
+
+using namespace gf;
+
+namespace {
+
+// Byte-identity between primary and replica requires a deterministic
+// engine; the lock-free point-TCF's concurrent inserts are not across
+// pool schedules.  Pin the pool to one worker before its lazy
+// construction (same rationale as net_replication_test.cpp).
+const bool kSerialPool = [] {
+  ::setenv("GF_NUM_WORKERS", "1", /*overwrite=*/1);
+  return true;
+}();
+
+store::store_config small_config(uint64_t capacity = 1 << 16) {
+  store::store_config cfg;
+  cfg.backend = store::backend_kind::tcf;
+  cfg.num_shards = 4;
+  cfg.capacity = capacity;
+  return cfg;
+}
+
+/// Leave no armed plan behind, whatever a failing assertion skipped.
+struct fault_guard {
+  fault_guard() { reset(); }
+  ~fault_guard() { reset(); }
+  static void reset() {
+    net::fault_engine::instance().disarm_all();
+    net::fault_engine::instance().clear_connect_plans();
+  }
+};
+
+struct live_server {
+  net::server srv;
+  std::thread loop;
+  bool stopped = false;
+
+  explicit live_server(store::filter_store st, net::server_config cfg = {})
+      : srv(std::move(cfg), std::move(st)) {
+    loop = std::thread([this] { srv.run(); });
+  }
+  /// Replica form: adopt the feed before the loop starts.
+  live_server(store::filter_store st, net::server_config cfg,
+              net::socket_fd feed, net::frame_decoder dec, uint64_t next_seq)
+      : srv(std::move(cfg), std::move(st)) {
+    srv.attach_feed(std::move(feed), std::move(dec), next_seq);
+    loop = std::thread([this] { srv.run(); });
+  }
+  ~live_server() { stop(); }
+  void stop() {
+    if (stopped) return;
+    stopped = true;
+    srv.request_stop();
+    loop.join();
+  }
+  net::client connect() { return net::client("127.0.0.1", srv.port()); }
+};
+
+net::server_config replica_config() {
+  net::server_config cfg;
+  cfg.read_only = true;
+  return cfg;
+}
+
+/// A replica that supervises its feed: fast deterministic backoff, the
+/// fault-arming connector, and a pinned jitter seed.
+net::server_config supervised_config(uint16_t primary_port) {
+  net::server_config cfg = replica_config();
+  cfg.feed_addr = "127.0.0.1:" + std::to_string(primary_port);
+  cfg.reconnect_base_ms = 2;
+  cfg.reconnect_max_ms = 100;
+  cfg.reconnect_jitter_seed = 0x5eed;
+  cfg.connector = net::faulty_connector();
+  return cfg;
+}
+
+bool wait_until(const std::function<bool()>& pred, int timeout_ms = 15000) {
+  for (int waited = 0; waited < timeout_ms; waited += 2) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+bool converged(live_server& primary, live_server& replica) {
+  return wait_until([&] {
+    return replica.srv.stats().repl_seq == primary.srv.stats().repl_seq;
+  });
+}
+
+net::fault_plan one_event(net::fault_kind kind, net::fault_dir dir,
+                          uint64_t at_bytes, uint32_t arg = 0) {
+  net::fault_plan plan;
+  plan.events.push_back({kind, dir, at_bytes, arg});
+  return plan;
+}
+
+}  // namespace
+
+// -- The replay ring itself ---------------------------------------------------
+
+TEST(NetFault, ReplayRingCoversEncodesAndEvicts) {
+  net::replay_ring ring(1000);
+  // Empty ring: only the degenerate "nothing missed" resume is coverable.
+  EXPECT_TRUE(ring.covers(7, 7));
+  EXPECT_FALSE(ring.covers(0, 1));
+
+  ring.push(1, std::vector<uint8_t>(100, 0xA1));
+  ring.push(2, std::vector<uint8_t>(100, 0xA2));
+  ring.push(3, std::vector<uint8_t>(100, 0xA3));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_TRUE(ring.covers(0, 3));   // full replay from the beginning
+  EXPECT_TRUE(ring.covers(1, 3));   // resume after 1 -> frames 2, 3
+  EXPECT_TRUE(ring.covers(3, 3));   // nothing missed
+  EXPECT_FALSE(ring.covers(5, 3));  // a future the primary never reached
+
+  std::vector<uint8_t> out;
+  EXPECT_EQ(ring.encode_from(1, out), 2u);
+  ASSERT_EQ(out.size(), 200u);
+  EXPECT_EQ(out[0], 0xA2);
+  EXPECT_EQ(out[100], 0xA3);
+
+  // Eviction under the byte budget: oldest first, coverage shrinks.
+  for (uint64_t seq = 4; seq <= 12; ++seq)
+    ring.push(seq, std::vector<uint8_t>(100, 0xB0));
+  EXPECT_LE(ring.bytes(), 1000u);
+  EXPECT_FALSE(ring.covers(0, 12));
+  EXPECT_TRUE(ring.covers(ring.first_seq() - 1, 12));
+
+  // A non-contiguous sequence clears the ring: replaying across a hole
+  // would hand a replica a silently diverged store.
+  ring.push(50, std::vector<uint8_t>(10, 0xC0));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.first_seq(), 50u);
+
+  // Budget 0 disables recording entirely.
+  net::replay_ring off(0);
+  off.push(1, std::vector<uint8_t>(10, 0));
+  EXPECT_TRUE(off.empty());
+  EXPECT_FALSE(off.covers(0, 1));
+}
+
+// -- Supervised reconnect + delta re-sync -------------------------------------
+
+TEST(NetFault, FeedCutFiveTimesConvergesByDeltaByteIdentical) {
+  fault_guard guard;
+  live_server primary{store::filter_store(small_config())};
+  auto cli = primary.connect();
+  auto keys = util::hashed_xorwow_items(100000, 1201);
+  std::span<const uint64_t> span(keys);
+
+  // Bootstrap a supervised replica, then script its fate: the initial
+  // feed and the next four reconnected feeds each die after 30000 bytes
+  // of stream traffic; the fifth reconnect draws an empty plan queue and
+  // lives.  All cuts land mid-workload at exact byte offsets.
+  auto sr = net::sync_from("127.0.0.1", primary.srv.port());
+  net::fault_engine::instance().arm(
+      sr.feed.get(),
+      one_event(net::fault_kind::cut, net::fault_dir::recv, 30000));
+  for (int i = 0; i < 4; ++i)
+    net::fault_engine::instance().queue_connect_plan(
+        one_event(net::fault_kind::cut, net::fault_dir::recv, 30000));
+  live_server replica(std::move(sr.store),
+                      supervised_config(primary.srv.port()),
+                      std::move(sr.feed), std::move(sr.dec),
+                      sr.repl_seq + 1);
+
+  // Five phases of mixed traffic (inserts + an erase batch, ~165 KiB of
+  // stream each — far past every 30000-byte trigger), each phase waiting
+  // for its scripted cut to have fired before the next begins.
+  for (uint64_t k = 0; k < 5; ++k) {
+    auto phase = span.subspan(k * 20000, 20000);
+    for (size_t lo = 0; lo < phase.size(); lo += 4000)
+      cli.insert(phase.subspan(lo, 4000));
+    cli.erase(phase.subspan(0, 1000));
+    ASSERT_TRUE(wait_until(
+        [&] { return replica.srv.stats().feed_lost >= k + 1; }))
+        << "cut " << k + 1 << " never fired";
+  }
+
+  ASSERT_TRUE(converged(primary, replica));
+  auto stats = replica.srv.stats();
+  EXPECT_EQ(stats.feed_lost, 5u);
+  EXPECT_EQ(stats.feed_reconnects, 5u);
+  EXPECT_EQ(stats.resyncs_delta, 5u);     // the ring covered every gap
+  EXPECT_EQ(stats.resyncs_snapshot, 0u);  // no snapshot ever moved again
+  EXPECT_EQ(stats.feed_gaps, 0u);         // deltas bridged seamlessly
+  EXPECT_EQ(primary.srv.stats().deltas_served, 5u);
+
+  // The acceptance bar: after five kills the replica IS the primary,
+  // byte for byte.
+  replica.stop();
+  primary.stop();
+  EXPECT_EQ(store::serialize_store(replica.srv.store()),
+            store::serialize_store(primary.srv.store()));
+}
+
+TEST(NetFault, DeltaResumeReplaysExactlyTheMissedFrames) {
+  live_server primary{store::filter_store(small_config())};
+  auto cli = primary.connect();
+  auto base = util::hashed_xorwow_items(8000, 1301);
+  cli.insert(base);
+
+  // Bootstrap, then lose the feed on purpose.
+  auto sr = net::sync_from("127.0.0.1", primary.srv.port());
+  const uint64_t last_applied = sr.repl_seq;
+  sr.feed.reset();
+
+  // Mutations the detached replica misses.
+  auto missed = util::hashed_xorwow_items(6000, 1302);
+  cli.insert(missed);
+  cli.erase(std::span<const uint64_t>(base).subspan(0, 2000));
+
+  // Resume: granted as a delta — the store in hand stays, no snapshot
+  // bytes move, and the promised replay range is exactly the gap.
+  auto rr = net::sync_resume("127.0.0.1", primary.srv.port(), last_applied);
+  ASSERT_EQ(rr.kind, net::resync_kind::delta);
+  EXPECT_FALSE(rr.store.has_value());
+  EXPECT_EQ(rr.snapshot_bytes, 0u);
+  EXPECT_EQ(rr.resume_from, last_applied);
+  EXPECT_EQ(rr.repl_seq, primary.srv.stats().repl_seq);
+  EXPECT_EQ(primary.srv.stats().deltas_served, 1u);
+
+  // Attach the resumed feed to a live replica: the replayed frames apply
+  // like stream traffic, then live mutations keep flowing.
+  live_server replica(std::move(sr.store), replica_config(),
+                      std::move(rr.feed), std::move(rr.dec),
+                      last_applied + 1);
+  auto fresh = util::hashed_xorwow_items(4000, 1303);
+  cli.insert(fresh);
+  ASSERT_TRUE(converged(primary, replica));
+  EXPECT_EQ(replica.srv.stats().feed_gaps, 0u);
+
+  replica.stop();
+  primary.stop();
+  EXPECT_EQ(store::serialize_store(replica.srv.store()),
+            store::serialize_store(primary.srv.store()));
+}
+
+TEST(NetFault, WrappedReplayRingFallsBackToSnapshot) {
+  // A ring smaller than one frame keeps only the newest frame — any
+  // resume with more than one missed frame is uncoverable.
+  net::server_config pcfg;
+  pcfg.replay_ring_bytes = 2048;
+  live_server primary{store::filter_store(small_config()), pcfg};
+  auto cli = primary.connect();
+  cli.insert(util::hashed_xorwow_items(8000, 1401));
+
+  auto sr = net::sync_from("127.0.0.1", primary.srv.port());
+  const uint64_t last_applied = sr.repl_seq;
+  sr.feed.reset();
+
+  auto missed = util::hashed_xorwow_items(12000, 1402);
+  std::span<const uint64_t> span(missed);
+  for (size_t lo = 0; lo < missed.size(); lo += 4000)
+    cli.insert(span.subspan(lo, 4000));
+
+  auto rr = net::sync_resume("127.0.0.1", primary.srv.port(), last_applied);
+  ASSERT_EQ(rr.kind, net::resync_kind::snapshot);
+  ASSERT_TRUE(rr.store.has_value());
+  EXPECT_GT(rr.snapshot_bytes, 0u);
+  EXPECT_EQ(rr.repl_seq, primary.srv.stats().repl_seq);
+  EXPECT_EQ(primary.srv.stats().deltas_served, 0u);
+
+  live_server replica(std::move(*rr.store), replica_config(),
+                      std::move(rr.feed), std::move(rr.dec),
+                      rr.repl_seq + 1);
+  cli.insert(util::hashed_xorwow_items(2000, 1403));
+  ASSERT_TRUE(converged(primary, replica));
+
+  replica.stop();
+  primary.stop();
+  EXPECT_EQ(store::serialize_store(replica.srv.store()),
+            store::serialize_store(primary.srv.store()));
+}
+
+TEST(NetFault, PrimaryRestartFromSnapshotReattachesReplicaBySnapshot) {
+  const std::string path = "/tmp/gf_fault_restart.gfs";
+  std::remove(path.c_str());
+
+  net::server_config pcfg;
+  pcfg.snapshot_path = path;
+  auto primary =
+      std::make_unique<live_server>(store::filter_store(small_config()),
+                                    pcfg);
+  const uint16_t port = primary->srv.port();
+  auto cli = std::make_unique<net::client>("127.0.0.1", port);
+  auto base = util::hashed_xorwow_items(8000, 1501);
+  cli->insert(base);
+  ASSERT_GT(cli->snapshot(), 0u);  // persist at this stream position
+
+  // Supervised replica (real tcp_connect — the fault here is process
+  // death, not packet scripting).
+  auto scfg = supervised_config(port);
+  scfg.connector = nullptr;
+  scfg.reconnect_base_ms = 5;
+  auto sr = net::sync_from("127.0.0.1", port);
+  live_server replica(std::move(sr.store), scfg, std::move(sr.feed),
+                      std::move(sr.dec), sr.repl_seq + 1);
+
+  // Mutations past the snapshot: streamed to the replica but absent from
+  // the file the primary will restart from.
+  auto lost = util::hashed_xorwow_items(4000, 1502);
+  cli->insert(lost);
+  ASSERT_TRUE(converged(*primary, replica));
+  ASSERT_GT(replica.srv.stats().repl_seq, 0u);
+
+  // The primary dies mid-topology.  The replica's reconnect attempts
+  // fail (connection refused) and back off until a primary returns.
+  cli.reset();
+  primary.reset();
+  ASSERT_TRUE(wait_until(
+      [&] { return replica.srv.stats().reconnect_failures >= 1; }));
+
+  // Restart from the snapshot on the same port: the new primary is back
+  // at sequence 0 with *older* data than the replica has applied.  The
+  // resume must be answered by snapshot — a delta at position 0 would
+  // leave the replica holding mutations this lineage never saw.
+  net::server_config rcfg = pcfg;
+  rcfg.port = port;  // the address the replica's supervisor keeps dialing
+  live_server restarted{store::load_store(path), rcfg};
+  ASSERT_EQ(restarted.srv.port(), port);
+  ASSERT_TRUE(wait_until([&] {
+    return replica.srv.stats().resyncs_snapshot >= 1 &&
+           replica.srv.stats().feed_attached == 1;
+  }));
+
+  // Live again: new mutations reach the re-attached replica.
+  net::client cli2("127.0.0.1", port);
+  cli2.insert(util::hashed_xorwow_items(2000, 1503));
+  ASSERT_TRUE(converged(restarted, replica));
+
+  replica.stop();
+  restarted.stop();
+  EXPECT_EQ(store::serialize_store(replica.srv.store()),
+            store::serialize_store(restarted.srv.store()));
+  std::remove(path.c_str());
+}
+
+// -- Ack-gated writes ---------------------------------------------------------
+
+TEST(NetFault, AckGateReleasesOnReplicaAck) {
+  net::server_config pcfg;
+  pcfg.ack_replicas = 1;
+  pcfg.ack_timeout_ms = 10000;  // far away: release must come from the ack
+  live_server primary{store::filter_store(small_config()), pcfg};
+
+  auto sr = net::sync_from("127.0.0.1", primary.srv.port());
+  live_server replica(std::move(sr.store), replica_config(),
+                      std::move(sr.feed), std::move(sr.dec),
+                      sr.repl_seq + 1);
+
+  auto cli = primary.connect();
+  auto keys = util::hashed_xorwow_items(1000, 1601);
+  const uint64_t seq = cli.submit_insert(keys);
+  net::frame f = cli.wait(seq);
+  EXPECT_EQ(f.status, net::wire_status::ok);  // full durability answer
+  auto stats = primary.srv.stats();
+  EXPECT_GE(stats.ack_waits, 1u);
+  EXPECT_EQ(stats.ack_degraded, 0u);
+}
+
+TEST(NetFault, AckGateDegradesOnDeadlineAndNeverHangs) {
+  net::server_config pcfg;
+  pcfg.ack_replicas = 1;
+  pcfg.ack_timeout_ms = 50;
+  live_server primary{store::filter_store(small_config()), pcfg};
+
+  // A subscriber that never acks: sync and then sit on the feed.
+  auto sr = net::sync_from("127.0.0.1", primary.srv.port());
+
+  auto cli = primary.connect();
+  auto keys = util::hashed_xorwow_items(1000, 1701);
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t seq = cli.submit_insert(keys);
+  net::frame f = cli.wait(seq);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(f.status, net::wire_status::ok_async);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            40);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            5000);
+  EXPECT_GE(primary.srv.stats().ack_degraded, 1u);
+
+  // Degraded means applied: the keys are queryable immediately.
+  EXPECT_TRUE(cli.query_one(keys[0]));
+  (void)sr;
+}
+
+TEST(NetFault, AckGateDegradesImmediatelyWithoutSubscribers) {
+  net::server_config pcfg;
+  pcfg.ack_replicas = 1;
+  pcfg.ack_timeout_ms = 10000;  // must NOT be waited out
+  live_server primary{store::filter_store(small_config()), pcfg};
+
+  auto cli = primary.connect();
+  auto keys = util::hashed_xorwow_items(500, 1801);
+  const auto t0 = std::chrono::steady_clock::now();
+  net::frame f = cli.wait(cli.submit_insert(keys));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(f.status, net::wire_status::ok_async);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            1000);
+  auto stats = primary.srv.stats();
+  EXPECT_EQ(stats.ack_waits, 1u);
+  EXPECT_EQ(stats.ack_degraded, 1u);
+
+  // The typed convenience API treats ok_async as success.
+  auto r = cli.insert(keys);
+  EXPECT_EQ(r.ok + r.failed, keys.size());
+}
+
+// -- Byte-level faults --------------------------------------------------------
+
+TEST(NetFault, CorruptByteCondemnsExactlyThatConnection) {
+  fault_guard guard;
+  live_server srv{store::filter_store(small_config())};
+
+  // Victim: its 41st sent byte (inside the first request's payload) is
+  // flipped in flight; the CRC trailer convicts the frame on arrival.
+  net::fault_engine::instance().queue_connect_plan(
+      one_event(net::fault_kind::corrupt, net::fault_dir::send, 40));
+  net::client victim("127.0.0.1", srv.srv.port(),
+                     net::kDefaultMaxFrameBytes, /*timeout_ms=*/0,
+                     net::faulty_connector());
+  net::client bystander = srv.connect();
+
+  auto keys = util::hashed_xorwow_items(100, 1901);
+  EXPECT_THROW(
+      {
+        victim.submit_insert(keys);
+        // The server condemns the stream without replying; the client
+        // sees the close while waiting.
+        victim.wait(1);
+      },
+      std::runtime_error);
+
+  // Exactly one casualty: the bystander's traffic is untouched and the
+  // server counted one protocol error.
+  bystander.insert(keys);
+  EXPECT_TRUE(bystander.query_one(keys[0]));
+  ASSERT_TRUE(wait_until(
+      [&] { return srv.srv.stats().protocol_errors == 1; }));
+  EXPECT_EQ(srv.srv.stats().protocol_errors, 1u);
+}
+
+TEST(NetFault, PartitionedServerTripsClientDeadline) {
+  fault_guard guard;
+  live_server srv{store::filter_store(small_config())};
+
+  // Partition from byte 0: every send "succeeds" but vanishes, so no
+  // response can ever come back.  The per-operation deadline turns that
+  // from a hang into a typed timeout.
+  net::fault_engine::instance().queue_connect_plan(
+      one_event(net::fault_kind::partition, net::fault_dir::send, 0));
+  net::client cli("127.0.0.1", srv.srv.port(), net::kDefaultMaxFrameBytes,
+                  /*timeout_ms=*/100, net::faulty_connector());
+  EXPECT_THROW(cli.ping(), net::timeout_error);
+}
+
+TEST(NetFault, SilentPrimaryTripsSyncDeadline) {
+  // A listener that accepts but never speaks the protocol: sync_from's
+  // per-silence deadline must fire instead of blocking forever.
+  net::socket_fd mute = net::tcp_listen("127.0.0.1", 0);
+  const uint16_t port = net::local_port(mute);
+  EXPECT_THROW(net::sync_from("127.0.0.1", port, "",
+                              net::kDefaultMaxFrameBytes,
+                              /*connect_retries=*/0, /*timeout_ms=*/100),
+               net::timeout_error);
+}
+
+TEST(NetFault, ShortReadsAndStallsStillDeliverFrames) {
+  fault_guard guard;
+  live_server srv{store::filter_store(small_config())};
+
+  // 200 one-byte reads plus a 30 ms stall: brutal for the decoder's
+  // framing, invisible to correctness.
+  net::fault_plan plan;
+  plan.events.push_back(
+      {net::fault_kind::stall, net::fault_dir::recv, 0, 30});
+  plan.events.push_back(
+      {net::fault_kind::short_io, net::fault_dir::recv, 0, 200});
+  net::fault_engine::instance().queue_connect_plan(std::move(plan));
+  net::client cli("127.0.0.1", srv.srv.port(), net::kDefaultMaxFrameBytes,
+                  /*timeout_ms=*/0, net::faulty_connector());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto keys = util::hashed_xorwow_items(64, 2001);
+  auto r = cli.insert(keys);
+  EXPECT_EQ(r.ok + r.failed, keys.size());
+  EXPECT_TRUE(cli.query_one(keys[0]));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            25);
+  EXPECT_EQ(srv.srv.stats().protocol_errors, 0u);
+}

@@ -97,6 +97,11 @@ TEST(NetMetrics, ExpositionSchemaAndStageHistograms) {
         "gf_store_items", "gf_store_load_factor", "gf_store_shards",
         "gf_store_inserts_total", "gf_store_queries_total",
         "gf_repl_lag_frames", "gf_repl_subscribers",
+        "gf_repl_dropped_subscribers_total", "gf_repl_reconnects_total",
+        "gf_repl_reconnect_failures_total", "gf_repl_resyncs_total",
+        "gf_repl_deltas_served_total", "gf_repl_ack_waits_total",
+        "gf_repl_ack_degraded_total", "gf_repl_replay_ring_bytes",
+        "gf_repl_replay_ring_frames",
         "gf_wire_latency_ns", "gf_wire_stage_ns", "gf_store_maintain_ns",
         "gf_store_bulk_shard_ns"}) {
     EXPECT_TRUE(has_line(text, std::string("\n") + name) ||
