@@ -128,7 +128,6 @@ int main(int argc, char** argv) try {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    long v = 0;
     if (!std::strcmp(a, "--host")) {
       const char* s = next();
       if (!s) return usage();

@@ -144,6 +144,7 @@ uint64_t blocked_bloom_filter::count_contained(
       }
     }
     for (; i < end; ++i) local += contains(keys[i]) ? 1 : 0;
+    // relaxed: worker-private tally; the launch join publishes it to the reader.
     if (local) found.fetch_add(local, std::memory_order_relaxed);
   });
   return found.load();

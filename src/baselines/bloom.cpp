@@ -58,6 +58,7 @@ void bloom_filter::insert_bulk(std::span<const uint64_t> keys) {
 uint64_t bloom_filter::count_contained(std::span<const uint64_t> keys) const {
   std::atomic<uint64_t> found{0};
   gpu::launch_threads(keys.size(), [&](uint64_t i) {
+    // relaxed: worker-private tally; the launch join publishes it to the reader.
     if (contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
   });
   return found.load();

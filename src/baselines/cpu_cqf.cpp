@@ -30,6 +30,7 @@ bool cpu_cqf::erase(uint64_t key, uint64_t count) {
 uint64_t cpu_cqf::insert_bulk(std::span<const uint64_t> keys) {
   std::atomic<uint64_t> ok{0};
   gpu::launch_threads(keys.size(), [&](uint64_t i) {
+    // relaxed: worker-private tally; the launch join publishes it to the reader.
     if (insert(keys[i])) ok.fetch_add(1, std::memory_order_relaxed);
   });
   return ok.load();
@@ -38,6 +39,7 @@ uint64_t cpu_cqf::insert_bulk(std::span<const uint64_t> keys) {
 uint64_t cpu_cqf::count_contained(std::span<const uint64_t> keys) const {
   std::atomic<uint64_t> found{0};
   gpu::launch_threads(keys.size(), [&](uint64_t i) {
+    // relaxed: worker-private tally; the launch join publishes it to the reader.
     if (contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
   });
   return found.load();

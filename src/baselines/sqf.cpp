@@ -139,6 +139,7 @@ bool sqf::insert_hash_bounded(uint64_t hash, uint64_t slot_limit,
     curr = prev;
     ++s;
   }
+  // relaxed: live-item gauge; slot visibility is ordered by the claim CAS.
   size_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -218,6 +219,7 @@ bool sqf::erase_hash(uint64_t hash) {
     set_word(run_q, get_word(run_q) | kOccupied);
     i = j;
   }
+  // relaxed: live-item gauge; slot visibility is ordered by the claim CAS.
   size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
@@ -300,9 +302,11 @@ uint64_t sqf::insert_bulk(std::span<const uint64_t> keys) {
             if (insert_hash_bounded(hashes[i], limit, &deferred))
               ++local;
             else if (deferred)
+              // relaxed: cursor hands out disjoint indices; data is read after the join.
               defer_buf[defer_cursor.fetch_add(
                   1, std::memory_order_relaxed)] = hashes[i];
           }
+          // relaxed: worker-private tally; the launch join publishes it to the reader.
           if (local) placed.fetch_add(local, std::memory_order_relaxed);
         },
         /*grain=*/1);
@@ -313,6 +317,7 @@ uint64_t sqf::insert_bulk(std::span<const uint64_t> keys) {
   for (uint64_t i = 0; i < deferred_n; ++i) {
     bool d = false;
     if (insert_hash_bounded(defer_buf[i], total_slots_, &d))
+      // relaxed: worker-private tally; the launch join publishes it to the reader.
       placed.fetch_add(1, std::memory_order_relaxed);
   }
   return placed.load();
@@ -327,6 +332,7 @@ uint64_t sqf::count_contained(std::span<const uint64_t> keys) const {
   par::radix_sort(hashes, static_cast<int>(q_bits_ + r_bits_));
   std::atomic<uint64_t> found{0};
   gpu::launch_threads(n, [&](uint64_t i) {
+    // relaxed: worker-private tally; the launch join publishes it to the reader.
     if (query_hash(hashes[i])) found.fetch_add(1, std::memory_order_relaxed);
   });
   return found.load();

@@ -58,6 +58,7 @@ class sqf {
   // -- Introspection --------------------------------------------------------
 
   uint64_t num_slots() const { return num_slots_; }
+  // relaxed: monotone gauge read; a stale value is acceptable.
   uint64_t size() const { return size_.load(std::memory_order_relaxed); }
   double load_factor() const {
     return static_cast<double>(size()) / static_cast<double>(num_slots_);

@@ -49,6 +49,7 @@ class vqf {
 
     void acquire() {
       while (lock.exchange(1, std::memory_order_acquire)) {
+        // relaxed: spin-wait probe; the winning exchange(acquire) orders the CS.
         while (lock.load(std::memory_order_relaxed)) {
         }
       }

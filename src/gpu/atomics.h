@@ -78,6 +78,7 @@ class alignas(kCacheLineBytes) cache_aligned_lock {
  public:
   void lock() {
     while (flag_.exchange(true, std::memory_order_acquire)) {
+      // relaxed: spin-wait probe; the winning exchange(acquire) orders the CS.
       while (flag_.load(std::memory_order_relaxed)) {
         // spin; GPU threads busy-wait on lock words the same way
       }

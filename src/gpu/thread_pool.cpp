@@ -47,6 +47,25 @@ void thread_pool::run_on_all(const std::function<void(unsigned)>& fn) {
     fn(0);
     return;
   }
+  // Top-level launches are exclusive: job_ / remaining_ / epoch_ describe
+  // exactly one launch at a time.  Two independent non-worker threads (two
+  // net::server event loops sharing the process pool, or a server plus a
+  // caller-thread bulk build) used to double-book that state — workers from
+  // both launches raced the same cursor, which is precisely what made
+  // concurrent point-TCF slot placement schedule-dependent.  A contended
+  // launch now degrades to inline serial execution of every worker id on
+  // the caller (the same discipline nested launches already follow), so
+  // exclusivity is never traded for a blocking wait that could stall an
+  // event loop behind a long foreign launch.
+  if (!launch_mu_.try_lock()) {
+    const thread_pool* prev_inline = tls_owner;
+    tls_owner = this;
+    const unsigned p = size();
+    for (unsigned w = 0; w < p; ++w) fn(w);
+    tls_owner = prev_inline;
+    return;
+  }
+  std::lock_guard launch_guard(launch_mu_, std::adopt_lock);
   {
     std::lock_guard lock(mu_);
     job_ = &fn;

@@ -42,6 +42,13 @@ class thread_pool {
 
   /// Run `fn(worker_id)` on every worker (worker 0 is the caller) and wait
   /// for completion.  `fn` must partition its own work; see parallel_for.
+  ///
+  /// Concurrent top-level launches from independent threads are safe: the
+  /// pool admits one launch at a time, and a thread that finds the pool
+  /// busy runs every worker id inline on itself instead (serial, in id
+  /// order) — so `fn` must tolerate its worker ids executing sequentially
+  /// on one thread, which every cursor/static-range decomposition in this
+  /// codebase does.  Never blocks behind a foreign launch.
   void run_on_all(const std::function<void(unsigned)>& fn);
 
   /// Dynamic parallel loop over [begin, end) in chunks of `grain`.
@@ -57,6 +64,7 @@ class thread_pool {
     std::atomic<uint64_t> cursor{begin};
     run_on_all([&](unsigned) {
       for (;;) {
+        // relaxed: cursor hands out disjoint indices; data is read after the join.
         uint64_t chunk = cursor.fetch_add(grain, std::memory_order_relaxed);
         if (chunk >= end) break;
         uint64_t stop = chunk + grain < end ? chunk + grain : end;
@@ -90,6 +98,7 @@ class thread_pool {
   void worker_loop(unsigned id);
 
   std::vector<std::thread> workers_;
+  std::mutex launch_mu_;  ///< admits one top-level launch at a time
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

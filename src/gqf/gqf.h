@@ -79,6 +79,7 @@ class gqf_filter {
         num_quotients_(other.num_quotients_),
         total_slots_(other.total_slots_),
         blocks_(other.blocks_),
+        // relaxed: move/ctor runs single-threaded by contract.
         size_(other.size_.load(std::memory_order_relaxed)),
         distinct_(other.distinct_.load(std::memory_order_relaxed)) {}
   gqf_filter& operator=(const gqf_filter&) = delete;
@@ -88,6 +89,7 @@ class gqf_filter {
         num_quotients_(other.num_quotients_),
         total_slots_(other.total_slots_),
         blocks_(std::move(other.blocks_)),
+        // relaxed: move/ctor runs single-threaded by contract.
         size_(other.size_.load(std::memory_order_relaxed)),
         distinct_(other.distinct_.load(std::memory_order_relaxed)) {}
   gqf_filter& operator=(gqf_filter&& other) noexcept {
@@ -96,6 +98,7 @@ class gqf_filter {
     num_quotients_ = other.num_quotients_;
     total_slots_ = other.total_slots_;
     blocks_ = std::move(other.blocks_);
+    // relaxed: move/ctor runs single-threaded by contract.
     size_.store(other.size_.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
     distinct_.store(other.distinct_.load(std::memory_order_relaxed),
@@ -161,6 +164,7 @@ class gqf_filter {
       set_slot(q, static_cast<SlotT>(rem));
       set_runend(q, true);
       set_occupied(q, true);
+      // relaxed: size/distinct gauges; slot words are ordered by the region locks.
       size_.fetch_add(count, std::memory_order_relaxed);
       distinct_.fetch_add(1, std::memory_order_relaxed);
       if (count > 1 && !append_digits(q, q, count - 1)) return false;
@@ -175,6 +179,7 @@ class gqf_filter {
                            runend_op::new_run))
         return false;
       set_occupied(q, true);
+      // relaxed: size/distinct gauges; slot words are ordered by the region locks.
       size_.fetch_add(count, std::memory_order_relaxed);
       distinct_.fetch_add(1, std::memory_order_relaxed);
       if (count > 1 && !append_digits(q, pos, count - 1)) return false;
@@ -188,6 +193,7 @@ class gqf_filter {
       uint64_t digits_end = pos + 1;
       while (digits_end <= rend && is_count(digits_end)) ++digits_end;
       if (head == static_cast<SlotT>(rem)) {
+        // relaxed: size/distinct gauges; slot words are ordered by the region locks.
         size_.fetch_add(count, std::memory_order_relaxed);
         return bump_counter(q, pos, digits_end - pos - 1, count);
       }
@@ -196,6 +202,7 @@ class gqf_filter {
         if (!insert_one_slot(q, pos, static_cast<SlotT>(rem),
                              /*digit=*/false, runend_op::interior))
           return false;
+        // relaxed: size/distinct gauges; slot words are ordered by the region locks.
         size_.fetch_add(count, std::memory_order_relaxed);
         distinct_.fetch_add(1, std::memory_order_relaxed);
         if (count > 1 && !append_digits(q, pos, count - 1)) return false;
@@ -207,6 +214,7 @@ class gqf_filter {
     if (!insert_one_slot(q, rend + 1, static_cast<SlotT>(rem),
                          /*digit=*/false, runend_op::extend))
       return false;
+    // relaxed: size/distinct gauges; slot words are ordered by the region locks.
     size_.fetch_add(count, std::memory_order_relaxed);
     distinct_.fetch_add(1, std::memory_order_relaxed);
     if (count > 1 && !append_digits(q, rend + 1, count - 1)) return false;
@@ -279,6 +287,7 @@ class gqf_filter {
                        slots_removed);
           if (remaining > 0) write_digits(pos + 1, remaining - 1, new_digits);
         }
+        // relaxed: size/distinct gauges; slot words are ordered by the region locks.
         size_.fetch_sub(removed, std::memory_order_relaxed);
         if (remaining == 0)
           distinct_.fetch_sub(1, std::memory_order_relaxed);
@@ -336,6 +345,7 @@ class gqf_filter {
 
   uint64_t num_slots() const { return num_quotients_; }
   uint64_t total_slots() const { return total_slots_; }
+  // relaxed: monotone gauge read; a stale value is acceptable.
   uint64_t size() const { return size_.load(std::memory_order_relaxed); }
   uint64_t distinct_items() const {
     return distinct_.load(std::memory_order_relaxed);
@@ -364,6 +374,7 @@ class gqf_filter {
     util::write_pod(out, q_bits_);
     util::write_pod(out, r_bits_);
     util::write_pod<uint32_t>(out, kSlotBits);
+    // relaxed: save()/load() are not thread-safe against writers by contract.
     util::write_pod(out, size_.load(std::memory_order_relaxed));
     util::write_pod(out, distinct_.load(std::memory_order_relaxed));
     util::write_vec(out, blocks_);
@@ -384,6 +395,7 @@ class gqf_filter {
     f.blocks_ = util::read_vec<block>(in);
     if (f.blocks_.size() * kBlockSlots != f.total_slots_)
       throw std::runtime_error("gf: GQF geometry mismatch");
+    // relaxed: save()/load() are not thread-safe against writers by contract.
     f.size_.store(size, std::memory_order_relaxed);
     f.distinct_.store(distinct, std::memory_order_relaxed);
     return f;
@@ -807,6 +819,7 @@ bool gqf_filter<SlotT>::validate(std::string* why) const {
     if (!owned[i] && is_runend(i)) return fail("runend on unowned slot");
     if (!owned[i] && is_count(i)) return fail("count flag on unowned slot");
   }
+  // relaxed: validate() is not thread-safe against writers by contract.
   if (heads != distinct_.load(std::memory_order_relaxed))
     return fail("distinct counter out of sync");
   if (total_count != size_.load(std::memory_order_relaxed))

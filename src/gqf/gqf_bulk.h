@@ -89,6 +89,7 @@ void insert_sorted_hashes(gqf_filter<SlotT>& f,
   std::vector<uint64_t> defer_c(hashes.size());
   std::atomic<uint64_t> cursor{0};
   auto defer = [&](uint64_t h, uint64_t c) {
+    // relaxed: cursor hands out disjoint indices; data is read after the join.
     uint64_t at = cursor.fetch_add(1, std::memory_order_relaxed);
     defer_h[at] = h;
     defer_c[at] = c;
@@ -175,6 +176,7 @@ uint64_t bulk_count_contained(const gqf_filter<SlotT>& f,
                               std::span<const uint64_t> keys) {
   std::atomic<uint64_t> found{0};
   gpu::launch_threads(keys.size(), [&](uint64_t i) {
+    // relaxed: worker-private tally; the launch join publishes it to the reader.
     if (f.contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
   });
   return found.load();
@@ -219,6 +221,7 @@ uint64_t bulk_erase(gqf_filter<SlotT>& f, std::span<const uint64_t> keys) {
           uint64_t local = 0;
           for (uint64_t i = end; i > begin; --i)
             if (f.remove_hash(hashes[i - 1], 1)) ++local;
+          // relaxed: worker-private tally; the launch join publishes it to the reader.
           if (local) removed.fetch_add(local, std::memory_order_relaxed);
         },
         /*grain=*/1);

@@ -18,8 +18,13 @@
 //     it at negligible cost and cannot deadlock, since every thread
 //     acquires its locks in ascending region order.)
 //   * Queries are lockless, as in the paper's evaluation: the benchmarked
-//     phases never run queries concurrently with inserts.  A `locked`
-//     query variant is provided for applications that mix them.
+//     phases never run queries concurrently with inserts.  `*_locked`
+//     query variants are provided for applications that mix queries with
+//     concurrent point writers — deletions rewrite whole clusters, so a
+//     lockless probe overlapping an erase is a data race, not just a
+//     stale answer.  The filter store routes its point reads through the
+//     locked variants (its service contract promises mixed-op safety);
+//     the benchmark kernels keep the lockless probe.
 #pragma once
 
 #include <algorithm>
@@ -87,12 +92,14 @@ class gqf_point {
     return filter_.query_value(key);
   }
 
-  /// Query that excludes concurrent writers to the item's regions.
-  uint64_t query_locked(uint64_t key) {
+  /// Query that excludes concurrent writers to the item's regions (const:
+  /// the region locks are mutable, like any reader-side lock).
+  uint64_t query_locked(uint64_t key) const {
     uint64_t hash = filter_.hash_of(key);
     region_guard guard(*this, filter_.region_of_hash(hash));
     return filter_.query_hash(hash);
   }
+  bool contains_locked(uint64_t key) const { return query_locked(key) > 0; }
 
   /// Thread-safe point delete.
   bool erase(uint64_t key, uint64_t count = 1) {
@@ -106,6 +113,7 @@ class gqf_point {
   uint64_t insert_bulk(std::span<const uint64_t> keys) {
     std::atomic<uint64_t> ok{0};
     gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      // relaxed: worker-private tally; the launch join publishes it to the reader.
       if (insert(keys[i])) ok.fetch_add(1, std::memory_order_relaxed);
     });
     return ok.load();
@@ -114,6 +122,7 @@ class gqf_point {
   uint64_t count_contained(std::span<const uint64_t> keys) const {
     std::atomic<uint64_t> found{0};
     gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      // relaxed: worker-private tally; the launch join publishes it to the reader.
       if (contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
     });
     return found.load();
@@ -122,6 +131,7 @@ class gqf_point {
   uint64_t erase_bulk(std::span<const uint64_t> keys) {
     std::atomic<uint64_t> ok{0};
     gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      // relaxed: worker-private tally; the launch join publishes it to the reader.
       if (erase(keys[i])) ok.fetch_add(1, std::memory_order_relaxed);
     });
     return ok.load();
@@ -137,7 +147,7 @@ class gqf_point {
   /// Holds the three ascending region locks around a quotient.
   class region_guard {
    public:
-    region_guard(gqf_point& owner, uint64_t region) : owner_(owner) {
+    region_guard(const gqf_point& owner, uint64_t region) : owner_(owner) {
       first_ = region == 0 ? 0 : region - 1;
       last_ = std::min<uint64_t>(region + 1, owner.locks_.size() - 1);
       for (uint64_t r = first_; r <= last_; ++r) owner_.locks_[r].lock();
@@ -149,12 +159,14 @@ class gqf_point {
     region_guard& operator=(const region_guard&) = delete;
 
    private:
-    gqf_point& owner_;
+    const gqf_point& owner_;
     uint64_t first_, last_;
   };
 
   gqf_filter<SlotT> filter_;
-  std::vector<gpu::cache_aligned_lock> locks_;
+  // Mutable: locked *queries* are const operations that still take the
+  // reader-excluding region locks.
+  mutable std::vector<gpu::cache_aligned_lock> locks_;
 };
 
 }  // namespace gf::gqf

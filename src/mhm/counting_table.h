@@ -30,6 +30,7 @@ class counting_table {
         keys_(capacity_, kEmptyKey),
         counts_(capacity_),
         votes_(capacity_ * 8) {
+    // relaxed: move/ctor runs single-threaded by contract.
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
     for (auto& v : votes_) v.store(0, std::memory_order_relaxed);
   }
@@ -49,15 +50,18 @@ class counting_table {
           cur = gpu::atomic_load(&keys_[slot]);  // raced; re-read
           if (cur != key) continue;
         } else {
+          // relaxed: monotone gauge accumulators; readers tolerate staleness.
           live_.fetch_add(1, std::memory_order_relaxed);
           cur = key;
         }
       }
       if (cur == key) {
+        // relaxed: count/vote accumulators; readers tolerate staleness.
         counts_[slot].fetch_add(delta, std::memory_order_relaxed);
         if (left < 4)
           votes_[slot * 8 + left].fetch_add(1, std::memory_order_relaxed);
         if (right < 4)
+          // relaxed: vote accumulator; readers tolerate staleness.
           votes_[slot * 8 + 4 + right].fetch_add(1,
                                                  std::memory_order_relaxed);
         return true;
@@ -68,6 +72,7 @@ class counting_table {
 
   uint32_t count(uint64_t key) const {
     int64_t slot = find(key);
+    // relaxed: monotone gauge read; a stale value is acceptable.
     return slot < 0 ? 0 : counts_[slot].load(std::memory_order_relaxed);
   }
 
@@ -88,6 +93,7 @@ class counting_table {
     return ext;
   }
 
+  // relaxed: monotone gauge read; a stale value is acceptable.
   uint64_t distinct() const { return live_.load(std::memory_order_relaxed); }
   uint64_t capacity() const { return capacity_; }
   size_t memory_bytes() const {
@@ -116,6 +122,7 @@ class counting_table {
     uint16_t best = 0;
     uint8_t arg = 4;
     for (uint8_t b = 0; b < 4; ++b) {
+      // relaxed: monotone gauge read; a stale value is acceptable.
       uint16_t v = votes_[base + b].load(std::memory_order_relaxed);
       if (v > best) {
         best = v;

@@ -15,12 +15,14 @@ fault_engine& fault_engine::instance() {
 void fault_engine::arm(int fd, fault_plan plan) {
   std::lock_guard<std::mutex> lk(mu_);
   plans_[fd] = armed_plan{std::move(plan)};
+  // relaxed: armed_ is a fast-path gate; plan contents are published by mu_.
   armed_.store(static_cast<int>(plans_.size()), std::memory_order_relaxed);
 }
 
 void fault_engine::disarm(int fd) {
   std::lock_guard<std::mutex> lk(mu_);
   plans_.erase(fd);
+  // relaxed: armed_ is a fast-path gate; plan contents are published by mu_.
   armed_.store(static_cast<int>(plans_.size()), std::memory_order_relaxed);
 }
 
@@ -28,6 +30,7 @@ void fault_engine::disarm_all() {
   std::lock_guard<std::mutex> lk(mu_);
   plans_.clear();
   connect_queue_.clear();
+  // relaxed: armed_ is a fast-path gate; plan contents are published by mu_.
   armed_.store(0, std::memory_order_relaxed);
 }
 
@@ -46,6 +49,7 @@ bool fault_engine::arm_next_connect(int fd) {
   if (connect_queue_.empty()) return false;
   plans_[fd] = armed_plan{std::move(connect_queue_.front())};
   connect_queue_.erase(connect_queue_.begin());
+  // relaxed: armed_ is a fast-path gate; plan contents are published by mu_.
   armed_.store(static_cast<int>(plans_.size()), std::memory_order_relaxed);
   return true;
 }

@@ -59,6 +59,7 @@ class fault_engine {
   static fault_engine& instance();
 
   /// True when any fd is armed — the hot-path gate.
+  // relaxed: armed_ is a fast-path gate; plan contents are published by mu_.
   bool active() const { return armed_.load(std::memory_order_relaxed) > 0; }
 
   /// Attach `plan` to `fd` (replacing any previous plan and resetting its

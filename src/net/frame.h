@@ -159,6 +159,7 @@ inline uint64_t get_u64(const uint8_t* p) {
 /// whole key array moves with one memcpy instead of eight shifts per key;
 /// big-endian hosts take the portable loop.
 inline void put_u64s(std::vector<uint8_t>& b, std::span<const uint64_t> v) {
+  if (v.empty()) return;  // empty batch: v.data() may be null, memcpy UB
   if constexpr (std::endian::native == std::endian::little) {
     const size_t off = b.size();
     b.resize(off + v.size() * 8);
@@ -169,6 +170,7 @@ inline void put_u64s(std::vector<uint8_t>& b, std::span<const uint64_t> v) {
   }
 }
 inline void get_u64s(const uint8_t* p, size_t n, uint64_t* out) {
+  if (n == 0) return;  // empty batch: p may be null, memcpy UB
   if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(out, p, n * 8);
   } else {

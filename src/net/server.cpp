@@ -105,6 +105,7 @@ server::server(server_config cfg, store::filter_store st)
 
 void server::register_metrics() {
   registry_ = obs::metrics_registry();
+  // relaxed: metrics scrapes are monotone gauges; staleness is acceptable.
   auto relaxed = [](const std::atomic<uint64_t>& a) {
     return a.load(std::memory_order_relaxed);
   };
@@ -236,6 +237,7 @@ void server::register_metrics() {
   registry_.add_counter("gf_store_batches_drained_total", "", [sum_stats] {
     return sum_stats(&snap::batches_drained);
   });
+  // relaxed: metrics scrape of a monotone gauge; staleness is acceptable.
   registry_.add_counter("gf_store_overflow_answered_total", "", [this] {
     return store_.metrics().overflow_answered.load(std::memory_order_relaxed);
   });
@@ -263,6 +265,7 @@ void server::register_metrics() {
   // Structural GF_COUNT counters, scoped to this server's store.  Always
   // registered (stable schema); they stay 0 unless the build sets
   // GF_ENABLE_COUNTERS.
+  // relaxed: metrics scrape of a monotone gauge; staleness is acceptable.
   auto gf_count = [this](std::atomic<uint64_t> util::op_counters::* field) {
     return (store_.metrics().gf_counters.*field)
         .load(std::memory_order_relaxed);
@@ -330,6 +333,7 @@ void server::request_stop() {
 
 server_stats server::stats() const {
   server_stats s;
+  // relaxed: stats snapshot: independent monotone gauges, single-writer
   s.connections_accepted = accepted_.load(std::memory_order_relaxed);
   s.connections_closed = closed_.load(std::memory_order_relaxed);
   s.frames_served = frames_.load(std::memory_order_relaxed);
@@ -377,6 +381,7 @@ void server::adopt_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq) {
   reconnect_attempt_ = 0;
   feed_last_rx_ns_ = obs::now_ns();
   feed_expected_ = next_seq;
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   repl_seq_.store(next_seq == 0 ? 0 : next_seq - 1,
                   std::memory_order_relaxed);
   feed_attached_.store(1, std::memory_order_relaxed);
@@ -402,6 +407,7 @@ void server::send_invites() {
       // Fire-and-forget: the standby replica dials back and SYNCs like
       // any other subscriber; nothing to wait for here.
     } catch (const std::exception&) {
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
       invites_failed_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -414,12 +420,14 @@ void server::sweep_dead() {
     any_dead = true;
     switch (conns_[i]->kind) {
       case connection::role::subscriber:
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         subscribers_.fetch_sub(1, std::memory_order_relaxed);
         break;
       case connection::role::feed:
         // The primary is gone.  Keep serving reads from the last applied
         // sequence — that is the whole point of a replica — and, when a
         // supervisor is configured, start dialing it back.
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         feed_attached_.store(0, std::memory_order_relaxed);
         feed_lost_.fetch_add(1, std::memory_order_relaxed);
         if (!cfg_.feed_addr.empty() && !reconnect_pending_)
@@ -433,6 +441,7 @@ void server::sweep_dead() {
     std::erase_if(pending_acks_, [&](const pending_ack& p) {
       return p.conn == conns_[i].get();
     });
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     closed_.fetch_add(1, std::memory_order_relaxed);
     conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
   }
@@ -534,6 +543,7 @@ void server::accept_ready() {
     set_nodelay(fd);
     conns_.push_back(
         std::make_unique<connection>(std::move(s), cfg_.max_frame_bytes));
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     accepted_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -590,11 +600,13 @@ void server::read_ready(connection& c) {
     if (n == 0) {
       // EOF with a partial frame buffered = the peer truncated a frame.
       if (c.dec.buffered() > 0 && !c.dec.poisoned())
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       flush_writes(c);  // best-effort: a half-closed peer may still read
       c.dead = true;
       return;
     }
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
     if (c.kind == connection::role::feed) feed_last_rx_ns_ = obs::now_ns();
     c.dec.feed(buf, static_cast<size_t>(n));
@@ -624,6 +636,7 @@ bool server::flush_writes(connection& c) {
       alive = false;
       break;
     }
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     bytes_out_.fetch_add(static_cast<uint64_t>(w), std::memory_order_relaxed);
     c.out_pos += static_cast<size_t>(w);
   }
@@ -637,6 +650,7 @@ bool server::flush_writes(connection& c) {
 
 void server::condemn(connection& c, const std::string& why) {
   (void)why;  // counted, not logged: a hostile peer can spam arbitrary bytes
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   protocol_errors_.fetch_add(1, std::memory_order_relaxed);
   // Best-effort flush: frames served *before* the stream broke deserve
   // their responses (a pipelined client may have real answers queued
@@ -661,8 +675,10 @@ uint64_t server::replicate(const frame& f, bool from_feed) {
   uint64_t seq;
   if (from_feed) {
     seq = f.sequence;
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     repl_seq_.store(seq, std::memory_order_relaxed);
   } else {
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     seq = repl_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
   bool any = false;
@@ -681,6 +697,7 @@ uint64_t server::replicate(const frame& f, bool from_feed) {
   for (auto& c : conns_) {
     if (c->dead || c->kind != connection::role::subscriber) continue;
     append_out(*c, bytes);
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     frames_forwarded_.fetch_add(1, std::memory_order_relaxed);
     // A subscriber that cannot drain its stream is cut loose: async
     // replication must never let one slow replica grow this process
@@ -688,6 +705,7 @@ uint64_t server::replicate(const frame& f, bool from_feed) {
     // with a supervisor — comes back with a resume request that the very
     // bytes recorded below will answer.
     if (c->out.size() - c->out_pos > c->queue_cap) {
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
       subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
       c->dead = true;
     }
@@ -703,10 +721,12 @@ void server::subscriber_ack(connection& c, const frame& f) {
     // The replica failed *applying* a forwarded frame (its handler threw):
     // its store may have diverged.  Count it and hold the ack watermark —
     // STATS must not report a diverged replica as caught up.
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     subscriber_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const uint64_t now = obs::now_ns();
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   last_ack_ns_.store(now, std::memory_order_relaxed);
   if (f.sequence > c.last_acked) {
     c.last_acked = f.sequence;
@@ -725,6 +745,7 @@ void server::recompute_acked() {
     if (first || c->last_acked < min_acked) min_acked = c->last_acked;
     first = false;
   }
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   subscriber_acked_.store(first ? 0 : min_acked, std::memory_order_relaxed);
 }
 
@@ -740,6 +761,7 @@ void server::queue_mutation_response(connection& c, bool from_feed, opcode op,
     append_out(c, encode_pair_response(op, client_seq, key_count, a, b));
     return;
   }
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   ack_waits_.fetch_add(1, std::memory_order_relaxed);
   uint64_t live = 0;
   for (const auto& s : conns_)
@@ -747,6 +769,7 @@ void server::queue_mutation_response(connection& c, bool from_feed, opcode op,
   if (live < cfg_.ack_replicas) {
     // Not enough replicas even attached: degrade immediately rather than
     // making the client sit out a deadline that cannot be met.
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     ack_degraded_.fetch_add(1, std::memory_order_relaxed);
     append_out(c, encode_pair_response(op, client_seq, key_count, a, b,
                                        wire_status::ok_async));
@@ -779,6 +802,7 @@ void server::service_acks(uint64_t now_ns, bool flush_deadline) {
       // Deadline, shutdown, or the quorum became unreachable: the write
       // is applied and replicating asynchronously — say so in-band and
       // move on.  Never a hang.
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
       ack_degraded_.fetch_add(1, std::memory_order_relaxed);
       append_out(*p.conn, encode_pair_response(p.op, p.client_seq,
                                                p.key_count, p.a, p.b,
@@ -821,6 +845,7 @@ void server::try_resync_feed() {
   const uint64_t t0 = obs::now_ns();
   try {
     auto [host, port] = parse_host_port(cfg_.feed_addr);
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     const uint64_t last = repl_seq_.load(std::memory_order_relaxed);
     // Blocking re-sync on the loop thread, bounded by resync_timeout_ms
     // per silent read: a replica that is catching up is allowed to pause
@@ -831,6 +856,7 @@ void server::try_resync_feed() {
                     cfg_.max_frame_bytes, cfg_.resync_timeout_ms,
                     cfg_.connector);
     if (rr.kind == resync_kind::snapshot) {
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
       resyncs_snapshot_.fetch_add(1, std::memory_order_relaxed);
       store_ = std::move(*rr.store);
       register_metrics();
@@ -839,22 +865,26 @@ void server::try_resync_feed() {
       // store that no longer exists.
       for (auto& sub : conns_)
         if (!sub->dead && sub->kind == connection::role::subscriber) {
+          // relaxed: single-writer (event loop) telemetry; readers need no ordering.
           subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
           sub->dead = true;
         }
       ring_.clear();
       adopt_feed(std::move(rr.feed), std::move(rr.dec), rr.repl_seq + 1);
     } else {
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
       resyncs_delta_.fetch_add(1, std::memory_order_relaxed);
       // The store we have is still the right one; the replayed frames
       // arrive on the adopted connection exactly like live stream
       // traffic, starting at last + 1.
       adopt_feed(std::move(rr.feed), std::move(rr.dec), last + 1);
     }
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     feed_reconnects_.fetch_add(1, std::memory_order_relaxed);
     trace_.add("repl", "resync", t0, obs::now_ns() - t0, "kind",
                rr.kind == resync_kind::delta ? 0 : 1);
   } catch (const std::exception&) {
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     reconnect_failures_.fetch_add(1, std::memory_order_relaxed);
     schedule_reconnect(obs::now_ns());
   }
@@ -864,6 +894,7 @@ void server::service_timers(uint64_t now_ns) {
   if (reconnect_pending_ && now_ns >= reconnect_at_ns_) try_resync_feed();
   service_acks(now_ns);
   if (cfg_.feed_idle_timeout_ms != 0 &&
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
       feed_attached_.load(std::memory_order_relaxed) != 0 &&
       now_ns - feed_last_rx_ns_ >
           uint64_t{cfg_.feed_idle_timeout_ms} * 1'000'000ull) {
@@ -879,6 +910,7 @@ int server::poll_timeout_ms(uint64_t now_ns) const {
   for (const pending_ack& p : pending_acks_)
     next = std::min(next, p.deadline_ns);
   if (cfg_.feed_idle_timeout_ms != 0 &&
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
       feed_attached_.load(std::memory_order_relaxed) != 0)
     next = std::min<uint64_t>(
         next, feed_last_rx_ns_ +
@@ -917,6 +949,7 @@ void server::serve_sync(connection& c, const frame& f) {
 
 void server::serve_resume(connection& c, const frame& f) {
   const uint64_t last = decode_sync_resume(f);
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   const uint64_t cur = repl_seq_.load(std::memory_order_relaxed);
   // Delta only when the ring still holds every frame the replica missed
   // — and never at stream position 0: a primary restarted from a
@@ -933,8 +966,10 @@ void server::serve_resume(connection& c, const frame& f) {
     c.kind = connection::role::subscriber;
     c.last_acked = last;
     c.queue_cap = std::max(cfg_.max_subscriber_queue_bytes, 2 * out_bytes);
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     subscribers_.fetch_add(1, std::memory_order_relaxed);
     recompute_acked();
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     deltas_served_.fetch_add(1, std::memory_order_relaxed);
     trace_.add("repl", "delta_serve", obs::now_ns(), 0, "frames", replayed);
     return;
@@ -952,6 +987,7 @@ void server::serve_snapshot(connection& c, const frame& f) {
   // will be forwarded down this connection.  Nothing falls in between.
   const uint64_t t0 = obs::now_ns();
   const std::string bytes = store::serialize_store(store_);
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   const uint64_t seq_pos = repl_seq_.load(std::memory_order_relaxed);
   size_t cap = std::min(cfg_.sync_chunk_bytes,
                         cfg_.max_frame_bytes - kFrameOverhead);
@@ -973,6 +1009,7 @@ void server::serve_snapshot(connection& c, const frame& f) {
   }
   c.kind = connection::role::subscriber;
   c.queue_cap = std::max(cfg_.max_subscriber_queue_bytes, 2 * bytes.size());
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   subscribers_.fetch_add(1, std::memory_order_relaxed);
   recompute_acked();
   trace_.add("repl", "sync_serve", t0, obs::now_ns() - t0, "bytes",
@@ -982,6 +1019,7 @@ void server::serve_snapshot(connection& c, const frame& f) {
 void server::handle_invite(connection& c, const frame& f) {
   // Only a standby replica (read-only, not yet fed) takes an invite: on
   // anything else a hostile invite would overwrite a live store.
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   if (!cfg_.read_only || feed_attached_.load(std::memory_order_relaxed)) {
     append_out(c, encode_error_response(opcode::sync, f.sequence,
                                         wire_status::unsupported,
@@ -1010,6 +1048,7 @@ void server::handle_invite(connection& c, const frame& f) {
     // lineage instead of silently diverging.
     for (auto& sub : conns_)
       if (!sub->dead && sub->kind == connection::role::subscriber) {
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
         sub->dead = true;
       }
@@ -1038,6 +1077,7 @@ void server::feed_frame(connection& c, const frame& f) {
     // we can get — with the gap on record; a supervised feed *can* close
     // the gap, so the connection is condemned and the re-sync path
     // replays exactly the missed frames instead of accepting a hole.
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     feed_gaps_.fetch_add(1, std::memory_order_relaxed);
     trace_.add("repl", "feed_gap", obs::now_ns(), 0, "expected",
                feed_expected_);
@@ -1048,12 +1088,14 @@ void server::feed_frame(connection& c, const frame& f) {
     }
   }
   feed_expected_ = f.sequence + 1;
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   feed_last_seq_.store(f.sequence, std::memory_order_relaxed);
   feed_applied_.fetch_add(1, std::memory_order_relaxed);
   handle_frame(c, f);  // applies, acks on this connection, chains downstream
 }
 
 void server::handle_frame(connection& c, const frame& f) {
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   frames_.fetch_add(1, std::memory_order_relaxed);
   const bool from_feed = c.kind == connection::role::feed;
   const bool mutating = f.op == opcode::insert ||
@@ -1064,6 +1106,7 @@ void server::handle_frame(connection& c, const frame& f) {
   // to the wrong end of the topology).
   if ((mutating || f.op == opcode::maintain) && cfg_.read_only &&
       !from_feed) {
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     read_only_refusals_.fetch_add(1, std::memory_order_relaxed);
     append_out(c, encode_error_response(
                       f.op, f.sequence, wire_status::unsupported,
@@ -1101,6 +1144,7 @@ void server::handle_frame(connection& c, const frame& f) {
         // §5.4 count-compression (store.h) — the whole point of a
         // batch-unit wire format.
         std::vector<uint64_t> keys = decode_keys(f);
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         keys_.fetch_add(keys.size(), std::memory_order_relaxed);
         uint64_t ok = store_.insert_bulk(keys);
         t_applied = obs::now_ns();
@@ -1112,6 +1156,7 @@ void server::handle_frame(connection& c, const frame& f) {
       case opcode::insert_counted: {
         std::vector<uint64_t> keys, counts;
         decode_pairs(f, keys, counts);
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         keys_.fetch_add(keys.size(), std::memory_order_relaxed);
         std::vector<store::op> ops;
         ops.reserve(keys.size());
@@ -1132,6 +1177,7 @@ void server::handle_frame(connection& c, const frame& f) {
         // Workers partition by bitmap *word*, so every word has exactly
         // one writer and the fill needs no atomics.
         std::vector<uint64_t> keys = decode_keys(f);
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         keys_.fetch_add(keys.size(), std::memory_order_relaxed);
         std::vector<uint64_t> words(bitmap_words(keys.size()), 0);
         gpu::launch_ranges(
@@ -1153,6 +1199,7 @@ void server::handle_frame(connection& c, const frame& f) {
       }
       case opcode::erase: {
         std::vector<uint64_t> keys = decode_keys(f);
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         keys_.fetch_add(keys.size(), std::memory_order_relaxed);
         std::vector<store::op> ops;
         ops.reserve(keys.size());
@@ -1166,6 +1213,7 @@ void server::handle_frame(connection& c, const frame& f) {
       }
       case opcode::count: {
         std::vector<uint64_t> keys = decode_keys(f);
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         keys_.fetch_add(keys.size(), std::memory_order_relaxed);
         std::vector<uint64_t> counts(keys.size());
         gpu::launch_ranges(keys.size(),

@@ -101,6 +101,7 @@ class latency_histogram {
   /// Record into an explicit lane (callers with a worker/shard index).
   void record_lane(unsigned lane, uint64_t value) {
     auto& l = lanes_[lane % lanes_.size()];
+    // relaxed: per-lane counts; snapshot() merge tolerates the documented skew.
     l.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
     l.sum.fetch_add(value, std::memory_order_relaxed);
   }
@@ -115,6 +116,7 @@ class latency_histogram {
     histogram_snapshot s;
     for (const auto& l : lanes_) {
       for (unsigned i = 0; i < kHistogramBuckets; ++i)
+        // relaxed: per-lane counts; snapshot() merge tolerates the documented skew.
         s.buckets[i] += l.buckets[i].load(std::memory_order_relaxed);
       s.sum += l.sum.load(std::memory_order_relaxed);
     }
@@ -123,6 +125,7 @@ class latency_histogram {
 
   void reset() {
     for (auto& l : lanes_) {
+      // relaxed: reset is host-phased; not an ordering point.
       for (auto& b : l.buckets) b.store(0, std::memory_order_relaxed);
       l.sum.store(0, std::memory_order_relaxed);
     }

@@ -41,6 +41,7 @@ class even_odd_table {
         values_(capacity_, 0) {}
 
   uint64_t capacity() const { return capacity_; }
+  // relaxed: monotone gauge read; a stale value is acceptable.
   uint64_t size() const { return live_.load(std::memory_order_relaxed); }
   double load_factor() const {
     return static_cast<double>(size()) / static_cast<double>(capacity_);
@@ -109,6 +110,7 @@ class even_odd_table {
             if (limit > capacity_) limit = capacity_;
             for (uint64_t i = bounds[region]; i < bounds[region + 1]; ++i) {
               uint64_t idx = order[i];
+              // relaxed: cursor hands out disjoint indices; data is read after the join.
               if (!insert_bounded(keys[idx], values[idx], limit))
                 defer_idx[cursor.fetch_add(1, std::memory_order_relaxed)] =
                     idx;
@@ -150,6 +152,7 @@ class even_odd_table {
       if (keys_[i] == kEmpty) {
         keys_[i] = cur_key;
         values_[i] = cur_val;
+        // relaxed: live-item gauge; slot visibility is ordered by the claim CAS.
         live_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }

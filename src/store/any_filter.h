@@ -227,8 +227,16 @@ class gqf_backend final : public any_filter {
   bool insert(uint64_t key, uint64_t count) override {
     return filter_.insert(key, count == 0 ? 1 : count);
   }
-  bool contains(uint64_t key) const override { return filter_.contains(key); }
-  uint64_t count(uint64_t key) const override { return filter_.query(key); }
+  // Point reads take the region locks: the store's contract allows reads
+  // concurrent with point erases, and a GQF deletion rewrites its whole
+  // cluster — a lockless probe overlapping that rewrite is a data race.
+  // The bulk read tier below stays lockless (host-phased, no writers).
+  bool contains(uint64_t key) const override {
+    return filter_.contains_locked(key);
+  }
+  uint64_t count(uint64_t key) const override {
+    return filter_.query_locked(key);
+  }
   bool erase(uint64_t key) override { return filter_.erase(key); }
   // Bulk ops run the even-odd phased machinery on the core filter,
   // bypassing the point API's region locks — host-phased per shard.
@@ -276,6 +284,7 @@ class bloom_backend final : public any_filter {
   backend_kind kind() const override { return backend_kind::blocked_bloom; }
   bool insert(uint64_t key, uint64_t) override {
     filter_.insert(key);  // Bloom inserts cannot fail (fp rate degrades)
+    // relaxed: live-item gauge; slot visibility is ordered by atomicOr.
     items_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -286,6 +295,7 @@ class bloom_backend final : public any_filter {
   bool erase(uint64_t) override { return false; }
   uint64_t insert_bulk(std::span<const uint64_t> keys) override {
     filter_.insert_bulk(keys);  // prefetch-unrolled batch probe
+    // relaxed: live-item gauge; slot visibility is ordered by atomicOr.
     items_.fetch_add(keys.size(), std::memory_order_relaxed);
     return keys.size();
   }
@@ -296,6 +306,7 @@ class bloom_backend final : public any_filter {
     // size() exactly as far as the equivalent point-op flood would.
     uint64_t instances = 0;
     for (uint64_t c : counts) instances += c;
+    // relaxed: live-item gauge; slot visibility is ordered by atomicOr.
     items_.fetch_add(instances, std::memory_order_relaxed);
     return instances;
   }
@@ -307,6 +318,7 @@ class bloom_backend final : public any_filter {
   // store-level compression sort would cost more than it saves.
   bool native_batch_dedup() const override { return true; }
   uint64_t size() const override {
+    // relaxed: monotone gauge read; a stale value is acceptable.
     return items_.load(std::memory_order_relaxed);
   }
   uint64_t capacity() const override { return cap_; }
@@ -316,6 +328,7 @@ class bloom_backend final : public any_filter {
   void save(std::ostream& out) const override {
     // The bit array cannot reconstruct the insert tally; persist it ahead
     // of the filter payload so size() survives a round trip.
+    // relaxed: save()/load() are not thread-safe against writers by contract.
     util::write_pod(out, items_.load(std::memory_order_relaxed));
     filter_.save(out);
   }

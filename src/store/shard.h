@@ -114,6 +114,7 @@ class shard {
   // -- Point ops (thread-safe, stats-counted) ------------------------------
 
   bool insert(uint64_t key, uint64_t count = 1) {
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     stats_.inserts.fetch_add(1, std::memory_order_relaxed);
     bool ok = cascade_insert(key, count);
     if (!ok) stats_.insert_failures.fetch_add(1, std::memory_order_relaxed);
@@ -121,6 +122,7 @@ class shard {
   }
 
   bool contains(uint64_t key) const {
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     stats_.queries.fetch_add(1, std::memory_order_relaxed);
     bool hit = cascade_contains(key);
     if (hit) stats_.query_hits.fetch_add(1, std::memory_order_relaxed);
@@ -128,6 +130,7 @@ class shard {
   }
 
   uint64_t count(uint64_t key) const {
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     stats_.queries.fetch_add(1, std::memory_order_relaxed);
     uint64_t c = 0;
     for (const auto& f : levels_) c += f->count(key);
@@ -136,6 +139,7 @@ class shard {
   }
 
   bool erase(uint64_t key) {
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     stats_.erases.fetch_add(1, std::memory_order_relaxed);
     bool ok = false;
     for (const auto& f : levels_)
@@ -143,6 +147,7 @@ class shard {
         ok = true;
         break;
       }
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     if (!ok) stats_.erase_failures.fetch_add(1, std::memory_order_relaxed);
     return ok;
   }
@@ -168,6 +173,7 @@ class shard {
       batch.swap(queue_);
     }
     if (batch.empty()) return {};
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     stats_.batches_drained.fetch_add(1, std::memory_order_relaxed);
     return apply(batch);
   }
@@ -205,6 +211,7 @@ class shard {
   /// point dispatches.  Returns the number successfully inserted.
   uint64_t insert_span(std::span<const uint64_t> keys) {
     if (keys.empty()) return 0;
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     stats_.batches_drained.fetch_add(1, std::memory_order_relaxed);
     return bulk_insert_keys(keys);
   }
@@ -225,6 +232,7 @@ class shard {
     if (max_levels == 0) max_levels = 1;
     if (levels_.size() >= max_levels) return false;
     const any_filter& deepest = *levels_.back();
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     uint64_t failures =
         stats_.insert_failures.load(std::memory_order_relaxed);
     bool pressure =
@@ -304,6 +312,7 @@ class shard {
   /// anywhere below the base filter).
   void note_overflow(uint64_t instances) const {
     if (metrics_ != nullptr && instances != 0)
+      // relaxed: overflow telemetry counter; readers tolerate staleness.
       metrics_->overflow_answered.fetch_add(instances,
                                             std::memory_order_relaxed);
   }
@@ -342,8 +351,10 @@ class shard {
   /// caller decides whether the batch counts as a drain.
   uint64_t bulk_insert_keys(std::span<const uint64_t> keys) {
     const uint64_t n = keys.size();
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     stats_.inserts.fetch_add(n, std::memory_order_relaxed);
     uint64_t ok = cascade_bulk_insert(keys);
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     if (ok < n) stats_.insert_failures.fetch_add(n - ok,
                                                  std::memory_order_relaxed);
     return ok;
@@ -570,9 +581,11 @@ class shard {
       return;
     }
     std::vector<uint64_t> keys = gather_keys(run);
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     stats_.erases.fetch_add(run.size(), std::memory_order_relaxed);
     uint64_t ok = bulk_erase_keys(keys);
     if (ok < run.size())
+      // relaxed: op_stats counter; read() snapshots tolerate staleness.
       stats_.erase_failures.fetch_add(run.size() - ok,
                                       std::memory_order_relaxed);
     r.erased += ok;
@@ -590,8 +603,10 @@ class shard {
       return;
     }
     std::vector<uint64_t> keys = gather_keys(run);
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     stats_.queries.fetch_add(run.size(), std::memory_order_relaxed);
     uint64_t hits = bulk_contains_keys(keys);
+    // relaxed: op_stats counter; read() snapshots tolerate staleness.
     if (hits) stats_.query_hits.fetch_add(hits, std::memory_order_relaxed);
     r.query_hits += hits;
     r.query_misses += run.size() - hits;

@@ -195,6 +195,7 @@ class filter_store {
           const uint64_t t0 = obs::now_ns();
           std::span<const uint64_t> slice(parted.data() + offsets[s],
                                           offsets[s + 1] - offsets[s]);
+          // relaxed: worker-private tally; the launch join publishes it to the reader.
           ok.fetch_add(shards_[s]->insert_span(slice),
                        std::memory_order_relaxed);
           metrics_->bulk_insert_shard_ns.record_lane(static_cast<unsigned>(s),
@@ -245,6 +246,7 @@ class filter_store {
                                         keys[i])
                                         ? 1
                                         : 0;
+                         // relaxed: worker-private tally; the launch join publishes it to the reader.
                          if (local)
                            found.fetch_add(local, std::memory_order_relaxed);
                        });

@@ -34,15 +34,18 @@ class backing_table {
 
   backing_table(backing_table&& other) noexcept
       : slots_(std::move(other.slots_)),
+        // relaxed: move/ctor runs single-threaded by contract.
         live_(other.live_.load(std::memory_order_relaxed)) {}
   backing_table& operator=(backing_table&& other) noexcept {
     slots_ = std::move(other.slots_);
+    // relaxed: move/ctor runs single-threaded by contract.
     live_.store(other.live_.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
     return *this;
   }
 
   uint64_t capacity() const { return slots_.size(); }
+  // relaxed: monotone gauge read; a stale value is acceptable.
   uint64_t size() const { return live_.load(std::memory_order_relaxed); }
   size_t memory_bytes() const { return slots_.size() * sizeof(uint16_t); }
 
@@ -55,6 +58,7 @@ class backing_table {
         uint16_t cur = gpu::atomic_load(slot);
         if (cur != kEmpty && cur != kTombstone) break;  // occupied; next
         if (gpu::atomic_cas_bool(slot, cur, composite)) {
+          // relaxed: live-item gauge; slot visibility is ordered by the claim CAS.
           live_.fetch_add(1, std::memory_order_relaxed);
           return true;
         }
@@ -98,6 +102,7 @@ class backing_table {
       if (cur == kEmpty) return false;
       if (cur != kTombstone && static_cast<uint16_t>(cur >> val_bits) == fp) {
         if (gpu::atomic_cas_bool(slot, cur, kTombstone)) {
+          // relaxed: live-item gauge; slot visibility is ordered by the claim CAS.
           live_.fetch_sub(1, std::memory_order_relaxed);
           return true;
         }
@@ -118,12 +123,14 @@ class backing_table {
 
   /// Serialization (no header of its own; embedded in the owning filter).
   void save(std::ostream& out) const {
+    // relaxed: save()/load() are not thread-safe against writers by contract.
     util::write_pod(out, live_.load(std::memory_order_relaxed));
     util::write_vec(out, slots_);
   }
   void load(std::istream& in) {
     uint64_t live = util::read_pod<uint64_t>(in);
     slots_ = util::read_vec<uint16_t>(in);
+    // relaxed: save()/load() are not thread-safe against writers by contract.
     live_.store(live, std::memory_order_relaxed);
   }
 

@@ -136,6 +136,7 @@ class bulk_tcf {
         uint64_t h2 = util::mix64_b((block << 16) | fp);
         GF_COUNT(backing_inserts, 1);
         if (!backing_.insert(h1, h2, fp))
+          // relaxed: worker-private tally; the launch join publishes it to the reader.
           fails.fetch_add(1, std::memory_order_relaxed);
       });
       failed = fails.load();
@@ -227,6 +228,7 @@ class bulk_tcf {
   uint64_t count_contained(std::span<const uint64_t> keys) const {
     std::atomic<uint64_t> found{0};
     gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      // relaxed: worker-private tally; the launch join publishes it to the reader.
       if (contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
     });
     return found.load();
@@ -272,6 +274,7 @@ class bulk_tcf {
         uint64_t c1 = util::murmur64((b1 << 16) | fp);
         uint64_t c2 = util::mix64_b((b1 << 16) | fp);
         if (!backing_.erase(c1, c2, fp, 0))
+          // relaxed: worker-private tally; the launch join publishes it to the reader.
           fails.fetch_add(1, std::memory_order_relaxed);
       });
       failed = fails.load();
@@ -460,6 +463,7 @@ class bulk_tcf {
           }
           if (overflow_at < end) {
             uint64_t cnt = end - overflow_at;
+            // relaxed: cursor hands out disjoint indices; data is read after the join.
             uint64_t at = ov_cursor.fetch_add(cnt, std::memory_order_relaxed);
             for (uint64_t k = 0; k < cnt; ++k) {
               uint64_t idx = overflow_at + k;
@@ -526,6 +530,7 @@ class bulk_tcf {
           fills_[b] = static_cast<uint8_t>(o);
 
           if (miss_local > 0) {
+            // relaxed: cursor hands out disjoint indices; data is read after the join.
             uint64_t at =
                 ms_cursor.fetch_add(miss_local, std::memory_order_relaxed);
             for (uint64_t k = 0; k < miss_local; ++k) {

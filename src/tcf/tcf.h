@@ -84,12 +84,14 @@ class tcf {
         blocks_(std::move(other.blocks_)),
         backing_(std::move(other.backing_)),
         shortcut_threshold_(other.shortcut_threshold_),
+        // relaxed: move/ctor runs single-threaded by contract.
         live_(other.live_.load(std::memory_order_relaxed)) {}
   tcf& operator=(tcf&& other) noexcept {
     cfg_ = other.cfg_;
     blocks_ = std::move(other.blocks_);
     backing_ = std::move(other.backing_);
     shortcut_threshold_ = other.shortcut_threshold_;
+    // relaxed: move/ctor runs single-threaded by contract.
     live_.store(other.live_.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
     return *this;
@@ -110,6 +112,7 @@ class tcf {
     if (cfg_.enable_shortcut && fill1 < shortcut_threshold_) {
       if (block_insert(primary, composite, cg)) {
         GF_COUNT(shortcut_inserts, 1);
+        // relaxed: live-item gauge; slot visibility is ordered by the claim CAS.
         live_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
@@ -121,11 +124,13 @@ class tcf {
     block_type& second = fill1 <= fill2 ? secondary : primary;
     if (block_insert(first, composite, cg) ||
         block_insert(second, composite, cg)) {
+      // relaxed: live-item gauge; slot visibility is ordered by the claim CAS.
       live_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
     if (cfg_.enable_backing && backing_.insert(h.h1, h.h2, composite)) {
       GF_COUNT(backing_inserts, 1);
+      // relaxed: live-item gauge; slot visibility is ordered by the claim CAS.
       live_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -172,12 +177,14 @@ class tcf {
         uint16_t observed = blk.load(static_cast<unsigned>(slot));
         if (static_cast<uint16_t>(observed >> ValBits) == h.fp &&
             blk.try_delete(static_cast<unsigned>(slot), observed)) {
+          // relaxed: live-item gauge; slot visibility is ordered by the claim CAS.
           live_.fetch_sub(1, std::memory_order_relaxed);
           return true;
         }
       }
     }
     if (cfg_.enable_backing && backing_.erase(h.h1, h.h2, h.fp, ValBits)) {
+      // relaxed: live-item gauge; slot visibility is ordered by the claim CAS.
       live_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
@@ -191,6 +198,7 @@ class tcf {
   uint64_t insert_bulk(std::span<const uint64_t> keys) {
     std::atomic<uint64_t> ok{0};
     gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      // relaxed: worker-private tally; the launch join publishes it to the reader.
       if (insert(keys[i])) ok.fetch_add(1, std::memory_order_relaxed);
     });
     return ok.load();
@@ -199,6 +207,7 @@ class tcf {
   uint64_t count_contained(std::span<const uint64_t> keys) const {
     std::atomic<uint64_t> found{0};
     gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      // relaxed: worker-private tally; the launch join publishes it to the reader.
       if (contains(keys[i])) found.fetch_add(1, std::memory_order_relaxed);
     });
     return found.load();
@@ -207,6 +216,7 @@ class tcf {
   uint64_t erase_bulk(std::span<const uint64_t> keys) {
     std::atomic<uint64_t> ok{0};
     gpu::launch_threads(keys.size(), [&](uint64_t i) {
+      // relaxed: worker-private tally; the launch join publishes it to the reader.
       if (erase(keys[i])) ok.fetch_add(1, std::memory_order_relaxed);
     });
     return ok.load();
@@ -260,6 +270,7 @@ class tcf {
         prev_ok = insert(prev_key);
         local += prev_ok ? 1 : 0;
       }
+      // relaxed: worker-private tally; the launch join publishes it to the reader.
       if (local) ok.fetch_add(local, std::memory_order_relaxed);
     });
     return ok.load();
@@ -295,6 +306,7 @@ class tcf {
       uint64_t local = 0;
       for (uint64_t i = begin; i < end; ++i)
         if (insert(keys[index[i]])) local += counts[index[i]];
+      // relaxed: worker-private tally; the launch join publishes it to the reader.
       if (local) instances.fetch_add(local, std::memory_order_relaxed);
     });
     return instances.load();
@@ -352,6 +364,7 @@ class tcf {
   // -- Introspection --------------------------------------------------------
 
   uint64_t capacity() const { return blocks_.size() * NumSlots; }
+  // relaxed: monotone gauge read; a stale value is acceptable.
   uint64_t size() const { return live_.load(std::memory_order_relaxed); }
   double load_factor() const {
     return static_cast<double>(size()) / static_cast<double>(capacity());
@@ -377,6 +390,7 @@ class tcf {
     util::write_pod(out, cfg_.shortcut_cutoff);
     util::write_pod<uint32_t>(out, cfg_.cg_size);
     util::write_pod(out, shortcut_threshold_);
+    // relaxed: save()/load() are not thread-safe against writers by contract.
     util::write_pod(out, live_.load(std::memory_order_relaxed));
     util::write_vec(out, blocks_);
     backing_.save(out);
@@ -402,6 +416,7 @@ class tcf {
     if (f.blocks_.empty() || live > (f.blocks_.size() * NumSlots) * 2)
       throw std::runtime_error("gf: TCF geometry mismatch");
     f.backing_.load(in);
+    // relaxed: save()/load() are not thread-safe against writers by contract.
     f.live_.store(live, std::memory_order_relaxed);
     return f;
   }

@@ -81,6 +81,7 @@ struct alignas(64) padded_counter {
   }
   uint64_t load(std::memory_order order) const { return value.load(order); }
   padded_counter& operator=(uint64_t v) {
+    // relaxed: test/reset helper; not an ordering point.
     value.store(v, std::memory_order_relaxed);
     return *this;
   }
@@ -114,6 +115,7 @@ struct op_stats {
 
   snapshot read() const {
     snapshot s;
+    // relaxed: counter snapshot; fields are independent monotone telemetry.
     s.inserts = inserts.load(std::memory_order_relaxed);
     s.insert_failures = insert_failures.load(std::memory_order_relaxed);
     s.queries = queries.load(std::memory_order_relaxed);
@@ -136,6 +138,7 @@ struct op_stats {
 };
 
 #if defined(GF_ENABLE_COUNTERS)
+// relaxed: structural-claim telemetry; counts need no ordering.
 #define GF_COUNT(field, n) \
   ::gf::util::counters().field.fetch_add((n), std::memory_order_relaxed)
 #else

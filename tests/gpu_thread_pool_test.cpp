@@ -72,6 +72,59 @@ TEST(ThreadPool, NestedLaunchFromCallerThreadExecutesInline) {
   EXPECT_EQ(sum.load(), 16u * 4950u);
 }
 
+TEST(ThreadPool, ConcurrentTopLevelLaunchesFromForeignThreads) {
+  // Regression for the launch-admission path: two (here: four) independent
+  // non-worker threads launching on the SAME pool at once used to
+  // double-book job_/remaining_/epoch_ — the root cause of the
+  // schedule-dependent point-TCF slot placement.  The pool now admits one
+  // launch and the losers run their worker ids inline, so every launch
+  // must cover its range exactly once and nothing may deadlock.
+  thread_pool pool(4);
+  constexpr int kLaunchers = 4;
+  constexpr uint64_t kN = 5000;
+  constexpr int kRounds = 20;
+  std::vector<std::vector<std::atomic<uint32_t>>> hits(kLaunchers);
+  for (auto& v : hits) v = std::vector<std::atomic<uint32_t>>(kN);
+
+  std::vector<std::thread> launchers;
+  for (int t = 0; t < kLaunchers; ++t) {
+    launchers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        pool.parallel_for(0, kN, 64, [&, t](uint64_t i) {
+          hits[t][i].fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& th : launchers) th.join();
+
+  for (int t = 0; t < kLaunchers; ++t)
+    for (uint64_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[t][i].load(), kRounds) << "launcher " << t << " i " << i;
+}
+
+TEST(ThreadPool, ConcurrentLaunchesWithNestedLaunchesInside) {
+  // The contended shape the store actually produces: each top-level launch
+  // body itself launches (per-shard bulk phases).  Inline-fallback callers
+  // mark themselves as workers, so the nested launches must still execute
+  // inline rather than re-entering admission and deadlocking.
+  thread_pool pool(3);
+  constexpr int kLaunchers = 3;
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> launchers;
+  for (int t = 0; t < kLaunchers; ++t) {
+    launchers.emplace_back([&] {
+      pool.parallel_for(0, 8, 1, [&](uint64_t) {
+        pool.parallel_for(0, 100, 10, [&](uint64_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    });
+  }
+  for (auto& th : launchers) th.join();
+  EXPECT_EQ(total.load(), uint64_t{kLaunchers} * 8 * 100);
+}
+
 TEST(ThreadPool, SequentialLaunchesReuseWorkers) {
   // Many short launches in a row: exercises the epoch handshake.
   std::atomic<uint64_t> total{0};

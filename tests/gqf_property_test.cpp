@@ -60,9 +60,15 @@ INSTANTIATE_TEST_SUITE_P(
                       geometry{12, 8, 50}, geometry{12, 8, 90},
                       geometry{14, 8, 85}, geometry{15, 8, 95}),
     [](const ::testing::TestParamInfo<geometry>& info) {
-      return "q" + std::to_string(std::get<0>(info.param)) + "_r" +
-             std::to_string(std::get<1>(info.param)) + "_load" +
-             std::to_string(std::get<2>(info.param));
+      // Built up via += (not chained operator+) to sidestep a GCC 12
+      // -Wrestrict false positive on "literal" + std::string&& (PR 105329).
+      std::string name = "q";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_r";
+      name += std::to_string(std::get<1>(info.param));
+      name += "_load";
+      name += std::to_string(std::get<2>(info.param));
+      return name;
     });
 
 class GqfChurnSweep : public ::testing::TestWithParam<int> {};

@@ -38,18 +38,11 @@ using namespace gf;
 namespace {
 
 // The guarantee under test is byte-identity: replica == primary, bit for
-// bit.  That holds exactly when the engine itself is deterministic — and
-// the lock-free point-TCF's *concurrent* two-choice inserts are not
-// across pool schedules (slot placement follows CAS arrival order).  Pin
-// the pool to one worker before its lazy construction so both stores in
-// every pair apply their identical streams identically.  Multi-worker
-// wire behavior is covered by net_loopback_test; a production replica
-// running multi-worker still agrees with its primary on every true
-// answer and multiplicity — only false-positive alias layout can drift.
-const bool kSerialPool = [] {
-  ::setenv("GF_NUM_WORKERS", "1", /*overwrite=*/1);
-  return true;
-}();
+// bit.  That holds because the engine is deterministic at any pool width:
+// the store's bulk tier runs one logical worker per shard and nested
+// launches execute inline, so a shard's operation stream is applied
+// serially in frame order regardless of GF_NUM_WORKERS (the historical
+// one-worker pin is gone; ctest runs this binary at 1 and 4 workers).
 
 constexpr store::backend_kind kAllBackends[] = {
     store::backend_kind::tcf, store::backend_kind::gqf,

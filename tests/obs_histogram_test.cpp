@@ -115,6 +115,40 @@ TEST(ObsHistogram, ConcurrentRecordingTotals) {
   EXPECT_EQ(s.sum, kThreads * expect_sum);
 }
 
+TEST(ObsHistogram, SnapshotConcurrentWithRecording) {
+  // TSan regression for the concurrent lane merge: snapshot() sums every
+  // lane while recorders are mid-flight.  Torn count/sum pairs are
+  // documented and fine; the merged count must be monotone over time and
+  // exact once the recorders join.
+  constexpr unsigned kThreads = 4;
+  constexpr uint64_t kPerThread = 40'000;
+  obs::latency_histogram h(kThreads);
+
+  std::atomic<bool> stop{false};
+  uint64_t snapshots = 0;
+  std::thread merger([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto s = h.snapshot();
+      ASSERT_GE(s.count(), last);
+      last = s.count();
+      ++snapshots;
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t)
+    workers.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) h.record_lane(t, i & 2047);
+    });
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  merger.join();
+
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_EQ(h.snapshot().count(), kThreads * kPerThread);
+}
+
 TEST(ObsHistogram, MergeAssociativity) {
   obs::latency_histogram a, b, c;
   for (uint64_t v = 1; v < 2000; v += 3) a.record(v);
