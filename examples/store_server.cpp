@@ -7,6 +7,11 @@
 //                               [--replicate-to HOST:PORT]
 //                               [--ack-replicas N] [--ack-timeout-ms N]
 //                               [--replay-ring-mb N] [--trace-out PATH]
+//                               [--wal-dir PATH]
+//                               [--wal-fsync every|interval|none]
+//                               [--wal-fsync-interval-ms N]
+//                               [--wal-segment-mb N]
+//                               [--checkpoint-every-mb N]
 //
 // Network mode (default): serve the gf::net batched wire protocol
 // (src/net/frame.h) on --port.  Batches funnel into the store's bulk
@@ -43,6 +48,25 @@
 //   * --replay-ring-mb sizes the primary's replay ring (delta re-sync
 //     window); 0 disables deltas and forces snapshot re-syncs.
 //
+// Durability (src/persist/):
+//   * --wal-dir PATH arms the write-ahead log: every applied mutating
+//     batch is appended (as the exact replication wire frame) before its
+//     response can flush, checkpoints fold the log into an atomic
+//     snapshot, and a restart replays only the tail above the checkpoint
+//     — O(delta), not O(store).  SIGKILL mid-write is survivable: the
+//     torn tail is detected by the frame CRC and truncated on recovery.
+//   * --wal-fsync picks the durability/latency trade: `every` fsyncs per
+//     frame (no acknowledged write is ever lost), `interval` fsyncs at
+//     most every --wal-fsync-interval-ms (bounded loss window), `none`
+//     leaves flushing to the kernel (crash-consistent but lossy).
+//   * --wal-segment-mb sizes log segments (rotation unit);
+//     --checkpoint-every-mb checkpoints after that much appended log.
+//   * With both --wal-dir and --snapshot, the WAL checkpoint wins on
+//     restart; the legacy snapshot only seeds a virgin WAL directory.
+//   * A replica with --wal-dir logs its applied feed too, and a primary
+//     with one serves delta re-syncs from disk after its in-memory
+//     replay ring has wrapped.
+//
 // Observability: the running server serves Prometheus-style metrics and a
 // chrome://tracing event dump in-band over STATS (see src/net/frame.h's
 // kStatsMetricsHint / kStatsTraceHint; store_client --metrics / --trace
@@ -67,6 +91,7 @@
 #include "arg_parse.h"
 #include "net/replication.h"
 #include "net/server.h"
+#include "persist/durability.h"
 #include "store/report_json.h"
 #include "store/store.h"
 #include "store/store_io.h"
@@ -88,6 +113,9 @@ int usage() {
       "                    [--replicate-to HOST:PORT]\n"
       "                    [--ack-replicas N] [--ack-timeout-ms N]\n"
       "                    [--replay-ring-mb N] [--trace-out PATH]\n"
+      "                    [--wal-dir PATH] [--wal-fsync every|interval|none]\n"
+      "                    [--wal-fsync-interval-ms N] [--wal-segment-mb N]\n"
+      "                    [--checkpoint-every-mb N]\n"
       "  shards in [1, %u], capacity in [1024, 2^30], port in [0, 65535]\n"
       "  (port 0 picks an ephemeral port and prints it)\n"
       "  --replica-of: bootstrap from that primary and serve read-only\n"
@@ -97,7 +125,13 @@ int usage() {
       "  --ack-replicas: hold mutation replies for N subscriber acks\n"
       "  --ack-timeout-ms: ack-gate deadline before degrading to async\n"
       "  --replay-ring-mb: delta re-sync window in MiB (0 = snapshots only)\n"
-      "  --trace-out: write chrome://tracing JSON of recent events on exit\n",
+      "  --trace-out: write chrome://tracing JSON of recent events on exit\n"
+      "  --wal-dir: write-ahead log + checkpoints here; restart replays\n"
+      "    only the tail above the checkpoint (crash-safe, O(delta))\n"
+      "  --wal-fsync: every (default, lose nothing) | interval | none\n"
+      "  --wal-fsync-interval-ms: loss window under --wal-fsync interval\n"
+      "  --wal-segment-mb: log rotation unit\n"
+      "  --checkpoint-every-mb: checkpoint after that much appended log\n",
       store::kMaxShards);
   return 2;
 }
@@ -131,6 +165,11 @@ struct serve_options {
   uint32_t ack_replicas = 0;         ///< gate mutations on N subscriber acks
   uint32_t ack_timeout_ms = 250;     ///< ack-gate deadline before ok_async
   long replay_ring_mb = -1;          ///< delta window in MiB, -1 = default
+  std::string wal_dir;               ///< WAL + checkpoint dir, "" = disabled
+  std::string wal_fsync = "every";   ///< every | interval | none
+  uint32_t wal_fsync_interval_ms = 50;
+  long wal_segment_mb = 64;          ///< log rotation unit
+  long checkpoint_every_mb = 256;    ///< checkpoint cadence in appended log
 };
 
 int serve(store::store_config cfg, const serve_options& opt) try {
@@ -149,9 +188,22 @@ int serve(store::store_config cfg, const serve_options& opt) try {
   // loop reconnects (jittered backoff) and re-syncs by delta or snapshot.
   scfg.feed_addr = opt.replica_of;
 
+  std::unique_ptr<persist::durability_engine> dur;
+  if (!opt.wal_dir.empty()) {
+    persist::wal_config wcfg;
+    wcfg.dir = opt.wal_dir;
+    wcfg.fsync = persist::parse_fsync_policy(opt.wal_fsync);
+    wcfg.fsync_interval_ms = opt.wal_fsync_interval_ms;
+    wcfg.segment_bytes = static_cast<size_t>(opt.wal_segment_mb) << 20;
+    wcfg.checkpoint_every_bytes =
+        static_cast<size_t>(opt.checkpoint_every_mb) << 20;
+    dur = std::make_unique<persist::durability_engine>(std::move(wcfg));
+  }
+
   // Three ways to a starting store: a replica SYNCs it from its primary
   // (through the atomic snapshot write when --snapshot is set), a restart
-  // reloads the persisted snapshot, everything else starts fresh.
+  // recovers checkpoint + WAL tail (or reloads the legacy snapshot),
+  // everything else starts fresh.
   std::optional<net::sync_result> sync;
   if (!opt.replica_of.empty()) {
     auto [host, rport] = net::parse_host_port(opt.replica_of);
@@ -167,13 +219,42 @@ int serve(store::store_config cfg, const serve_options& opt) try {
   }
   const bool restore = !sync && !opt.snapshot.empty() &&
                        std::filesystem::exists(opt.snapshot);
-  store::filter_store st = sync      ? std::move(sync->store)
-                           : restore ? store::load_store(opt.snapshot)
-                                     : store::filter_store(cfg);
-  if (restore)
+  store::filter_store st = sync ? std::move(sync->store)
+                                : store::filter_store(cfg);
+  if (sync && dur) {
+    // The synced store is a fresh lineage from the primary: whatever the
+    // WAL directory held describes something else and is dropped.
+    dur->reset(st, sync->repl_seq);
+  } else if (!sync && dur) {
+    // Checkpoint + tail replay; a legacy --snapshot (with its v3-stamped
+    // sequence when present) only seeds a virgin WAL directory.
+    util::wall_timer rt;
+    st = dur->recover([&]() -> std::pair<store::filter_store, uint64_t> {
+      if (restore) {
+        uint64_t seq = 0;
+        auto boot = store::load_store(opt.snapshot, &seq);
+        std::printf("store_server: seeded WAL from snapshot %s (seq %lu)\n",
+                    opt.snapshot.c_str(), static_cast<unsigned long>(seq));
+        return {std::move(boot), seq};
+      }
+      return {store::filter_store(cfg), 0};
+    });
+    const persist::durability_stats d = dur->stats();
+    std::printf("store_server: recovered %lu items in %.3fs — checkpoint "
+                "seq %lu + %lu WAL frames replayed (%lu bytes of torn "
+                "tail truncated, %lu gaps)\n",
+                static_cast<unsigned long>(st.size()), rt.seconds(),
+                static_cast<unsigned long>(d.checkpoint_seq),
+                static_cast<unsigned long>(d.recovery_replayed_frames),
+                static_cast<unsigned long>(d.recovery_truncated_bytes),
+                static_cast<unsigned long>(d.recovery_gaps));
+  } else if (restore) {
+    st = store::load_store(opt.snapshot);
     std::printf("store_server: restored %lu items from %s\n",
                 static_cast<unsigned long>(st.size()), opt.snapshot.c_str());
+  }
 
+  scfg.durability = dur.get();
   net::server server(std::move(scfg), std::move(st));
   if (sync)
     server.attach_feed(std::move(sync->feed), std::move(sync->dec),
@@ -200,8 +281,19 @@ int serve(store::store_config cfg, const serve_options& opt) try {
   if (g_signal)
     std::printf("store_server: caught signal %d, shutting down\n",
                 static_cast<int>(g_signal));
+  if (dur) {
+    // Orderly exit: fold everything into a checkpoint so the next start
+    // replays nothing.  (A crash skips this and replays the tail.)
+    dur->checkpoint(server.store());
+    const persist::durability_stats d = dur->stats();
+    std::printf("store_server: checkpointed seq %lu (%.1f MiB) to %s\n",
+                static_cast<unsigned long>(d.checkpoint_seq),
+                static_cast<double>(d.checkpoint_bytes) / 1048576,
+                opt.wal_dir.c_str());
+  }
   if (!opt.snapshot.empty()) {
-    store::save_store(server.store(), opt.snapshot);
+    store::save_store(server.store(), opt.snapshot,
+                      server.stats().repl_seq);
     std::printf("store_server: persisted %lu items to %s\n",
                 static_cast<unsigned long>(server.store().size()),
                 opt.snapshot.c_str());
@@ -254,6 +346,19 @@ int serve(store::store_config cfg, const serve_options& opt) try {
                 static_cast<unsigned long>(stats.resyncs_snapshot),
                 static_cast<unsigned long>(stats.ack_waits),
                 static_cast<unsigned long>(stats.ack_degraded));
+  if (dur) {
+    const persist::durability_stats d = dur->stats();
+    std::printf("store_server: durability: %lu frames (%.1f MiB) logged in "
+                "%lu segments (%lu fsyncs, fsync=%s), %lu checkpoints, "
+                "%lu WAL deltas served\n",
+                static_cast<unsigned long>(d.wal_frames),
+                static_cast<double>(d.wal_bytes) / 1048576,
+                static_cast<unsigned long>(d.segments_rotated),
+                static_cast<unsigned long>(d.wal_fsyncs),
+                persist::fsync_policy_name(dur->policy()),
+                static_cast<unsigned long>(d.checkpoints),
+                static_cast<unsigned long>(stats.wal_deltas_served));
+  }
   std::printf("%s\n", store::report_json(server.store()).c_str());
   return 0;
 } catch (const std::exception& e) {
@@ -336,6 +441,28 @@ int main(int argc, char** argv) {
       const char* s = next();
       if (!s) return usage();
       opt.trace_out = s;
+    } else if (!std::strcmp(a, "--wal-dir")) {
+      const char* s = next();
+      if (!s) return usage();
+      opt.wal_dir = s;
+    } else if (!std::strcmp(a, "--wal-fsync")) {
+      const char* s = next();
+      if (!s || (std::strcmp(s, "every") && std::strcmp(s, "interval") &&
+                 std::strcmp(s, "none")))
+        return usage();
+      opt.wal_fsync = s;
+    } else if (!std::strcmp(a, "--wal-fsync-interval-ms")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1, 600000, &v)) return usage();
+      opt.wal_fsync_interval_ms = static_cast<uint32_t>(v);
+    } else if (!std::strcmp(a, "--wal-segment-mb")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1, 4096, &v)) return usage();
+      opt.wal_segment_mb = v;
+    } else if (!std::strcmp(a, "--checkpoint-every-mb")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 0, 65536, &v)) return usage();
+      opt.checkpoint_every_mb = v;
     } else {
       return usage();
     }

@@ -20,6 +20,7 @@
 #include "net/replication.h"
 #include "obs/build_info.h"
 #include "obs/clock.h"
+#include "persist/durability.h"
 #include "store/report_json.h"
 #include "store/store_io.h"
 #include "util/json.h"
@@ -100,6 +101,14 @@ server::server(server_config cfg, store::filter_store st)
   wake_wr_ = socket_fd(fds[1]);
   set_nonblocking(wake_rd_.get());
   start_ns_ = obs::now_ns();
+  if (cfg_.durability != nullptr) {
+    // The WAL's recovered position IS this store's stream position: new
+    // mutations continue the on-disk lineage instead of restarting at 0
+    // (which would hand reconnecting replicas empty deltas against data
+    // they have never seen).
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+    repl_seq_.store(cfg_.durability->last_seq(), std::memory_order_relaxed);
+  }
   register_metrics();
 }
 
@@ -210,6 +219,53 @@ void server::register_metrics() {
   registry_.add_gauge("gf_repl_feed_last_seq", "", [this, relaxed] {
     return static_cast<double>(relaxed(feed_last_seq_));
   });
+  registry_.add_counter("gf_repl_wal_deltas_served_total", "",
+                        [this, relaxed] {
+                          return relaxed(wal_deltas_served_);
+                        });
+
+  // Durability plane (src/persist/): registered only when a WAL is armed —
+  // the engine's counters are loop-thread plain fields, and scrapes render
+  // on the loop (metrics_text's threading contract).
+  if (cfg_.durability != nullptr) {
+    persist::durability_engine* d = cfg_.durability;
+    registry_.add_counter("gf_wal_bytes_total", "", [d] {
+      return static_cast<double>(d->stats().wal_bytes);
+    });
+    registry_.add_counter("gf_wal_frames_total", "", [d] {
+      return static_cast<double>(d->stats().wal_frames);
+    });
+    registry_.add_counter("gf_wal_fsyncs_total", "", [d] {
+      return static_cast<double>(d->stats().wal_fsyncs);
+    });
+    registry_.add_counter("gf_wal_segments_rotated_total", "", [d] {
+      return static_cast<double>(d->stats().segments_rotated);
+    });
+    registry_.add_counter("gf_checkpoints_total", "", [d] {
+      return static_cast<double>(d->stats().checkpoints);
+    });
+    registry_.add_gauge("gf_wal_segments", "", [d] {
+      return static_cast<double>(d->stats().wal_segments);
+    });
+    registry_.add_gauge("gf_wal_last_seq", "", [d] {
+      return static_cast<double>(d->stats().last_seq);
+    });
+    registry_.add_gauge("gf_checkpoint_seq", "", [d] {
+      return static_cast<double>(d->stats().checkpoint_seq);
+    });
+    registry_.add_gauge("gf_checkpoint_bytes", "", [d] {
+      return static_cast<double>(d->stats().checkpoint_bytes);
+    });
+    registry_.add_gauge("gf_recovery_replayed_frames", "", [d] {
+      return static_cast<double>(d->stats().recovery_replayed_frames);
+    });
+    registry_.add_gauge("gf_recovery_truncated_bytes", "", [d] {
+      return static_cast<double>(d->stats().recovery_truncated_bytes);
+    });
+    registry_.add_histogram("gf_wal_fsync_ns", "", d->fsync_hist());
+    registry_.add_histogram("gf_checkpoint_duration_ns", "",
+                            d->checkpoint_hist());
+  }
 
   // Store aggregates (walk the shards at render time — a scrape does what
   // one STATS report does).
@@ -354,6 +410,7 @@ server_stats server::stats() const {
   s.feed_last_seq = feed_last_seq_.load(std::memory_order_relaxed);
   s.feed_lost = feed_lost_.load(std::memory_order_relaxed);
   s.deltas_served = deltas_served_.load(std::memory_order_relaxed);
+  s.wal_deltas_served = wal_deltas_served_.load(std::memory_order_relaxed);
   s.ack_waits = ack_waits_.load(std::memory_order_relaxed);
   s.ack_degraded = ack_degraded_.load(std::memory_order_relaxed);
   s.feed_reconnects = feed_reconnects_.load(std::memory_order_relaxed);
@@ -687,13 +744,22 @@ uint64_t server::replicate(const frame& f, bool from_feed) {
       any = true;
       break;
     }
-  if (!any && ring_.budget() == 0) return seq;
+  if (!any && ring_.budget() == 0 && cfg_.durability == nullptr) return seq;
   // Re-encode straight from the decoded frame's fields with the stream
   // sequence stamped in — the payload (multi-MiB for big batches) is
   // written once into the wire bytes, never copied into a temporary.
   std::vector<uint8_t> bytes;
   encode_frame(f.op, wire_status::ok, f.shard_hint, f.key_count, seq,
                f.payload, bytes);
+  if (cfg_.durability != nullptr) {
+    // The WAL gets the exact stamped bytes the subscriber feed carries,
+    // *after* the store applied the batch but *before* the client's
+    // response can flush (flush_writes runs when this frame's handler
+    // returns): the mutation is on disk — fsync policy permitting — by
+    // the time anyone is told it happened.
+    cfg_.durability->append(seq, bytes);
+    if (cfg_.durability->checkpoint_due()) cfg_.durability->checkpoint(store_);
+  }
   for (auto& c : conns_) {
     if (c->dead || c->kind != connection::role::subscriber) continue;
     append_out(*c, bytes);
@@ -870,6 +936,12 @@ void server::try_resync_feed() {
           sub->dead = true;
         }
       ring_.clear();
+      if (cfg_.durability != nullptr) {
+        // Same reasoning for the WAL: the segments log the dead lineage.
+        cfg_.durability->reset(store_, rr.repl_seq);
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+        repl_seq_.store(rr.repl_seq, std::memory_order_relaxed);
+      }
       adopt_feed(std::move(rr.feed), std::move(rr.dec), rr.repl_seq + 1);
     } else {
       // relaxed: single-writer (event loop) telemetry; readers need no ordering.
@@ -974,9 +1046,35 @@ void server::serve_resume(connection& c, const frame& f) {
     trace_.add("repl", "delta_serve", obs::now_ns(), 0, "frames", replayed);
     return;
   }
-  // Ring wrapped past the resume point (or the replica lives in this
-  // primary's future — a crash-restart from an older snapshot): the only
-  // safe catch-up is a full bootstrap.
+  // Ring wrapped past the resume point: with a WAL armed, the frames the
+  // ring forgot are still on disk — read the delta back from the log and
+  // the replica never pays for a snapshot move.  The re-encoded bytes are
+  // identical with what the live stream carried (persist_wal_test proves
+  // it), so this branch is indistinguishable from a bigger ring.
+  if (cur != 0 && cfg_.durability != nullptr &&
+      cfg_.durability->covers(last, cur)) {
+    std::vector<uint8_t> out = encode_sync_delta_response(f.sequence, last,
+                                                          cur);
+    const size_t replayed = cfg_.durability->encode_from(last, out);
+    const size_t out_bytes = out.size();
+    append_out(c, std::move(out));
+    c.kind = connection::role::subscriber;
+    c.last_acked = last;
+    c.queue_cap = std::max(cfg_.max_subscriber_queue_bytes, 2 * out_bytes);
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+    subscribers_.fetch_add(1, std::memory_order_relaxed);
+    recompute_acked();
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+    deltas_served_.fetch_add(1, std::memory_order_relaxed);
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+    wal_deltas_served_.fetch_add(1, std::memory_order_relaxed);
+    trace_.add("repl", "wal_delta_serve", obs::now_ns(), 0, "frames",
+               replayed);
+    return;
+  }
+  // No ring coverage and no (or insufficient) WAL: the only safe catch-up
+  // is a full bootstrap — also the case of a replica living in this
+  // primary's future after a crash-restart from an older snapshot.
   serve_snapshot(c, f);
 }
 
@@ -986,9 +1084,11 @@ void server::serve_snapshot(connection& c, const frame& f) {
   // sequence recorded here is inside the snapshot and every later one
   // will be forwarded down this connection.  Nothing falls in between.
   const uint64_t t0 = obs::now_ns();
-  const std::string bytes = store::serialize_store(store_);
   // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   const uint64_t seq_pos = repl_seq_.load(std::memory_order_relaxed);
+  // The v3 header carries the covered sequence, so a replica that later
+  // restarts with its own WAL can anchor its log to this lineage.
+  const std::string bytes = store::serialize_store(store_, seq_pos);
   size_t cap = std::min(cfg_.sync_chunk_bytes,
                         cfg_.max_frame_bytes - kFrameOverhead);
   if (cap <= kSyncChunk0Header) cap = kSyncChunk0Header + 1;
@@ -1052,6 +1152,12 @@ void server::handle_invite(connection& c, const frame& f) {
         subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
         sub->dead = true;
       }
+    if (cfg_.durability != nullptr) {
+      // New lineage: the old WAL describes a store that no longer exists.
+      cfg_.durability->reset(store_, sr.repl_seq);
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+      repl_seq_.store(sr.repl_seq, std::memory_order_relaxed);
+    }
     adopt_feed(std::move(sr.feed), std::move(sr.dec), sr.repl_seq + 1);
     // No success response: the inviter fired and forgot; convergence is
     // observable through STATS on either end.
@@ -1282,6 +1388,7 @@ void server::handle_frame(connection& c, const frame& f) {
             .field("resyncs_delta", s.resyncs_delta)
             .field("resyncs_snapshot", s.resyncs_snapshot)
             .field("deltas_served", s.deltas_served)
+            .field("wal_deltas_served", s.wal_deltas_served)
             .field("ack_replicas", cfg_.ack_replicas)
             .field("ack_waits", s.ack_waits)
             .field("ack_degraded", s.ack_degraded)
@@ -1289,6 +1396,28 @@ void server::handle_frame(connection& c, const frame& f) {
             .field("ring_frames", ring_.size())
             .field("ring_bytes", ring_.bytes())
             .field("read_only_refusals", s.read_only_refusals);
+        w.object_end();
+        w.key("durability").object_begin();
+        w.field("armed", cfg_.durability != nullptr);
+        if (cfg_.durability != nullptr) {
+          const persist::durability_stats d = cfg_.durability->stats();
+          w.field("wal_dir", cfg_.durability->dir())
+              .field("fsync",
+                     persist::fsync_policy_name(cfg_.durability->policy()))
+              .field("wal_bytes", d.wal_bytes)
+              .field("wal_frames", d.wal_frames)
+              .field("wal_fsyncs", d.wal_fsyncs)
+              .field("wal_segments", d.wal_segments)
+              .field("segments_rotated", d.segments_rotated)
+              .field("wal_last_seq", d.last_seq)
+              .field("checkpoints", d.checkpoints)
+              .field("checkpoint_seq", d.checkpoint_seq)
+              .field("checkpoint_bytes", d.checkpoint_bytes)
+              .field("recovery_replayed_frames", d.recovery_replayed_frames)
+              .field("recovery_truncated_bytes", d.recovery_truncated_bytes)
+              .field("recovery_gaps", d.recovery_gaps)
+              .field("wal_deltas_served", s.wal_deltas_served);
+        }
         w.object_end();
         w.object_end();
         t_applied = obs::now_ns();
@@ -1314,7 +1443,9 @@ void server::handle_frame(connection& c, const frame& f) {
                             "server was started without a snapshot path"));
           break;
         }
-        store::save_store(store_, cfg_.snapshot_path);
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+        store::save_store(store_, cfg_.snapshot_path,
+                          repl_seq_.load(std::memory_order_relaxed));
         uint64_t bytes = static_cast<uint64_t>(
             std::filesystem::file_size(cfg_.snapshot_path));
         t_applied = obs::now_ns();

@@ -58,6 +58,10 @@
 #include "obs/trace.h"
 #include "store/store.h"
 
+namespace gf::persist {
+class durability_engine;  // src/persist/durability.h
+}
+
 namespace gf::net {
 
 struct server_config {
@@ -137,6 +141,19 @@ struct server_config {
   /// a fresh connection afterwards.
   uint32_t feed_idle_timeout_ms = 0;
 
+  // -- Durability (src/persist/) --------------------------------------------
+
+  /// Write-ahead log + checkpoint engine, already recover()ed or reset()
+  /// by the owner (examples/store_server.cpp), which keeps ownership; the
+  /// server only calls it from the event loop.  When set, every applied
+  /// mutating batch — auto-maintain's synthesized frames included — is
+  /// appended at the same point it is fed to subscribers, checkpoints run
+  /// between frames when due, and a reconnecting replica whose resume
+  /// position has wrapped out of the replay ring is served a delta read
+  /// back from the WAL instead of a whole snapshot.  Null disables
+  /// durability (PR 8 behavior).
+  persist::durability_engine* durability = nullptr;
+
   // -- Ack-gated writes -----------------------------------------------------
 
   /// Hold each mutating client response until this many subscribers have
@@ -179,6 +196,8 @@ struct server_stats {
 
   // Replication, primary side: resume serving and ack gating.
   uint64_t deltas_served = 0;     ///< resume requests answered by replay
+  uint64_t wal_deltas_served = 0; ///< of those, read back from the disk WAL
+                                  ///< because the in-memory ring had wrapped
   uint64_t ack_waits = 0;         ///< responses that entered the ack gate
   uint64_t ack_degraded = 0;      ///< gates released as ok_async (deadline
                                   ///< hit, or too few subscribers attached)
@@ -330,6 +349,7 @@ class server {
   std::atomic<uint64_t> feed_lost_{0};
   std::atomic<uint64_t> read_only_refusals_{0};
   std::atomic<uint64_t> deltas_served_{0};
+  std::atomic<uint64_t> wal_deltas_served_{0};
   std::atomic<uint64_t> ack_waits_{0};
   std::atomic<uint64_t> ack_degraded_{0};
   std::atomic<uint64_t> feed_reconnects_{0};

@@ -1,0 +1,44 @@
+#include "persist/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "store/store_io.h"
+
+namespace gf::persist {
+
+uint64_t checkpointer::run(const store::filter_store& st, uint64_t seq,
+                           manifest& m) {
+  // 1. The snapshot itself, crash-atomic (tmp + fsync + rename) with the
+  //    covered sequence in its v3 header.
+  const std::string bytes = store::serialize_store(st, seq);
+  store::atomic_write_file(dir_ + "/" + kCheckpointFile, bytes.data(),
+                           bytes.size());
+
+  // 2. Publish: the manifest now names the new checkpoint and only the
+  //    segments that still matter.  Written before any file is deleted,
+  //    so a crash here recovers from the new checkpoint and simply skips
+  //    the stale (wholly-covered) segments it replays over.
+  std::vector<std::string> prune;
+  std::erase_if(m.segments, [&](const segment_info& s) {
+    if (s.last_seq > seq) return false;
+    prune.push_back(s.file);
+    return true;
+  });
+  m.has_checkpoint = true;
+  m.checkpoint_seq = seq;
+  m.checkpoint_file = kCheckpointFile;
+  save_manifest(dir_, m);
+
+  // 3. Truncate the covered prefix.  Best-effort: a leftover file is
+  //    ignored by recovery (the manifest no longer names it).
+  for (const std::string& file : prune) {
+    std::error_code ec;
+    std::filesystem::remove(dir_ + "/" + file, ec);
+  }
+  return bytes.size();
+}
+
+}  // namespace gf::persist

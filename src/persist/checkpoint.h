@@ -1,0 +1,50 @@
+// The checkpointer: fold the WAL's prefix into a crash-atomic snapshot.
+//
+// A checkpoint is an ordinary store snapshot (store/store_io.h, v3 — the
+// covered repl_seq is stamped into the file header) written atomically to
+// <wal-dir>/checkpoint.gfs, after which every WAL segment wholly at or
+// below the covered sequence is truncated: restart cost becomes
+// load_store(checkpoint) + replay of only the tail, O(delta) instead of
+// O(store) (ROADMAP "tiered RAM/disk store").
+//
+// The manifest is rewritten (atomically) only *after* the checkpoint file
+// is durable and only *before* segments are deleted, so every crash
+// window leaves a recoverable pair: old checkpoint + full log, new
+// checkpoint + not-yet-pruned log, or new checkpoint + pruned log.  The
+// checkpoint header's own repl_seq is cross-checked against the manifest
+// on recovery — a mismatched pair (a hand-copied file, a partial restore)
+// is rejected instead of silently replaying the wrong tail.
+//
+// "Background-safe" means callable between frames on the server's event
+// loop: serialize_store only reads, and the loop is the store's sole
+// writer, so no quiescing is needed — the same host-phased discipline
+// maintain() relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "persist/wal.h"
+#include "store/store.h"
+
+namespace gf::persist {
+
+class checkpointer {
+ public:
+  static constexpr const char* kCheckpointFile = "checkpoint.gfs";
+
+  explicit checkpointer(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Snapshot `st` as covering stream position `seq`, stamp the manifest,
+  /// prune every segment whose last frame is <= seq (manifest first, then
+  /// the files).  `m` must reflect live truth: the caller closes the
+  /// active segment first so no pruned file has a writer.  Returns the
+  /// checkpoint's byte size.  Throws on I/O failure with the previous
+  /// checkpoint intact.
+  uint64_t run(const store::filter_store& st, uint64_t seq, manifest& m);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace gf::persist

@@ -1,0 +1,327 @@
+#include "persist/durability.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+#include "obs/clock.h"
+#include "store/store_io.h"
+
+namespace gf::persist {
+
+durability_engine::durability_engine(wal_config cfg)
+    : cfg_(std::move(cfg)), ckpt_(cfg_.dir) {
+  if (cfg_.dir.empty())
+    throw std::runtime_error("gf: durability engine needs a WAL directory");
+}
+
+durability_engine::~durability_engine() {
+  try {
+    active_.close();  // close() fsyncs: an orderly exit loses nothing
+  } catch (...) {
+  }
+}
+
+// Replay one logged frame through the store's normal bulk apply paths —
+// the same calls net::server::handle_frame makes, so a recovered store is
+// byte-identical with one that never crashed (and with every replica,
+// which applies the identical frames off the feed).
+void durability_engine::apply_frame(store::filter_store& st,
+                                    const net::frame& f) {
+  switch (f.op) {
+    case net::opcode::insert: {
+      std::vector<uint64_t> keys = net::decode_keys(f);
+      st.insert_bulk(keys);
+      return;
+    }
+    case net::opcode::insert_counted: {
+      std::vector<uint64_t> keys, counts;
+      net::decode_pairs(f, keys, counts);
+      std::vector<store::op> ops;
+      ops.reserve(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i)
+        ops.push_back(store::make_insert(keys[i], counts[i]));
+      st.apply(ops);
+      return;
+    }
+    case net::opcode::erase: {
+      std::vector<uint64_t> keys = net::decode_keys(f);
+      std::vector<store::op> ops;
+      ops.reserve(keys.size());
+      for (uint64_t k : keys) ops.push_back(store::make_erase(k));
+      st.apply(ops);
+      return;
+    }
+    case net::opcode::maintain:
+      st.maintain();
+      return;
+    default:
+      // scan callbacks screen opcodes before applying; reaching here is a
+      // logic error, not a disk artifact.
+      throw std::runtime_error("gf: non-mutating opcode in WAL replay");
+  }
+}
+
+store::filter_store durability_engine::recover(const bootstrap_fn& fallback) {
+  std::filesystem::create_directories(cfg_.dir);
+  if (manifest_exists(cfg_.dir)) m_ = load_manifest(cfg_.dir);
+
+  store::filter_store st = [&] {
+    if (m_.has_checkpoint) {
+      uint64_t header_seq = 0;
+      store::filter_store loaded = store::load_store(
+          cfg_.dir + "/" + m_.checkpoint_file, &header_seq);
+      // Cross-check: the checkpoint is self-describing (v3 header) and
+      // must agree with the manifest that claims it.  A pre-v3 file
+      // reports 0 = unknown, which only a checkpoint_seq of 0 matches —
+      // anything else is a foreign or hand-swapped file and replaying the
+      // tail over it would corrupt silently.
+      if (header_seq != m_.checkpoint_seq)
+        throw std::runtime_error(
+            "gf: WAL manifest says the checkpoint covers sequence " +
+            std::to_string(m_.checkpoint_seq) + " but its header says " +
+            std::to_string(header_seq));
+      last_seq_ = m_.checkpoint_seq;
+      return loaded;
+    }
+    auto [boot, seq] = fallback();
+    last_seq_ = seq;
+    m_.checkpoint_seq = seq;  // replay floor while the log is virgin
+    return boot;
+  }();
+
+  // Replay the tail in stream order, stopping — and physically truncating
+  // — at the first torn frame, corrupt frame, or sequence hole.  Only a
+  // crash can produce these (and only at the very tail), so everything
+  // after the anomaly is unacked garbage, never data.
+  std::sort(m_.segments.begin(), m_.segments.end(),
+            [](const segment_info& a, const segment_info& b) {
+              return a.first_seq < b.first_seq;
+            });
+  std::vector<segment_info> kept;
+  bool stopped = false;
+  for (segment_info& seg : m_.segments) {
+    const std::string path = cfg_.dir + "/" + seg.file;
+    if (stopped) {
+      std::error_code ec;
+      recovery_truncated_bytes_ += std::filesystem::file_size(path, ec);
+      std::filesystem::remove(path, ec);
+      continue;
+    }
+    uint64_t seg_first = 0, seg_last = 0;
+    bool gap = false;
+    scan_result r =
+        scan_segment(cfg_.dir, seg.file, cfg_.max_frame_bytes,
+                     [&](net::frame&& f) {
+                       if (net::validate_request(f) != nullptr) return false;
+                       if (f.sequence <= last_seq_) {
+                         // Below the checkpoint (or a pre-prune leftover):
+                         // present, CRC-clean, already folded in.  Track
+                         // the range; skip the apply.
+                         if (seg_first == 0) seg_first = f.sequence;
+                         seg_last = f.sequence;
+                         return true;
+                       }
+                       if (f.sequence != last_seq_ + 1) {
+                         gap = true;
+                         return false;
+                       }
+                       apply_frame(st, f);
+                       last_seq_ = f.sequence;
+                       if (seg_first == 0) seg_first = f.sequence;
+                       seg_last = f.sequence;
+                       ++recovery_replayed_;
+                       return true;
+                     });
+    if (gap) ++recovery_gaps_;
+    if (r.stop != scan_stop::clean) {
+      // Cut the tail at the last clean frame boundary; later segments (if
+      // any) are beyond the hole and go entirely.
+      stopped = true;
+      recovery_truncated_bytes_ += r.file_bytes - r.good_bytes;
+      if (r.frames == 0) {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        continue;
+      }
+      if (::truncate(path.c_str(), static_cast<off_t>(r.good_bytes)) != 0)
+        throw std::runtime_error("gf: cannot truncate torn WAL segment " +
+                                 path);
+    } else if (r.frames == 0) {
+      // Header-only segment (crash between rotation and first append).
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      continue;
+    }
+    seg.first_seq = seg_first;
+    seg.last_seq = seg_last;
+    kept.push_back(seg);
+  }
+  m_.segments = std::move(kept);
+  contiguous_from_ =
+      m_.segments.empty() ? last_seq_ + 1 : m_.segments.front().first_seq;
+  armed_ = true;
+
+  if (!m_.has_checkpoint) {
+    // Arm the directory: the first checkpoint makes restart independent
+    // of the fallback source (a legacy snapshot file can move or rot).
+    checkpoint(st);
+  } else {
+    save_manifest(cfg_.dir, m_);  // record truncation/pruning reality
+  }
+  return st;
+}
+
+void durability_engine::append(uint64_t seq,
+                               std::span<const uint8_t> frame_bytes) {
+  if (!armed_)
+    throw std::runtime_error("gf: WAL append before recover()/reset()");
+  if (seq != last_seq_ + 1) {
+    // A hole (an unsupervised replica accepted a feed gap).  The log must
+    // never span it: start a fresh segment at the new position, drop the
+    // pre-gap run from what covers() may serve, and demand a checkpoint —
+    // which truncates the unusable prefix and re-anchors recovery.
+    active_.close();
+    contiguous_from_ = seq;
+    force_checkpoint_ = true;
+  }
+  if (!active_.is_open() ||
+      active_.bytes() + frame_bytes.size() > cfg_.segment_bytes)
+    roll(seq);
+  active_.append(frame_bytes);
+  m_.segments.back().last_seq = seq;
+  last_seq_ = seq;
+  wal_bytes_ += frame_bytes.size();
+  ++wal_frames_;
+  bytes_since_checkpoint_ += frame_bytes.size();
+  maybe_fsync();
+}
+
+void durability_engine::roll(uint64_t first_seq) {
+  active_.close();
+  segment_info seg;
+  seg.first_seq = first_seq;
+  seg.last_seq = first_seq;
+  seg.file = segment_file_name(first_seq);
+  active_.open(cfg_.dir, seg.file, first_seq);
+  m_.segments.push_back(std::move(seg));
+  ++rotations_;
+  // Publish the new segment before frames land in it: recovery only
+  // trusts manifest-listed files.
+  save_manifest(cfg_.dir, m_);
+}
+
+void durability_engine::maybe_fsync() {
+  switch (cfg_.fsync) {
+    case fsync_policy::none:
+      return;
+    case fsync_policy::every:
+      break;
+    case fsync_policy::interval: {
+      const uint64_t now = obs::now_ns();
+      if (now - last_fsync_ns_ <
+          uint64_t{cfg_.fsync_interval_ms} * 1'000'000ull)
+        return;
+      break;
+    }
+  }
+  const uint64_t t0 = obs::now_ns();
+  active_.fsync_now();
+  const uint64_t t1 = obs::now_ns();
+  fsync_ns_.record(t1 - t0);
+  last_fsync_ns_ = t1;
+  ++wal_fsyncs_;
+}
+
+bool durability_engine::checkpoint_due() const {
+  if (!armed_) return false;
+  if (force_checkpoint_) return true;
+  return cfg_.checkpoint_every_bytes != 0 &&
+         bytes_since_checkpoint_ >= cfg_.checkpoint_every_bytes;
+}
+
+void durability_engine::checkpoint(const store::filter_store& st) {
+  if (!armed_)
+    throw std::runtime_error("gf: checkpoint before recover()/reset()");
+  const uint64_t t0 = obs::now_ns();
+  active_.close();  // no pruned file may have a live writer
+  checkpoint_bytes_ = ckpt_.run(st, last_seq_, m_);
+  checkpoint_ns_.record(obs::now_ns() - t0);
+  ++checkpoints_;
+  bytes_since_checkpoint_ = 0;
+  force_checkpoint_ = false;
+  if (m_.segments.empty()) contiguous_from_ = last_seq_ + 1;
+}
+
+void durability_engine::reset(const store::filter_store& st, uint64_t seq) {
+  active_.close();
+  for (const segment_info& s : m_.segments) {
+    std::error_code ec;
+    std::filesystem::remove(cfg_.dir + "/" + s.file, ec);
+  }
+  m_.segments.clear();
+  std::filesystem::create_directories(cfg_.dir);
+  last_seq_ = seq;
+  contiguous_from_ = seq + 1;
+  armed_ = true;
+  checkpoint(st);
+}
+
+void durability_engine::sync() {
+  if (active_.is_open()) active_.fsync_now();
+}
+
+bool durability_engine::covers(uint64_t after_seq,
+                               uint64_t current_seq) const {
+  if (!armed_ || after_seq > current_seq) return false;
+  if (after_seq == current_seq) return true;
+  // Need every frame in (after_seq, current_seq] from the contiguous run.
+  return current_seq <= last_seq_ && after_seq + 1 >= contiguous_from_;
+}
+
+size_t durability_engine::encode_from(uint64_t after_seq,
+                                      std::vector<uint8_t>& out) const {
+  size_t replayed = 0;
+  for (const segment_info& seg : m_.segments) {
+    if (seg.last_seq <= after_seq) continue;  // wholly below the resume
+    scan_segment(cfg_.dir, seg.file, cfg_.max_frame_bytes,
+                 [&](net::frame&& f) {
+                   if (f.sequence <= after_seq ||
+                       f.sequence < contiguous_from_)
+                     return true;
+                   // Re-encode from the decoded (CRC-verified) fields:
+                   // deterministic encoding makes the bytes identical with
+                   // what the live subscriber stream carried.
+                   net::encode_frame(f.op, net::wire_status::ok,
+                                     f.shard_hint, f.key_count, f.sequence,
+                                     f.payload, out);
+                   ++replayed;
+                   return true;
+                 });
+  }
+  return replayed;
+}
+
+durability_stats durability_engine::stats() const {
+  durability_stats s;
+  s.wal_bytes = wal_bytes_;
+  s.wal_frames = wal_frames_;
+  s.wal_fsyncs = wal_fsyncs_;
+  s.wal_segments = m_.segments.size();
+  s.segments_rotated = rotations_;
+  s.checkpoints = checkpoints_;
+  s.checkpoint_seq = m_.checkpoint_seq;
+  s.checkpoint_bytes = checkpoint_bytes_;
+  s.last_seq = last_seq_;
+  s.recovery_replayed_frames = recovery_replayed_;
+  s.recovery_truncated_bytes = recovery_truncated_bytes_;
+  s.recovery_gaps = recovery_gaps_;
+  return s;
+}
+
+}  // namespace gf::persist

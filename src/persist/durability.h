@@ -1,0 +1,151 @@
+// The durability engine: WAL + checkpointing behind one façade.
+//
+// Ownership and threading: examples/store_server.cpp (or a test) owns the
+// engine and hands net::server a non-owning pointer via server_config.
+// After recover()/reset(), every call is made from the server's event
+// loop — the store's single writer — so the engine keeps plain fields and
+// no locks; stats() is read from the same thread (metrics scrapes and the
+// STATS durability section both render on the loop).
+//
+// Lifecycle:
+//   1. recover(fallback) — load the manifest's checkpoint (cross-checking
+//      the covered sequence stamped in its v3 store header), replay the
+//      WAL tail through the store's normal bulk apply paths, truncate any
+//      torn tail at the last clean frame, and return the rebuilt store.
+//      With no checkpoint yet, `fallback` supplies the starting store
+//      (a legacy --snapshot, or a fresh one) and its covered sequence,
+//      and an initial checkpoint arms the directory.
+//   2. append(seq, bytes) — called from net::server::replicate() with the
+//      exact encoded wire frame; rotates segments by size and fsyncs per
+//      policy.  The WAL therefore holds every applied mutating batch,
+//      auto-maintain's synthesized frames included, in stream order.
+//   3. checkpoint(store) when checkpoint_due() — fold the log into a new
+//      snapshot and truncate covered segments.
+//   4. covers()/encode_from() — serve a reconnecting replica's delta
+//      re-sync from disk when the in-memory replay ring has wrapped.
+//
+// Sequence discipline: appends must arrive contiguously (replicate()
+// stamps them so).  A discontinuity — an unsupervised replica accepting a
+// feed gap — starts a fresh segment, forces checkpoint_due(), and drops
+// the pre-gap log from covers(): the log never silently spans a hole.
+// reset() handles the larger break (a replica re-bootstrapped onto a new
+// lineage) by truncating everything and checkpointing the new store.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
+#include "store/store.h"
+
+namespace gf::persist {
+
+/// Plain-value counters for STATS / metrics (single-writer, loop thread).
+struct durability_stats {
+  uint64_t wal_bytes = 0;       ///< frame bytes appended (headers excluded)
+  uint64_t wal_frames = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_segments = 0;    ///< live (manifest) segments
+  uint64_t segments_rotated = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_seq = 0;
+  uint64_t checkpoint_bytes = 0;  ///< size of the newest checkpoint
+  uint64_t last_seq = 0;
+  uint64_t recovery_replayed_frames = 0;
+  uint64_t recovery_truncated_bytes = 0;  ///< torn/corrupt tail bytes cut
+  uint64_t recovery_gaps = 0;             ///< replay stopped at a hole
+};
+
+class durability_engine {
+ public:
+  explicit durability_engine(wal_config cfg);
+  ~durability_engine();
+  durability_engine(const durability_engine&) = delete;
+  durability_engine& operator=(const durability_engine&) = delete;
+
+  /// Starting store + the stream sequence it covers, used when the WAL
+  /// directory has no checkpoint yet.
+  using bootstrap_fn =
+      std::function<std::pair<store::filter_store, uint64_t>()>;
+
+  /// See the file comment.  Must be called (or reset()) before append().
+  /// Throws when the manifest, checkpoint, or a segment *header* is
+  /// malformed or the checkpoint's stamped sequence disagrees with the
+  /// manifest — lying metadata is fatal; torn frame data is not.
+  store::filter_store recover(const bootstrap_fn& fallback);
+
+  /// Log one applied mutation: the exact encoded wire frame, stamped with
+  /// stream sequence `seq`.  Rotates and fsyncs per config.
+  void append(uint64_t seq, std::span<const uint8_t> frame_bytes);
+
+  /// True when enough log accumulated since the last checkpoint (or a
+  /// sequence discontinuity demands one).  Cheap; poll after mutations.
+  bool checkpoint_due() const;
+  /// Checkpoint `st` as of the last appended sequence.
+  void checkpoint(const store::filter_store& st);
+
+  /// New lineage (replica re-bootstrapped from a snapshot): drop every
+  /// segment and checkpoint `st` as covering `seq`.
+  void reset(const store::filter_store& st, uint64_t seq);
+
+  /// fsync the active segment regardless of policy (orderly shutdown).
+  void sync();
+
+  /// True when every frame in (after_seq, current_seq] can be replayed
+  /// from live segments — the disk-backed analogue of replay_ring::covers.
+  bool covers(uint64_t after_seq, uint64_t current_seq) const;
+  /// Append the re-encoded frames above `after_seq` to `out` in stream
+  /// order (byte-identical with the subscriber stream; the per-frame CRC
+  /// was verified on the way out of the segment).  Returns frame count.
+  size_t encode_from(uint64_t after_seq, std::vector<uint8_t>& out) const;
+
+  uint64_t last_seq() const { return last_seq_; }
+  const std::string& dir() const { return cfg_.dir; }
+  fsync_policy policy() const { return cfg_.fsync; }
+  durability_stats stats() const;
+
+  /// For registry registration (obs/registry.h add_histogram).
+  const obs::latency_histogram* fsync_hist() const { return &fsync_ns_; }
+  const obs::latency_histogram* checkpoint_hist() const {
+    return &checkpoint_ns_;
+  }
+
+ private:
+  void roll(uint64_t first_seq);  ///< close active, open a fresh segment
+  void maybe_fsync();
+  void apply_frame(store::filter_store& st, const net::frame& f);
+
+  wal_config cfg_;
+  checkpointer ckpt_;
+  manifest m_;
+  segment_writer active_;
+  bool armed_ = false;          ///< recover()/reset() completed
+  uint64_t last_seq_ = 0;
+  /// First sequence of the contiguous run the live segments hold; frames
+  /// below it (pre-gap) are never served or trusted.
+  uint64_t contiguous_from_ = 1;
+  bool force_checkpoint_ = false;
+  size_t bytes_since_checkpoint_ = 0;
+  uint64_t last_fsync_ns_ = 0;
+
+  // Telemetry (single-writer; read on the same loop thread).
+  uint64_t wal_bytes_ = 0;
+  uint64_t wal_frames_ = 0;
+  uint64_t wal_fsyncs_ = 0;
+  uint64_t rotations_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t checkpoint_bytes_ = 0;
+  uint64_t recovery_replayed_ = 0;
+  uint64_t recovery_truncated_bytes_ = 0;
+  uint64_t recovery_gaps_ = 0;
+  obs::latency_histogram fsync_ns_;       // 1 lane: loop is the only writer
+  obs::latency_histogram checkpoint_ns_;  // 1 lane: loop is the only writer
+};
+
+}  // namespace gf::persist

@@ -1,0 +1,236 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "store/store_io.h"  // atomic_write_file
+#include "util/io.h"
+
+namespace gf::persist {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error("gf: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+void fsync_dir(const std::string& dir) {
+  // Best-effort like store_io's atomic_write_file: the data is already
+  // safe, and some filesystems refuse directory fsync.
+  int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
+const char* fsync_policy_name(fsync_policy p) {
+  switch (p) {
+    case fsync_policy::every: return "every";
+    case fsync_policy::interval: return "interval";
+    case fsync_policy::none: return "none";
+  }
+  return "?";
+}
+
+fsync_policy parse_fsync_policy(const std::string& name) {
+  if (name == "every") return fsync_policy::every;
+  if (name == "interval") return fsync_policy::interval;
+  if (name == "none") return fsync_policy::none;
+  throw std::runtime_error("gf: unknown fsync policy '" + name +
+                           "' (expected every|interval|none)");
+}
+
+std::string segment_file_name(uint64_t first_seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.seg",
+                static_cast<unsigned long long>(first_seq));
+  return buf;
+}
+
+// -- segment_writer ----------------------------------------------------------
+
+segment_writer::~segment_writer() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor path: the close fsync failing can only lose what the
+    // fsync policy already allowed to be in flight.
+  }
+}
+
+void segment_writer::open(const std::string& dir, const std::string& file,
+                          uint64_t first_seq) {
+  close();
+  const std::string path = dir + "/" + file;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw_errno("cannot create WAL segment", path);
+  file_ = file;
+  bytes_ = 0;
+  std::vector<uint8_t> hdr;
+  hdr.reserve(kSegmentHeaderBytes);
+  net::put_u32(hdr, kSegmentMagic);
+  net::put_u32(hdr, kSegmentVersion);
+  net::put_u64(hdr, first_seq);
+  append(hdr);
+  // The segment's *name* must survive a crash too, or recovery loses the
+  // whole segment when the directory entry never committed.
+  fsync_dir(dir);
+}
+
+void segment_writer::append(std::span<const uint8_t> bytes) {
+  const uint8_t* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t w = ::write(fd_, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("short write to WAL segment", file_);
+    }
+    p += static_cast<size_t>(w);
+    left -= static_cast<size_t>(w);
+  }
+  bytes_ += bytes.size();
+}
+
+void segment_writer::fsync_now() {
+  if (fd_ >= 0 && ::fsync(fd_) != 0)
+    throw_errno("fsync of WAL segment", file_);
+}
+
+void segment_writer::close() {
+  if (fd_ < 0) return;
+  fsync_now();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+// -- Segment scan ------------------------------------------------------------
+
+scan_result scan_segment(const std::string& dir, const std::string& file,
+                         size_t max_frame_bytes,
+                         const std::function<bool(net::frame&&)>& cb) {
+  const std::string path = dir + "/" + file;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("gf: cannot open WAL segment " + path);
+
+  scan_result r;
+  uint8_t hdr[kSegmentHeaderBytes];
+  in.read(reinterpret_cast<char*>(hdr), sizeof(hdr));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(hdr)))
+    throw std::runtime_error("gf: WAL segment " + path +
+                             " shorter than its header");
+  if (net::get_u32(hdr) != kSegmentMagic)
+    throw std::runtime_error("gf: " + path + " is not a WAL segment");
+  if (net::get_u32(hdr + 4) != kSegmentVersion)
+    throw std::runtime_error("gf: unsupported WAL segment version in " +
+                             path);
+  r.good_bytes = kSegmentHeaderBytes;
+  r.file_bytes = kSegmentHeaderBytes;
+
+  net::frame_decoder dec(max_frame_bytes);
+  net::frame f;
+  char buf[1 << 16];
+  for (;;) {
+    // Drain every complete frame before reading more, tracking the byte
+    // offset each accepted frame ends at — that offset is the truncation
+    // point when the next frame turns out torn or corrupt.
+    for (;;) {
+      const size_t before = dec.buffered();
+      const net::decode_status st = dec.next(f);
+      if (st == net::decode_status::need_more) break;
+      if (st == net::decode_status::error) {
+        r.stop = scan_stop::corrupt;
+        r.error = dec.error();
+        return r;
+      }
+      const size_t frame_bytes = before - dec.buffered();
+      if (!cb(std::move(f))) {
+        r.stop = scan_stop::halted;
+        return r;
+      }
+      r.good_bytes += frame_bytes;
+      ++r.frames;
+    }
+    in.read(buf, sizeof(buf));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    r.file_bytes += static_cast<size_t>(got);
+    dec.feed(reinterpret_cast<const uint8_t*>(buf),
+             static_cast<size_t>(got));
+  }
+  if (dec.buffered() != 0) r.stop = scan_stop::torn;
+  return r;
+}
+
+// -- Manifest ----------------------------------------------------------------
+
+bool manifest_exists(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::exists(dir + "/" + kManifestFile, ec);
+}
+
+manifest load_manifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestFile;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("gf: cannot open WAL manifest " + path);
+  if (util::read_pod<uint64_t>(in) != kManifestMagic)
+    throw std::runtime_error("gf: " + path + " is not a WAL manifest");
+  const uint32_t version = util::read_pod<uint32_t>(in);
+  if (version != kManifestVersion)
+    throw std::runtime_error("gf: unsupported WAL manifest version " +
+                             std::to_string(version));
+  manifest m;
+  m.has_checkpoint = util::read_pod<uint8_t>(in) != 0;
+  m.checkpoint_seq = util::read_pod<uint64_t>(in);
+  const auto name = util::read_vec<char>(in);
+  m.checkpoint_file.assign(name.begin(), name.end());
+  const uint32_t count = util::read_pod<uint32_t>(in);
+  // A segment per few MiB of log: anything past this is a corrupt count,
+  // not a real directory.
+  if (count > (uint32_t{1} << 20))
+    throw std::runtime_error("gf: WAL manifest segment count out of range");
+  m.segments.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    segment_info s;
+    s.first_seq = util::read_pod<uint64_t>(in);
+    s.last_seq = util::read_pod<uint64_t>(in);
+    const auto file = util::read_vec<char>(in);
+    s.file.assign(file.begin(), file.end());
+    m.segments.push_back(std::move(s));
+  }
+  return m;
+}
+
+void save_manifest(const std::string& dir, const manifest& m) {
+  std::ostringstream out(std::ios::binary);
+  util::write_pod<uint64_t>(out, kManifestMagic);
+  util::write_pod<uint32_t>(out, kManifestVersion);
+  util::write_pod<uint8_t>(out, m.has_checkpoint ? 1 : 0);
+  util::write_pod<uint64_t>(out, m.checkpoint_seq);
+  util::write_vec<char>(out, {m.checkpoint_file.begin(),
+                              m.checkpoint_file.end()});
+  util::write_pod<uint32_t>(out, static_cast<uint32_t>(m.segments.size()));
+  for (const segment_info& s : m.segments) {
+    util::write_pod<uint64_t>(out, s.first_seq);
+    util::write_pod<uint64_t>(out, s.last_seq);
+    util::write_vec<char>(out, {s.file.begin(), s.file.end()});
+  }
+  const std::string bytes = std::move(out).str();
+  store::atomic_write_file(dir + "/" + kManifestFile, bytes.data(),
+                           bytes.size());
+}
+
+}  // namespace gf::persist

@@ -4,13 +4,17 @@
 // Layout (little-endian, host format like every filter file):
 //   u64 magic "GFSTOR"     u32 version
 //   u32 backend kind       u32 num_shards      u64 total capacity
-//   per shard (v2): u32 level_count, then per level:
-//                   u64 provisioned capacity, u64 live items,
-//                   backend payload (its own magic + version + geometry)
+//   v3 only: u64 repl_seq  (replication-stream position the snapshot covers)
+//   per shard (v2+): u32 level_count, then per level:
+//                    u64 provisioned capacity, u64 live items,
+//                    backend payload (its own magic + version + geometry)
 //   per shard (v1): exactly one level, no level_count field.
-// Version 2 added overflow cascades (store/shard.h); version-1 files load
-// unchanged as depth-1 cascades, so stores written before maintenance
-// existed keep working.
+// Version 2 added overflow cascades (store/shard.h); version 3 added the
+// covered repl_seq so a checkpoint is self-describing even without its WAL
+// manifest (src/persist/) — the manifest cross-checks it on recovery.
+// Version-1/2 files load unchanged (v1 as depth-1 cascades, both with
+// repl_seq reported as 0 = unknown), so stores written before maintenance
+// or durability existed keep working.
 //
 // The loader validates the store header before touching any payload, each
 // backend loader re-validates its own framing and geometry, the header
@@ -46,7 +50,7 @@
 namespace gf::store {
 
 inline constexpr uint64_t kStoreMagic = 0x4746'5354'4F52ull;  // "GFSTOR"
-inline constexpr uint32_t kStoreVersion = 2;
+inline constexpr uint32_t kStoreVersion = 3;
 
 /// Ceiling on any single level's provisioned item budget in a store file —
 /// like kMaxShards, a corrupted header can never smuggle in an absurd
@@ -54,13 +58,17 @@ inline constexpr uint32_t kStoreVersion = 2;
 inline constexpr uint64_t kMaxLevelCapacity = uint64_t{1} << 48;
 
 /// Write the store to a stream.  Not thread-safe against writers; quiesce
-/// (flush pending batches) first.
-inline void save_store(const filter_store& store, std::ostream& out) {
+/// (flush pending batches) first.  `repl_seq` is the replication-stream
+/// position the snapshot covers (0 when the caller tracks none): stamping
+/// it into the header makes the file a self-describing checkpoint.
+inline void save_store(const filter_store& store, std::ostream& out,
+                       uint64_t repl_seq = 0) {
   util::write_header(out, kStoreMagic, kStoreVersion);
   util::write_pod<uint32_t>(out,
                             static_cast<uint32_t>(store.config().backend));
   util::write_pod<uint32_t>(out, store.num_shards());
   util::write_pod<uint64_t>(out, store.config().capacity);
+  util::write_pod<uint64_t>(out, repl_seq);
   for (uint32_t s = 0; s < store.num_shards(); ++s) {
     const shard& sh = store.shard_at(s);
     util::write_pod<uint32_t>(out, sh.level_count());
@@ -73,14 +81,18 @@ inline void save_store(const filter_store& store, std::ostream& out) {
   }
 }
 
-/// Read a store previously written by save_store() — version 2, or a
-/// version-1 file from before overflow cascades.  Throws on malformed
-/// input, unknown backends, or geometry that disagrees with the payload.
-inline filter_store load_store(std::istream& in) {
+/// Read a store previously written by save_store() — version 3, or a
+/// version-1/2 file from before durability/overflow cascades.  Throws on
+/// malformed input, unknown backends, or geometry that disagrees with the
+/// payload.  `repl_seq_out`, when non-null, receives the covered
+/// replication sequence the header carries (0 for pre-v3 files, which
+/// predate the stamp — callers treat 0 as "unknown").
+inline filter_store load_store(std::istream& in,
+                               uint64_t* repl_seq_out = nullptr) {
   if (util::read_pod<uint64_t>(in) != kStoreMagic)
     throw std::runtime_error("gf: not a filter store file (bad magic)");
   uint32_t version = util::read_pod<uint32_t>(in);
-  if (version != 1 && version != kStoreVersion)
+  if (version == 0 || version > kStoreVersion)
     throw std::runtime_error("gf: unsupported store file version " +
                              std::to_string(version));
   uint32_t backend_raw = util::read_pod<uint32_t>(in);
@@ -93,6 +105,9 @@ inline filter_store load_store(std::istream& in) {
   if (cfg.num_shards == 0 || cfg.num_shards > kMaxShards)
     throw std::runtime_error("gf: store file shard count out of range");
   cfg.capacity = util::read_pod<uint64_t>(in);
+  const uint64_t repl_seq =
+      version >= 3 ? util::read_pod<uint64_t>(in) : uint64_t{0};
+  if (repl_seq_out != nullptr) *repl_seq_out = repl_seq;
   const uint64_t base_capacity = filter_store::shard_capacity(cfg);
 
   std::vector<std::unique_ptr<shard>> shards;
@@ -132,9 +147,10 @@ inline filter_store load_store(std::istream& in) {
 
 /// Serialize the whole store to bytes — the snapshot form the SYNC wire
 /// transfer ships (net/server.cpp) and the atomic file save writes.
-inline std::string serialize_store(const filter_store& store) {
+inline std::string serialize_store(const filter_store& store,
+                                   uint64_t repl_seq = 0) {
   std::ostringstream buf(std::ios::binary);
-  save_store(store, buf);
+  save_store(store, buf, repl_seq);
   return std::move(buf).str();
 }
 
@@ -200,25 +216,27 @@ inline void atomic_write_file(const std::string& path, const void* data,
 /// be renamed over, so they are streamed directly with the flush-and-check
 /// guard (a full disk still surfaces as "short write", not a silent
 /// truncation).
-inline void save_store(const filter_store& store, const std::string& path) {
+inline void save_store(const filter_store& store, const std::string& path,
+                       uint64_t repl_seq = 0) {
   std::error_code ec;
   if (std::filesystem::exists(path, ec) &&
       !std::filesystem::is_regular_file(path, ec)) {
     std::ofstream out(path, std::ios::binary);
     if (!out) throw std::runtime_error("gf: cannot open " + path);
-    save_store(store, out);
+    save_store(store, out, repl_seq);
     out.flush();
     if (!out) throw std::runtime_error("gf: short write to " + path);
     return;
   }
-  const std::string bytes = serialize_store(store);
+  const std::string bytes = serialize_store(store, repl_seq);
   atomic_write_file(path, bytes.data(), bytes.size());
 }
 
-inline filter_store load_store(const std::string& path) {
+inline filter_store load_store(const std::string& path,
+                               uint64_t* repl_seq_out = nullptr) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("gf: cannot open " + path);
-  return load_store(in);
+  return load_store(in, repl_seq_out);
 }
 
 }  // namespace gf::store
