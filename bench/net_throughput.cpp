@@ -20,8 +20,19 @@
 // streaming every mutating batch to an attached replica (the forwarding
 // tax), queries against the replica itself (the read-scaling payoff).
 //
+// The reactor sweep re-runs the best-converged configuration (largest
+// batch, max connections) against a server running 1..N reactors
+// (server_config::reactors): each event loop owns a contiguous shard
+// slice, batches partition per key at decode time, and the sweep shows
+// whether one poll loop was the bottleneck.  On a multi-core host the
+// multi-reactor insert row should pull ahead of the single-loop row; on
+// a single core the sweep documents the handoff overhead instead (CI
+// gates its 4-vs-1 assertion on the runner's core count).
+//
 // Flags (bench/harness.h): --full sweeps more keys; plus
 //   --backend tcf|gqf|bbf|btcf   store backend (default tcf)
+//   --reactors N                 cap the reactor sweep at N loops
+//                                (default 4; 1 skips the sweep)
 //   --json FILE                  append one JSON object per measurement
 //                                (schema: BENCH_net_throughput.json) so CI
 //                                can track the perf trajectory per PR
@@ -54,12 +65,14 @@ constexpr size_t kWindow = 8;  ///< pipelined frames in flight per connection
 FILE* g_json = nullptr;
 
 void emit_json(store::backend_kind backend, const char* phase, size_t batch,
-               int conns, const char* metric, double value) {
+               int conns, const char* metric, double value,
+               uint32_t reactors = 1) {
   if (!g_json) return;
   // One JSON-line per measurement, same writer/format discipline as
   // store_scaling's emitter — the trajectory schema CI assembles into
   // BENCH_net_throughput.json.  conns is 0 for rows that aren't a
-  // per-connection wire measurement (in-proc, replicated, ratios).
+  // per-connection wire measurement (in-proc, replicated, ratios);
+  // reactors is 1 everywhere except the reactor sweep's rows.
   util::json_writer w;
   w.object_begin()
       .field("bench", "net_throughput")
@@ -67,16 +80,18 @@ void emit_json(store::backend_kind backend, const char* phase, size_t batch,
       .field("phase", phase)
       .field("batch", static_cast<uint64_t>(batch))
       .field("conns", static_cast<uint64_t>(conns))
+      .field("reactors", static_cast<uint64_t>(reactors))
       .field("metric", metric)
       .field("value", value, 4)
       .object_end();
   std::fprintf(g_json, "%s\n", w.str().c_str());
 }
 
-store::filter_store make_store(store::backend_kind backend, uint64_t n) {
+store::filter_store make_store(store::backend_kind backend, uint64_t n,
+                               uint32_t shards = 4) {
   store::store_config cfg;
   cfg.backend = backend;
-  cfg.num_shards = 4;
+  cfg.num_shards = shards;
   cfg.capacity = n + n / 2;  // headroom: refusals would distort timing
   return store::filter_store(cfg);
 }
@@ -108,8 +123,12 @@ struct phase_result {
 int main(int argc, char** argv) {
   auto opts = bench::options::parse(argc, argv);
   store::backend_kind backend = store::backend_kind::tcf;
+  uint32_t max_reactors = 4;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--backend") && i + 1 < argc) {
+    if (!std::strcmp(argv[i], "--reactors") && i + 1 < argc) {
+      const int v = std::atoi(argv[++i]);
+      max_reactors = static_cast<uint32_t>(v < 1 ? 1 : (v > 16 ? 16 : v));
+    } else if (!std::strcmp(argv[i], "--backend") && i + 1 < argc) {
       const char* b = argv[++i];
       if (!std::strcmp(b, "gqf")) backend = store::backend_kind::gqf;
       else if (!std::strcmp(b, "bbf"))
@@ -282,6 +301,69 @@ int main(int argc, char** argv) {
   };
   emit_phase("insert", insert_res);
   emit_phase("query", query_res);
+
+  // Reactor sweep: the best-converged wire configuration (largest batch,
+  // max connections) against 1..max_reactors event loops.  Shards = 8 so
+  // four reactors own two shards each; the client count stays fixed so
+  // the offered load is identical across rows — only the serving
+  // parallelism varies.
+  if (max_reactors > 1) {
+    const size_t batch = kBatchSizes[std::size(kBatchSizes) - 1];
+    const int conns = kConnCounts[std::size(kConnCounts) - 1];
+    std::vector<uint32_t> rsweep{1};
+    for (uint32_t r = 2; r <= max_reactors; r *= 2) rsweep.push_back(r);
+    std::vector<std::string> rcols;
+    for (uint32_t r : rsweep) rcols.push_back(std::to_string(r) + "-reactor");
+    rcols.push_back("max/1");
+    std::vector<double> rins(rsweep.size(), 0), rqry(rsweep.size(), 0);
+    for (size_t ri = 0; ri < rsweep.size(); ++ri) {
+      net::server_config scfg;
+      scfg.reactors = rsweep[ri];
+      net::server srv(std::move(scfg), make_store(backend, n, 8));
+      std::thread loop([&] { srv.run(); });
+      auto run_phase = [&](bool inserts) {
+        std::vector<std::thread> workers;
+        util::wall_timer timer;
+        for (int c = 0; c < conns; ++c) {
+          const size_t lo = keys.size() * static_cast<size_t>(c) /
+                            static_cast<size_t>(conns);
+          const size_t hi = keys.size() * static_cast<size_t>(c + 1) /
+                            static_cast<size_t>(conns);
+          workers.emplace_back([&, lo, hi] {
+            net::client cli("127.0.0.1", srv.port());
+            drive(cli, std::span<const uint64_t>(keys).subspan(lo, hi - lo),
+                  batch, inserts);
+          });
+        }
+        for (auto& w : workers) w.join();
+        return util::mops(n, timer.seconds());
+      };
+      rins[ri] = run_phase(/*inserts=*/true);
+      for (int rep = 0; rep < 3; ++rep)
+        rqry[ri] = std::max(rqry[ri], run_phase(/*inserts=*/false));
+      srv.request_stop();
+      loop.join();
+      emit_json(backend, "insert", batch, conns, "reactor_mops", rins[ri],
+                rsweep[ri]);
+      emit_json(backend, "query", batch, conns, "reactor_mops", rqry[ri],
+                rsweep[ri]);
+    }
+    std::printf(
+        "\nreactor sweep (batch=%zu, %d conns, 8 shards; last column is "
+        "max-reactor / 1-reactor speedup):\n",
+        batch, conns);
+    bench::print_series_header("reactor Mops/s", rcols);
+    auto rrow = [&](int tag, const std::vector<double>& v) {
+      std::vector<double> vals(v);
+      vals.push_back(v[0] > 0 ? v.back() / v[0] : 0.0);
+      bench::print_series_row(tag, vals);
+    };
+    rrow(0, rins);
+    rrow(1, rqry);
+    std::printf(
+        "(row 0 = insert, row 1 = query; speedup > 1 expected only on "
+        "multi-core hosts — single-core runs document handoff overhead)\n");
+  }
 
   // Acceptance: pipelined 4 Ki-key batches must reach ≥ 50% of in-process
   // bulk throughput — the "wire carries the batch lesson" claim.

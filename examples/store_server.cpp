@@ -1,7 +1,8 @@
 // store_server: the sharded filter store as a network service.
 //
 //   build/examples/store_server [--backend tcf|gqf|bbf|btcf] [--shards N]
-//                               [--capacity N] [--bind ADDR] [--port N]
+//                               [--capacity N] [--reactors N]
+//                               [--bind ADDR] [--port N]
 //                               [--snapshot PATH] [--selftest ROUNDS]
 //                               [--replica-of HOST:PORT] [--replica]
 //                               [--replicate-to HOST:PORT]
@@ -85,10 +86,12 @@
 #include <cstring>
 #include <filesystem>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "arg_parse.h"
+#include "net/lane.h"
 #include "net/replication.h"
 #include "net/server.h"
 #include "persist/durability.h"
@@ -107,7 +110,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: store_server [--backend tcf|gqf|bbf|btcf] [--shards N]\n"
-      "                    [--capacity N] [--bind ADDR] [--port N]\n"
+      "                    [--capacity N] [--reactors N]\n"
+      "                    [--bind ADDR] [--port N]\n"
       "                    [--snapshot PATH] [--selftest ROUNDS]\n"
       "                    [--replica-of HOST:PORT] [--replica]\n"
       "                    [--replicate-to HOST:PORT]\n"
@@ -118,6 +122,8 @@ int usage() {
       "                    [--checkpoint-every-mb N]\n"
       "  shards in [1, %u], capacity in [1024, 2^30], port in [0, 65535]\n"
       "  (port 0 picks an ephemeral port and prints it)\n"
+      "  --reactors: event loops, each owning a contiguous shard slice\n"
+      "    (clamped to the shard count; a replica must stay read-only)\n"
       "  --replica-of: bootstrap from that primary and serve read-only\n"
       "    (the feed is supervised: lost connections reconnect + re-sync)\n"
       "  --replica: empty read-only standby awaiting a primary's invite\n"
@@ -157,6 +163,7 @@ int selftest(store::store_config cfg, int rounds);
 struct serve_options {
   std::string bind = "127.0.0.1";
   uint16_t port = 0;
+  uint32_t reactors = 1;             ///< event loops (shard-owning)
   std::string snapshot;
   std::string replica_of;            ///< HOST:PORT of the primary, or ""
   bool standby = false;              ///< empty read-only, awaits an invite
@@ -176,6 +183,7 @@ int serve(store::store_config cfg, const serve_options& opt) try {
   net::server_config scfg;
   scfg.bind_addr = opt.bind;
   scfg.port = opt.port;
+  scfg.reactors = opt.reactors;
   scfg.snapshot_path = opt.snapshot;
   scfg.read_only = opt.standby || !opt.replica_of.empty();
   scfg.invite = opt.replicate_to;
@@ -223,8 +231,14 @@ int serve(store::store_config cfg, const serve_options& opt) try {
                                 : store::filter_store(cfg);
   if (sync && dur) {
     // The synced store is a fresh lineage from the primary: whatever the
-    // WAL directory held describes something else and is dropped.
-    dur->reset(st, sync->repl_seq);
+    // WAL directory held describes something else and is dropped.  A
+    // multi-lane primary's snapshot carried a lane table — seed one WAL
+    // lane per entry so the tail replay stays per-lane contiguous.
+    if (sync->lane_seqs.size() == 1 &&
+        net::lane_of(sync->lane_seqs[0]) == 0)
+      dur->reset(st, sync->repl_seq);
+    else
+      dur->reset(st, std::span<const uint64_t>(sync->lane_seqs));
   } else if (!sync && dur) {
     // Checkpoint + tail replay; a legacy --snapshot (with its v3-stamped
     // sequence when present) only seeds a virgin WAL directory.
@@ -258,7 +272,7 @@ int serve(store::store_config cfg, const serve_options& opt) try {
   net::server server(std::move(scfg), std::move(st));
   if (sync)
     server.attach_feed(std::move(sync->feed), std::move(sync->dec),
-                       sync->repl_seq + 1);
+                       std::span<const uint64_t>(sync->lane_seqs));
 
   g_server.store(&server);
   std::signal(SIGINT, on_signal);
@@ -267,9 +281,10 @@ int serve(store::store_config cfg, const serve_options& opt) try {
   const char* role = !opt.replica_of.empty() ? " (replica)"
                      : opt.standby           ? " (standby replica)"
                                              : "";
-  std::printf("store_server: backend=%s shards=%u listening on %s:%u%s%s%s\n",
+  std::printf("store_server: backend=%s shards=%u reactors=%u listening "
+              "on %s:%u%s%s%s\n",
               store::backend_name(server.store().config().backend),
-              server.store().num_shards(), opt.bind.c_str(),
+              server.store().num_shards(), opt.reactors, opt.bind.c_str(),
               static_cast<unsigned>(server.port()),
               opt.snapshot.empty() ? "" : " snapshot=",
               opt.snapshot.c_str(), role);
@@ -401,6 +416,10 @@ int main(int argc, char** argv) {
       const char* s = next();
       if (!s || !parse_arg(s, 1024, 1L << 30, &v)) return usage();
       cfg.capacity = static_cast<uint64_t>(v);
+    } else if (!std::strcmp(a, "--reactors")) {
+      const char* s = next();
+      if (!s || !parse_arg(s, 1, net::kMaxLanes, &v)) return usage();
+      opt.reactors = static_cast<uint32_t>(v);
     } else if (!std::strcmp(a, "--bind")) {
       const char* s = next();
       if (!s) return usage();

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/lane.h"
 
 namespace gf::net {
 
@@ -157,9 +158,31 @@ inline std::vector<uint8_t> encode_sync_resume_request(uint64_t seq,
   return encode_frame(f);
 }
 
+/// Lane-aware resume request: one lane-stamped "last applied" sequence per
+/// replication lane (net/lane.h).  A single-lane replica emits exactly the
+/// scalar request above — the L == 1 payload is byte-identical — so pre-lane
+/// primaries keep accepting it unchanged.
+inline std::vector<uint8_t> encode_sync_resume_request(
+    uint64_t seq, std::span<const uint64_t> lane_lasts) {
+  frame f;
+  f.op = opcode::sync;
+  f.sequence = seq;
+  f.shard_hint = kSyncResumeHint;
+  put_u64s(f.payload, lane_lasts);
+  return encode_frame(f);
+}
+
 /// Last applied sequence named by a resume request (validate shape first).
 inline uint64_t decode_sync_resume(const frame& f) {
   return get_u64(f.payload.data());
+}
+
+/// All lane-stamped last-applied sequences of a resume request.  A legacy
+/// scalar request decodes as the one-lane vector.
+inline std::vector<uint64_t> decode_sync_resume_lanes(const frame& f) {
+  std::vector<uint64_t> lasts(f.payload.size() / 8);
+  get_u64s(f.payload.data(), lasts.size(), lasts.data());
+  return lasts;
 }
 
 // -- Response encoders ------------------------------------------------------
@@ -298,6 +321,55 @@ inline sync_delta_header decode_sync_delta_header(const frame& f) {
   return {get_u64(f.payload.data()), get_u64(f.payload.data() + 8)};
 }
 
+/// Lane-aware delta accept: one (resume_from, upto) span per replication
+/// lane, in lane order.  The L == 1 payload is byte-identical to the scalar
+/// response above, so single-lane peers interoperate unchanged.
+inline std::vector<uint8_t> encode_sync_delta_response(
+    uint64_t seq, std::span<const sync_delta_header> lanes) {
+  frame f;
+  f.op = opcode::sync;
+  f.sequence = seq;
+  f.shard_hint = kSyncDeltaHint;
+  for (const auto& h : lanes) {
+    put_u64(f.payload, h.resume_from);
+    put_u64(f.payload, h.upto);
+  }
+  return encode_frame(f);
+}
+
+/// All per-lane spans of a delta accept.  A legacy scalar response decodes
+/// as the one-lane vector.
+inline std::vector<sync_delta_header> decode_sync_delta_lanes(const frame& f) {
+  std::vector<sync_delta_header> lanes(f.payload.size() / 16);
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    lanes[i].resume_from = get_u64(f.payload.data() + i * 16);
+    lanes[i].upto = get_u64(f.payload.data() + i * 16 + 8);
+  }
+  return lanes;
+}
+
+/// Lane table announcement: a multi-lane primary prefixes its chunked
+/// snapshot with the per-lane stream positions the snapshot captures (the
+/// live stream resumes past these).  Emitted only when more than one lane
+/// exists — a single-lane transfer stays byte-identical to the pre-lane
+/// protocol, where chunk 0's scalar repl_seq carries the same fact.
+inline std::vector<uint8_t> encode_sync_lane_table(
+    uint64_t seq, std::span<const uint64_t> lane_seqs) {
+  frame f;
+  f.op = opcode::sync;
+  f.sequence = seq;
+  f.shard_hint = kSyncLaneTableHint;
+  put_u64s(f.payload, lane_seqs);
+  return encode_frame(f);
+}
+
+/// Lane-stamped stream positions carried by a lane table frame.
+inline std::vector<uint64_t> decode_sync_lane_table(const frame& f) {
+  std::vector<uint64_t> seqs(f.payload.size() / 8);
+  get_u64s(f.payload.data(), seqs.size(), seqs.data());
+  return seqs;
+}
+
 inline std::vector<uint8_t> encode_ping_response(uint64_t seq) {
   frame f;
   f.op = opcode::ping;
@@ -337,8 +409,14 @@ inline const char* validate_request(const frame& f) {
       if (n > kMaxKeysPerFrame) return "key batch larger than the frame cap";
       if (p != n * 16) return "counted batch payload size mismatch";
       return nullptr;
-    case opcode::stats:
     case opcode::maintain:
+      // An empty payload is a full maintain; an 8-byte {u32 begin, u32 end}
+      // payload is the ranged form a multi-reactor primary replicates so
+      // each lane's stream touches only its own shard slice.
+      if (n != 0) return "control request carries a key count";
+      if (p != 0 && p != 8) return "maintain request payload size mismatch";
+      return nullptr;
+    case opcode::stats:
     case opcode::snapshot:
     case opcode::ping:
       if (n != 0 || p != 0) return "control request carries a payload";
@@ -350,7 +428,10 @@ inline const char* validate_request(const frame& f) {
         return nullptr;
       }
       if (f.shard_hint == kSyncResumeHint) {
-        if (p != 8) return "sync resume payload size mismatch";
+        // One lane-stamped u64 per lane; the legacy scalar is the L == 1
+        // case.
+        if (p < 8 || p % 8 != 0 || p > size_t{kMaxLanes} * 8)
+          return "sync resume payload size mismatch";
         return nullptr;
       }
       if (p != 0) return "sync request carries a payload";
@@ -400,10 +481,20 @@ inline const char* validate_response(const frame& f) {
       if (p != 0) return "ping response carries a payload";
       return nullptr;
     case opcode::sync:
-      // Delta-accept: a resume was granted; replayed frames follow.
+      // Delta-accept: a resume was granted; replayed frames follow.  One
+      // (resume_from, upto) pair per lane; the legacy scalar is L == 1.
       if (f.shard_hint == kSyncDeltaHint) {
         if (n != 0) return "sync delta response carries a key count";
-        if (p != 16) return "sync delta payload size mismatch";
+        if (p < 16 || p % 16 != 0 || p > size_t{kMaxLanes} * 16)
+          return "sync delta payload size mismatch";
+        return nullptr;
+      }
+      // Lane table: per-lane stream positions ahead of a multi-lane
+      // snapshot transfer.
+      if (f.shard_hint == kSyncLaneTableHint) {
+        if (n != 0) return "sync lane table carries a key count";
+        if (p < 8 || p % 8 != 0 || p > size_t{kMaxLanes} * 8)
+          return "sync lane table payload size mismatch";
         return nullptr;
       }
       // Chunked: key_count is the chunk total, shard_hint the chunk index.

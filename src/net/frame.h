@@ -111,6 +111,14 @@ inline constexpr uint32_t kSyncResumeHint = 0xFFFF'FFFBu;
 /// replayed frames that follow will cover (empty when the replica was
 /// already current).
 inline constexpr uint32_t kSyncDeltaHint = 0xFFFF'FFFAu;
+/// shard_hint of the SYNC *response* frame a multi-lane primary
+/// (net/server.h `reactors > 1`, net/lane.h) sends immediately before
+/// snapshot chunk 0: the payload is one lane-stamped u64 per replication
+/// lane — the stream position of each lane at the snapshot cut.  A
+/// single-lane primary never emits it, so the legacy handshake is
+/// byte-identical; a resuming replica echoes the same table shape in its
+/// kSyncResumeHint payload (L × 8 bytes, lane-stamped).
+inline constexpr uint32_t kSyncLaneTableHint = 0xFFFF'FFF9u;
 
 /// Fixed header bytes between the length field and the payload.
 inline constexpr size_t kHeaderTailBytes = 24;

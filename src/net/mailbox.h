@@ -1,0 +1,102 @@
+// Bounded SPSC mailbox with an unbounded overflow spill — the
+// cross-reactor handoff primitive (net/server.h).
+//
+// Each (producer reactor → consumer reactor) pair owns one mailbox, so
+// the fast path is a classic single-producer single-consumer ring: the
+// producer writes a slot and releases `tail_`, the consumer acquires it
+// and releases `head_`.  No locks, no CAS, no contention.
+//
+// push() never blocks and never fails.  A full ring spills to a
+// mutex-guarded overflow queue instead of waiting — a reactor that is
+// also a consumer must never block on a peer's backpressure, or two
+// reactors flooding each other (or a stop-the-world barrier parking a
+// consumer) would deadlock.  FIFO order survives the spill: once
+// anything sits in the overflow, later pushes follow it there until the
+// consumer drains it empty.
+//
+// The consumer is woken out-of-band (a byte on its wake pipe) by the
+// caller; the mailbox itself carries no notification.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace gf::net {
+
+template <typename T>
+class mailbox {
+ public:
+  explicit mailbox(size_t capacity = 1024) {
+    // Power-of-two ring so index masking is a single AND.
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  mailbox(const mailbox&) = delete;
+  mailbox& operator=(const mailbox&) = delete;
+
+  /// Producer side.  Never blocks: a full ring (or a non-empty overflow,
+  /// to keep FIFO order) diverts to the spill queue.
+  void push(T&& v) {
+    // lane: single producer — only the owning reactor pushes here, so the
+    // relaxed: tail read observes our own last store (single producer).
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (overflow_count_.load(std::memory_order_acquire) == 0 &&
+        tail - head_.load(std::memory_order_acquire) < ring_.size()) {
+      ring_[tail & mask_] = std::move(v);
+      tail_.store(tail + 1, std::memory_order_release);
+      return;
+    }
+    std::lock_guard<std::mutex> lk(overflow_mu_);
+    overflow_.push_back(std::move(v));
+    overflow_count_.store(overflow_.size(), std::memory_order_release);
+  }
+
+  /// Consumer side.  False when empty.
+  bool try_pop(T& out) {
+    // lane: single consumer — only the owning reactor pops, so the
+    // relaxed: head read observes our own last store (single consumer).
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head != tail_.load(std::memory_order_acquire)) {
+      out = std::move(ring_[head & mask_]);
+      head_.store(head + 1, std::memory_order_release);
+      return true;
+    }
+    if (overflow_count_.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard<std::mutex> lk(overflow_mu_);
+    if (overflow_.empty()) return false;
+    out = std::move(overflow_.front());
+    overflow_.pop_front();
+    overflow_count_.store(overflow_.size(), std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate queued-message count (ring + spill) for the
+  /// gf_reactor_mailbox_depth gauge.  Racy by nature; monotone reads are
+  /// not required of a depth gauge.
+  size_t depth() const {
+    // relaxed: racy depth gauge; approximate reads are the contract.
+    const size_t t = tail_.load(std::memory_order_relaxed);
+    const size_t h = head_.load(std::memory_order_relaxed);
+    return (t - h) + overflow_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> ring_;
+  size_t mask_ = 0;
+  // lane: head_ is written by the consumer only, tail_ by the producer
+  // only; each side reads the other with acquire to see the slot contents.
+  std::atomic<size_t> head_{0};
+  std::atomic<size_t> tail_{0};
+  std::mutex overflow_mu_;
+  std::deque<T> overflow_;
+  std::atomic<size_t> overflow_count_{0};
+};
+
+}  // namespace gf::net

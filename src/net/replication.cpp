@@ -111,6 +111,25 @@ store::filter_store install_snapshot(const assembled_snapshot& snap,
   return store::load_store(in);
 }
 
+/// A multi-lane primary leads its chunked snapshot with a lane table
+/// frame naming the per-lane positions the snapshot captures.  When the
+/// frame in hand is one, consume it and load the next frame (chunk 0);
+/// a single-lane transfer has no table and the vector comes back empty.
+std::vector<uint64_t> maybe_take_lane_table(int fd, frame_decoder& dec,
+                                            uint64_t req_seq, frame& f) {
+  if (f.op != opcode::sync || f.status != wire_status::ok ||
+      f.shard_hint != kSyncLaneTableHint)
+    return {};
+  if (const char* shape = validate_response(f))
+    throw std::runtime_error(std::string("gf: malformed sync frame: ") +
+                             shape);
+  if (f.sequence != req_seq)
+    throw std::runtime_error("gf: unexpected frame during sync");
+  std::vector<uint64_t> lanes = decode_sync_lane_table(f);
+  read_frame(fd, dec, f);
+  return lanes;
+}
+
 socket_fd make_connection(const std::string& host, uint16_t port,
                           const connect_fn& connector, int timeout_ms) {
   socket_fd fd = connector ? connector(host, port) : tcp_connect(host, port);
@@ -151,21 +170,40 @@ sync_result sync_from(const std::string& host, uint16_t port,
   frame_decoder dec(max_frame_bytes);
   frame f;
   read_frame(fd.get(), dec, f);
+  std::vector<uint64_t> lane_table =
+      maybe_take_lane_table(fd.get(), dec, req_seq, f);
   assembled_snapshot snap = assemble_snapshot(fd.get(), dec, req_seq, f);
   store::filter_store st = install_snapshot(snap, snapshot_path);
-  return sync_result{std::move(st), snap.repl_seq, snap.bytes.size(),
-                     obs::now_ns() - t_start, std::move(fd), std::move(dec)};
+  sync_result out{std::move(st),   snap.repl_seq,
+                  {},              snap.bytes.size(),
+                  obs::now_ns() - t_start, std::move(fd), std::move(dec)};
+  out.lane_seqs = lane_table.empty()
+                      ? std::vector<uint64_t>{snap.repl_seq}
+                      : std::move(lane_table);
+  return out;
 }
 
 resync_result sync_resume(const std::string& host, uint16_t port,
                           uint64_t last_seq, const std::string& snapshot_path,
                           size_t max_frame_bytes, int timeout_ms,
                           const connect_fn& connector) {
+  const uint64_t one[1] = {last_seq};
+  return sync_resume(host, port, std::span<const uint64_t>(one),
+                     snapshot_path, max_frame_bytes, timeout_ms, connector);
+}
+
+resync_result sync_resume(const std::string& host, uint16_t port,
+                          std::span<const uint64_t> lane_lasts,
+                          const std::string& snapshot_path,
+                          size_t max_frame_bytes, int timeout_ms,
+                          const connect_fn& connector) {
+  if (lane_lasts.empty())
+    throw std::runtime_error("gf: resync needs at least one lane position");
   const uint64_t t_start = obs::now_ns();
   socket_fd fd = make_connection(host, port, connector, timeout_ms);
 
   const uint64_t req_seq = 1;
-  auto req = encode_sync_resume_request(req_seq, last_seq);
+  auto req = encode_sync_resume_request(req_seq, lane_lasts);
   if (!send_all(fd.get(), req.data(), req.size()))
     throw std::runtime_error("gf: connection lost sending resume request");
 
@@ -184,25 +222,39 @@ resync_result sync_resume(const std::string& host, uint16_t port,
   if (f.shard_hint == kSyncDeltaHint) {
     // Delta granted: the replayed frames (if any) follow on this same
     // connection, indistinguishable from live stream traffic — the
-    // event loop applies them by sequence like any other.
-    const sync_delta_header h = decode_sync_delta_header(f);
-    if (h.resume_from != last_seq)
-      throw std::runtime_error("gf: resync resume point mismatch");
+    // event loop applies them by sequence like any other.  Per-lane
+    // spans; the primary only grants when its lane layout matched ours.
+    const std::vector<sync_delta_header> lanes = decode_sync_delta_lanes(f);
+    if (lanes.size() != lane_lasts.size())
+      throw std::runtime_error("gf: resync lane count mismatch");
+    uint64_t upto_sum = 0;
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      if (lanes[i].resume_from != lane_lasts[i])
+        throw std::runtime_error("gf: resync resume point mismatch");
+      out.lane_seqs.push_back(lanes[i].upto);
+      upto_sum += lane_local(lanes[i].upto);
+    }
     out.kind = resync_kind::delta;
-    out.resume_from = h.resume_from;
-    out.repl_seq = h.upto;
+    out.resume_from = lane_lasts[0];
+    out.repl_seq = lanes.size() == 1 ? lanes[0].upto : upto_sum;
     out.bootstrap_ns = obs::now_ns() - t_start;
     out.feed = std::move(fd);
     out.dec = std::move(dec);
     return out;
   }
 
-  // Snapshot fallback: the frame in hand is chunk 0 of a full bootstrap.
+  // Snapshot fallback: the frame in hand is a lane table (multi-lane
+  // primary) or already chunk 0 of a full bootstrap.
+  std::vector<uint64_t> lane_table =
+      maybe_take_lane_table(fd.get(), dec, req_seq, f);
   assembled_snapshot snap = assemble_snapshot(fd.get(), dec, req_seq, f);
   out.kind = resync_kind::snapshot;
   out.store.emplace(install_snapshot(snap, snapshot_path));
   out.repl_seq = snap.repl_seq;
-  out.resume_from = last_seq;
+  out.lane_seqs = lane_table.empty()
+                      ? std::vector<uint64_t>{snap.repl_seq}
+                      : std::move(lane_table);
+  out.resume_from = lane_lasts[0];
   out.snapshot_bytes = snap.bytes.size();
   out.bootstrap_ns = obs::now_ns() - t_start;
   out.feed = std::move(fd);

@@ -35,8 +35,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "net/frame.h"
 #include "net/socket.h"
@@ -49,7 +51,12 @@ namespace gf::net {
 /// decoder state (live frames may already be buffered behind the chunks).
 struct sync_result {
   store::filter_store store;
-  uint64_t repl_seq = 0;       ///< stream position of the snapshot
+  uint64_t repl_seq = 0;       ///< stream position of the snapshot (multi-
+                               ///< lane: the summed lane-local fingerprint)
+  /// Lane-stamped stream position per replication lane (net/lane.h) the
+  /// snapshot captures.  A single-lane primary announces no lane table, so
+  /// this holds the one scalar repl_seq.
+  std::vector<uint64_t> lane_seqs;
   uint64_t snapshot_bytes = 0; ///< assembled snapshot size
   uint64_t bootstrap_ns = 0;   ///< wall time of the whole bootstrap
                                ///< (connect + transfer + install) —
@@ -88,8 +95,13 @@ struct resync_result {
   std::optional<store::filter_store> store;
   uint64_t repl_seq = 0;     ///< snapshot: captured position; delta: the
                              ///< `upto` end of the promised replay range
+                             ///< (multi-lane: summed lane-local positions)
+  /// Lane-stamped position per lane: snapshot — what the snapshot
+  /// captures; delta — each lane's promised `upto`.  One entry when the
+  /// primary runs a single lane.
+  std::vector<uint64_t> lane_seqs;
   uint64_t resume_from = 0;  ///< delta: position the replay resumes after
-                             ///< (echoes the request's last_seq)
+                             ///< (echoes the request's lane-0 last_seq)
   uint64_t snapshot_bytes = 0;
   uint64_t bootstrap_ns = 0;
   socket_fd feed;
@@ -102,6 +114,17 @@ struct resync_result {
 /// connect retries (the caller's reconnect supervisor owns backoff).
 resync_result sync_resume(const std::string& host, uint16_t port,
                           uint64_t last_seq,
+                          const std::string& snapshot_path = "",
+                          size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                          int timeout_ms = 30000,
+                          const connect_fn& connector = nullptr);
+
+/// Lane-aware re-sync: one lane-stamped last-applied sequence per lane the
+/// replica tracks.  The primary only grants a delta when its lane layout
+/// matches and every lane is covered; otherwise the snapshot fallback
+/// re-bootstraps (and may change the lane count — read lane_seqs).
+resync_result sync_resume(const std::string& host, uint16_t port,
+                          std::span<const uint64_t> lane_lasts,
                           const std::string& snapshot_path = "",
                           size_t max_frame_bytes = kDefaultMaxFrameBytes,
                           int timeout_ms = 30000,

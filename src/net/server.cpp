@@ -12,11 +12,13 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
-#include <span>
+#include <unordered_map>
 #include <utility>
 
 #include "gpu/launch.h"
 #include "net/codec.h"
+#include "net/mailbox.h"
+#include "net/replay_ring.h"
 #include "net/replication.h"
 #include "obs/build_info.h"
 #include "obs/clock.h"
@@ -75,39 +77,185 @@ struct server::connection {
   bool dead = false;
   role kind = role::client;
   uint64_t last_acked = 0;  ///< subscriber: highest sequence acknowledged
+                            ///< (single-reactor form; multi-reactor acks
+                            ///< live lane-wise in the sub_entry)
   /// Subscriber queue cap: the configured cap, grown to cover the
   /// bootstrap snapshot burst (which is queued in one go).
   size_t queue_cap = 0;
+  uint32_t owner = 0;     ///< reactor that polls this connection
+  uint32_t inflight = 0;  ///< responses parked on in-flight batch parts or
+                          ///< control frames — a dead connection is not
+                          ///< erased (pointer-invalidating) until 0
+  std::shared_ptr<sub_entry> sub;  ///< multi-reactor subscriber ack state
 
   connection(socket_fd f, size_t max_frame)
       : fd(std::move(f)), dec(max_frame) {}
 };
 
+/// Cross-reactor view of one subscriber: any lane's replicate() fans out
+/// through these.  The vector holding them is guarded by subs_mu_; the ack
+/// slots are atomics written by the subscriber's owning reactor (release)
+/// and read by gating reactors (acquire).
+struct server::sub_entry {
+  connection* conn = nullptr;  ///< owned by reactors_[reactor_id]
+  uint32_t reactor_id = 0;
+  std::atomic<bool> alive{true};
+  std::array<std::atomic<uint64_t>, kMaxLanes> acked{};
+};
+
+/// One mailbox message.  A single variant-ish struct (instead of a
+/// std::variant) keeps the SPSC ring slots assignable and the dispatch a
+/// flat switch.
+struct server::reactor_msg {
+  enum class kind : uint8_t { none, conn, work, done, fwd, ctrl };
+  kind k = kind::none;
+  int fd = -1;           ///< conn: raw accepted fd being handed off
+  uint32_t origin = 0;   ///< reactor that sent this message
+  uint64_t ticket = 0;   ///< work/done: pending_resp key on the origin
+  opcode op = opcode::ping;
+  bool from_feed = false;
+  std::vector<uint64_t> keys;    ///< work: this reactor's slice of the batch
+  std::vector<uint64_t> counts;  ///< work: insert_counted companions
+  std::vector<uint64_t> vals;    ///< done: per-key answers (query/count)
+  std::vector<uint32_t> idx;     ///< positions in the original batch
+  uint64_t a = 0, b = 0;         ///< done: (ok, failed); ctrl: t_start
+  uint64_t part_seq = 0;         ///< done: stream sequence this part landed on
+  connection* conn = nullptr;    ///< ctrl: requesting connection (owner
+                                 ///< holds it via inflight)
+  frame fr;                      ///< ctrl: the control frame (owned payload)
+  std::shared_ptr<sub_entry> sub;                 ///< fwd: target subscriber
+  std::shared_ptr<std::vector<uint8_t>> bytes;    ///< fwd: encoded frame
+};
+
+/// A response waiting for its batch parts to fold back.
+struct server::pending_resp {
+  connection* conn = nullptr;
+  opcode op = opcode::ping;
+  uint64_t client_seq = 0;
+  uint32_t key_count = 0;
+  bool from_feed = false;
+  uint32_t parts_left = 0;
+  uint64_t a = 0, b = 0;            ///< mutating: (ok, failed) totals
+  std::vector<uint64_t> words;      ///< query bitmap / count values
+  std::vector<uint64_t> part_seqs;  ///< one stream sequence per lane touched
+  uint64_t t_start = 0;
+};
+
+/// A mutating response parked behind the ack gate.  `seqs` holds one
+/// stream sequence per lane the batch landed on (exactly one on a
+/// single-reactor server — identical to the original scalar form).
+struct server::pending_ack {
+  connection* conn;
+  std::vector<uint64_t> seqs;
+  uint64_t deadline_ns;
+  opcode op;
+  uint64_t client_seq;
+  uint32_t key_count;
+  uint64_t a, b;
+};
+
+/// Everything one event loop owns.  All fields are single-threaded state
+/// of the owning reactor thread, except the inboxes (SPSC mailboxes, one
+/// per producer reactor) and the wake pipe ends.  Reactor 0 may touch a
+/// parked reactor's fields inside the stop-the-world barrier — the barrier
+/// mutex orders those accesses.
+struct server::reactor {
+  uint32_t id = 0;
+  uint32_t shard_begin = 0, shard_end = 0;  ///< owned store shard slice
+  socket_fd wake_rd, wake_wr;
+  std::vector<std::unique_ptr<connection>> conns;
+  std::vector<pending_ack> pending_acks;
+  std::unordered_map<uint64_t, pending_resp> pending;
+  uint64_t next_ticket = 1;
+  uint32_t mutations_since_maintain = 0;
+  uint64_t lane_local = 0;  ///< lane-local stream position (nr_ > 1)
+  replay_ring ring;         ///< this lane's replayable frame window
+  obs::trace_ring trace;
+  obs::latency_histogram op_hist[kNumOpcodes];
+  obs::latency_histogram stage_decode_ns, stage_apply_ns, stage_encode_ns,
+      stage_flush_ns;
+  /// inboxes[p] carries messages from reactor p (SPSC each).
+  std::vector<std::unique_ptr<mailbox<reactor_msg>>> inboxes;
+  uint64_t handoffs = 0;  ///< connections adopted off the accept mailbox
+
+  reactor(uint32_t id_in, uint32_t sb, uint32_t se, size_t ring_bytes,
+          size_t trace_cap, uint32_t nr)
+      : id(id_in),
+        shard_begin(sb),
+        shard_end(se),
+        ring(ring_bytes),
+        trace(trace_cap) {
+    inboxes.reserve(nr);
+    for (uint32_t p = 0; p < nr; ++p)
+      inboxes.push_back(std::make_unique<mailbox<reactor_msg>>());
+  }
+};
+
 server::server(server_config cfg, store::filter_store st)
-    : cfg_(std::move(cfg)),
-      store_(std::move(st)),
-      ring_(cfg_.replay_ring_bytes),
-      trace_(cfg_.trace_capacity) {
+    : cfg_(std::move(cfg)), store_(std::move(st)) {
   listen_ = tcp_listen(cfg_.bind_addr, cfg_.port, cfg_.backlog);
   set_nonblocking(listen_.get());
   port_ = local_port(listen_);
   jitter_state_ = cfg_.reconnect_jitter_seed != 0
                       ? cfg_.reconnect_jitter_seed
                       : 0x9E3779B97F4A7C15ull ^ (uint64_t{port_} << 17);
-  int fds[2];
-  if (::pipe(fds) != 0)
-    throw std::runtime_error("gf: cannot create wakeup pipe");
-  wake_rd_ = socket_fd(fds[0]);
-  wake_wr_ = socket_fd(fds[1]);
-  set_nonblocking(wake_rd_.get());
+
+  // Reactor count: what was asked for, bounded by the lane address space
+  // and by the shard count (a reactor with no shard slice would own no
+  // work and no lane semantics).
+  const uint32_t want = cfg_.reactors == 0 ? 1 : cfg_.reactors;
+  nr_ = std::max<uint32_t>(
+      1, std::min({want, kMaxLanes, store_.num_shards()}));
+  if (nr_ > 1 && !cfg_.feed_addr.empty() && !cfg_.read_only)
+    throw std::runtime_error(
+        "gf: a multi-reactor server can only follow a feed read-only");
+
+  // Contiguous shard ownership: reactor k owns [k*S/N, (k+1)*S/N).
+  const uint32_t shards = store_.num_shards();
+  shard_owner_.resize(shards);
+  for (uint32_t k = 0; k < nr_; ++k) {
+    const uint32_t begin = static_cast<uint32_t>(
+        (uint64_t{k} * shards) / nr_);
+    const uint32_t end = static_cast<uint32_t>(
+        (uint64_t{k + 1} * shards) / nr_);
+    for (uint32_t s = begin; s < end; ++s) shard_owner_[s] = k;
+    reactors_.push_back(std::make_unique<reactor>(
+        k, begin, end, cfg_.replay_ring_bytes / nr_, cfg_.trace_capacity,
+        nr_));
+    int fds[2];
+    if (::pipe(fds) != 0)
+      throw std::runtime_error("gf: cannot create wakeup pipe");
+    reactors_.back()->wake_rd = socket_fd(fds[0]);
+    reactors_.back()->wake_wr = socket_fd(fds[1]);
+    set_nonblocking(fds[0]);
+    // Non-blocking write end too: wake() fires on every mailbox post, and
+    // a full pipe already means a wakeup is pending.
+    set_nonblocking(fds[1]);
+    wake_fds_[k] = fds[1];
+  }
+  // relaxed: constructor runs before any reactor thread exists.
+  for (uint32_t l = 0; l < kMaxLanes; ++l)
+    lane_seqs_[l].store(lane_seq(l, 0), std::memory_order_relaxed);
+  lane_count_.store(nr_, std::memory_order_relaxed);
   start_ns_ = obs::now_ns();
+
   if (cfg_.durability != nullptr) {
     // The WAL's recovered position IS this store's stream position: new
     // mutations continue the on-disk lineage instead of restarting at 0
     // (which would hand reconnecting replicas empty deltas against data
     // they have never seen).
+    if (nr_ > 1) cfg_.durability->ensure_lanes(nr_);
     // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     repl_seq_.store(cfg_.durability->last_seq(), std::memory_order_relaxed);
+    // relaxed: still pre-thread-start; reactor loops have not launched.
+    for (uint64_t stamped : cfg_.durability->last_seqs()) {
+      const uint32_t l = lane_of(stamped);
+      if (l >= kMaxLanes) continue;
+      lane_seqs_[l].store(stamped, std::memory_order_relaxed);
+      if (l + 1 > lane_count_.load(std::memory_order_relaxed))
+        lane_count_.store(l + 1, std::memory_order_relaxed);
+      if (l < nr_) reactors_[l]->lane_local = lane_local(stamped);
+    }
   }
   register_metrics();
 }
@@ -149,8 +297,11 @@ void server::register_metrics() {
                         [this, relaxed] {
                           return relaxed(read_only_refusals_);
                         });
-  registry_.add_counter("gf_trace_events_total", "",
-                        [this] { return trace_.recorded(); });
+  registry_.add_counter("gf_trace_events_total", "", [this] {
+    uint64_t n = 0;
+    for (const auto& r : reactors_) n += r->trace.recorded();
+    return n;
+  });
 
   // Replication plane.
   registry_.add_counter("gf_repl_frames_forwarded_total", "",
@@ -186,13 +337,17 @@ void server::register_metrics() {
   registry_.add_counter("gf_repl_ack_degraded_total", "",
                         [this, relaxed] { return relaxed(ack_degraded_); });
   registry_.add_gauge("gf_repl_replay_ring_bytes", "", [this] {
-    return static_cast<double>(ring_.bytes());
+    size_t n = 0;
+    for (const auto& r : reactors_) n += r->ring.bytes();
+    return static_cast<double>(n);
   });
   registry_.add_gauge("gf_repl_replay_ring_frames", "", [this] {
-    return static_cast<double>(ring_.size());
+    size_t n = 0;
+    for (const auto& r : reactors_) n += r->ring.size();
+    return static_cast<double>(n);
   });
-  registry_.add_gauge("gf_repl_seq", "", [this, relaxed] {
-    return static_cast<double>(relaxed(repl_seq_));
+  registry_.add_gauge("gf_repl_seq", "", [this] {
+    return static_cast<double>(repl_position());
   });
   registry_.add_gauge("gf_repl_subscribers", "", [this, relaxed] {
     return static_cast<double>(relaxed(subscribers_));
@@ -203,7 +358,7 @@ void server::register_metrics() {
   // Lag: stream positions the slowest live subscriber still owes us.
   registry_.add_gauge("gf_repl_lag_frames", "", [this, relaxed] {
     if (relaxed(subscribers_) == 0) return 0.0;
-    const uint64_t seq = relaxed(repl_seq_);
+    const uint64_t seq = repl_position();
     const uint64_t acked = relaxed(subscriber_acked_);
     return seq > acked ? static_cast<double>(seq - acked) : 0.0;
   });
@@ -351,22 +506,51 @@ void server::register_metrics() {
   });
 
   // Latency histograms.  Per-opcode wire latency plus the four-stage
-  // breakdown, then the store's bulk tier (pointers into the store's
-  // metrics bundle — register_metrics() reruns when the store is
+  // breakdown — per reactor, labelled lane="k" when more than one lane
+  // exists (the single-reactor exposition is byte-identical to the
+  // pre-lane schema) — then the store's bulk tier (pointers into the
+  // store's metrics bundle — register_metrics() reruns when the store is
   // replaced).
-  for (uint8_t i = 0; i < kNumOpcodes; ++i)
-    registry_.add_histogram(
-        "gf_wire_latency_ns",
-        std::string("op=\"") + op_name(static_cast<opcode>(i)) + "\"",
-        &op_hist_[i]);
-  registry_.add_histogram("gf_wire_stage_ns", "stage=\"decode\"",
-                          &stage_decode_ns_);
-  registry_.add_histogram("gf_wire_stage_ns", "stage=\"apply\"",
-                          &stage_apply_ns_);
-  registry_.add_histogram("gf_wire_stage_ns", "stage=\"encode\"",
-                          &stage_encode_ns_);
-  registry_.add_histogram("gf_wire_stage_ns", "stage=\"flush\"",
-                          &stage_flush_ns_);
+  for (uint32_t k = 0; k < nr_; ++k) {
+    reactor* r = reactors_[k].get();
+    const std::string lane_lbl =
+        nr_ > 1 ? ",lane=\"" + std::to_string(k) + "\"" : "";
+    for (uint8_t i = 0; i < kNumOpcodes; ++i)
+      registry_.add_histogram(
+          "gf_wire_latency_ns",
+          std::string("op=\"") + op_name(static_cast<opcode>(i)) + "\"" +
+              lane_lbl,
+          &r->op_hist[i]);
+    registry_.add_histogram("gf_wire_stage_ns",
+                            "stage=\"decode\"" + lane_lbl,
+                            &r->stage_decode_ns);
+    registry_.add_histogram("gf_wire_stage_ns", "stage=\"apply\"" + lane_lbl,
+                            &r->stage_apply_ns);
+    registry_.add_histogram("gf_wire_stage_ns",
+                            "stage=\"encode\"" + lane_lbl,
+                            &r->stage_encode_ns);
+    registry_.add_histogram("gf_wire_stage_ns", "stage=\"flush\"" + lane_lbl,
+                            &r->stage_flush_ns);
+  }
+  // Per-reactor health gauges (multi-reactor only; rendered under the
+  // stop-the-world barrier, so the plain fields read consistently).
+  if (nr_ > 1) {
+    for (uint32_t k = 0; k < nr_; ++k) {
+      reactor* r = reactors_[k].get();
+      const std::string lbl = "reactor=\"" + std::to_string(k) + "\"";
+      registry_.add_gauge("gf_reactor_connections", lbl, [r] {
+        return static_cast<double>(r->conns.size());
+      });
+      registry_.add_gauge("gf_reactor_mailbox_depth", lbl, [r] {
+        size_t n = 0;
+        for (const auto& box : r->inboxes) n += box->depth();
+        return static_cast<double>(n);
+      });
+      registry_.add_counter("gf_reactor_handoffs_total", lbl, [r] {
+        return static_cast<double>(r->handoffs);
+      });
+    }
+  }
   registry_.add_histogram("gf_store_bulk_shard_ns", "path=\"insert\"",
                           &store_.metrics().bulk_insert_shard_ns);
   registry_.add_histogram("gf_store_bulk_shard_ns", "path=\"apply\"",
@@ -380,11 +564,13 @@ void server::register_metrics() {
 server::~server() = default;
 
 void server::request_stop() {
-  // One byte on the self-pipe: the only stop mechanism that is legal from
-  // a signal handler (write(2) is async-signal-safe; mutexes and condvars
-  // are not).  A full pipe means a wakeup is already pending.
+  // One byte on every reactor's self-pipe: the only stop mechanism that is
+  // legal from a signal handler (write(2) is async-signal-safe; mutexes
+  // and condvars are not).  A full pipe means a wakeup is already pending.
+  stop_requested_.store(true, std::memory_order_release);
   const uint8_t b = 1;
-  [[maybe_unused]] ssize_t rc = ::write(wake_wr_.get(), &b, 1);
+  for (uint32_t k = 0; k < nr_; ++k)
+    [[maybe_unused]] ssize_t rc = ::write(wake_fds_[k], &b, 1);
 }
 
 server_stats server::stats() const {
@@ -397,7 +583,8 @@ server_stats server::stats() const {
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
-  s.repl_seq = repl_seq_.load(std::memory_order_relaxed);
+  s.repl_seq = repl_position();
+  // relaxed: stats snapshot continued — same single-writer monotone gauges.
   s.subscribers = subscribers_.load(std::memory_order_relaxed);
   s.frames_forwarded = frames_forwarded_.load(std::memory_order_relaxed);
   s.subscriber_drops = subscriber_drops_.load(std::memory_order_relaxed);
@@ -421,11 +608,52 @@ server_stats server::stats() const {
   return s;
 }
 
-void server::attach_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq) {
-  adopt_feed(std::move(fd), std::move(dec), next_seq);
+// -- Lane helpers -------------------------------------------------------------
+
+uint32_t server::active_lanes() const {
+  // relaxed: monotone high-water mark; a stale read is benign.
+  return lane_count_.load(std::memory_order_relaxed);
 }
 
-void server::adopt_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq) {
+uint64_t server::repl_position() const {
+  const uint32_t lanes = active_lanes();
+  // relaxed: single-writer-per-lane telemetry; readers need no ordering.
+  if (lanes <= 1) return repl_seq_.load(std::memory_order_relaxed);
+  uint64_t sum = 0;
+  for (uint32_t l = 0; l < lanes; ++l)
+    sum += lane_local(lane_seqs_[l].load(std::memory_order_relaxed));
+  return sum;
+}
+
+std::vector<uint64_t> server::current_lane_seqs() const {
+  const uint32_t lanes = active_lanes();
+  std::vector<uint64_t> out(lanes);
+  for (uint32_t l = 0; l < lanes; ++l)
+    // relaxed: single-writer-per-lane telemetry; readers need no ordering.
+    out[l] = lane_seqs_[l].load(std::memory_order_relaxed);
+  return out;
+}
+
+// -- Feed adoption ------------------------------------------------------------
+
+void server::attach_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq) {
+  adopt_feed(std::move(fd), std::move(dec), {next_seq});
+}
+
+void server::attach_feed(socket_fd fd, frame_decoder dec,
+                         std::span<const uint64_t> lane_lasts) {
+  std::vector<uint64_t> next;
+  next.reserve(lane_lasts.size());
+  // Lane-stamped + 1 stays inside the lane (the local part is 56 bits).
+  for (uint64_t last : lane_lasts) next.push_back(last + 1);
+  adopt_feed(std::move(fd), std::move(dec), std::move(next));
+}
+
+void server::adopt_feed(socket_fd fd, frame_decoder dec,
+                        std::vector<uint64_t> next_seqs) {
+  if (nr_ > 1 && !cfg_.read_only)
+    throw std::runtime_error(
+        "gf: a multi-reactor server can only follow a feed read-only");
   set_nonblocking(fd.get());
   set_nodelay(fd.get());
   set_io_timeouts(fd.get(), 0);  // handshake deadlines die with the handshake
@@ -437,18 +665,36 @@ void server::adopt_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq) {
   reconnect_pending_ = false;
   reconnect_attempt_ = 0;
   feed_last_rx_ns_ = obs::now_ns();
-  feed_expected_ = next_seq;
+  feed_expected_by_lane_.clear();
+  const bool single =
+      next_seqs.size() == 1 && lane_of(next_seqs[0]) == 0;
+  uint64_t sum = 0;
+  for (uint64_t next : next_seqs) {
+    const uint32_t l = lane_of(next);
+    if (l >= kMaxLanes) continue;
+    feed_expected_by_lane_[l] = next;
+    // The lane's last applied position is next - 1 — except at a lane's
+    // very start, where "nothing applied" is the lane-stamped zero.
+    const uint64_t last =
+        lane_local(next) == 0 ? lane_seq(l, 0) : next - 1;
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+    lane_seqs_[l].store(last, std::memory_order_relaxed);
+    if (l + 1 > lane_count_.load(std::memory_order_relaxed))
+      lane_count_.store(l + 1, std::memory_order_relaxed);
+    sum += lane_local(last);
+  }
   // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-  repl_seq_.store(next_seq == 0 ? 0 : next_seq - 1,
+  repl_seq_.store(single ? (next_seqs[0] == 0 ? 0 : next_seqs[0] - 1) : sum,
                   std::memory_order_relaxed);
   feed_attached_.store(1, std::memory_order_relaxed);
-  conns_.push_back(std::move(conn));
+  reactor& r0 = *reactors_[0];
+  r0.conns.push_back(std::move(conn));
   // The sync handshake's decoder may already hold live stream frames that
   // arrived behind the snapshot chunks — apply them now, don't wait for
   // the next socket read.
-  connection& c = *conns_.back();
-  if (drain_frames(c)) {
-    if (c.out_pos < c.out.size() && !flush_writes(c)) c.dead = true;
+  connection& c = *r0.conns.back();
+  if (drain_frames(r0, c)) {
+    if (c.out_pos < c.out.size() && !flush_writes(r0, c)) c.dead = true;
   }
 }
 
@@ -470,15 +716,24 @@ void server::send_invites() {
   }
 }
 
-void server::sweep_dead() {
+void server::sweep_dead(reactor& r) {
   bool any_dead = false;
-  for (size_t i = conns_.size(); i-- > 0;) {
-    if (!conns_[i]->dead) continue;
+  for (size_t i = r.conns.size(); i-- > 0;) {
+    if (!r.conns[i]->dead) continue;
+    // A dead connection with responses still parked on in-flight batch
+    // parts or control messages keeps its carcass until they fold back —
+    // erasing it now would dangle the pointers those messages carry.
+    if (r.conns[i]->inflight > 0) continue;
     any_dead = true;
-    switch (conns_[i]->kind) {
+    switch (r.conns[i]->kind) {
       case connection::role::subscriber:
         // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         subscribers_.fetch_sub(1, std::memory_order_relaxed);
+        if (r.conns[i]->sub != nullptr) {
+          r.conns[i]->sub->alive.store(false, std::memory_order_release);
+          std::lock_guard<std::mutex> lk(subs_mu_);
+          std::erase(subs_, r.conns[i]->sub);
+        }
         break;
       case connection::role::feed:
         // The primary is gone.  Keep serving reads from the last applied
@@ -495,43 +750,107 @@ void server::sweep_dead() {
     }
     // A gated response whose client died is moot — drop it before the
     // connection object (and the parked pointer into it) goes away.
-    std::erase_if(pending_acks_, [&](const pending_ack& p) {
-      return p.conn == conns_[i].get();
+    std::erase_if(r.pending_acks, [&](const pending_ack& p) {
+      return p.conn == r.conns[i].get();
     });
     // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     closed_.fetch_add(1, std::memory_order_relaxed);
-    conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+    r.conns.erase(r.conns.begin() + static_cast<std::ptrdiff_t>(i));
   }
-  recompute_acked();
+  recompute_acked(r);
   // A lost subscriber may leave the gate short of its quorum: degrade
   // promptly (clients should not sit out the full deadline for a replica
   // that is already gone).
-  if (any_dead && !pending_acks_.empty()) service_acks(obs::now_ns());
+  if (any_dead && !r.pending_acks.empty()) service_acks(r, obs::now_ns());
 }
+
+// -- Event loops --------------------------------------------------------------
 
 void server::run() {
   if (!invites_sent_) {
     invites_sent_ = true;
     send_invites();
   }
+  if (nr_ > 1) {
+    {
+      std::lock_guard<std::mutex> lk(stw_mu_);
+      stw_parked_ = 0;
+      stw_exited_ = 0;
+    }
+    // relaxed: reset before the reactor threads are spawned below.
+    stw_want_.store(false, std::memory_order_relaxed);
+    threads_live_ = true;
+    for (uint32_t k = 1; k < nr_; ++k)
+      threads_.emplace_back([this, k] { reactor_loop(*reactors_[k]); });
+  }
+  reactor_loop(*reactors_[0]);
+  if (nr_ > 1) {
+    // Reactor 0 is out (stop, or a poll error): everyone else goes too.
+    stop_requested_.store(true, std::memory_order_release);
+    for (uint32_t k = 1; k < nr_; ++k) wake(k);
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+    threads_live_ = false;
+    // Fold every in-flight part back so no response is silently lost to
+    // the shutdown — finish_resp queues them below for the final flush.
+    drain_all_inboxes_quiesced();
+  }
+  // Shutdown: every still-gated response is released as ok_async (its
+  // mutation *was* applied) and best-effort flushed — a client must never
+  // lose an answer to a rug-pulled gate.
+  for (uint32_t k = 0; k < nr_; ++k) {
+    reactor& r = *reactors_[k];
+    service_acks(r, obs::now_ns(), /*flush_deadline=*/true);
+    for (auto& c : r.conns)
+      if (!c->dead && c->out_pos < c->out.size()) flush_writes(r, *c);
+    r.pending_acks.clear();
+    r.pending.clear();
+    for (auto& c : r.conns) c->inflight = 0;
+    sweep_dead(r);
+    // Drain the wakeup pipe so a relaunched run() blocks again.
+    uint8_t buf[64];
+    while (::read(r.wake_rd.get(), buf, sizeof(buf)) > 0) {
+    }
+    r.conns.clear();
+  }
+  if (nr_ > 1) {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    for (auto& s : subs_) s->alive.store(false, std::memory_order_release);
+    subs_.clear();
+  }
+  // relaxed: every loop thread has been joined; no concurrent readers.
+  stop_requested_.store(false, std::memory_order_relaxed);
+}
+
+void server::reactor_loop(reactor& r) {
   std::vector<pollfd> pfds;
   for (;;) {
+    if (nr_ > 1 && r.id != 0) park_for_stw(r);
     // Sweep first so pre-run condemnations (a poisoned feed handed to
     // attach_feed) and last round's casualties never reach poll().
-    sweep_dead();
+    sweep_dead(r);
     // Fire due timers — reconnect attempts, ack-gate deadlines, feed
     // idleness — then sweep again: a timer may have condemned the feed or
     // adopted a fresh one whose drained frames condemned it right back.
-    service_timers(obs::now_ns());
-    sweep_dead();
+    service_timers(r, obs::now_ns());
+    sweep_dead(r);
+    if (nr_ > 1 && process_inboxes(r)) {
+      // Handed-off work queued responses on this reactor's connections:
+      // push them toward the sockets now, not at the next POLLOUT round.
+      for (auto& c : r.conns)
+        if (!c->dead && c->out_pos < c->out.size() && !flush_writes(r, *c))
+          c->dead = true;
+      sweep_dead(r);
+    }
     pfds.clear();
-    pfds.push_back({wake_rd_.get(), POLLIN, 0});
-    pfds.push_back({listen_.get(), POLLIN, 0});
+    pfds.push_back({r.wake_rd.get(), POLLIN, 0});
+    if (r.id == 0) pfds.push_back({listen_.get(), POLLIN, 0});
+    const size_t base = pfds.size();
     // Connections polled this round; accept_ready() may append more below,
     // and those have no pfds entry until the next round — the event scan
-    // must stop at this snapshot, not at conns_.size().
-    const size_t polled = conns_.size();
-    for (const auto& c : conns_) {
+    // must stop at this snapshot, not at conns.size().
+    const size_t polled = r.conns.size();
+    for (const auto& c : r.conns) {
       const size_t queued = c->out.size() - c->out_pos;
       short events = 0;
       // Backpressure: a client past its response-queue cap is not read
@@ -546,43 +865,114 @@ void server::run() {
     }
 
     const int rc =
-        ::poll(pfds.data(), pfds.size(), poll_timeout_ms(obs::now_ns()));
+        ::poll(pfds.data(), pfds.size(), poll_timeout_ms(r, obs::now_ns()));
     if (rc < 0) {
       if (errno == EINTR) continue;  // signal: the handler pinged the pipe
       break;
     }
     if (rc == 0) continue;  // timer expiry: loop back to service_timers
 
-    if (pfds[0].revents & POLLIN) break;  // request_stop()
+    if (pfds[0].revents & POLLIN) {
+      if (nr_ == 1) break;  // request_stop()
+      // Multi-reactor wakeups are ambiguous: a mailbox post, a
+      // stop-the-world request, or request_stop().  Drain the pipe and
+      // let the loop top sort it out.
+      uint8_t buf[64];
+      while (::read(r.wake_rd.get(), buf, sizeof(buf)) > 0) {
+      }
+      if (stop_requested_.load(std::memory_order_acquire)) break;
+      continue;
+    }
 
-    if (pfds[1].revents & POLLIN) accept_ready();
+    if (r.id == 0 && (pfds[1].revents & POLLIN)) accept_ready(r);
 
     for (size_t i = 0; i < polled; ++i) {
-      connection& c = *conns_[i];
-      const short re = pfds[i + 2].revents;
+      connection& c = *r.conns[i];
+      const short re = pfds[i + base].revents;
       if (re & (POLLERR | POLLNVAL)) c.dead = true;
       if (!c.dead && (re & POLLOUT)) {
-        if (!flush_writes(c)) c.dead = true;
+        if (!flush_writes(r, c)) c.dead = true;
       }
-      if (!c.dead && (re & (POLLIN | POLLHUP))) read_ready(c);
+      if (!c.dead && (re & (POLLIN | POLLHUP))) read_ready(r, c);
     }
   }
-  // Shutdown: every still-gated response is released as ok_async (its
-  // mutation *was* applied) and best-effort flushed — a client must never
-  // lose an answer to a rug-pulled gate.
-  service_acks(obs::now_ns(), /*flush_deadline=*/true);
-  for (auto& c : conns_)
-    if (!c->dead && c->out_pos < c->out.size()) flush_writes(*c);
-  pending_acks_.clear();
-  sweep_dead();
-  // Drain the wakeup pipe so a relaunched run() blocks again.
-  uint8_t buf[64];
-  while (::read(wake_rd_.get(), buf, sizeof(buf)) > 0) {
+  if (nr_ > 1 && r.id != 0) {
+    // Out of the loop for good: tell a blocked stw() not to wait for us.
+    std::lock_guard<std::mutex> lk(stw_mu_);
+    ++stw_exited_;
+    stw_cv_.notify_all();
   }
-  conns_.clear();
 }
 
-void server::accept_ready() {
+// -- Stop-the-world barrier ---------------------------------------------------
+
+void server::park_for_stw(reactor& r) {
+  (void)r;
+  if (!stw_want_.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::mutex> lk(stw_mu_);
+  ++stw_parked_;
+  stw_cv_.notify_all();
+  stw_cv_.wait(lk, [this] {
+    return !stw_want_.load(std::memory_order_acquire);
+  });
+  --stw_parked_;
+  stw_cv_.notify_all();
+}
+
+void server::stw(const std::function<void()>& fn) {
+  if (nr_ == 1 || !threads_live_) {
+    fn();
+    return;
+  }
+  std::unique_lock<std::mutex> lk(stw_mu_);
+  stw_want_.store(true, std::memory_order_release);
+  for (uint32_t k = 1; k < nr_; ++k) wake(k);
+  stw_cv_.wait(lk, [this] {
+    return stw_parked_ + stw_exited_ >= nr_ - 1;
+  });
+  // Every other reactor is parked (or gone).  Drain the mailboxes first:
+  // work already handed off logically precedes this section (a MAINTAIN
+  // must not reorder ahead of the inserts that triggered it).
+  in_stw_ = true;
+  drain_all_inboxes_quiesced();
+  fn();
+  in_stw_ = false;
+  stw_want_.store(false, std::memory_order_release);
+  stw_cv_.notify_all();
+  stw_cv_.wait(lk, [this] { return stw_parked_ == 0; });
+}
+
+void server::run_quiesced(const std::function<void()>& fn) {
+  if (nr_ == 1) {
+    fn();
+    return;
+  }
+  if (in_stw_ || !threads_live_) {
+    // Already inside a barrier (a control op that triggers another quiesced
+    // section), or the reactor threads are not running (pre-run attach_feed
+    // drain, post-join shutdown): the world is as stopped as it gets, but
+    // the ordering contract still demands drained mailboxes.
+    drain_all_inboxes_quiesced();
+    fn();
+    return;
+  }
+  stw(fn);
+}
+
+void server::drain_all_inboxes_quiesced() {
+  // Messages beget messages (a drained work part posts its done reply):
+  // loop to quiescence.  Only runs when this thread is the sole consumer
+  // of every inbox (the STW barrier or single-threaded shutdown).
+  bool any = true;
+  while (any) {
+    any = false;
+    for (auto& r : reactors_) any = process_inboxes(*r) || any;
+  }
+}
+
+// -- Accept + mailbox plumbing ------------------------------------------------
+
+void server::accept_ready(reactor& r) {
   for (;;) {
     int fd = ::accept(listen_.get(), nullptr, nullptr);
     if (fd < 0) {
@@ -598,54 +988,140 @@ void server::accept_ready() {
     socket_fd s(fd);
     set_nonblocking(fd);
     set_nodelay(fd);
-    conns_.push_back(
-        std::make_unique<connection>(std::move(s), cfg_.max_frame_bytes));
+    if (nr_ == 1) {
+      r.conns.push_back(
+          std::make_unique<connection>(std::move(s), cfg_.max_frame_bytes));
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    const uint32_t target = rr_next_++ % nr_;
+    if (target == r.id) {
+      auto conn =
+          std::make_unique<connection>(std::move(s), cfg_.max_frame_bytes);
+      conn->owner = r.id;
+      r.conns.push_back(std::move(conn));
+    } else {
+      reactor_msg m;
+      m.k = reactor_msg::kind::conn;
+      m.fd = s.release();  // the target reactor re-wraps and owns it
+      m.origin = r.id;
+      post(r, target, std::move(m));
+    }
   }
 }
 
-bool server::drain_frames(connection& c) {
+void server::post(reactor& from, uint32_t to, reactor_msg&& m) {
+  // lane: SPSC push — reactor `from` is the only producer into slot
+  // [from.id] of reactor `to`'s inboxes; `to` is the only consumer.
+  reactors_[to]->inboxes[from.id]->push(std::move(m));
+  wake(to);
+}
+
+void server::wake(uint32_t k) {
+  const uint8_t b = 1;
+  // A full pipe already means a wakeup is pending.
+  [[maybe_unused]] ssize_t rc = ::write(wake_fds_[k], &b, 1);
+}
+
+bool server::process_inboxes(reactor& r) {
+  bool any = false;
+  reactor_msg m;
+  for (auto& box : r.inboxes) {
+    // lane: SPSC pop — reactor `r` (or reactor 0 on its behalf while `r`
+    // is parked under the STW barrier, ordered by stw_mu_) is the only
+    // consumer of r's inboxes.
+    while (box->try_pop(m)) {
+      any = true;
+      dispatch_msg(r, m);
+    }
+  }
+  return any;
+}
+
+void server::dispatch_msg(reactor& r, reactor_msg& m) {
+  switch (m.k) {
+    case reactor_msg::kind::conn: {
+      auto conn = std::make_unique<connection>(socket_fd(m.fd),
+                                               cfg_.max_frame_bytes);
+      conn->owner = r.id;
+      r.conns.push_back(std::move(conn));
+      ++r.handoffs;
+      break;
+    }
+    case reactor_msg::kind::work: {
+      reactor_msg d;
+      d.k = reactor_msg::kind::done;
+      d.origin = r.id;
+      d.ticket = m.ticket;
+      d.op = m.op;
+      d.from_feed = m.from_feed;
+      d.idx = std::move(m.idx);
+      apply_work(r, m, d);
+      post(r, m.origin, std::move(d));
+      break;
+    }
+    case reactor_msg::kind::done:
+      complete_part(r, m.ticket, m);
+      break;
+    case reactor_msg::kind::fwd:
+      if (m.sub != nullptr && m.sub->alive.load(std::memory_order_acquire) &&
+          m.bytes != nullptr)
+        deliver_to_sub(r, *m.sub, *m.bytes);
+      break;
+    case reactor_msg::kind::ctrl:
+      exec_ctrl(r, m);
+      break;
+    case reactor_msg::kind::none:
+      break;
+  }
+}
+
+// -- Socket I/O ---------------------------------------------------------------
+
+bool server::drain_frames(reactor& r, connection& c) {
   frame f;
   for (;;) {
     const uint64_t t0 = obs::now_ns();
     decode_status st = c.dec.next(f);
     if (st == decode_status::need_more) return true;
     if (st == decode_status::error) {
-      condemn(c, c.dec.error());
+      condemn(r, c, c.dec.error());
       return false;
     }
-    stage_decode_ns_.record(obs::now_ns() - t0);
+    r.stage_decode_ns.record(obs::now_ns() - t0);
     switch (c.kind) {
       case connection::role::client:
         if (const char* shape = validate_request(f)) {
-          condemn(c, shape);
+          condemn(r, c, shape);
           return false;
         }
-        handle_frame(c, f);
+        handle_frame(r, c, f);
         break;
       case connection::role::subscriber:
         // Frames coming *back* from a replica are acks: ordinary
         // responses echoing the forwarded stream sequence.
         if (const char* shape = validate_response(f)) {
-          condemn(c, shape);
+          condemn(r, c, shape);
           return false;
         }
-        subscriber_ack(c, f);
+        subscriber_ack(r, c, f);
         break;
       case connection::role::feed:
         if (const char* shape = validate_request(f)) {
-          condemn(c, shape);
+          condemn(r, c, shape);
           return false;
         }
-        feed_frame(c, f);
+        feed_frame(r, c, f);
         break;
     }
     if (c.dead) return false;
   }
 }
 
-void server::read_ready(connection& c) {
+void server::read_ready(reactor& r, connection& c) {
   uint8_t buf[kReadChunk];
   for (;;) {
     ssize_t n = sock_recv(c.fd.get(), buf, sizeof(buf));
@@ -659,7 +1135,7 @@ void server::read_ready(connection& c) {
       if (c.dec.buffered() > 0 && !c.dec.poisoned())
         // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      flush_writes(c);  // best-effort: a half-closed peer may still read
+      flush_writes(r, c);  // best-effort: a half-closed peer may still read
       c.dead = true;
       return;
     }
@@ -670,7 +1146,7 @@ void server::read_ready(connection& c) {
 
     // Serve every complete frame before the next poll round — this is the
     // server half of pipelining.
-    if (!drain_frames(c)) return;
+    if (!drain_frames(r, c)) return;
     // Over the response-queue cap: stop consuming this connection's
     // requests (what stays in the kernel buffer throttles the peer).
     if (c.kind == connection::role::client &&
@@ -678,10 +1154,10 @@ void server::read_ready(connection& c) {
       break;
     if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
   }
-  if (c.out_pos < c.out.size() && !flush_writes(c)) c.dead = true;
+  if (c.out_pos < c.out.size() && !flush_writes(r, c)) c.dead = true;
 }
 
-bool server::flush_writes(connection& c) {
+bool server::flush_writes(reactor& r, connection& c) {
   if (c.out_pos >= c.out.size()) return true;  // nothing queued: no timing
   const uint64_t t0 = obs::now_ns();
   bool alive = true;
@@ -701,11 +1177,11 @@ bool server::flush_writes(connection& c) {
     c.out.clear();
     c.out_pos = 0;
   }
-  stage_flush_ns_.record(obs::now_ns() - t0);
+  r.stage_flush_ns.record(obs::now_ns() - t0);
   return alive;
 }
 
-void server::condemn(connection& c, const std::string& why) {
+void server::condemn(reactor& r, connection& c, const std::string& why) {
   (void)why;  // counted, not logged: a hostile peer can spam arbitrary bytes
   // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -713,7 +1189,7 @@ void server::condemn(connection& c, const std::string& why) {
   // their responses (a pipelined client may have real answers queued
   // behind the first bad byte).  What the kernel buffer will not take is
   // forfeited with the connection.
-  flush_writes(c);
+  flush_writes(r, c);
   c.dead = true;
 }
 
@@ -721,68 +1197,199 @@ void server::append_out(connection& c, std::vector<uint8_t> bytes) {
   c.out.insert(c.out.end(), bytes.begin(), bytes.end());
 }
 
-// -- Replication -------------------------------------------------------------
+// -- Replication --------------------------------------------------------------
 
-uint64_t server::replicate(const frame& f, bool from_feed) {
+uint64_t server::replicate(reactor& r, const frame& f, bool from_feed) {
   // The stream sequence advances on *every* applied mutation, subscribers
   // or not — it is the store's mutation-log position, and a SYNC snapshot
   // must name it so a later replica knows where its stream begins.  A
   // feed-applied frame keeps its upstream sequence (chained replicas stay
   // aligned with the root primary's log).
-  uint64_t seq;
-  if (from_feed) {
-    seq = f.sequence;
-    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-    repl_seq_.store(seq, std::memory_order_relaxed);
-  } else {
-    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-    seq = repl_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
-  }
-  bool any = false;
-  for (const auto& c : conns_)
-    if (!c->dead && c->kind == connection::role::subscriber) {
-      any = true;
-      break;
-    }
-  if (!any && ring_.budget() == 0 && cfg_.durability == nullptr) return seq;
-  // Re-encode straight from the decoded frame's fields with the stream
-  // sequence stamped in — the payload (multi-MiB for big batches) is
-  // written once into the wire bytes, never copied into a temporary.
-  std::vector<uint8_t> bytes;
-  encode_frame(f.op, wire_status::ok, f.shard_hint, f.key_count, seq,
-               f.payload, bytes);
-  if (cfg_.durability != nullptr) {
-    // The WAL gets the exact stamped bytes the subscriber feed carries,
-    // *after* the store applied the batch but *before* the client's
-    // response can flush (flush_writes runs when this frame's handler
-    // returns): the mutation is on disk — fsync policy permitting — by
-    // the time anyone is told it happened.
-    cfg_.durability->append(seq, bytes);
-    if (cfg_.durability->checkpoint_due()) cfg_.durability->checkpoint(store_);
-  }
-  for (auto& c : conns_) {
-    if (c->dead || c->kind != connection::role::subscriber) continue;
-    append_out(*c, bytes);
-    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-    frames_forwarded_.fetch_add(1, std::memory_order_relaxed);
-    // A subscriber that cannot drain its stream is cut loose: async
-    // replication must never let one slow replica grow this process
-    // without bound.  The replica sees the EOF, counts a lost feed, and —
-    // with a supervisor — comes back with a resume request that the very
-    // bytes recorded below will answer.
-    if (c->out.size() - c->out_pos > c->queue_cap) {
+  if (nr_ == 1) {
+    uint64_t seq;
+    if (from_feed) {
+      seq = f.sequence;
       // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-      subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
-      c->dead = true;
+      repl_seq_.store(seq, std::memory_order_relaxed);
+      // Mirror the lane positions so lane-aware resume requests stay
+      // truthful even when this server itself runs one loop.
+      // relaxed: single-lane replica apply path; one writer, no gating reader.
+      const uint32_t l = lane_of(seq);
+      if (l < kMaxLanes) {
+        lane_seqs_[l].store(seq, std::memory_order_relaxed);
+        if (l + 1 > lane_count_.load(std::memory_order_relaxed))
+          lane_count_.store(l + 1, std::memory_order_relaxed);
+      }
+    } else {
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+      seq = repl_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+      lane_seqs_[0].store(seq, std::memory_order_relaxed);
     }
+    bool any = false;
+    for (const auto& c : r.conns)
+      if (!c->dead && c->kind == connection::role::subscriber) {
+        any = true;
+        break;
+      }
+    if (!any && r.ring.budget() == 0 && cfg_.durability == nullptr)
+      return seq;
+    // Re-encode straight from the decoded frame's fields with the stream
+    // sequence stamped in — the payload (multi-MiB for big batches) is
+    // written once into the wire bytes, never copied into a temporary.
+    std::vector<uint8_t> bytes;
+    encode_frame(f.op, wire_status::ok, f.shard_hint, f.key_count, seq,
+                 f.payload, bytes);
+    if (cfg_.durability != nullptr) {
+      // The WAL gets the exact stamped bytes the subscriber feed carries,
+      // *after* the store applied the batch but *before* the client's
+      // response can flush (flush_writes runs when this frame's handler
+      // returns): the mutation is on disk — fsync policy permitting — by
+      // the time anyone is told it happened.
+      cfg_.durability->append(seq, bytes);
+      if (cfg_.durability->checkpoint_due())
+        cfg_.durability->checkpoint(store_);
+    }
+    for (auto& c : r.conns) {
+      if (c->dead || c->kind != connection::role::subscriber) continue;
+      append_out(*c, bytes);
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+      frames_forwarded_.fetch_add(1, std::memory_order_relaxed);
+      // A subscriber that cannot drain its stream is cut loose: async
+      // replication must never let one slow replica grow this process
+      // without bound.  The replica sees the EOF, counts a lost feed, and
+      // — with a supervisor — comes back with a resume request that the
+      // very bytes recorded below will answer.
+      if (c->out.size() - c->out_pos > c->queue_cap) {
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+        subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
+        c->dead = true;
+      }
+    }
+    // The ring gets the exact bytes a live subscriber saw, so a delta
+    // replay is byte-identical to having never disconnected.
+    r.ring.push(seq, std::move(bytes));
+    return seq;
   }
-  // The ring gets the exact bytes a live subscriber saw, so a delta
-  // replay is byte-identical to having never disconnected.
-  ring_.push(seq, std::move(bytes));
+
+  // Multi-reactor: this reactor's lane advances (never from a feed — a
+  // multi-reactor replica chains through chain_forward instead).
+  const uint64_t seq = lane_seq(r.id, ++r.lane_local);
+  // release: pairs with acquire loads in gating reactors reading this
+  // lane's position.
+  lane_seqs_[r.id].store(seq, std::memory_order_release);
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+  if (subscribers_.load(std::memory_order_relaxed) == 0 &&
+      r.ring.budget() == 0 && cfg_.durability == nullptr)
+    return seq;
+  auto bytes = std::make_shared<std::vector<uint8_t>>();
+  encode_frame(f.op, wire_status::ok, f.shard_hint, f.key_count, seq,
+               f.payload, *bytes);
+  if (cfg_.durability != nullptr)
+    // Reactor r is lane r's only appender; checkpoints run separately
+    // under the stop-the-world barrier (service_timers on reactor 0).
+    cfg_.durability->append(seq, *bytes);
+  forward_to_subs(r, seq, bytes);
+  r.ring.push(seq, bytes.use_count() == 1 ? std::move(*bytes) : *bytes);
   return seq;
 }
 
-void server::subscriber_ack(connection& c, const frame& f) {
+void server::chain_forward(reactor& r, const frame& f) {
+  // A multi-reactor replica propagates each feed frame — upstream lane
+  // stamp intact — at arrival time on reactor 0, so chained subscribers
+  // and the WAL see the primary's own interleaving order.
+  const uint64_t seq = f.sequence;
+  const uint32_t l = lane_of(seq);
+  if (l < kMaxLanes) {
+    // release: pairs with acquire loads in gating reactors.
+    lane_seqs_[l].store(seq, std::memory_order_release);
+    // relaxed: lane_count_ only grows and only this chokepoint writes it.
+    if (l + 1 > lane_count_.load(std::memory_order_relaxed))
+      lane_count_.store(l + 1, std::memory_order_relaxed);
+  }
+  replay_ring* ring = l < nr_ ? &reactors_[l]->ring : nullptr;
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+  if (subscribers_.load(std::memory_order_relaxed) == 0 &&
+      (ring == nullptr || ring->budget() == 0) && cfg_.durability == nullptr)
+    return;
+  auto bytes = std::make_shared<std::vector<uint8_t>>();
+  encode_frame(f.op, wire_status::ok, f.shard_hint, f.key_count, seq,
+               f.payload, *bytes);
+  if (cfg_.durability != nullptr) cfg_.durability->append(seq, *bytes);
+  forward_to_subs(r, seq, bytes);
+  if (ring != nullptr)
+    ring->push(seq, bytes.use_count() == 1 ? std::move(*bytes) : *bytes);
+}
+
+void server::forward_to_subs(
+    reactor& r, uint64_t seq,
+    const std::shared_ptr<std::vector<uint8_t>>& bytes) {
+  (void)seq;
+  std::vector<std::shared_ptr<sub_entry>> subs;
+  {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    subs = subs_;
+  }
+  for (auto& s : subs) {
+    if (!s->alive.load(std::memory_order_acquire)) continue;
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+    frames_forwarded_.fetch_add(1, std::memory_order_relaxed);
+    if (s->reactor_id == r.id) {
+      deliver_to_sub(r, *s, *bytes);
+    } else {
+      reactor_msg m;
+      m.k = reactor_msg::kind::fwd;
+      m.origin = r.id;
+      m.sub = s;
+      m.bytes = bytes;
+      post(r, s->reactor_id, std::move(m));
+    }
+  }
+}
+
+void server::deliver_to_sub(reactor& r, sub_entry& s,
+                            const std::vector<uint8_t>& bytes) {
+  (void)r;
+  connection* c = s.conn;
+  if (c == nullptr || c->dead) return;
+  c->out.insert(c->out.end(), bytes.begin(), bytes.end());
+  // A subscriber that cannot drain its stream is cut loose: async
+  // replication must never let one slow replica grow this process without
+  // bound.
+  if (c->out.size() - c->out_pos > c->queue_cap) {
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+    subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
+    c->dead = true;
+    s.alive.store(false, std::memory_order_release);
+  }
+}
+
+void server::register_subscriber(reactor& r, connection& c,
+                                 std::span<const uint64_t> acked_lanes,
+                                 size_t queued_bytes) {
+  c.kind = connection::role::subscriber;
+  c.queue_cap = std::max(cfg_.max_subscriber_queue_bytes, 2 * queued_bytes);
+  if (nr_ == 1) {
+    c.last_acked = acked_lanes.size() == 1 ? acked_lanes[0] : 0;
+  } else {
+    auto entry = std::make_shared<sub_entry>();
+    entry->conn = &c;
+    entry->reactor_id = c.owner;
+    for (uint64_t v : acked_lanes) {
+      const uint32_t l = lane_of(v);
+      if (l < kMaxLanes)
+        // relaxed: entry not yet published to subs_; no concurrent reader.
+        entry->acked[l].store(v, std::memory_order_relaxed);
+    }
+    c.sub = entry;
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    subs_.push_back(std::move(entry));
+  }
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+  subscribers_.fetch_add(1, std::memory_order_relaxed);
+  recompute_acked(r);
+}
+
+void server::subscriber_ack(reactor& r, connection& c, const frame& f) {
   if (f.status != wire_status::ok) {
     // The replica failed *applying* a forwarded frame (its handler threw):
     // its store may have diverged.  Count it and hold the ack watermark —
@@ -794,44 +1401,93 @@ void server::subscriber_ack(connection& c, const frame& f) {
   const uint64_t now = obs::now_ns();
   // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   last_ack_ns_.store(now, std::memory_order_relaxed);
-  if (f.sequence > c.last_acked) {
-    c.last_acked = f.sequence;
-    recompute_acked();
-    // Fresh progress may satisfy gated responses — release them now, not
-    // at the next poll wakeup.
-    if (!pending_acks_.empty()) service_acks(now);
+  if (nr_ == 1) {
+    if (f.sequence > c.last_acked) {
+      c.last_acked = f.sequence;
+      recompute_acked(r);
+      // Fresh progress may satisfy gated responses — release them now,
+      // not at the next poll wakeup.
+      if (!r.pending_acks.empty()) service_acks(r, now);
+    }
+    return;
+  }
+  // Lane-wise ack: the echoed sequence names its lane in the top byte.
+  const uint32_t l = lane_of(f.sequence);
+  if (c.sub == nullptr || l >= kMaxLanes) return;
+  std::atomic<uint64_t>& slot = c.sub->acked[l];
+  // relaxed: owning reactor is the only writer of this ack slot.
+  if (f.sequence > slot.load(std::memory_order_relaxed)) {
+    // release: pairs with acquire loads in gating reactors' service_acks.
+    slot.store(f.sequence, std::memory_order_release);
+    recompute_acked(r);
+    if (!r.pending_acks.empty()) service_acks(r, now);
   }
 }
 
-void server::recompute_acked() {
-  uint64_t min_acked = 0;
+void server::recompute_acked(reactor& r) {
+  if (nr_ == 1) {
+    uint64_t min_acked = 0;
+    bool first = true;
+    for (const auto& c : r.conns) {
+      if (c->dead || c->kind != connection::role::subscriber) continue;
+      if (first || c->last_acked < min_acked) min_acked = c->last_acked;
+      first = false;
+    }
+    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+    subscriber_acked_.store(first ? 0 : min_acked,
+                            std::memory_order_relaxed);
+    return;
+  }
+  // Multi-lane watermark: the slowest subscriber's summed lane-local
+  // positions (comparable with repl_position()).
+  const uint32_t lanes = active_lanes();
+  uint64_t min_sum = 0;
   bool first = true;
-  for (const auto& c : conns_) {
-    if (c->dead || c->kind != connection::role::subscriber) continue;
-    if (first || c->last_acked < min_acked) min_acked = c->last_acked;
+  std::lock_guard<std::mutex> lk(subs_mu_);
+  for (const auto& s : subs_) {
+    if (!s->alive.load(std::memory_order_acquire)) continue;
+    uint64_t sum = 0;
+    for (uint32_t l = 0; l < lanes; ++l)
+      sum += lane_local(s->acked[l].load(std::memory_order_acquire));
+    if (first || sum < min_sum) min_sum = sum;
     first = false;
   }
   // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-  subscriber_acked_.store(first ? 0 : min_acked, std::memory_order_relaxed);
+  subscriber_acked_.store(first ? 0 : min_sum, std::memory_order_relaxed);
+}
+
+uint64_t server::live_subscribers(const reactor& r) const {
+  if (nr_ == 1) {
+    uint64_t live = 0;
+    for (const auto& s : r.conns)
+      if (!s->dead && s->kind == connection::role::subscriber) ++live;
+    return live;
+  }
+  // relaxed: gate sizing only; a stale count degrades, never hangs.
+  return subscribers_.load(std::memory_order_relaxed);
 }
 
 // -- Ack-gated writes ---------------------------------------------------------
 
-void server::queue_mutation_response(connection& c, bool from_feed, opcode op,
+void server::queue_mutation_response(reactor& r, connection& c,
+                                     bool from_feed, opcode op,
                                      uint64_t client_seq, uint32_t key_count,
                                      uint64_t a, uint64_t b,
-                                     uint64_t stream_seq) {
+                                     std::span<const uint64_t> stream_seqs) {
   // Feed acks are never gated (the primary upstream is not waiting on our
   // replicas), and with the gate off this is the ordinary async path.
   if (from_feed || cfg_.ack_replicas == 0) {
     append_out(c, encode_pair_response(op, client_seq, key_count, a, b));
     return;
   }
+  if (stream_seqs.empty()) {
+    // An empty batch landed on no lane: nothing for a replica to ack.
+    append_out(c, encode_pair_response(op, client_seq, key_count, a, b));
+    return;
+  }
   // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   ack_waits_.fetch_add(1, std::memory_order_relaxed);
-  uint64_t live = 0;
-  for (const auto& s : conns_)
-    if (!s->dead && s->kind == connection::role::subscriber) ++live;
+  const uint64_t live = live_subscribers(r);
   if (live < cfg_.ack_replicas) {
     // Not enough replicas even attached: degrade immediately rather than
     // making the client sit out a deadline that cannot be met.
@@ -841,23 +1497,43 @@ void server::queue_mutation_response(connection& c, bool from_feed, opcode op,
                                        wire_status::ok_async));
     return;
   }
-  pending_acks_.push_back({&c, stream_seq,
-                           obs::now_ns() + uint64_t{cfg_.ack_timeout_ms} *
-                                               1'000'000ull,
-                           op, client_seq, key_count, a, b});
+  r.pending_acks.push_back(
+      {&c, std::vector<uint64_t>(stream_seqs.begin(), stream_seqs.end()),
+       obs::now_ns() + uint64_t{cfg_.ack_timeout_ms} * 1'000'000ull, op,
+       client_seq, key_count, a, b});
 }
 
-void server::service_acks(uint64_t now_ns, bool flush_deadline) {
-  if (pending_acks_.empty()) return;
-  uint64_t live = 0;
-  for (const auto& s : conns_)
-    if (!s->dead && s->kind == connection::role::subscriber) ++live;
-  std::erase_if(pending_acks_, [&](const pending_ack& p) {
+void server::service_acks(reactor& r, uint64_t now_ns, bool flush_deadline) {
+  if (r.pending_acks.empty()) return;
+  const uint64_t live = live_subscribers(r);
+  std::vector<std::shared_ptr<sub_entry>> subs;
+  if (nr_ > 1) {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    subs = subs_;
+  }
+  std::erase_if(r.pending_acks, [&](const pending_ack& p) {
     uint64_t acked = 0;
-    for (const auto& s : conns_)
-      if (!s->dead && s->kind == connection::role::subscriber &&
-          s->last_acked >= p.stream_seq)
-        ++acked;
+    if (nr_ == 1) {
+      for (const auto& s : r.conns)
+        if (!s->dead && s->kind == connection::role::subscriber &&
+            s->last_acked >= p.seqs[0])
+          ++acked;
+    } else {
+      for (const auto& s : subs) {
+        if (!s->alive.load(std::memory_order_acquire)) continue;
+        bool all = true;
+        for (uint64_t q : p.seqs) {
+          const uint32_t l = lane_of(q);
+          // acquire: pairs with the owning reactor's release ack store.
+          if (l >= kMaxLanes ||
+              s->acked[l].load(std::memory_order_acquire) < q) {
+            all = false;
+            break;
+          }
+        }
+        if (all) ++acked;
+      }
+    }
     if (acked >= cfg_.ack_replicas) {
       append_out(*p.conn, encode_pair_response(p.op, p.client_seq,
                                                p.key_count, p.a, p.b));
@@ -903,7 +1579,8 @@ void server::schedule_reconnect(uint64_t now_ns) {
   const uint64_t delay_ms = base / 2 + next_jitter() % (base - base / 2);
   reconnect_at_ns_ = now_ns + delay_ms * 1'000'000ull;
   ++reconnect_attempt_;
-  trace_.add("repl", "reconnect_scheduled", now_ns, 0, "delay_ms", delay_ms);
+  reactors_[0]->trace.add("repl", "reconnect_scheduled", now_ns, 0,
+                          "delay_ms", delay_ms);
 }
 
 void server::try_resync_feed() {
@@ -911,50 +1588,81 @@ void server::try_resync_feed() {
   const uint64_t t0 = obs::now_ns();
   try {
     auto [host, port] = parse_host_port(cfg_.feed_addr);
-    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-    const uint64_t last = repl_seq_.load(std::memory_order_relaxed);
+    // One lane-stamped last-applied position per lane this replica has
+    // seen; a replica of a single-lane primary presents the one scalar
+    // (the request bytes are then identical to the pre-lane protocol).
+    std::vector<uint64_t> lasts;
+    if (feed_expected_by_lane_.empty()) {
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+      lasts.push_back(repl_seq_.load(std::memory_order_relaxed));
+    } else {
+      for (const auto& [l, next] : feed_expected_by_lane_) {
+        (void)next;
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+        lasts.push_back(lane_seqs_[l].load(std::memory_order_relaxed));
+      }
+    }
     // Blocking re-sync on the loop thread, bounded by resync_timeout_ms
     // per silent read: a replica that is catching up is allowed to pause
     // its (read-only) service — its data is stale until this finishes
     // anyway.
     resync_result rr =
-        sync_resume(host, port, last, cfg_.snapshot_path,
-                    cfg_.max_frame_bytes, cfg_.resync_timeout_ms,
-                    cfg_.connector);
+        sync_resume(host, port, std::span<const uint64_t>(lasts),
+                    cfg_.snapshot_path, cfg_.max_frame_bytes,
+                    cfg_.resync_timeout_ms, cfg_.connector);
     if (rr.kind == resync_kind::snapshot) {
       // relaxed: single-writer (event loop) telemetry; readers need no ordering.
       resyncs_snapshot_.fetch_add(1, std::memory_order_relaxed);
-      store_ = std::move(*rr.store);
-      register_metrics();
-      // New lineage: any subscriber synced off the pre-resync store is
-      // cut loose to bootstrap afresh, and the ring's frames describe a
-      // store that no longer exists.
-      for (auto& sub : conns_)
-        if (!sub->dead && sub->kind == connection::role::subscriber) {
-          // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-          subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
-          sub->dead = true;
+      run_quiesced([&] {
+        store_ = std::move(*rr.store);
+        register_metrics();
+        // New lineage: any subscriber synced off the pre-resync store is
+        // cut loose to bootstrap afresh, and the rings' frames describe a
+        // store that no longer exists.
+        for (auto& rx : reactors_) {
+          for (auto& sub : rx->conns)
+            if (!sub->dead && sub->kind == connection::role::subscriber) {
+              // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+              subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
+              sub->dead = true;
+            }
+          rx->ring.clear();
         }
-      ring_.clear();
-      if (cfg_.durability != nullptr) {
-        // Same reasoning for the WAL: the segments log the dead lineage.
-        cfg_.durability->reset(store_, rr.repl_seq);
+        // relaxed: inside run_quiesced — every other reactor is parked.
+        for (uint32_t l = 0; l < kMaxLanes; ++l)
+          lane_seqs_[l].store(lane_seq(l, 0), std::memory_order_relaxed);
+        // relaxed: same quiesced section; adopt the feed's lane table.
+        for (uint64_t v : rr.lane_seqs) {
+          const uint32_t l = lane_of(v);
+          if (l < kMaxLanes)
+            lane_seqs_[l].store(v, std::memory_order_relaxed);
+        }
+        if (cfg_.durability != nullptr) {
+          // Same reasoning for the WAL: the segments log the dead lineage.
+          if (rr.lane_seqs.size() == 1 && lane_of(rr.lane_seqs[0]) == 0)
+            cfg_.durability->reset(store_, rr.repl_seq);
+          else
+            cfg_.durability->reset(store_,
+                                   std::span<const uint64_t>(rr.lane_seqs));
+        }
         // relaxed: single-writer (event loop) telemetry; readers need no ordering.
         repl_seq_.store(rr.repl_seq, std::memory_order_relaxed);
-      }
-      adopt_feed(std::move(rr.feed), std::move(rr.dec), rr.repl_seq + 1);
+      });
+      attach_feed(std::move(rr.feed), std::move(rr.dec),
+                  std::span<const uint64_t>(rr.lane_seqs));
     } else {
       // relaxed: single-writer (event loop) telemetry; readers need no ordering.
       resyncs_delta_.fetch_add(1, std::memory_order_relaxed);
       // The store we have is still the right one; the replayed frames
       // arrive on the adopted connection exactly like live stream
-      // traffic, starting at last + 1.
-      adopt_feed(std::move(rr.feed), std::move(rr.dec), last + 1);
+      // traffic, starting at each lane's last + 1.
+      attach_feed(std::move(rr.feed), std::move(rr.dec),
+                  std::span<const uint64_t>(lasts));
     }
     // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     feed_reconnects_.fetch_add(1, std::memory_order_relaxed);
-    trace_.add("repl", "resync", t0, obs::now_ns() - t0, "kind",
-               rr.kind == resync_kind::delta ? 0 : 1);
+    reactors_[0]->trace.add("repl", "resync", t0, obs::now_ns() - t0, "kind",
+                            rr.kind == resync_kind::delta ? 0 : 1);
   } catch (const std::exception&) {
     // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     reconnect_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -962,31 +1670,51 @@ void server::try_resync_feed() {
   }
 }
 
-void server::service_timers(uint64_t now_ns) {
-  if (reconnect_pending_ && now_ns >= reconnect_at_ns_) try_resync_feed();
-  service_acks(now_ns);
-  if (cfg_.feed_idle_timeout_ms != 0 &&
-      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-      feed_attached_.load(std::memory_order_relaxed) != 0 &&
-      now_ns - feed_last_rx_ns_ >
-          uint64_t{cfg_.feed_idle_timeout_ms} * 1'000'000ull) {
-    for (auto& c : conns_)
-      if (!c->dead && c->kind == connection::role::feed)
-        condemn(*c, "feed idle past the configured timeout");
+void server::service_timers(reactor& r, uint64_t now_ns) {
+  if (r.id == 0) {
+    if (reconnect_pending_ && now_ns >= reconnect_at_ns_) try_resync_feed();
+  }
+  service_acks(r, now_ns);
+  if (r.id == 0) {
+    if (cfg_.feed_idle_timeout_ms != 0 &&
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+        feed_attached_.load(std::memory_order_relaxed) != 0 &&
+        now_ns - feed_last_rx_ns_ >
+            uint64_t{cfg_.feed_idle_timeout_ms} * 1'000'000ull) {
+      for (auto& c : r.conns)
+        if (!c->dead && c->kind == connection::role::feed)
+          condemn(r, *c, "feed idle past the configured timeout");
+    }
+    // Multi-reactor checkpoints cannot ride replicate() (any reactor may
+    // trigger one, but a consistent store image needs every lane
+    // quiesced): reactor 0 polls the due-ness here and stops the world.
+    if (nr_ > 1 && cfg_.durability != nullptr &&
+        cfg_.durability->checkpoint_due())
+      stw([&] { cfg_.durability->checkpoint(store_); });
   }
 }
 
-int server::poll_timeout_ms(uint64_t now_ns) const {
+int server::poll_timeout_ms(const reactor& r, uint64_t now_ns) const {
   uint64_t next = UINT64_MAX;
-  if (reconnect_pending_) next = std::min(next, reconnect_at_ns_);
-  for (const pending_ack& p : pending_acks_)
+  if (r.id == 0) {
+    if (reconnect_pending_) next = std::min(next, reconnect_at_ns_);
+    if (cfg_.feed_idle_timeout_ms != 0 &&
+        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+        feed_attached_.load(std::memory_order_relaxed) != 0)
+      next = std::min<uint64_t>(
+          next, feed_last_rx_ns_ +
+                    uint64_t{cfg_.feed_idle_timeout_ms} * 1'000'000ull);
+    // Checkpoint due-ness is polled, not signalled: bound the sleep.
+    if (nr_ > 1 && cfg_.durability != nullptr)
+      next = std::min<uint64_t>(next, now_ns + 50'000'000ull);
+  }
+  for (const pending_ack& p : r.pending_acks)
     next = std::min(next, p.deadline_ns);
-  if (cfg_.feed_idle_timeout_ms != 0 &&
-      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-      feed_attached_.load(std::memory_order_relaxed) != 0)
-    next = std::min<uint64_t>(
-        next, feed_last_rx_ns_ +
-                  uint64_t{cfg_.feed_idle_timeout_ms} * 1'000'000ull);
+  // A gated response can be released by an ack that lands on *another*
+  // reactor (the subscriber's owner updates the lane slot; nobody wakes
+  // us).  Poll at ack-release granularity while anything is parked.
+  if (nr_ > 1 && !r.pending_acks.empty())
+    next = std::min<uint64_t>(next, now_ns + 1'000'000ull);
   if (next == UINT64_MAX) return -1;
   if (next <= now_ns) return 0;
   // +1 ms: round up so a timer never fires a poll round early and spins.
@@ -994,9 +1722,11 @@ int server::poll_timeout_ms(uint64_t now_ns) const {
       std::min<uint64_t>((next - now_ns) / 1'000'000ull + 1, 60'000));
 }
 
-void server::serve_sync(connection& c, const frame& f) {
+// -- SYNC serving -------------------------------------------------------------
+
+void server::serve_sync(reactor& r, connection& c, const frame& f) {
   if (f.shard_hint == kSyncInviteHint) {
-    handle_invite(c, f);
+    handle_invite(r, c, f);
     return;
   }
   // A standby that has never bootstrapped has no authoritative dataset:
@@ -1013,79 +1743,150 @@ void server::serve_sync(connection& c, const frame& f) {
     return;
   }
   if (f.shard_hint == kSyncResumeHint) {
-    serve_resume(c, f);
+    serve_resume(r, c, f);
     return;
   }
-  serve_snapshot(c, f);
+  serve_snapshot(r, c, f);
 }
 
-void server::serve_resume(connection& c, const frame& f) {
-  const uint64_t last = decode_sync_resume(f);
-  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-  const uint64_t cur = repl_seq_.load(std::memory_order_relaxed);
-  // Delta only when the ring still holds every frame the replica missed
-  // — and never at stream position 0: a primary restarted from a
-  // snapshot is back at sequence 0 with a *different* store, and a
-  // replica whose bootstrap also happened at 0 would otherwise be
-  // granted an empty delta against data it has never seen.  At 0 the
-  // snapshot is authoritative and cheap to prove.
-  if (cur != 0 && ring_.covers(last, cur)) {
-    std::vector<uint8_t> out = encode_sync_delta_response(f.sequence, last,
-                                                          cur);
-    const size_t replayed = ring_.encode_from(last, out);
-    const size_t out_bytes = out.size();
-    append_out(c, std::move(out));
-    c.kind = connection::role::subscriber;
-    c.last_acked = last;
-    c.queue_cap = std::max(cfg_.max_subscriber_queue_bytes, 2 * out_bytes);
+void server::serve_resume(reactor& r, connection& c, const frame& f) {
+  const std::vector<uint64_t> lasts = decode_sync_resume_lanes(f);
+  const uint32_t lanes = active_lanes();
+  if (lanes <= 1 && lasts.size() == 1) {
+    // Single-lane fast path: the original scalar protocol, byte-for-byte.
+    const uint64_t last = lasts[0];
     // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-    subscribers_.fetch_add(1, std::memory_order_relaxed);
-    recompute_acked();
-    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-    deltas_served_.fetch_add(1, std::memory_order_relaxed);
-    trace_.add("repl", "delta_serve", obs::now_ns(), 0, "frames", replayed);
+    const uint64_t cur = repl_seq_.load(std::memory_order_relaxed);
+    // Delta only when the ring still holds every frame the replica missed
+    // — and never at stream position 0: a primary restarted from a
+    // snapshot is back at sequence 0 with a *different* store, and a
+    // replica whose bootstrap also happened at 0 would otherwise be
+    // granted an empty delta against data it has never seen.  At 0 the
+    // snapshot is authoritative and cheap to prove.
+    if (cur != 0 && reactors_[0]->ring.covers(last, cur)) {
+      std::vector<uint8_t> out =
+          encode_sync_delta_response(f.sequence, last, cur);
+      const size_t replayed = reactors_[0]->ring.encode_from(last, out);
+      const size_t out_bytes = out.size();
+      append_out(c, std::move(out));
+      register_subscriber(r, c, std::span<const uint64_t>(&last, 1),
+                          out_bytes);
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+      deltas_served_.fetch_add(1, std::memory_order_relaxed);
+      r.trace.add("repl", "delta_serve", obs::now_ns(), 0, "frames",
+                  replayed);
+      return;
+    }
+    // Ring wrapped past the resume point: with a WAL armed, the frames
+    // the ring forgot are still on disk — read the delta back from the
+    // log and the replica never pays for a snapshot move.  The re-encoded
+    // bytes are identical with what the live stream carried
+    // (persist_wal_test proves it), so this branch is indistinguishable
+    // from a bigger ring.
+    if (cur != 0 && cfg_.durability != nullptr &&
+        cfg_.durability->covers(last, cur)) {
+      std::vector<uint8_t> out =
+          encode_sync_delta_response(f.sequence, last, cur);
+      const size_t replayed = cfg_.durability->encode_from(last, out);
+      const size_t out_bytes = out.size();
+      append_out(c, std::move(out));
+      register_subscriber(r, c, std::span<const uint64_t>(&last, 1),
+                          out_bytes);
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+      deltas_served_.fetch_add(1, std::memory_order_relaxed);
+      wal_deltas_served_.fetch_add(1, std::memory_order_relaxed);
+      r.trace.add("repl", "wal_delta_serve", obs::now_ns(), 0, "frames",
+                  replayed);
+      return;
+    }
+    serve_snapshot(r, c, f);
     return;
   }
-  // Ring wrapped past the resume point: with a WAL armed, the frames the
-  // ring forgot are still on disk — read the delta back from the log and
-  // the replica never pays for a snapshot move.  The re-encoded bytes are
-  // identical with what the live stream carried (persist_wal_test proves
-  // it), so this branch is indistinguishable from a bigger ring.
-  if (cur != 0 && cfg_.durability != nullptr &&
-      cfg_.durability->covers(last, cur)) {
-    std::vector<uint8_t> out = encode_sync_delta_response(f.sequence, last,
-                                                          cur);
-    const size_t replayed = cfg_.durability->encode_from(last, out);
-    const size_t out_bytes = out.size();
-    append_out(c, std::move(out));
-    c.kind = connection::role::subscriber;
-    c.last_acked = last;
-    c.queue_cap = std::max(cfg_.max_subscriber_queue_bytes, 2 * out_bytes);
-    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-    subscribers_.fetch_add(1, std::memory_order_relaxed);
-    recompute_acked();
-    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-    deltas_served_.fetch_add(1, std::memory_order_relaxed);
-    // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-    wal_deltas_served_.fetch_add(1, std::memory_order_relaxed);
-    trace_.add("repl", "wal_delta_serve", obs::now_ns(), 0, "frames",
-               replayed);
-    return;
+  // Lane-aware resume: grant a delta only when the replica's lane layout
+  // matches ours exactly and *every* lane is covered by its ring or the
+  // WAL — a partial replay would interleave a hole into one lane.
+  bool shape_ok = lasts.size() == lanes;
+  for (uint32_t l = 0; shape_ok && l < lanes; ++l)
+    if (lane_of(lasts[l]) != l) shape_ok = false;
+  if (shape_ok) {
+    std::vector<uint64_t> curs(lanes);
+    uint64_t pos_sum = 0;
+    for (uint32_t l = 0; l < lanes; ++l) {
+      // relaxed: reactor 0 reads lane tips under the STW barrier.
+      curs[l] = lane_seqs_[l].load(std::memory_order_relaxed);
+      pos_sum += lane_local(curs[l]);
+    }
+    bool covered = pos_sum != 0;
+    std::vector<bool> from_wal(lanes, false);
+    for (uint32_t l = 0; covered && l < lanes; ++l) {
+      if (lasts[l] == curs[l]) continue;  // lane already caught up
+      if (l < nr_ && reactors_[l]->ring.covers(lasts[l], curs[l])) continue;
+      if (cfg_.durability != nullptr &&
+          cfg_.durability->covers(lasts[l], curs[l])) {
+        from_wal[l] = true;
+        continue;
+      }
+      covered = false;
+    }
+    if (covered) {
+      std::vector<sync_delta_header> headers(lanes);
+      for (uint32_t l = 0; l < lanes; ++l)
+        headers[l] = {lasts[l], curs[l]};
+      std::vector<uint8_t> out =
+          lanes == 1 ? encode_sync_delta_response(f.sequence,
+                                                  headers[0].resume_from,
+                                                  headers[0].upto)
+                     : encode_sync_delta_response(
+                           f.sequence,
+                           std::span<const sync_delta_header>(headers));
+      size_t replayed = 0;
+      bool any_wal = false;
+      for (uint32_t l = 0; l < lanes; ++l) {
+        if (lasts[l] == curs[l]) continue;
+        if (!from_wal[l] && l < nr_ &&
+            reactors_[l]->ring.covers(lasts[l], curs[l])) {
+          replayed += reactors_[l]->ring.encode_from(lasts[l], out);
+        } else {
+          replayed += cfg_.durability->encode_from(lasts[l], out);
+          any_wal = true;
+        }
+      }
+      const size_t out_bytes = out.size();
+      append_out(c, std::move(out));
+      register_subscriber(r, c, std::span<const uint64_t>(lasts), out_bytes);
+      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+      deltas_served_.fetch_add(1, std::memory_order_relaxed);
+      if (any_wal) {
+        wal_deltas_served_.fetch_add(1, std::memory_order_relaxed);
+        r.trace.add("repl", "wal_delta_serve", obs::now_ns(), 0, "frames",
+                    replayed);
+      } else {
+        r.trace.add("repl", "delta_serve", obs::now_ns(), 0, "frames",
+                    replayed);
+      }
+      return;
+    }
   }
-  // No ring coverage and no (or insufficient) WAL: the only safe catch-up
+  // No full coverage (or a lane-layout mismatch): the only safe catch-up
   // is a full bootstrap — also the case of a replica living in this
   // primary's future after a crash-restart from an older snapshot.
-  serve_snapshot(c, f);
+  serve_snapshot(r, c, f);
 }
 
-void server::serve_snapshot(connection& c, const frame& f) {
-  // Snapshot + subscribe, atomically with respect to mutations: the event
-  // loop is the store's only writer, so every mutation at or below the
-  // sequence recorded here is inside the snapshot and every later one
-  // will be forwarded down this connection.  Nothing falls in between.
+void server::serve_snapshot(reactor& r, connection& c, const frame& f) {
+  // Snapshot + subscribe, atomically with respect to mutations: on one
+  // reactor the event loop is the store's only writer; with several, this
+  // runs inside the stop-the-world barrier — either way every mutation at
+  // or below the positions recorded here is inside the snapshot and every
+  // later one will be forwarded down this connection.  Nothing falls in
+  // between.
   const uint64_t t0 = obs::now_ns();
-  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-  const uint64_t seq_pos = repl_seq_.load(std::memory_order_relaxed);
+  // A multi-lane snapshot is prefixed with its lane table so the replica
+  // resumes each lane at the right position (single-lane transfers stay
+  // byte-identical to the pre-lane protocol).
+  if (active_lanes() > 1)
+    append_out(c, encode_sync_lane_table(f.sequence, current_lane_seqs()));
+  const uint64_t seq_pos = repl_position();
   // The v3 header carries the covered sequence, so a replica that later
   // restarts with its own WAL can anchor its log to this lineage.
   const std::string bytes = store::serialize_store(store_, seq_pos);
@@ -1107,16 +1908,12 @@ void server::serve_snapshot(connection& c, const frame& f) {
                                     data.subspan(off, slice)));
     off += slice;
   }
-  c.kind = connection::role::subscriber;
-  c.queue_cap = std::max(cfg_.max_subscriber_queue_bytes, 2 * bytes.size());
-  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-  subscribers_.fetch_add(1, std::memory_order_relaxed);
-  recompute_acked();
-  trace_.add("repl", "sync_serve", t0, obs::now_ns() - t0, "bytes",
-             bytes.size());
+  register_subscriber(r, c, {}, bytes.size());
+  r.trace.add("repl", "sync_serve", t0, obs::now_ns() - t0, "bytes",
+              bytes.size());
 }
 
-void server::handle_invite(connection& c, const frame& f) {
+void server::handle_invite(reactor& r, connection& c, const frame& f) {
   // Only a standby replica (read-only, not yet fed) takes an invite: on
   // anything else a hostile invite would overwrite a live store.
   // relaxed: single-writer (event loop) telemetry; readers need no ordering.
@@ -1136,29 +1933,38 @@ void server::handle_invite(connection& c, const frame& f) {
         sync_from(host, port, cfg_.snapshot_path, cfg_.max_frame_bytes,
                   /*connect_retries=*/0, cfg_.resync_timeout_ms,
                   cfg_.connector);
-    trace_.add("repl", "bootstrap", t0, sr.bootstrap_ns, "bytes",
-               sr.snapshot_bytes);
-    store_ = std::move(sr.store);
-    // The registry's histogram entries point into the replaced store's
-    // metrics bundle — rebuild them against the new store.
-    register_metrics();
-    // The store was just replaced wholesale: any subscriber synced off
-    // the pre-invite state (defense in depth — serve_sync refuses on a
-    // never-fed standby) is cut loose so it bootstraps from the new
-    // lineage instead of silently diverging.
-    for (auto& sub : conns_)
-      if (!sub->dead && sub->kind == connection::role::subscriber) {
+    r.trace.add("repl", "bootstrap", t0, sr.bootstrap_ns, "bytes",
+                sr.snapshot_bytes);
+    run_quiesced([&] {
+      store_ = std::move(sr.store);
+      // The registry's histogram entries point into the replaced store's
+      // metrics bundle — rebuild them against the new store.
+      register_metrics();
+      // The store was just replaced wholesale: any subscriber synced off
+      // the pre-invite state (defense in depth — serve_sync refuses on a
+      // never-fed standby) is cut loose so it bootstraps from the new
+      // lineage instead of silently diverging.
+      for (auto& rx : reactors_)
+        for (auto& sub : rx->conns)
+          if (!sub->dead && sub->kind == connection::role::subscriber) {
+            // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+            subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
+            sub->dead = true;
+          }
+      if (cfg_.durability != nullptr) {
+        // New lineage: the old WAL describes a store that no longer
+        // exists.
+        if (sr.lane_seqs.size() == 1 && lane_of(sr.lane_seqs[0]) == 0)
+          cfg_.durability->reset(store_, sr.repl_seq);
+        else
+          cfg_.durability->reset(store_,
+                                 std::span<const uint64_t>(sr.lane_seqs));
         // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-        subscriber_drops_.fetch_add(1, std::memory_order_relaxed);
-        sub->dead = true;
+        repl_seq_.store(sr.repl_seq, std::memory_order_relaxed);
       }
-    if (cfg_.durability != nullptr) {
-      // New lineage: the old WAL describes a store that no longer exists.
-      cfg_.durability->reset(store_, sr.repl_seq);
-      // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-      repl_seq_.store(sr.repl_seq, std::memory_order_relaxed);
-    }
-    adopt_feed(std::move(sr.feed), std::move(sr.dec), sr.repl_seq + 1);
+    });
+    attach_feed(std::move(sr.feed), std::move(sr.dec),
+                std::span<const uint64_t>(sr.lane_seqs));
     // No success response: the inviter fired and forgot; convergence is
     // observable through STATS on either end.
   } catch (const std::exception& e) {
@@ -1167,15 +1973,25 @@ void server::handle_invite(connection& c, const frame& f) {
   }
 }
 
-void server::feed_frame(connection& c, const frame& f) {
+void server::feed_frame(reactor& r, connection& c, const frame& f) {
   // Only mutating opcodes ride the feed; anything else means the stream
   // is not what we subscribed to.
   if (f.op != opcode::insert && f.op != opcode::insert_counted &&
       f.op != opcode::erase && f.op != opcode::maintain) {
-    condemn(c, "non-mutating opcode on the replication feed");
+    condemn(r, c, "non-mutating opcode on the replication feed");
     return;
   }
-  if (f.sequence != feed_expected_) {
+  const uint32_t lane = lane_of(f.sequence);
+  if (lane >= kMaxLanes) {
+    // The top byte can name 256 lanes but the server tracks kMaxLanes:
+    // a stream stamped beyond that is not one we subscribed to.
+    condemn(r, c, "sequence lane out of range");
+    return;
+  }
+  const auto it = feed_expected_by_lane_.find(lane);
+  const uint64_t expected =
+      it != feed_expected_by_lane_.end() ? it->second : f.sequence;
+  if (f.sequence != expected) {
     // A discontinuity: count it so STATS surfaces the divergence.  An
     // older-than-expected frame is a replay and is dropped.  A forward
     // jump splits on supervision: unsupervised (PR 5 behavior, no way to
@@ -1185,22 +2001,55 @@ void server::feed_frame(connection& c, const frame& f) {
     // replays exactly the missed frames instead of accepting a hole.
     // relaxed: single-writer (event loop) telemetry; readers need no ordering.
     feed_gaps_.fetch_add(1, std::memory_order_relaxed);
-    trace_.add("repl", "feed_gap", obs::now_ns(), 0, "expected",
-               feed_expected_);
-    if (f.sequence < feed_expected_) return;
+    r.trace.add("repl", "feed_gap", obs::now_ns(), 0, "expected", expected);
+    if (f.sequence < expected) return;
     if (!cfg_.feed_addr.empty()) {
-      condemn(c, "unbridged gap on a supervised feed");
+      condemn(r, c, "unbridged gap on a supervised feed");
       return;
     }
   }
-  feed_expected_ = f.sequence + 1;
+  feed_expected_by_lane_[lane] = f.sequence + 1;
   // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   feed_last_seq_.store(f.sequence, std::memory_order_relaxed);
   feed_applied_.fetch_add(1, std::memory_order_relaxed);
-  handle_frame(c, f);  // applies, acks on this connection, chains downstream
+  if (nr_ == 1) {
+    handle_frame(r, c, f);  // applies, acks on this connection, chains
+    return;
+  }
+  // Multi-reactor replica: chain the frame downstream in arrival order
+  // (reactor 0 is the feed's owner, so this *is* the upstream
+  // interleaving), then partition it to the owning reactors.
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t t_start = obs::now_ns();
+  chain_forward(r, f);
+  if (f.op == opcode::maintain) {
+    // The primary replicated this maintain at a consistent cut of all
+    // lanes; reproduce that cut here — drain every handed-off part, then
+    // grow the same shard range — so cascade shapes stay in lockstep.
+    run_quiesced([&] {
+      const uint64_t mt0 = obs::now_ns();
+      const auto m = f.payload.size() == 8
+                         ? store_.maintain_range(get_u32(f.payload.data()),
+                                                 get_u32(f.payload.data() + 4))
+                         : store_.maintain();
+      r.trace.add("store", "maintain", mt0, obs::now_ns() - mt0, "levels",
+                  m.total_levels);
+      append_out(c, encode_maintain_response(f.sequence, m.shards_grown,
+                                             m.max_depth, m.total_levels));
+    });
+    const uint64_t t_done = obs::now_ns();
+    r.op_hist[static_cast<size_t>(opcode::maintain)].record(t_done - t_start);
+    r.trace.add("wire", "maintain", t_start, t_done - t_start, "keys",
+                f.key_count);
+    return;
+  }
+  route_batch(r, c, f, /*from_feed=*/true, t_start);
 }
 
-void server::handle_frame(connection& c, const frame& f) {
+// -- Frame handling -----------------------------------------------------------
+
+void server::handle_frame(reactor& r, connection& c, const frame& f) {
   // relaxed: single-writer (event loop) telemetry; readers need no ordering.
   frames_.fetch_add(1, std::memory_order_relaxed);
   const bool from_feed = c.kind == connection::role::feed;
@@ -1219,6 +2068,10 @@ void server::handle_frame(connection& c, const frame& f) {
                       "read-only replica: send mutations to the primary"));
     return;
   }
+  if (nr_ > 1) {
+    handle_frame_mt(r, c, f, from_feed, mutating);
+    return;
+  }
   // Periodic skew relief: after enough mutating frames, grow pressured
   // shards (overflow cascades) without waiting for a client to ask.
   // Between frames the loop is the store's only writer — exactly the
@@ -1227,15 +2080,15 @@ void server::handle_frame(connection& c, const frame& f) {
   // synthesized ones below) drive replica growth at the same stream
   // positions, keeping cascade shapes in lockstep.
   if (!from_feed && cfg_.maintain_every != 0 && mutating &&
-      ++mutations_since_maintain_ >= cfg_.maintain_every) {
-    mutations_since_maintain_ = 0;
+      ++r.mutations_since_maintain >= cfg_.maintain_every) {
+    r.mutations_since_maintain = 0;
     const uint64_t mt0 = obs::now_ns();
     store_.maintain();
-    trace_.add("store", "maintain", mt0, obs::now_ns() - mt0, "cadence",
-               cfg_.maintain_every);
+    r.trace.add("store", "maintain", mt0, obs::now_ns() - mt0, "cadence",
+                cfg_.maintain_every);
     frame m;
     m.op = opcode::maintain;
-    replicate(m, /*from_feed=*/false);
+    replicate(r, m, /*from_feed=*/false);
   }
   // Stage marks: t_start → t_applied is "apply" (payload decode + store
   // work), t_applied → done is "encode" (response build + replication
@@ -1254,9 +2107,10 @@ void server::handle_frame(connection& c, const frame& f) {
         keys_.fetch_add(keys.size(), std::memory_order_relaxed);
         uint64_t ok = store_.insert_bulk(keys);
         t_applied = obs::now_ns();
-        const uint64_t sseq = replicate(f, from_feed);
-        queue_mutation_response(c, from_feed, opcode::insert, f.sequence,
-                                f.key_count, ok, keys.size() - ok, sseq);
+        const uint64_t sseq = replicate(r, f, from_feed);
+        queue_mutation_response(r, c, from_feed, opcode::insert, f.sequence,
+                                f.key_count, ok, keys.size() - ok,
+                                std::span<const uint64_t>(&sseq, 1));
         break;
       }
       case opcode::insert_counted: {
@@ -1268,12 +2122,13 @@ void server::handle_frame(connection& c, const frame& f) {
         ops.reserve(keys.size());
         for (size_t i = 0; i < keys.size(); ++i)
           ops.push_back(store::make_insert(keys[i], counts[i]));
-        store::batch_result r = store_.apply(ops);
+        store::batch_result br = store_.apply(ops);
         t_applied = obs::now_ns();
-        const uint64_t sseq = replicate(f, from_feed);
-        queue_mutation_response(c, from_feed, opcode::insert_counted,
-                                f.sequence, f.key_count, r.inserted,
-                                r.insert_failed, sseq);
+        const uint64_t sseq = replicate(r, f, from_feed);
+        queue_mutation_response(r, c, from_feed, opcode::insert_counted,
+                                f.sequence, f.key_count, br.inserted,
+                                br.insert_failed,
+                                std::span<const uint64_t>(&sseq, 1));
         break;
       }
       case opcode::query: {
@@ -1310,11 +2165,12 @@ void server::handle_frame(connection& c, const frame& f) {
         std::vector<store::op> ops;
         ops.reserve(keys.size());
         for (uint64_t k : keys) ops.push_back(store::make_erase(k));
-        store::batch_result r = store_.apply(ops);
+        store::batch_result br = store_.apply(ops);
         t_applied = obs::now_ns();
-        const uint64_t sseq = replicate(f, from_feed);
-        queue_mutation_response(c, from_feed, opcode::erase, f.sequence,
-                                f.key_count, r.erased, r.erase_missing, sseq);
+        const uint64_t sseq = replicate(r, f, from_feed);
+        queue_mutation_response(r, c, from_feed, opcode::erase, f.sequence,
+                                f.key_count, br.erased, br.erase_missing,
+                                std::span<const uint64_t>(&sseq, 1));
         break;
       }
       case opcode::count: {
@@ -1335,104 +2191,32 @@ void server::handle_frame(connection& c, const frame& f) {
         // Exposition variants ride the shard_hint (frame.h): metrics is
         // the Prometheus-style text scrape, trace the chrome://tracing
         // dump.  The default stays the report JSON.
-        if (f.shard_hint == kStatsMetricsHint) {
-          std::string text = registry_.render();
-          t_applied = obs::now_ns();
-          append_out(c, encode_stats_response(f.sequence, text));
-          break;
-        }
-        if (f.shard_hint == kStatsTraceHint) {
-          std::string text = trace_.to_chrome_json();
-          t_applied = obs::now_ns();
-          append_out(c, encode_stats_response(f.sequence, text));
-          break;
-        }
-        // The store report plus the server identity and the replication
-        // plane — role, stream position, subscriber lag, and (on a
-        // replica) feed health and gap count, so divergence is observable
-        // over the wire.
-        util::json_writer w;
-        w.object_begin();
-        store::report_json_fields(store_, w);
-        const server_stats s = stats();
-        w.key("server").object_begin();
-        w.field("version", obs::kVersion)
-            .field("build", obs::kBuildType)
-            .field("compiler", obs::kCompiler)
-            .field("counters_enabled", obs::kCountersEnabled)
-            .field("uptime_seconds",
-                   static_cast<double>(obs::now_ns() - start_ns_) / 1e9, 3)
-            .field("frames_served", s.frames_served)
-            .field("keys_processed", s.keys_processed)
-            .field("protocol_errors", s.protocol_errors)
-            .field("bytes_in", s.bytes_in)
-            .field("bytes_out", s.bytes_out);
-        w.object_end();
-        w.key("replication").object_begin();
-        w.field("role", cfg_.read_only || s.feed_attached ? "replica"
-                                                          : "primary")
-            .field("read_only", cfg_.read_only)
-            .field("repl_seq", s.repl_seq)
-            .field("subscribers", s.subscribers)
-            .field("frames_forwarded", s.frames_forwarded)
-            .field("subscriber_acked", s.subscriber_acked)
-            .field("subscriber_drops", s.subscriber_drops)
-            .field("subscriber_errors", s.subscriber_errors)
-            .field("feed_attached", s.feed_attached != 0)
-            .field("feed_last_seq", s.feed_last_seq)
-            .field("feed_applied", s.feed_applied)
-            .field("feed_gaps", s.feed_gaps)
-            .field("feed_lost", s.feed_lost)
-            .field("feed_reconnects", s.feed_reconnects)
-            .field("reconnect_failures", s.reconnect_failures)
-            .field("resyncs_delta", s.resyncs_delta)
-            .field("resyncs_snapshot", s.resyncs_snapshot)
-            .field("deltas_served", s.deltas_served)
-            .field("wal_deltas_served", s.wal_deltas_served)
-            .field("ack_replicas", cfg_.ack_replicas)
-            .field("ack_waits", s.ack_waits)
-            .field("ack_degraded", s.ack_degraded)
-            .field("ack_pending", pending_acks_.size())
-            .field("ring_frames", ring_.size())
-            .field("ring_bytes", ring_.bytes())
-            .field("read_only_refusals", s.read_only_refusals);
-        w.object_end();
-        w.key("durability").object_begin();
-        w.field("armed", cfg_.durability != nullptr);
-        if (cfg_.durability != nullptr) {
-          const persist::durability_stats d = cfg_.durability->stats();
-          w.field("wal_dir", cfg_.durability->dir())
-              .field("fsync",
-                     persist::fsync_policy_name(cfg_.durability->policy()))
-              .field("wal_bytes", d.wal_bytes)
-              .field("wal_frames", d.wal_frames)
-              .field("wal_fsyncs", d.wal_fsyncs)
-              .field("wal_segments", d.wal_segments)
-              .field("segments_rotated", d.segments_rotated)
-              .field("wal_last_seq", d.last_seq)
-              .field("checkpoints", d.checkpoints)
-              .field("checkpoint_seq", d.checkpoint_seq)
-              .field("checkpoint_bytes", d.checkpoint_bytes)
-              .field("recovery_replayed_frames", d.recovery_replayed_frames)
-              .field("recovery_truncated_bytes", d.recovery_truncated_bytes)
-              .field("recovery_gaps", d.recovery_gaps)
-              .field("wal_deltas_served", s.wal_deltas_served);
-        }
-        w.object_end();
-        w.object_end();
+        std::string text;
+        if (f.shard_hint == kStatsMetricsHint)
+          text = registry_.render();
+        else if (f.shard_hint == kStatsTraceHint)
+          text = trace_json();
+        else
+          text = stats_json_text(obs::now_ns());
         t_applied = obs::now_ns();
-        append_out(c, encode_stats_response(f.sequence, w.str()));
+        append_out(c, encode_stats_response(f.sequence, text));
         break;
       }
       case opcode::maintain: {
         // Host-phased by construction: the loop is the only store writer.
-        auto m = store_.maintain();
+        // A ranged payload (multi-lane primaries replicate their maintain
+        // as one frame per shard slice) grows just that slice.
+        const auto m =
+            f.payload.size() == 8
+                ? store_.maintain_range(get_u32(f.payload.data()),
+                                        get_u32(f.payload.data() + 4))
+                : store_.maintain();
         t_applied = obs::now_ns();
-        trace_.add("store", "maintain", t_start, t_applied - t_start,
-                   "levels", m.total_levels);
+        r.trace.add("store", "maintain", t_start, t_applied - t_start,
+                    "levels", m.total_levels);
         append_out(c, encode_maintain_response(f.sequence, m.shards_grown,
                                                m.max_depth, m.total_levels));
-        replicate(f, from_feed);
+        replicate(r, f, from_feed);
         break;
       }
       case opcode::snapshot: {
@@ -1443,19 +2227,17 @@ void server::handle_frame(connection& c, const frame& f) {
                             "server was started without a snapshot path"));
           break;
         }
-        // relaxed: single-writer (event loop) telemetry; readers need no ordering.
-        store::save_store(store_, cfg_.snapshot_path,
-                          repl_seq_.load(std::memory_order_relaxed));
+        store::save_store(store_, cfg_.snapshot_path, repl_position());
         uint64_t bytes = static_cast<uint64_t>(
             std::filesystem::file_size(cfg_.snapshot_path));
         t_applied = obs::now_ns();
-        trace_.add("store", "snapshot", t_start, t_applied - t_start,
-                   "bytes", bytes);
+        r.trace.add("store", "snapshot", t_start, t_applied - t_start,
+                    "bytes", bytes);
         append_out(c, encode_snapshot_response(f.sequence, bytes));
         break;
       }
       case opcode::sync: {
-        serve_sync(c, f);
+        serve_sync(r, c, f);
         t_applied = obs::now_ns();
         break;
       }
@@ -1473,11 +2255,485 @@ void server::handle_frame(connection& c, const frame& f) {
                                         e.what()));
   }
   const uint64_t t_done = obs::now_ns();
-  stage_apply_ns_.record(t_applied - t_start);
-  stage_encode_ns_.record(t_done - t_applied);
-  op_hist_[static_cast<size_t>(f.op)].record(t_done - t_start);
-  trace_.add("wire", op_name(f.op), t_start, t_done - t_start, "keys",
-             f.key_count);
+  r.stage_apply_ns.record(t_applied - t_start);
+  r.stage_encode_ns.record(t_done - t_applied);
+  r.op_hist[static_cast<size_t>(f.op)].record(t_done - t_start);
+  r.trace.add("wire", op_name(f.op), t_start, t_done - t_start, "keys",
+              f.key_count);
+}
+
+void server::handle_frame_mt(reactor& r, connection& c, const frame& f,
+                             bool from_feed, bool mutating) {
+  const uint64_t t_start = obs::now_ns();
+  switch (f.op) {
+    case opcode::ping: {
+      append_out(c, encode_ping_response(f.sequence));
+      const uint64_t t_done = obs::now_ns();
+      r.stage_encode_ns.record(t_done - t_start);
+      r.op_hist[static_cast<size_t>(opcode::ping)].record(t_done - t_start);
+      r.trace.add("wire", "ping", t_start, t_done - t_start, "keys", 0);
+      return;
+    }
+    case opcode::insert:
+    case opcode::insert_counted:
+    case opcode::query:
+    case opcode::erase:
+    case opcode::count: {
+      // Maintain cadence still counts per reactor; the growth itself is a
+      // whole-store stop-the-world affair, so it travels to reactor 0 as
+      // an unowned ctrl message instead of running here.
+      if (mutating && !from_feed && cfg_.maintain_every != 0 &&
+          ++r.mutations_since_maintain >= cfg_.maintain_every) {
+        r.mutations_since_maintain = 0;
+        reactor_msg m;
+        m.k = reactor_msg::kind::ctrl;
+        m.origin = r.id;
+        m.fr.op = opcode::maintain;
+        post(r, 0, std::move(m));
+      }
+      route_batch(r, c, f, from_feed, t_start);
+      return;
+    }
+    case opcode::stats:
+    case opcode::maintain:
+    case opcode::snapshot:
+    case opcode::sync: {
+      // Control plane: executes on reactor 0 under the stop-the-world
+      // barrier.  The connection is pinned by `inflight` until the reply
+      // (built on reactor 0, appended directly — the conn's owner is
+      // parked while the barrier holds) is queued.
+      ++c.inflight;
+      reactor_msg m;
+      m.k = reactor_msg::kind::ctrl;
+      m.origin = r.id;
+      m.conn = &c;
+      m.fr = f;
+      m.from_feed = from_feed;
+      m.a = t_start;
+      post(r, 0, std::move(m));
+      return;
+    }
+  }
+}
+
+// -- Batch routing ------------------------------------------------------------
+
+void server::route_batch(reactor& r, connection& c, const frame& f,
+                         bool from_feed, uint64_t t_start) {
+  std::vector<uint64_t> keys, counts;
+  if (f.op == opcode::insert_counted)
+    decode_pairs(f, keys, counts);
+  else
+    keys = decode_keys(f);
+  // relaxed: single-writer (event loop) telemetry; readers need no ordering.
+  keys_.fetch_add(keys.size(), std::memory_order_relaxed);
+  const bool mutating = f.op == opcode::insert ||
+                        f.op == opcode::insert_counted ||
+                        f.op == opcode::erase;
+  // Partition per key by the store's own shard function — the wire-level
+  // shard_hint is advisory and never trusted for ownership.
+  std::vector<std::vector<uint64_t>> pk(nr_), pc(nr_);
+  std::vector<std::vector<uint32_t>> pi(nr_);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const uint32_t owner = shard_owner_[store_.shard_of(keys[i])];
+    pk[owner].push_back(keys[i]);
+    if (f.op == opcode::insert_counted) pc[owner].push_back(counts[i]);
+    pi[owner].push_back(static_cast<uint32_t>(i));
+  }
+  uint32_t nparts = 0;
+  for (uint32_t k = 0; k < nr_; ++k)
+    if (!pk[k].empty()) ++nparts;
+  if (nparts == 0) {
+    // Empty batch: answer inline — there is nothing to gate on.
+    if (f.op == opcode::query)
+      append_out(c, encode_query_response(f.sequence, f.key_count, {}));
+    else if (f.op == opcode::count)
+      append_out(c, encode_count_response(f.sequence, {}));
+    else
+      queue_mutation_response(r, c, from_feed, f.op, f.sequence, f.key_count,
+                              0, 0, {});
+    const uint64_t t_done = obs::now_ns();
+    r.stage_encode_ns.record(t_done - t_start);
+    r.op_hist[static_cast<size_t>(f.op)].record(t_done - t_start);
+    r.trace.add("wire", op_name(f.op), t_start, t_done - t_start, "keys",
+                f.key_count);
+    return;
+  }
+  const uint64_t ticket = r.next_ticket++;
+  pending_resp p;
+  p.conn = &c;
+  p.op = f.op;
+  p.client_seq = f.sequence;
+  p.key_count = f.key_count;
+  p.from_feed = from_feed;
+  p.parts_left = nparts;
+  p.t_start = t_start;
+  if (f.op == opcode::query)
+    p.words.assign(bitmap_words(keys.size()), 0);
+  else if (f.op == opcode::count)
+    p.words.assign(keys.size(), 0);
+  r.pending.emplace(ticket, std::move(p));
+  // The connection survives sweep_dead while parts are in flight — a
+  // folded-back done message must never find a dangling conn pointer.
+  ++c.inflight;
+  (void)mutating;
+  for (uint32_t k = 0; k < nr_; ++k) {
+    if (k == r.id || pk[k].empty()) continue;
+    reactor_msg m;
+    m.k = reactor_msg::kind::work;
+    m.origin = r.id;
+    m.ticket = ticket;
+    m.op = f.op;
+    m.from_feed = from_feed;
+    m.keys = std::move(pk[k]);
+    m.counts = std::move(pc[k]);
+    m.idx = std::move(pi[k]);
+    post(r, k, std::move(m));
+  }
+  if (!pk[r.id].empty()) {
+    reactor_msg w;
+    w.k = reactor_msg::kind::work;
+    w.origin = r.id;
+    w.ticket = ticket;
+    w.op = f.op;
+    w.from_feed = from_feed;
+    w.keys = std::move(pk[r.id]);
+    w.counts = std::move(pc[r.id]);
+    reactor_msg d;
+    d.k = reactor_msg::kind::done;
+    d.origin = r.id;
+    d.ticket = ticket;
+    d.op = f.op;
+    d.from_feed = from_feed;
+    d.idx = std::move(pi[r.id]);
+    apply_work(r, w, d);
+    complete_part(r, ticket, d);
+  }
+}
+
+void server::apply_work(reactor& r, const reactor_msg& w, reactor_msg& d) {
+  const uint64_t t0 = obs::now_ns();
+  switch (w.op) {
+    case opcode::insert: {
+      const uint64_t ok = store_.insert_bulk(w.keys);
+      d.a = ok;
+      d.b = w.keys.size() - ok;
+      break;
+    }
+    case opcode::insert_counted: {
+      std::vector<store::op> ops;
+      ops.reserve(w.keys.size());
+      for (size_t i = 0; i < w.keys.size(); ++i)
+        ops.push_back(store::make_insert(w.keys[i], w.counts[i]));
+      const store::batch_result br = store_.apply(ops);
+      d.a = br.inserted;
+      d.b = br.insert_failed;
+      break;
+    }
+    case opcode::erase: {
+      std::vector<store::op> ops;
+      ops.reserve(w.keys.size());
+      for (uint64_t k : w.keys) ops.push_back(store::make_erase(k));
+      const store::batch_result br = store_.apply(ops);
+      d.a = br.erased;
+      d.b = br.erase_missing;
+      break;
+    }
+    case opcode::query: {
+      d.vals.resize(w.keys.size());
+      for (size_t i = 0; i < w.keys.size(); ++i)
+        d.vals[i] = store_.contains(w.keys[i]) ? 1 : 0;
+      break;
+    }
+    case opcode::count: {
+      d.vals.resize(w.keys.size());
+      for (size_t i = 0; i < w.keys.size(); ++i)
+        d.vals[i] = store_.count(w.keys[i]);
+      break;
+    }
+    default:
+      break;
+  }
+  const bool mutating = w.op == opcode::insert ||
+                        w.op == opcode::insert_counted ||
+                        w.op == opcode::erase;
+  if (mutating && !w.from_feed) {
+    // Replicate this reactor's slice as its own lane-stamped frame: a
+    // subscriber replays each lane independently, and re-applying the
+    // slice yields exactly what this reactor just did.
+    frame pf;
+    pf.op = w.op;
+    pf.key_count = static_cast<uint32_t>(w.keys.size());
+    pf.payload.reserve(w.keys.size() *
+                       (w.op == opcode::insert_counted ? 16 : 8));
+    for (size_t i = 0; i < w.keys.size(); ++i) {
+      put_u64(pf.payload, w.keys[i]);
+      if (w.op == opcode::insert_counted) put_u64(pf.payload, w.counts[i]);
+    }
+    d.part_seq = replicate(r, pf, /*from_feed=*/false);
+  }
+  r.stage_apply_ns.record(obs::now_ns() - t0);
+}
+
+void server::complete_part(reactor& r, uint64_t ticket, reactor_msg& d) {
+  const auto it = r.pending.find(ticket);
+  if (it == r.pending.end()) return;  // conn torn down mid-flight
+  pending_resp& p = it->second;
+  switch (d.op) {
+    case opcode::insert:
+    case opcode::insert_counted:
+    case opcode::erase:
+      p.a += d.a;
+      p.b += d.b;
+      if (d.part_seq != 0) p.part_seqs.push_back(d.part_seq);
+      break;
+    case opcode::query:
+      for (size_t j = 0; j < d.idx.size(); ++j)
+        if (d.vals[j])
+          p.words[d.idx[j] >> 6] |= uint64_t{1} << (d.idx[j] & 63);
+      break;
+    case opcode::count:
+      for (size_t j = 0; j < d.idx.size(); ++j) p.words[d.idx[j]] = d.vals[j];
+      break;
+    default:
+      break;
+  }
+  if (--p.parts_left != 0) return;
+  pending_resp done = std::move(p);
+  r.pending.erase(it);
+  finish_resp(r, done);
+}
+
+void server::finish_resp(reactor& r, pending_resp& p) {
+  if (p.conn->inflight > 0) --p.conn->inflight;
+  const uint64_t t0 = obs::now_ns();
+  if (!p.conn->dead) {
+    switch (p.op) {
+      case opcode::query:
+        append_out(*p.conn,
+                   encode_query_response(p.client_seq, p.key_count, p.words));
+        break;
+      case opcode::count:
+        append_out(*p.conn, encode_count_response(p.client_seq, p.words));
+        break;
+      default:
+        queue_mutation_response(r, *p.conn, p.from_feed, p.op, p.client_seq,
+                                p.key_count, p.a, p.b,
+                                std::span<const uint64_t>(p.part_seqs));
+        break;
+    }
+  }
+  const uint64_t t_done = obs::now_ns();
+  r.stage_encode_ns.record(t_done - t0);
+  r.op_hist[static_cast<size_t>(p.op)].record(t_done - p.t_start);
+  r.trace.add("wire", op_name(p.op), p.t_start, t_done - p.t_start, "keys",
+              p.key_count);
+}
+
+// -- Control plane (reactor 0, stop-the-world) --------------------------------
+
+void server::exec_ctrl(reactor& r, reactor_msg& m) {
+  if (m.conn == nullptr) {
+    // Synthesized maintain (cadence trigger from any reactor) — no
+    // requester to answer.
+    run_quiesced([&] { maintain_all_slices(r, nullptr, 0, obs::now_ns()); });
+    return;
+  }
+  run_quiesced([&] {
+    connection& c = *m.conn;
+    if (c.inflight > 0) --c.inflight;
+    if (c.dead) return;
+    const frame& f = m.fr;
+    const uint64_t t_start = m.a;
+    uint64_t t_applied = t_start;
+    try {
+      switch (f.op) {
+        case opcode::stats: {
+          // Rendered inside the barrier: every reactor is parked, so the
+          // scrape is a consistent cut — no counter can tear mid-render.
+          std::string text;
+          if (f.shard_hint == kStatsMetricsHint)
+            text = registry_.render();
+          else if (f.shard_hint == kStatsTraceHint)
+            text = trace_json();
+          else
+            text = stats_json_text(obs::now_ns());
+          t_applied = obs::now_ns();
+          append_out(c, encode_stats_response(f.sequence, text));
+          break;
+        }
+        case opcode::maintain: {
+          maintain_all_slices(r, &c, f.sequence, t_start);
+          t_applied = obs::now_ns();
+          break;
+        }
+        case opcode::snapshot: {
+          if (cfg_.snapshot_path.empty()) {
+            append_out(c, encode_error_response(
+                              opcode::snapshot, f.sequence,
+                              wire_status::unsupported,
+                              "server was started without a snapshot path"));
+            break;
+          }
+          store::save_store(store_, cfg_.snapshot_path, repl_position());
+          uint64_t bytes = static_cast<uint64_t>(
+              std::filesystem::file_size(cfg_.snapshot_path));
+          t_applied = obs::now_ns();
+          r.trace.add("store", "snapshot", t_start, t_applied - t_start,
+                      "bytes", bytes);
+          append_out(c, encode_snapshot_response(f.sequence, bytes));
+          break;
+        }
+        case opcode::sync: {
+          serve_sync(r, c, f);
+          t_applied = obs::now_ns();
+          break;
+        }
+        default:
+          break;
+      }
+    } catch (const std::exception& e) {
+      t_applied = obs::now_ns();
+      append_out(c, encode_error_response(f.op, f.sequence,
+                                          wire_status::error, e.what()));
+    }
+    const uint64_t t_done = obs::now_ns();
+    r.stage_apply_ns.record(t_applied - t_start);
+    r.stage_encode_ns.record(t_done - t_applied);
+    r.op_hist[static_cast<size_t>(f.op)].record(t_done - t_start);
+    r.trace.add("wire", op_name(f.op), t_start, t_done - t_start, "keys",
+                f.key_count);
+  });
+}
+
+void server::maintain_all_slices(reactor& r, connection* c,
+                                 uint64_t client_seq, uint64_t t_start) {
+  // Caller holds the stop-the-world barrier (or the world is one
+  // reactor): the store has no other writer, and replicating per-slice
+  // ranged frames on each reactor's own lane keeps every lane's stream a
+  // faithful replay of what its owner did.
+  uint64_t grown = 0, max_depth = 0, total = 0;
+  for (uint32_t k = 0; k < nr_; ++k) {
+    const auto m = store_.maintain_range(reactors_[k]->shard_begin,
+                                         reactors_[k]->shard_end);
+    grown += m.shards_grown;
+    max_depth = std::max<uint64_t>(max_depth, m.max_depth);
+    total += m.total_levels;
+    frame mf;
+    mf.op = opcode::maintain;
+    put_u32(mf.payload, reactors_[k]->shard_begin);
+    put_u32(mf.payload, reactors_[k]->shard_end);
+    replicate(*reactors_[k], mf, /*from_feed=*/false);
+  }
+  r.trace.add("store", "maintain", t_start, obs::now_ns() - t_start,
+              "levels", total);
+  if (c != nullptr)
+    append_out(*c, encode_maintain_response(
+                       client_seq, static_cast<uint32_t>(grown),
+                       static_cast<uint32_t>(max_depth),
+                       static_cast<uint32_t>(total)));
+}
+
+// -- Exposition ---------------------------------------------------------------
+
+std::string server::stats_json_text(uint64_t t_now) const {
+  // The store report plus the server identity and the replication
+  // plane — role, stream position, subscriber lag, and (on a replica)
+  // feed health and gap count, so divergence is observable over the
+  // wire.
+  util::json_writer w;
+  w.object_begin();
+  store::report_json_fields(store_, w);
+  const server_stats s = stats();
+  size_t ack_pending = 0, ring_frames = 0, ring_bytes = 0;
+  for (const auto& rx : reactors_) {
+    ack_pending += rx->pending_acks.size();
+    ring_frames += rx->ring.size();
+    ring_bytes += rx->ring.bytes();
+  }
+  w.key("server").object_begin();
+  w.field("version", obs::kVersion)
+      .field("build", obs::kBuildType)
+      .field("compiler", obs::kCompiler)
+      .field("counters_enabled", obs::kCountersEnabled)
+      .field("uptime_seconds",
+             static_cast<double>(t_now - start_ns_) / 1e9, 3)
+      .field("reactors", nr_)
+      .field("frames_served", s.frames_served)
+      .field("keys_processed", s.keys_processed)
+      .field("protocol_errors", s.protocol_errors)
+      .field("bytes_in", s.bytes_in)
+      .field("bytes_out", s.bytes_out);
+  w.object_end();
+  w.key("replication").object_begin();
+  w.field("role",
+          cfg_.read_only || s.feed_attached ? "replica" : "primary")
+      .field("read_only", cfg_.read_only)
+      .field("repl_seq", s.repl_seq)
+      .field("lanes", active_lanes())
+      .field("subscribers", s.subscribers)
+      .field("frames_forwarded", s.frames_forwarded)
+      .field("subscriber_acked", s.subscriber_acked)
+      .field("subscriber_drops", s.subscriber_drops)
+      .field("subscriber_errors", s.subscriber_errors)
+      .field("feed_attached", s.feed_attached != 0)
+      .field("feed_last_seq", s.feed_last_seq)
+      .field("feed_applied", s.feed_applied)
+      .field("feed_gaps", s.feed_gaps)
+      .field("feed_lost", s.feed_lost)
+      .field("feed_reconnects", s.feed_reconnects)
+      .field("reconnect_failures", s.reconnect_failures)
+      .field("resyncs_delta", s.resyncs_delta)
+      .field("resyncs_snapshot", s.resyncs_snapshot)
+      .field("deltas_served", s.deltas_served)
+      .field("wal_deltas_served", s.wal_deltas_served)
+      .field("ack_replicas", cfg_.ack_replicas)
+      .field("ack_waits", s.ack_waits)
+      .field("ack_degraded", s.ack_degraded)
+      .field("ack_pending", ack_pending)
+      .field("ring_frames", ring_frames)
+      .field("ring_bytes", ring_bytes)
+      .field("read_only_refusals", s.read_only_refusals);
+  w.object_end();
+  w.key("durability").object_begin();
+  w.field("armed", cfg_.durability != nullptr);
+  if (cfg_.durability != nullptr) {
+    const persist::durability_stats d = cfg_.durability->stats();
+    w.field("wal_dir", cfg_.durability->dir())
+        .field("fsync",
+               persist::fsync_policy_name(cfg_.durability->policy()))
+        .field("wal_bytes", d.wal_bytes)
+        .field("wal_frames", d.wal_frames)
+        .field("wal_fsyncs", d.wal_fsyncs)
+        .field("wal_segments", d.wal_segments)
+        .field("segments_rotated", d.segments_rotated)
+        .field("wal_last_seq", d.last_seq)
+        .field("checkpoints", d.checkpoints)
+        .field("checkpoint_seq", d.checkpoint_seq)
+        .field("checkpoint_bytes", d.checkpoint_bytes)
+        .field("recovery_replayed_frames", d.recovery_replayed_frames)
+        .field("recovery_truncated_bytes", d.recovery_truncated_bytes)
+        .field("recovery_gaps", d.recovery_gaps)
+        .field("wal_deltas_served", s.wal_deltas_served);
+  }
+  w.object_end();
+  w.object_end();
+  return w.str();
+}
+
+std::string server::trace_json() const {
+  if (nr_ == 1) return reactors_[0]->trace.to_chrome_json();
+  // Merge every reactor's ring into one export, tid = reactor id + 1, in
+  // global timestamp order so chrome://tracing draws a coherent timeline.
+  std::vector<std::pair<obs::trace_event, int>> evs;
+  for (uint32_t k = 0; k < nr_; ++k)
+    for (obs::trace_event& e : reactors_[k]->trace.snapshot_events())
+      evs.emplace_back(std::move(e), static_cast<int>(k) + 1);
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.ts_ns < b.first.ts_ns;
+                   });
+  return obs::trace_ring::render_chrome_json(evs);
 }
 
 }  // namespace gf::net

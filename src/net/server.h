@@ -1,32 +1,51 @@
 // net::server — the sharded filter store as a TCP service.
 //
-// A poll-driven single-threaded event loop: one acceptor, a per-connection
-// frame_decoder over the read stream, and a per-connection write buffer.
-// Decoded batches funnel straight into the store's bulk machinery —
-// filter_store::insert_bulk for key batches, filter_store::apply for op
-// batches — so the paper's batch-amortization lesson (§4.2/§5.4) carries
-// across the socket: the event loop itself never touches keys one at a
-// time, and the store's per-shard parallelism (gpu::thread_pool under
-// apply/insert_bulk) does the heavy lifting while the loop is the only
-// thread doing socket work.
+// Wire path: N poll-driven reactor threads (server_config::reactors; the
+// default of 1 preserves the original single-loop behavior bit-for-bit).
+// One acceptor (reactor 0) distributes inbound connections round-robin by
+// handing the raw fd to the target reactor over its mailbox; each reactor
+// then runs its own poll loop with per-connection frame decoders and write
+// buffers.  Every reactor owns a disjoint contiguous slice of the store's
+// shards: decoded batches are partitioned once at decode time by owning
+// reactor (per key, via filter_store::shard_of — the client's shard_hint is
+// advisory and never trusted for routing) and handed to owners over
+// bounded SPSC mailboxes (net/mailbox.h); results fold back on the
+// requesting reactor, which releases the one wire response.  Within each
+// part the store's bulk machinery — filter_store::insert_bulk for key
+// batches, filter_store::apply for op batches — keeps the paper's
+// batch-amortization lesson (§4.2/§5.4) intact across the socket.
 //
-// Pipelining: the loop decodes and serves *every* complete frame buffered
-// on a connection before returning to poll, and each response echoes its
-// request's sequence id — a client may keep many frames in flight and
-// match responses by sequence (net/client.h's pipelined API does).
+// (SO_REUSEPORT was considered for connection distribution and rejected:
+// kernel hashing balances *connections*, not *shard ownership* — a frame
+// would still land on the wrong reactor for most of its keys, so the
+// explicit fd handoff plus decode-time partition is the design.)
+//
+// Pipelining: each reactor decodes and serves *every* complete frame
+// buffered on a connection before returning to poll, and each response
+// echoes its request's sequence id — a client may keep many frames in
+// flight and match responses by sequence (net/client.h's pipelined API).
 //
 // Replication (net/replication.h): a connection that sends SYNC becomes a
 // *subscriber* — it receives the snapshot (chunked frames) and, from that
 // exact stream position on, a copy of every mutating batch the server
-// applies, stamped with a monotone replication sequence.  Because the
-// event loop is the store's only writer, snapshot + subscription are
-// atomic: nothing falls between the snapshot and the live stream.  A
-// server in replica mode (read_only + attach_feed) applies the stream
-// coming down its *feed* connection, acks each frame with the ordinary
-// response, detects sequence gaps, refuses client mutations in-band, and
-// keeps serving reads if the primary dies.  Subscribers' frames are acks
-// (validated as responses); a replica subscribing elsewhere chains
-// naturally, since feed-applied mutations are forwarded downstream too.
+// applies.  A multi-reactor server advances one replication sequence *lane
+// per reactor* (net/lane.h: lane id in the sequence's top byte); the
+// snapshot transfer is prefixed with a lane table naming every lane's
+// position, subscribers receive all lanes on their one connection, and a
+// replica tracks gaps and resume positions per lane.  A single-reactor
+// server stamps lane 0 only, whose sequences are the plain pre-lane
+// integers.  A server in replica mode (read_only + attach_feed) applies
+// the stream coming down its *feed* connection (reactor 0 owns it), acks
+// each frame, detects per-lane sequence gaps, refuses client mutations
+// in-band, and keeps serving reads if the primary dies.  A multi-reactor
+// server only follows a feed read-only.
+//
+// Control-plane frames (STATS / MAINTAIN / SNAPSHOT / SYNC) on a
+// multi-reactor server execute on reactor 0 inside a stop-the-world
+// barrier: every other reactor parks at its loop top, reactor 0 drains all
+// mailboxes, runs the operation against the quiesced store, and releases
+// the barrier.  This is what makes a metrics scrape, a snapshot, or a SYNC
+// bootstrap observe one consistent cut of all lanes.
 //
 // Hostile input: a structurally malformed frame (frame.h) or a payload
 // that disagrees with its opcode's shape (codec.h) condemns the
@@ -34,26 +53,32 @@
 // stats().protocol_errors; the server itself never crashes, over-reads,
 // or over-allocates (declared lengths are capped before buffering).
 //
-// Threading contract: run() owns the loop thread; the store must not be
-// touched by other threads while run() is live (the loop serializes all
-// store mutations, which is exactly the host-phased discipline the bulk
-// tier requires).  attach_feed() must be called before run().
-// request_stop() is thread- AND async-signal-safe — it writes one byte to
-// a wakeup pipe — so a SIGTERM handler can stop the loop and let the
-// owner persist the store afterwards (examples/store_server.cpp).
-// stats() is readable from any thread.
+// Threading contract: run() owns the reactor threads (it spawns reactors
+// 1..N-1 and runs reactor 0 on the calling thread); the store must not be
+// touched by other threads while run() is live.  attach_feed() must be
+// called before run().  request_stop() is thread- AND async-signal-safe —
+// it writes one byte to *every* reactor's wakeup pipe — so a SIGTERM
+// handler can stop all loops and let the owner persist the store
+// afterwards (examples/store_server.cpp).  stats() is readable from any
+// thread.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/frame.h"
-#include "net/replay_ring.h"
+#include "net/lane.h"
 #include "net/socket.h"
-#include "obs/histogram.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "store/store.h"
@@ -84,13 +109,24 @@ struct server_config {
   /// loop is the store's only writer, so the pass is host-phased by
   /// construction.  On a replica the feed's forwarded MAINTAIN frames
   /// drive growth instead, keeping cascade shapes in lockstep with the
-  /// primary (feed traffic never triggers the local cadence).
+  /// primary (feed traffic never triggers the local cadence).  With
+  /// multiple reactors the cadence is per reactor and the pass runs under
+  /// the stop-the-world barrier, replicated as per-lane ranged frames.
   uint32_t maintain_every = 64;
   int backlog = 64;
   /// Event capacity of the in-memory trace ring (obs/trace.h): frame
-  /// lifecycle, maintenance passes, snapshot/sync activity.  The ring
-  /// overwrites its oldest events, so this bounds memory, not runtime.
+  /// lifecycle, maintenance passes, snapshot/sync activity.  Each reactor
+  /// gets its own ring of this capacity; the ring overwrites its oldest
+  /// events, so this bounds memory, not runtime.
   size_t trace_capacity = obs::trace_ring::kDefaultCapacity;
+
+  // -- Multi-reactor wire path ----------------------------------------------
+
+  /// Reactor (event loop) thread count.  1 — the default — is the original
+  /// single-loop server, bit-for-bit.  Above 1, reactor k owns the
+  /// contiguous shard slice [k*S/N, (k+1)*S/N) and replication lane k;
+  /// clamped to kMaxLanes and to the store's shard count.
+  uint32_t reactors = 1;
 
   // -- Replication ----------------------------------------------------------
 
@@ -115,18 +151,19 @@ struct server_config {
 
   // -- Self-healing replication ---------------------------------------------
 
-  /// Byte budget of the replay ring backing delta re-sync (replay_ring.h):
-  /// a reconnecting replica inside this window is caught up by replaying
-  /// the frames it missed instead of moving a whole snapshot.  0 disables
-  /// the ring — every re-sync is a snapshot bootstrap.
+  /// Byte budget of the replay ring backing delta re-sync (replay_ring.h);
+  /// split evenly across reactors (each lane's ring replays that lane's
+  /// frames).  A reconnecting replica inside this window is caught up by
+  /// replaying the frames it missed instead of moving a whole snapshot.
+  /// 0 disables the ring — every re-sync is a snapshot bootstrap.
   size_t replay_ring_bytes = size_t{1} << 24;  // 16 MiB
   /// Primary this server follows ("host:port").  Empty = unsupervised (a
   /// feed handed to attach_feed is used until it dies, PR 5 behavior).
   /// Non-empty arms the feed supervisor: on loss (EOF, error, an idle
   /// timeout, or a stream gap the replica cannot bridge) the event loop
   /// retries with jittered exponential backoff and re-syncs by delta
-  /// (sync_resume), falling back to snapshot only when the primary's ring
-  /// has wrapped.
+  /// (sync_resume, lane-aware), falling back to snapshot only when the
+  /// primary's rings have wrapped.
   std::string feed_addr;
   uint32_t reconnect_base_ms = 50;   ///< first backoff step
   uint32_t reconnect_max_ms = 5000;  ///< backoff ceiling
@@ -145,11 +182,13 @@ struct server_config {
 
   /// Write-ahead log + checkpoint engine, already recover()ed or reset()
   /// by the owner (examples/store_server.cpp), which keeps ownership; the
-  /// server only calls it from the event loop.  When set, every applied
+  /// server only calls it from its loops.  When set, every applied
   /// mutating batch — auto-maintain's synthesized frames included — is
-  /// appended at the same point it is fed to subscribers, checkpoints run
-  /// between frames when due, and a reconnecting replica whose resume
-  /// position has wrapped out of the replay ring is served a delta read
+  /// appended at the same point it is fed to subscribers (each reactor
+  /// appending its own lane's segment stream — wal-dir/lane-<k>/),
+  /// checkpoints run when due (under the stop-the-world barrier on a
+  /// multi-reactor server), and a reconnecting replica whose resume
+  /// position has wrapped out of a replay ring is served a delta read
   /// back from the WAL instead of a whole snapshot.  Null disables
   /// durability (PR 8 behavior).
   persist::durability_engine* durability = nullptr;
@@ -157,12 +196,13 @@ struct server_config {
   // -- Ack-gated writes -----------------------------------------------------
 
   /// Hold each mutating client response until this many subscribers have
-  /// acknowledged its stream sequence (0 = fully async, never wait).
-  /// Bounded by ack_timeout_ms: past the deadline — or the moment fewer
-  /// than this many subscribers are even attached — the response is
-  /// released with wire_status::ok_async instead.  The mutation is
-  /// applied either way; the gate only delays the *answer*, so a dead
-  /// replica can degrade durability but never deadlock a client.
+  /// acknowledged its stream sequence(s) — one per lane the batch touched
+  /// (0 = fully async, never wait).  Bounded by ack_timeout_ms: past the
+  /// deadline — or the moment fewer than this many subscribers are even
+  /// attached — the response is released with wire_status::ok_async
+  /// instead.  The mutation is applied either way; the gate only delays
+  /// the *answer*, so a dead replica can degrade durability but never
+  /// deadlock a client.
   uint32_t ack_replicas = 0;
   uint32_t ack_timeout_ms = 250;
 
@@ -183,7 +223,8 @@ struct server_stats {
   uint64_t bytes_out = 0;
 
   // Replication, primary side.
-  uint64_t repl_seq = 0;           ///< mutation-stream position
+  uint64_t repl_seq = 0;           ///< mutation-stream position (multi-lane:
+                                   ///< summed lane-local positions)
   uint64_t subscribers = 0;        ///< live subscriber connections
   uint64_t frames_forwarded = 0;   ///< frames queued to subscribers
   uint64_t subscriber_drops = 0;   ///< subscribers dropped (too slow, or
@@ -234,97 +275,181 @@ class server {
   /// repl_seq + 1).  Must be called before run().
   void attach_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq);
 
-  /// Blocking event loop; returns after request_stop().
+  /// Lane-aware variant: one lane-stamped *last applied* sequence per
+  /// replication lane (sync_result::lane_seqs — the snapshot's lane
+  /// table); each lane's stream resumes at its entry + 1.  The scalar
+  /// overload is the one-lane case.
+  void attach_feed(socket_fd fd, frame_decoder dec,
+                   std::span<const uint64_t> lane_lasts);
+
+  /// Blocking: runs reactor 0 on the calling thread (spawning reactors
+  /// 1..N-1); returns after request_stop().
   void run();
 
-  /// Wake the loop and make run() return.  Async-signal-safe.
+  /// Wake every reactor and make run() return.  Async-signal-safe.
   void request_stop();
 
   server_stats stats() const;
 
   /// Prometheus-style text exposition of every registered metric (what the
-  /// STATS request with shard_hint = kStatsMetricsHint returns).  Reads
-  /// live store state: call from the loop thread (the wire path does) or
-  /// while run() is not live.
+  /// STATS request with shard_hint = kStatsMetricsHint returns — which, on
+  /// a multi-reactor server, renders under the stop-the-world barrier so
+  /// counters never tear).  Reads live store state: call from the loop
+  /// thread (the wire path does) or while run() is not live.
   std::string metrics_text() const { return registry_.render(); }
 
   /// Recent events as chrome://tracing JSON (the STATS request with
   /// shard_hint = kStatsTraceHint; examples/store_server.cpp's --trace-out
-  /// writes it after run() returns).  Same threading contract as
-  /// metrics_text().
-  std::string trace_json() const { return trace_.to_chrome_json(); }
+  /// writes it after run() returns).  Multi-reactor: per-reactor rings
+  /// merge into one export, tid = reactor id + 1.  Same threading
+  /// contract as metrics_text().
+  std::string trace_json() const;
 
  private:
   struct connection;
+  struct sub_entry;
+  struct reactor_msg;
+  struct pending_resp;
+  struct pending_ack;
+  struct reactor;
 
-  void accept_ready();
-  void read_ready(connection& c);
+  void reactor_loop(reactor& r);
+  void accept_ready(reactor& r);
+  void read_ready(reactor& r, connection& c);
   /// Decode-and-dispatch every buffered frame; false when the connection
   /// was condemned.
-  bool drain_frames(connection& c);
-  bool flush_writes(connection& c);  ///< false when the peer is gone
-  void handle_frame(connection& c, const frame& f);
-  void serve_sync(connection& c, const frame& f);
-  void serve_snapshot(connection& c, const frame& f);
-  void serve_resume(connection& c, const frame& f);
-  void handle_invite(connection& c, const frame& f);
-  void feed_frame(connection& c, const frame& f);
-  void subscriber_ack(connection& c, const frame& f);
-  /// Stamp a just-applied mutation with its stream sequence, copy it to
-  /// every subscriber, and record it in the replay ring.  Returns the
-  /// stream sequence the frame was stamped with.
-  uint64_t replicate(const frame& f, bool from_feed);
-  void recompute_acked();
+  bool drain_frames(reactor& r, connection& c);
+  bool flush_writes(reactor& r, connection& c);  ///< false when peer gone
+  void handle_frame(reactor& r, connection& c, const frame& f);
+  /// Multi-reactor dispatch: data ops partition to owners, control ops
+  /// travel to reactor 0 as ctrl messages.
+  void handle_frame_mt(reactor& r, connection& c, const frame& f,
+                       bool from_feed, bool mutating);
+  void serve_sync(reactor& r, connection& c, const frame& f);
+  void serve_snapshot(reactor& r, connection& c, const frame& f);
+  void serve_resume(reactor& r, connection& c, const frame& f);
+  void handle_invite(reactor& r, connection& c, const frame& f);
+  void feed_frame(reactor& r, connection& c, const frame& f);
+  void subscriber_ack(reactor& r, connection& c, const frame& f);
+  /// Stamp a just-applied mutation with its stream sequence on reactor
+  /// r's lane, copy it to every subscriber, append it to the WAL, and
+  /// record it in r's replay ring.  Returns the stamped sequence.
+  uint64_t replicate(reactor& r, const frame& f, bool from_feed);
+  /// Replica chain-forwarding at nr_ > 1: propagate a feed frame (its
+  /// upstream lane stamp intact) to WAL, subscribers, and the lane's ring
+  /// at arrival time, before the owners apply it.
+  void chain_forward(reactor& r, const frame& f);
+  void forward_to_subs(reactor& r, uint64_t seq,
+                       const std::shared_ptr<std::vector<uint8_t>>& bytes);
+  void deliver_to_sub(reactor& r, sub_entry& s,
+                      const std::vector<uint8_t>& bytes);
+  void register_subscriber(reactor& r, connection& c,
+                           std::span<const uint64_t> acked_lanes,
+                           size_t queued_bytes);
+  void recompute_acked(reactor& r);
+  uint64_t live_subscribers(const reactor& r) const;
   /// Queue a mutating op's pair response — immediately, or parked behind
   /// the ack gate when cfg_.ack_replicas demands replica acknowledgment.
-  void queue_mutation_response(connection& c, bool from_feed, opcode op,
-                               uint64_t client_seq, uint32_t key_count,
-                               uint64_t a, uint64_t b, uint64_t stream_seq);
+  /// `stream_seqs` holds one sequence per lane the batch landed on.
+  void queue_mutation_response(reactor& r, connection& c, bool from_feed,
+                               opcode op, uint64_t client_seq,
+                               uint32_t key_count, uint64_t a, uint64_t b,
+                               std::span<const uint64_t> stream_seqs);
   /// Release every gated response whose ack quorum arrived; degrade (with
   /// wire_status::ok_async) the ones past their deadline or short of
   /// attached subscribers.  `flush_deadline` forces degradation of
   /// everything still parked (shutdown).
-  void service_acks(uint64_t now_ns, bool flush_deadline = false);
-  /// Fire due timers: reconnect attempts, ack deadlines, feed idleness.
-  void service_timers(uint64_t now_ns);
+  void service_acks(reactor& r, uint64_t now_ns, bool flush_deadline = false);
+  /// Fire due timers: reconnect attempts, ack deadlines, feed idleness,
+  /// multi-reactor checkpoints.
+  void service_timers(reactor& r, uint64_t now_ns);
   /// Milliseconds until the nearest timer, -1 when none is armed.
-  int poll_timeout_ms(uint64_t now_ns) const;
+  int poll_timeout_ms(const reactor& r, uint64_t now_ns) const;
   void schedule_reconnect(uint64_t now_ns);
   void try_resync_feed();
   uint64_t next_jitter();  ///< deterministic xorshift64 step
   void send_invites();
-  /// Adopt a subscribed primary connection as this server's feed.
-  void adopt_feed(socket_fd fd, frame_decoder dec, uint64_t next_seq);
-  void sweep_dead();
-  void condemn(connection& c, const std::string& why);
+  /// Adopt a subscribed primary connection as this server's feed (reactor
+  /// 0 owns it); one expected-next sequence per lane.
+  void adopt_feed(socket_fd fd, frame_decoder dec,
+                  std::vector<uint64_t> next_seqs);
+  void sweep_dead(reactor& r);
+  void condemn(reactor& r, connection& c, const std::string& why);
   void append_out(connection& c, std::vector<uint8_t> bytes);
   /// (Re)build the metrics registry.  Called at construction and again
   /// whenever the store is replaced wholesale (a bootstrap invite), since
   /// histogram registrations point into the store's metrics bundle.
   void register_metrics();
 
+  // -- Multi-reactor machinery ----------------------------------------------
+
+  /// Partition a data batch by owning reactor, apply the local part
+  /// inline, hand remote parts to their owners, and park the response
+  /// until every part folded back.
+  void route_batch(reactor& r, connection& c, const frame& f, bool from_feed,
+                   uint64_t t_start);
+  /// Execute one part on its owning reactor, filling the done reply.
+  void apply_work(reactor& r, const reactor_msg& w, reactor_msg& d);
+  void complete_part(reactor& r, uint64_t ticket, reactor_msg& d);
+  void finish_resp(reactor& r, pending_resp& p);
+  void exec_ctrl(reactor& r, reactor_msg& m);
+  /// Stop-the-world maintenance over every reactor's slice, replicated as
+  /// per-lane ranged frames; responds on `c` when non-null.
+  void maintain_all_slices(reactor& r, connection* c, uint64_t client_seq,
+                           uint64_t t_start);
+  std::string stats_json_text(uint64_t t_now) const;
+  bool process_inboxes(reactor& r);
+  void dispatch_msg(reactor& r, reactor_msg& m);
+  void post(reactor& from, uint32_t to, reactor_msg&& m);
+  void wake(uint32_t k);
+  /// Park a non-zero reactor while a stop-the-world section runs.
+  void park_for_stw(reactor& r);
+  /// Run `fn` with every other reactor parked and all mailboxes drained.
+  void stw(const std::function<void()>& fn);
+  /// stw() when not already inside one; plain call otherwise.
+  void run_quiesced(const std::function<void()>& fn);
+  void drain_all_inboxes_quiesced();
+
+  uint32_t active_lanes() const;
+  /// Stream position: lane 0's scalar when one lane exists (the legacy
+  /// meaning), else the summed lane-local positions.
+  uint64_t repl_position() const;
+  std::vector<uint64_t> current_lane_seqs() const;
+
   server_config cfg_;
   store::filter_store store_;
   socket_fd listen_;
-  socket_fd wake_rd_, wake_wr_;
   uint16_t port_ = 0;
-  std::vector<std::unique_ptr<connection>> conns_;
-  replay_ring ring_;
+  uint32_t nr_ = 1;  ///< reactor count (clamped)
+  std::vector<std::unique_ptr<reactor>> reactors_;
+  std::vector<uint32_t> shard_owner_;  ///< shard index → owning reactor
+  uint32_t rr_next_ = 0;               ///< accept round-robin cursor
+  std::vector<std::thread> threads_;   ///< reactors 1..N-1 while run() lives
+  bool threads_live_ = false;          ///< reactor-0-thread flag
 
-  /// One client response parked behind the ack gate: released as ok when
-  /// cfg_.ack_replicas subscribers ack stream_seq, as ok_async past the
-  /// deadline.  The response is re-encoded at release time (the status
-  /// byte differs), so the park holds fields, not bytes.
-  struct pending_ack {
-    connection* conn;       ///< the waiting client (dropped if it dies)
-    uint64_t stream_seq;    ///< replication sequence being waited on
-    uint64_t deadline_ns;
-    opcode op;
-    uint64_t client_seq;
-    uint32_t key_count;
-    uint64_t a, b;          ///< the pair response's two counters
-  };
-  std::vector<pending_ack> pending_acks_;
+  // Stop & stop-the-world plumbing.
+  std::atomic<bool> stop_requested_{false};
+  int wake_fds_[kMaxLanes] = {};  ///< write-end fds (async-signal-safe stop)
+  std::atomic<bool> stw_want_{false};
+  std::mutex stw_mu_;
+  std::condition_variable stw_cv_;
+  uint32_t stw_parked_ = 0;  ///< guarded by stw_mu_
+  uint32_t stw_exited_ = 0;  ///< guarded by stw_mu_
+  bool in_stw_ = false;      ///< reactor-0-thread flag
+
+  // Subscriber registry (nr_ > 1): shared across reactors so any lane's
+  // replicate() can fan out.  The vector is guarded by subs_mu_; each
+  // entry's ack state is atomic (written by the subscriber's owning
+  // reactor, read by gating reactors).
+  mutable std::mutex subs_mu_;
+  std::vector<std::shared_ptr<sub_entry>> subs_;
+
+  // Per-lane stream positions (lane-stamped).  Written by the lane's
+  // owning reactor (or reactor 0 for feed lanes), read anywhere.
+  std::array<std::atomic<uint64_t>, kMaxLanes> lane_seqs_{};
+  std::atomic<uint32_t> lane_count_{1};
+  /// Next expected feed sequence per lane (reactor-0 state).
+  std::map<uint32_t, uint64_t> feed_expected_by_lane_;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};
@@ -333,7 +458,6 @@ class server {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
-  uint32_t mutations_since_maintain_ = 0;
 
   std::atomic<uint64_t> repl_seq_{0};
   std::atomic<uint64_t> subscribers_{0};
@@ -356,12 +480,11 @@ class server {
   std::atomic<uint64_t> reconnect_failures_{0};
   std::atomic<uint64_t> resyncs_delta_{0};
   std::atomic<uint64_t> resyncs_snapshot_{0};
-  uint64_t feed_expected_ = 0;  ///< next stream sequence the feed owes us
   bool ever_fed_ = false;  ///< a feed was attached at least once — i.e.
                            ///< this server's data has a real lineage
   bool invites_sent_ = false;
 
-  // Feed supervision (loop-thread state; only live when cfg_.feed_addr is
+  // Feed supervision (reactor-0 state; only live when cfg_.feed_addr is
   // set).
   bool reconnect_pending_ = false;
   uint64_t reconnect_at_ns_ = 0;
@@ -370,16 +493,9 @@ class server {
   uint64_t feed_last_rx_ns_ = 0;
 
   // -- Observability (src/obs/) ---------------------------------------------
-  // All histograms are single-lane: the event loop is their only writer.
+  // Latency histograms and trace rings live per reactor (single-writer
+  // each); the registry points at all of them.
 
-  /// Server-side latency per opcode: frame decoded → response queued.
-  obs::latency_histogram op_hist_[kNumOpcodes];
-  /// Wire-stage breakdown: decode (byte stream → validated frame), apply
-  /// (payload decode + store work), encode (response build + replication
-  /// forwarding), flush (socket writes, per flush_writes call with data).
-  obs::latency_histogram stage_decode_ns_, stage_apply_ns_, stage_encode_ns_,
-      stage_flush_ns_;
-  obs::trace_ring trace_;
   obs::metrics_registry registry_;
   uint64_t start_ns_ = 0;              ///< construction time (uptime)
   std::atomic<uint64_t> last_ack_ns_{0};  ///< newest ok subscriber ack

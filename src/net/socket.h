@@ -51,6 +51,14 @@ class socket_fd {
 
   int get() const { return fd_; }
   bool valid() const { return fd_ >= 0; }
+  /// Relinquish ownership without closing — the multi-reactor accept
+  /// handoff moves a raw fd through a mailbox message and re-wraps it on
+  /// the owning reactor.  Any fault plan stays armed on the fd number.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
   /// Closes the fd and disarms any fault plan attached to it, so a plan
   /// never leaks onto an unrelated connection that reuses the fd number.
   void reset();

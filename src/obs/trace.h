@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/json.h"
@@ -66,6 +67,19 @@ class trace_ring {
     recorded_ = 0;
   }
 
+  /// The buffered events, oldest first.  Used by a multi-reactor server to
+  /// merge per-reactor rings into one export while every writer is parked
+  /// (each ring stays single-writer; only the merge point changes).
+  std::vector<trace_event> snapshot_events() const {
+    std::vector<trace_event> out;
+    size_t n = size();
+    out.reserve(n);
+    size_t start = recorded_ < events_.size() ? 0 : next_;
+    for (size_t i = 0; i < n; ++i)
+      out.push_back(events_[(start + i) % events_.size()]);
+    return out;
+  }
+
   /// Chrome trace-event JSON: an array of "ph":"X" objects, oldest first.
   /// Timestamps/durations are microseconds (the chrome unit), emitted with
   /// fractional ns so nothing rounds to zero.
@@ -74,28 +88,43 @@ class trace_ring {
     w.array_begin();
     size_t n = size();
     size_t start = recorded_ < events_.size() ? 0 : next_;
-    for (size_t i = 0; i < n; ++i) {
-      const trace_event& e = events_[(start + i) % events_.size()];
-      w.object_begin();
-      w.field("name", e.name);
-      w.field("cat", e.cat);
-      w.field("ph", "X");
-      w.field("ts", static_cast<double>(e.ts_ns) / 1000.0, 3);
-      w.field("dur", static_cast<double>(e.dur_ns) / 1000.0, 3);
-      w.field("pid", 1);
-      w.field("tid", 1);
-      if (e.arg_name != nullptr) {
-        w.key("args").object_begin();
-        w.field(e.arg_name, e.arg);
-        w.object_end();
-      }
-      w.object_end();
-    }
+    for (size_t i = 0; i < n; ++i)
+      render_event(w, events_[(start + i) % events_.size()], 1);
+    w.array_end();
+    return w.str();
+  }
+
+  /// Merged export for pre-snapshotted events (see snapshot_events): each
+  /// entry renders under its recording reactor's tid.  One reactor's ring
+  /// rendered with tid 1 is byte-identical to its to_chrome_json().
+  static std::string render_chrome_json(
+      const std::vector<std::pair<trace_event, int>>& events) {
+    util::json_writer w;
+    w.array_begin();
+    for (const auto& [e, tid] : events) render_event(w, e, tid);
     w.array_end();
     return w.str();
   }
 
  private:
+  static void render_event(util::json_writer& w, const trace_event& e,
+                           int tid) {
+    w.object_begin();
+    w.field("name", e.name);
+    w.field("cat", e.cat);
+    w.field("ph", "X");
+    w.field("ts", static_cast<double>(e.ts_ns) / 1000.0, 3);
+    w.field("dur", static_cast<double>(e.dur_ns) / 1000.0, 3);
+    w.field("pid", 1);
+    w.field("tid", tid);
+    if (e.arg_name != nullptr) {
+      w.key("args").object_begin();
+      w.field(e.arg_name, e.arg);
+      w.object_end();
+    }
+    w.object_end();
+  }
+
   std::vector<trace_event> events_;
   size_t next_ = 0;
   uint64_t recorded_ = 0;

@@ -20,13 +20,17 @@ uint64_t checkpointer::run(const store::filter_store& st, uint64_t seq,
   // 2. Publish: the manifest now names the new checkpoint and only the
   //    segments that still matter.  Written before any file is deleted,
   //    so a crash here recovers from the new checkpoint and simply skips
-  //    the stale (wholly-covered) segments it replays over.
+  //    the stale (wholly-covered) segments it replays over.  Each lane
+  //    prunes against its own covered position (lane_manifest
+  //    checkpoint_seq — the caller stamps these before calling run).
   std::vector<std::string> prune;
-  std::erase_if(m.segments, [&](const segment_info& s) {
-    if (s.last_seq > seq) return false;
-    prune.push_back(s.file);
-    return true;
-  });
+  for (lane_manifest& lane : m.lanes) {
+    std::erase_if(lane.segments, [&](const segment_info& s) {
+      if (s.last_seq > lane.checkpoint_seq) return false;
+      prune.push_back(s.file);
+      return true;
+    });
+  }
   m.has_checkpoint = true;
   m.checkpoint_seq = seq;
   m.checkpoint_file = kCheckpointFile;

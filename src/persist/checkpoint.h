@@ -35,12 +35,14 @@ class checkpointer {
 
   explicit checkpointer(std::string dir) : dir_(std::move(dir)) {}
 
-  /// Snapshot `st` as covering stream position `seq`, stamp the manifest,
-  /// prune every segment whose last frame is <= seq (manifest first, then
-  /// the files).  `m` must reflect live truth: the caller closes the
-  /// active segment first so no pruned file has a writer.  Returns the
-  /// checkpoint's byte size.  Throws on I/O failure with the previous
-  /// checkpoint intact.
+  /// Snapshot `st` as covering `seq` (single-lane: the stream position;
+  /// multi-lane: the summed lane-local fingerprint), stamp the manifest,
+  /// and prune every segment wholly at or below its lane's covered
+  /// position (manifest first, then the files).  The caller sets each
+  /// lane_manifest::checkpoint_seq to the lane's covered position and
+  /// closes the active segments first, so `m` reflects live truth and no
+  /// pruned file has a writer.  Returns the checkpoint's byte size.
+  /// Throws on I/O failure with the previous checkpoint intact.
   uint64_t run(const store::filter_store& st, uint64_t seq, manifest& m);
 
  private:

@@ -2,10 +2,16 @@
 //
 // Ownership and threading: examples/store_server.cpp (or a test) owns the
 // engine and hands net::server a non-owning pointer via server_config.
-// After recover()/reset(), every call is made from the server's event
-// loop — the store's single writer — so the engine keeps plain fields and
-// no locks; stats() is read from the same thread (metrics scrapes and the
-// STATS durability section both render on the loop).
+// The log is split into replication lanes (net/lane.h): append(seq, ...)
+// derives the lane from the sequence's stamp and touches only that lane's
+// writer state, so a multi-reactor server appends concurrently — one
+// reactor per lane, never two threads on one lane.  Cross-lane state (the
+// manifest's segment lists, rotation, checkpointing) is serialized under a
+// mutex; whole-engine operations (recover, checkpoint, reset, covers,
+// encode_from, stats) are called from quiesced contexts — startup, the
+// single loop thread, or the server's stop-the-world barrier.  A
+// single-lane engine behaves bit-for-bit like the pre-lane one: lane 0's
+// segments keep their names and places, and the manifest stays v1.
 //
 // Lifecycle:
 //   1. recover(fallback) — load the manifest's checkpoint (cross-checking
@@ -32,13 +38,17 @@
 // lineage) by truncating everything and checkpointing the new store.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "net/lane.h"
 #include "obs/histogram.h"
 #include "persist/checkpoint.h"
 #include "persist/wal.h"
@@ -81,8 +91,15 @@ class durability_engine {
   store::filter_store recover(const bootstrap_fn& fallback);
 
   /// Log one applied mutation: the exact encoded wire frame, stamped with
-  /// stream sequence `seq`.  Rotates and fsyncs per config.
+  /// stream sequence `seq`.  The lane comes from the sequence's stamp
+  /// (net/lane.h); a new lane's directory and segment stream are created
+  /// on first use.  Rotates and fsyncs per config.  Thread-safe across
+  /// lanes (one appender per lane).
   void append(uint64_t seq, std::span<const uint8_t> frame_bytes);
+
+  /// Pre-create lanes 0..n-1 so no reactor pays the creation path on its
+  /// first append.  Call from a quiesced context (startup).
+  void ensure_lanes(uint32_t n);
 
   /// True when enough log accumulated since the last checkpoint (or a
   /// sequence discontinuity demands one).  Cheap; poll after mutations.
@@ -93,19 +110,33 @@ class durability_engine {
   /// New lineage (replica re-bootstrapped from a snapshot): drop every
   /// segment and checkpoint `st` as covering `seq`.
   void reset(const store::filter_store& st, uint64_t seq);
+  /// Lane-aware reset: one lane per entry, each covering its lane-stamped
+  /// sequence (a replica adopting a multi-lane primary's snapshot).
+  void reset(const store::filter_store& st,
+             std::span<const uint64_t> lane_lasts);
 
-  /// fsync the active segment regardless of policy (orderly shutdown).
+  /// fsync every open segment regardless of policy (orderly shutdown).
   void sync();
 
   /// True when every frame in (after_seq, current_seq] can be replayed
   /// from live segments — the disk-backed analogue of replay_ring::covers.
+  /// Both sequences must stamp the same lane.
   bool covers(uint64_t after_seq, uint64_t current_seq) const;
-  /// Append the re-encoded frames above `after_seq` to `out` in stream
-  /// order (byte-identical with the subscriber stream; the per-frame CRC
-  /// was verified on the way out of the segment).  Returns frame count.
+  /// Append the re-encoded frames of after_seq's lane above `after_seq`
+  /// to `out` in lane order (byte-identical with the subscriber stream;
+  /// the per-frame CRC was verified on the way out of the segment).
+  /// Returns frame count.
   size_t encode_from(uint64_t after_seq, std::vector<uint8_t>& out) const;
 
-  uint64_t last_seq() const { return last_seq_; }
+  /// Summed lane-local position (== the last appended sequence when only
+  /// lane 0 exists — the legacy meaning).
+  uint64_t last_seq() const;
+  /// Lane-stamped last sequence per lane (size == lanes()).
+  std::vector<uint64_t> last_seqs() const;
+  uint32_t lanes() const {
+    // relaxed: count only; lane contents are published with release below.
+    return lane_count_.load(std::memory_order_relaxed);
+  }
   const std::string& dir() const { return cfg_.dir; }
   fsync_policy policy() const { return cfg_.fsync; }
   durability_stats stats() const;
@@ -117,35 +148,65 @@ class durability_engine {
   }
 
  private:
-  void roll(uint64_t first_seq);  ///< close active, open a fresh segment
-  void maybe_fsync();
+  /// One lane's writer-side state.  Owned exclusively by the lane's
+  /// appending thread between quiesce points; only the manifest's segment
+  /// lists (m_) are shared, under m_mu_.
+  struct lane_state {
+    segment_writer active;
+    uint64_t last_seq = 0;         ///< lane-stamped; trails nothing
+    /// First sequence of the contiguous run this lane's segments hold;
+    /// frames below it (pre-gap) are never served or trusted.
+    uint64_t contiguous_from = 0;
+    uint64_t last_fsync_ns = 0;
+  };
+
+  /// Lane k's state, creating the lane (directory, manifest entry) on
+  /// first sight; `seq` seeds a fresh lane's position so the first append
+  /// is not a gap.
+  lane_state& lane_at(uint32_t k, uint64_t seq);
+  /// Relative segment path for lane k ("wal-...seg" for lane 0,
+  /// "lane-<k>/wal-...seg" above).
+  std::string lane_file(uint32_t k, uint64_t first_seq) const;
+  void roll(uint32_t k, uint64_t first_seq);  ///< close + fresh segment
+  /// Record ls.last_seq into the lane's active manifest entry (call with
+  /// m_mu_ held, before save_manifest or prune decisions).
+  void materialize_last_locked(uint32_t k);
+  void maybe_fsync(uint32_t k);
   void apply_frame(store::filter_store& st, const net::frame& f);
+  void reset_lanes(const store::filter_store& st,
+                   std::span<const uint64_t> lane_lasts);
+  void checkpoint_locked(const store::filter_store& st);
 
   wal_config cfg_;
   checkpointer ckpt_;
+  /// Guards m_ (every lane's segment list + manifest writes) and the
+  /// rotation/checkpoint paths.  Never held across an append write.
+  mutable std::mutex m_mu_;
   manifest m_;
-  segment_writer active_;
-  bool armed_ = false;          ///< recover()/reset() completed
-  uint64_t last_seq_ = 0;
-  /// First sequence of the contiguous run the live segments hold; frames
-  /// below it (pre-gap) are never served or trusted.
-  uint64_t contiguous_from_ = 1;
-  bool force_checkpoint_ = false;
-  size_t bytes_since_checkpoint_ = 0;
-  uint64_t last_fsync_ns_ = 0;
+  /// Parallel to m_.lanes.  Reserved to kMaxLanes at construction so
+  /// push_back never reallocates: readers index published entries without
+  /// m_mu_.  unique_ptr keeps each lane_state at a stable address.
+  std::vector<std::unique_ptr<lane_state>> lanes_;
+  /// Published lane count: stored with release after a new lane's state is
+  /// fully built, loaded with acquire before indexing lanes_.
+  std::atomic<uint32_t> lane_count_{0};
+  bool armed_ = false;  ///< recover()/reset() completed (set pre-thread)
 
-  // Telemetry (single-writer; read on the same loop thread).
-  uint64_t wal_bytes_ = 0;
-  uint64_t wal_frames_ = 0;
-  uint64_t wal_fsyncs_ = 0;
-  uint64_t rotations_ = 0;
-  uint64_t checkpoints_ = 0;
-  uint64_t checkpoint_bytes_ = 0;
+  // Telemetry.  Shared across lane appenders, hence atomic; readers
+  // (stats, checkpoint_due) tolerate relaxed skew.
+  std::atomic<bool> force_checkpoint_{false};
+  std::atomic<uint64_t> bytes_since_checkpoint_{0};
+  std::atomic<uint64_t> wal_bytes_{0};
+  std::atomic<uint64_t> wal_frames_{0};
+  std::atomic<uint64_t> wal_fsyncs_{0};
+  std::atomic<uint64_t> rotations_{0};
+  uint64_t checkpoints_ = 0;        // quiesced paths only
+  uint64_t checkpoint_bytes_ = 0;   // quiesced paths only
   uint64_t recovery_replayed_ = 0;
   uint64_t recovery_truncated_bytes_ = 0;
   uint64_t recovery_gaps_ = 0;
-  obs::latency_histogram fsync_ns_;       // 1 lane: loop is the only writer
-  obs::latency_histogram checkpoint_ns_;  // 1 lane: loop is the only writer
+  obs::latency_histogram fsync_ns_{net::kMaxLanes};  // one lane per appender
+  obs::latency_histogram checkpoint_ns_;  // 1 lane: quiesced writer only
 };
 
 }  // namespace gf::persist

@@ -182,6 +182,39 @@ bool manifest_exists(const std::string& dir) {
   return std::filesystem::exists(dir + "/" + kManifestFile, ec);
 }
 
+namespace {
+
+std::vector<segment_info> read_segment_list(std::ifstream& in) {
+  const uint32_t count = util::read_pod<uint32_t>(in);
+  // A segment per few MiB of log: anything past this is a corrupt count,
+  // not a real directory.
+  if (count > (uint32_t{1} << 20))
+    throw std::runtime_error("gf: WAL manifest segment count out of range");
+  std::vector<segment_info> segments;
+  segments.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    segment_info s;
+    s.first_seq = util::read_pod<uint64_t>(in);
+    s.last_seq = util::read_pod<uint64_t>(in);
+    const auto file = util::read_vec<char>(in);
+    s.file.assign(file.begin(), file.end());
+    segments.push_back(std::move(s));
+  }
+  return segments;
+}
+
+void write_segment_list(std::ostringstream& out,
+                        const std::vector<segment_info>& segments) {
+  util::write_pod<uint32_t>(out, static_cast<uint32_t>(segments.size()));
+  for (const segment_info& s : segments) {
+    util::write_pod<uint64_t>(out, s.first_seq);
+    util::write_pod<uint64_t>(out, s.last_seq);
+    util::write_vec<char>(out, {s.file.begin(), s.file.end()});
+  }
+}
+
+}  // namespace
+
 manifest load_manifest(const std::string& dir) {
   const std::string path = dir + "/" + kManifestFile;
   std::ifstream in(path, std::ios::binary);
@@ -189,7 +222,7 @@ manifest load_manifest(const std::string& dir) {
   if (util::read_pod<uint64_t>(in) != kManifestMagic)
     throw std::runtime_error("gf: " + path + " is not a WAL manifest");
   const uint32_t version = util::read_pod<uint32_t>(in);
-  if (version != kManifestVersion)
+  if (version != kManifestVersion && version != kManifestVersionLanes)
     throw std::runtime_error("gf: unsupported WAL manifest version " +
                              std::to_string(version));
   manifest m;
@@ -197,19 +230,21 @@ manifest load_manifest(const std::string& dir) {
   m.checkpoint_seq = util::read_pod<uint64_t>(in);
   const auto name = util::read_vec<char>(in);
   m.checkpoint_file.assign(name.begin(), name.end());
-  const uint32_t count = util::read_pod<uint32_t>(in);
-  // A segment per few MiB of log: anything past this is a corrupt count,
-  // not a real directory.
-  if (count > (uint32_t{1} << 20))
-    throw std::runtime_error("gf: WAL manifest segment count out of range");
-  m.segments.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    segment_info s;
-    s.first_seq = util::read_pod<uint64_t>(in);
-    s.last_seq = util::read_pod<uint64_t>(in);
-    const auto file = util::read_vec<char>(in);
-    s.file.assign(file.begin(), file.end());
-    m.segments.push_back(std::move(s));
+  if (version == kManifestVersion) {
+    // Legacy single-lane layout: the top-level checkpoint_seq doubles as
+    // lane 0's replay floor.
+    m.lanes.resize(1);
+    m.lanes[0].checkpoint_seq = m.checkpoint_seq;
+    m.lanes[0].segments = read_segment_list(in);
+    return m;
+  }
+  const uint32_t lane_count = util::read_pod<uint32_t>(in);
+  if (lane_count == 0 || lane_count > 256)
+    throw std::runtime_error("gf: WAL manifest lane count out of range");
+  m.lanes.resize(lane_count);
+  for (uint32_t k = 0; k < lane_count; ++k) {
+    m.lanes[k].checkpoint_seq = util::read_pod<uint64_t>(in);
+    m.lanes[k].segments = read_segment_list(in);
   }
   return m;
 }
@@ -217,16 +252,23 @@ manifest load_manifest(const std::string& dir) {
 void save_manifest(const std::string& dir, const manifest& m) {
   std::ostringstream out(std::ios::binary);
   util::write_pod<uint64_t>(out, kManifestMagic);
-  util::write_pod<uint32_t>(out, kManifestVersion);
+  const bool multi = m.lanes.size() > 1;
+  util::write_pod<uint32_t>(out, multi ? kManifestVersionLanes
+                                       : kManifestVersion);
   util::write_pod<uint8_t>(out, m.has_checkpoint ? 1 : 0);
   util::write_pod<uint64_t>(out, m.checkpoint_seq);
   util::write_vec<char>(out, {m.checkpoint_file.begin(),
                               m.checkpoint_file.end()});
-  util::write_pod<uint32_t>(out, static_cast<uint32_t>(m.segments.size()));
-  for (const segment_info& s : m.segments) {
-    util::write_pod<uint64_t>(out, s.first_seq);
-    util::write_pod<uint64_t>(out, s.last_seq);
-    util::write_vec<char>(out, {s.file.begin(), s.file.end()});
+  if (!multi) {
+    // Byte-identical with the pre-lane writer: one lane, legacy layout.
+    write_segment_list(out, m.lanes.empty() ? std::vector<segment_info>{}
+                                            : m.lanes[0].segments);
+  } else {
+    util::write_pod<uint32_t>(out, static_cast<uint32_t>(m.lanes.size()));
+    for (const lane_manifest& lm : m.lanes) {
+      util::write_pod<uint64_t>(out, lm.checkpoint_seq);
+      write_segment_list(out, lm.segments);
+    }
   }
   const std::string bytes = std::move(out).str();
   store::atomic_write_file(dir + "/" + kManifestFile, bytes.data(),

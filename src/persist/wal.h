@@ -143,14 +143,35 @@ scan_result scan_segment(const std::string& dir, const std::string& file,
 // -- Manifest ----------------------------------------------------------------
 
 inline constexpr uint64_t kManifestMagic = 0x4746'574C'4D41'4E46ull;
+/// v1: the single-lane layout every pre-lane directory holds.  v2 appends
+/// per-lane segment lists for a multi-reactor primary's replication lanes
+/// (net/lane.h); a directory only ever written with one lane stays v1
+/// byte-for-byte.
 inline constexpr uint32_t kManifestVersion = 1;
+inline constexpr uint32_t kManifestVersionLanes = 2;
 inline constexpr const char* kManifestFile = "MANIFEST";
+
+/// One replication lane's slice of the log.  Lane 0's segments live in the
+/// WAL directory root under the legacy names; lane k > 0 under
+/// `lane-<k>/` (segment_info::file carries the relative path).
+struct lane_manifest {
+  /// Lane-stamped stream position the checkpoint covers for this lane —
+  /// the lane's replay floor and prune threshold.
+  uint64_t checkpoint_seq = 0;
+  std::vector<segment_info> segments;  ///< sorted by first_seq
+};
 
 struct manifest {
   bool has_checkpoint = false;
-  uint64_t checkpoint_seq = 0;    ///< stream position the checkpoint covers
+  /// v1: the stream position the checkpoint covers.  v2: the checkpoint
+  /// fingerprint — the sum of every lane's lane-local covered position
+  /// (identical to v1's value when only lane 0 exists), cross-checked
+  /// against the sequence stamped in the checkpoint's own header.
+  uint64_t checkpoint_seq = 0;
   std::string checkpoint_file;    ///< name within the WAL directory
-  std::vector<segment_info> segments;  ///< sorted by first_seq
+  /// Per-lane logs; lanes[0] is the legacy stream.  Empty only on a
+  /// default-constructed manifest (no directory state yet).
+  std::vector<lane_manifest> lanes;
 };
 
 bool manifest_exists(const std::string& dir);

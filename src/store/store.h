@@ -219,11 +219,23 @@ class filter_store {
   /// APIs: quiesce writers first — the intended cadence is between batches
   /// or drain rounds (examples/store_server.cpp runs it once per round).
   maintain_result maintain(const maintain_config& cfg = {}) {
+    return maintain_range(0, num_shards(), cfg);
+  }
+
+  /// Maintenance over the contiguous shard slice [begin, end) only.  A
+  /// multi-reactor server (net/server.h) maintains each reactor's owned
+  /// slice independently, so one reactor's pass never touches shards
+  /// another reactor is writing.  Same host-phasing contract as maintain(),
+  /// scoped to the slice: quiesce the slice's writer first.
+  maintain_result maintain_range(uint32_t begin, uint32_t end,
+                                 const maintain_config& cfg = {}) {
     const uint64_t t0 = obs::now_ns();
+    if (end > shards_.size()) end = static_cast<uint32_t>(shards_.size());
     maintain_result r;
-    for (auto& s : shards_) {
-      if (s->maintain(cfg)) ++r.shards_grown;
-      uint32_t depth = s->level_count();
+    for (uint32_t i = begin; i < end; ++i) {
+      shard& s = *shards_[i];
+      if (s.maintain(cfg)) ++r.shards_grown;
+      uint32_t depth = s.level_count();
       r.total_levels += depth;
       if (depth > r.max_depth) r.max_depth = depth;
     }

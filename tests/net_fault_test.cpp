@@ -18,10 +18,14 @@
 // Every fault is a seeded script keyed on cumulative byte offsets —
 // identical runs on every machine, no sleeps standing in for faults.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <span>
@@ -36,6 +40,8 @@
 #include "net/replication.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "persist/durability.h"
+#include "persist/wal.h"
 #include "store/store.h"
 #include "store/store_io.h"
 #include "util/xorwow.h"
@@ -85,6 +91,15 @@ struct live_server {
               net::socket_fd feed, net::frame_decoder dec, uint64_t next_seq)
       : srv(std::move(cfg), std::move(st)) {
     srv.attach_feed(std::move(feed), std::move(dec), next_seq);
+    loop = std::thread([this] { srv.run(); });
+  }
+  /// Lane-aware replica form: one last-applied position per replication
+  /// lane (a multi-reactor primary's snapshot lane table).
+  live_server(store::filter_store st, net::server_config cfg,
+              net::socket_fd feed, net::frame_decoder dec,
+              std::span<const uint64_t> lane_lasts)
+      : srv(std::move(cfg), std::move(st)) {
+    srv.attach_feed(std::move(feed), std::move(dec), lane_lasts);
     loop = std::thread([this] { srv.run(); });
   }
   ~live_server() { stop(); }
@@ -538,4 +553,147 @@ TEST(NetFault, ShortReadsAndStallsStillDeliverFrames) {
                 .count(),
             25);
   EXPECT_EQ(srv.srv.stats().protocol_errors, 0u);
+}
+
+// -- Multi-reactor primaries under fault --------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define GF_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GF_TSAN_ACTIVE 1
+#endif
+#endif
+
+TEST(NetFault, MultiReactorFeedCutResyncsByLaneDelta) {
+  // A supervised replica of a 4-reactor primary loses its feed mid-stream
+  // (scripted byte-offset cut).  Its resume request presents all four
+  // lane positions; the primary's per-reactor replay rings each cover
+  // their lane's gap, so the re-sync is a lane-aware delta — no snapshot
+  // moves — and the replica ends byte-identical.
+  fault_guard guard;
+  net::server_config pcfg;
+  pcfg.reactors = 4;
+  auto scfg = small_config();
+  scfg.num_shards = 8;
+  live_server primary{store::filter_store(scfg), pcfg};
+  auto cli = primary.connect();
+  auto keys = util::hashed_xorwow_items(60000, 2201);
+  std::span<const uint64_t> span(keys);
+
+  auto sr = net::sync_from("127.0.0.1", primary.srv.port());
+  net::fault_engine::instance().arm(
+      sr.feed.get(),
+      one_event(net::fault_kind::cut, net::fault_dir::recv, 30000));
+  net::server_config rcfg = supervised_config(primary.srv.port());
+  live_server replica(std::move(sr.store), std::move(rcfg),
+                      std::move(sr.feed), std::move(sr.dec),
+                      std::span<const uint64_t>(sr.lane_seqs));
+
+  for (uint64_t k = 0; k < 3; ++k) {
+    auto phase = span.subspan(k * 20000, 20000);
+    for (size_t lo = 0; lo < phase.size(); lo += 4000)
+      cli.insert(phase.subspan(lo, 4000));
+    cli.erase(phase.subspan(0, 1000));
+    if (k == 0) {
+      ASSERT_TRUE(wait_until(
+          [&] { return replica.srv.stats().feed_lost >= 1; }))
+          << "scripted cut never fired";
+    }
+  }
+
+  ASSERT_TRUE(converged(primary, replica));
+  auto stats = replica.srv.stats();
+  EXPECT_EQ(stats.feed_lost, 1u);
+  EXPECT_EQ(stats.feed_reconnects, 1u);
+  EXPECT_EQ(stats.resyncs_delta, 1u);     // all four lanes were covered
+  EXPECT_EQ(stats.resyncs_snapshot, 0u);  // no snapshot moved again
+  EXPECT_EQ(stats.feed_gaps, 0u);         // per-lane resume was seamless
+  EXPECT_EQ(primary.srv.stats().deltas_served, 1u);
+
+  replica.stop();
+  primary.stop();
+  EXPECT_EQ(store::serialize_store(replica.srv.store()),
+            store::serialize_store(primary.srv.store()));
+}
+
+TEST(NetFault, MultiReactorPrimarySigkillWalRecovery) {
+#ifdef GF_TSAN_ACTIVE
+  GTEST_SKIP() << "fork+SIGKILL drills are unreliably slow under TSan";
+#endif
+  // A 4-reactor primary with a per-lane WAL (fsync=every) is SIGKILLed
+  // mid-service in a child process.  Every write the parent saw
+  // acknowledged must survive recovery of the WAL directory — each
+  // reactor appended its lane's stream before the response could flush.
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "gf_mr_sigkill_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  auto scfg = small_config(1 << 16);
+  scfg.num_shards = 8;
+
+  int port_pipe[2];
+  ASSERT_EQ(::pipe(port_pipe), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: serve until killed.
+    ::close(port_pipe[0]);
+    persist::wal_config wcfg;
+    wcfg.dir = dir;
+    wcfg.fsync = persist::fsync_policy::every;
+    wcfg.checkpoint_every_bytes = 0;
+    persist::durability_engine dur(std::move(wcfg));
+    store::filter_store st = dur.recover([&] {
+      return std::pair<store::filter_store, uint64_t>(
+          store::filter_store(scfg), 0);
+    });
+    net::server_config cfg;
+    cfg.reactors = 4;
+    cfg.durability = &dur;
+    net::server srv(std::move(cfg), std::move(st));
+    const uint16_t port = srv.port();
+    if (::write(port_pipe[1], &port, sizeof(port)) != sizeof(port))
+      ::_exit(3);
+    ::close(port_pipe[1]);
+    srv.run();
+    ::_exit(0);
+  }
+  ::close(port_pipe[1]);
+  uint16_t port = 0;
+  ASSERT_EQ(::read(port_pipe[0], &port, sizeof(port)),
+            static_cast<ssize_t>(sizeof(port)));
+  ::close(port_pipe[0]);
+
+  auto keys = util::hashed_xorwow_items(16000, 2301);
+  std::span<const uint64_t> span(keys);
+  {
+    net::client cli("127.0.0.1", port);
+    // Acknowledged phase: every batch's response arrived, so its frames
+    // are fsynced in their lanes.
+    for (size_t lo = 0; lo < keys.size(); lo += 2000)
+      cli.insert(span.subspan(lo, 2000));
+    // In-flight phase: submitted but never awaited — may or may not have
+    // landed; recovery owes nothing for it, only a clean (non-torn) log.
+    cli.submit_insert(util::hashed_xorwow_items(2000, 2302));
+  }
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  // Recover the killed primary's WAL directory in-process.
+  persist::wal_config wcfg;
+  wcfg.dir = dir;
+  wcfg.fsync = persist::fsync_policy::none;
+  persist::durability_engine dur(std::move(wcfg));
+  store::filter_store recovered = dur.recover([&] {
+    return std::pair<store::filter_store, uint64_t>(
+        store::filter_store(scfg), 0);
+  });
+  const persist::durability_stats d = dur.stats();
+  EXPECT_EQ(d.recovery_gaps, 0u);
+  EXPECT_EQ(dur.last_seqs().size(), 4u) << "expected one WAL lane per reactor";
+  for (uint64_t k : keys)
+    EXPECT_TRUE(recovered.contains(k)) << "acknowledged key lost: " << k;
+  std::filesystem::remove_all(dir);
 }

@@ -7,6 +7,7 @@
 // scrapes, and a scrape leaves protocol_errors at zero.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -214,4 +215,77 @@ TEST(NetMetrics, ScrapeIsSideEffectFreeOnStoreCounters) {
             scrape(second, "gf_store_inserts_total"));
   EXPECT_EQ(scrape(first, "gf_store_queries_total"),
             scrape(second, "gf_store_queries_total"));
+}
+
+// -- Multi-reactor scrapes ----------------------------------------------------
+
+TEST(NetMetrics, MultiReactorScrapeUnderFloodIsConsistent) {
+  // Four reactors mutating concurrently while a fifth connection scrapes
+  // in a loop.  Every scrape renders on reactor 0 under the stop-the-world
+  // barrier, so it is a consistent cut: counters must be monotone across
+  // scrapes (a torn render — half the reactors counted before the flood
+  // advanced, half after — shows up as a counter going backwards), and
+  // derived sums (frames >= keys-carrying frames) must stay coherent.
+  store::store_config cfg;
+  cfg.backend = store::backend_kind::tcf;
+  cfg.num_shards = 8;
+  cfg.capacity = 1 << 16;
+  net::server_config scfg;
+  scfg.reactors = 4;
+  net::server srv(std::move(scfg), store::filter_store(cfg));
+  std::thread loop([&] { srv.run(); });
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> flood;
+  for (int t = 0; t < 3; ++t)
+    flood.emplace_back([&, t] {
+      net::client cli("127.0.0.1", srv.port());
+      auto keys = util::hashed_xorwow_items(2048, 505 + t);
+      std::span<const uint64_t> span(keys);
+      while (!stop.load(std::memory_order_relaxed)) {
+        cli.insert(span);
+        cli.query_bitmap(span);
+        cli.erase(span.subspan(0, 256));
+      }
+    });
+
+  {
+    net::client scraper("127.0.0.1", srv.port());
+    uint64_t last_frames = 0, last_keys = 0, last_inserts = 0;
+    for (int i = 0; i < 25; ++i) {
+      const std::string text = scraper.metrics_text();
+      const uint64_t frames = scrape(text, "gf_server_frames_total");
+      const uint64_t keys = scrape(text, "gf_server_keys_total");
+      const uint64_t inserts = scrape(text, "gf_store_inserts_total");
+      EXPECT_GE(frames, last_frames) << "frames_total went backwards";
+      EXPECT_GE(keys, last_keys) << "keys_total went backwards";
+      EXPECT_GE(inserts, last_inserts) << "store inserts went backwards";
+      last_frames = frames;
+      last_keys = keys;
+      last_inserts = inserts;
+      // Per-reactor gauges exist and lane labels appear at nr > 1.
+      EXPECT_TRUE(has_line(text, "gf_reactor_connections{reactor=\"0\"}"));
+      EXPECT_TRUE(has_line(text, "gf_reactor_connections{reactor=\"3\"}"));
+      EXPECT_TRUE(has_line(text, "lane=\"0\""));
+      EXPECT_TRUE(has_line(text, "lane=\"3\""));
+    }
+    EXPECT_GT(last_frames, 0u);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : flood) t.join();
+  srv.request_stop();
+  loop.join();
+}
+
+TEST(NetMetrics, SingleReactorScrapeHasNoLaneLabels) {
+  // The nr == 1 exposition must stay byte-compatible with the pre-reactor
+  // schema: no lane labels, no per-reactor gauge families.
+  live_server ls{small_store()};
+  auto cli = ls.connect();
+  drive_workload(cli, 606);
+  const std::string text = cli.metrics_text();
+  EXPECT_FALSE(has_line(text, "lane=\""));
+  EXPECT_FALSE(has_line(text, "gf_reactor_connections"));
+  EXPECT_FALSE(has_line(text, "gf_reactor_handoffs_total"));
 }

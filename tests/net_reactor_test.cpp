@@ -1,0 +1,219 @@
+// Multi-reactor wire path tests: a net::server running N event loops
+// (server_config::reactors), each owning a disjoint contiguous shard
+// slice, with accepted connections distributed round-robin.  Covers:
+//   * answer equivalence at 4 reactors — batches partitioned per key to
+//     their owning reactor and folded back must answer exactly like the
+//     single-loop server and a direct store;
+//   * the shutdown fan-out regression: request_stop() must wake *every*
+//     reactor, including ones whose only connections are idle or parked
+//     mid-frame — a stop that only woke reactor 0 deadlocks the join;
+//   * control-plane ops (STATS/MAINTAIN/SNAPSHOT) executing on reactor 0
+//     under the stop-the-world barrier while data traffic flows;
+//   * reactor-count clamping (more reactors than shards).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "store/store.h"
+#include "util/xorwow.h"
+
+using namespace gf;
+
+namespace {
+
+store::store_config shard_config(uint32_t shards = 8) {
+  store::store_config cfg;
+  cfg.backend = store::backend_kind::tcf;
+  cfg.num_shards = shards;
+  cfg.capacity = 1 << 16;
+  return cfg;
+}
+
+struct live_server {
+  net::server srv;
+  std::thread loop;
+
+  live_server(net::server_config cfg, store::filter_store st)
+      : srv(std::move(cfg), std::move(st)), loop([this] { srv.run(); }) {}
+  ~live_server() {
+    srv.request_stop();
+    if (loop.joinable()) loop.join();
+  }
+
+  net::client connect() { return net::client("127.0.0.1", srv.port()); }
+};
+
+net::server_config reactor_config(uint32_t reactors) {
+  net::server_config cfg;
+  cfg.reactors = reactors;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(NetReactor, FourReactorEquivalence) {
+  auto scfg = shard_config();
+  live_server ls{reactor_config(4), store::filter_store(scfg)};
+  store::filter_store direct(scfg);
+  auto cli = ls.connect();
+
+  auto keys = util::hashed_xorwow_items(20000, 23);
+  std::span<const uint64_t> span(keys);
+  for (size_t off = 0; off < keys.size(); off += 4096) {
+    auto chunk = span.subspan(off, std::min<size_t>(4096, keys.size() - off));
+    const auto wire = cli.insert(chunk);
+    std::vector<uint64_t> copy(chunk.begin(), chunk.end());
+    const uint64_t direct_ok = direct.insert_bulk(copy);
+    EXPECT_EQ(wire.ok, direct_ok);
+  }
+
+  // Membership: the wire bitmap must agree with the direct store per key
+  // (both sides saw the identical stream, partitioned or not).
+  auto probes = util::hashed_xorwow_items(30000, 57);
+  for (size_t i = 0; i < keys.size(); i += 3) probes.push_back(keys[i]);
+  const auto bitmap =
+      cli.query_bitmap(std::span<const uint64_t>(probes));
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const bool wire_hit = (bitmap[i >> 6] >> (i & 63)) & 1;
+    EXPECT_EQ(wire_hit, direct.contains(probes[i])) << "probe " << i;
+  }
+
+  // Counts fold back from up to four owners into one positional vector.
+  const auto wire_counts =
+      cli.counts(std::span<const uint64_t>(probes).subspan(0, 2048));
+  for (size_t i = 0; i < 2048; ++i)
+    EXPECT_EQ(wire_counts[i], direct.count(probes[i])) << "count " << i;
+
+  // Erase a slice and re-check.
+  auto victims = std::span<const uint64_t>(keys).subspan(0, 5000);
+  const auto wire_erase = cli.erase(victims);
+  std::vector<store::op> ops;
+  for (uint64_t k : victims) ops.push_back(store::make_erase(k));
+  const auto direct_erase = direct.apply(ops);
+  EXPECT_EQ(wire_erase.ok, direct_erase.erased);
+  EXPECT_EQ(wire_erase.failed, direct_erase.erase_missing);
+}
+
+TEST(NetReactor, ControlPlaneUnderTraffic) {
+  live_server ls{reactor_config(4), store::filter_store(shard_config())};
+
+  // Background data traffic across several connections (round-robin lands
+  // them on different reactors) while control ops stop the world.
+  std::atomic<bool> stop{false};
+  std::thread pounder([&] {
+    auto cli = ls.connect();
+    auto keys = util::hashed_xorwow_items(512, 91);
+    while (!stop.load(std::memory_order_relaxed)) {
+      cli.insert(std::span<const uint64_t>(keys));
+      cli.query_bitmap(std::span<const uint64_t>(keys));
+    }
+  });
+
+  auto cli = ls.connect();
+  for (int i = 0; i < 10; ++i) {
+    const std::string js = cli.stats_json();
+    EXPECT_NE(js.find("\"reactors\":4"), std::string::npos);
+    const auto m = cli.maintain();
+    (void)m;
+    cli.ping();
+  }
+  const std::string metrics = cli.metrics_text();
+  EXPECT_NE(metrics.find("gf_reactor_handoffs_total"), std::string::npos);
+  stop.store(true, std::memory_order_relaxed);
+  pounder.join();
+}
+
+TEST(NetReactor, SnapshotOnReactorZero) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "gf_reactor_snapshot_test.gfsnap";
+  std::remove(path.c_str());
+  net::server_config cfg = reactor_config(4);
+  cfg.snapshot_path = path;
+  live_server ls{std::move(cfg), store::filter_store(shard_config())};
+  auto cli = ls.connect();
+  auto keys = util::hashed_xorwow_items(4096, 7);
+  cli.insert(std::span<const uint64_t>(keys));
+  const uint64_t bytes = cli.snapshot();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+}
+
+TEST(NetReactor, ReactorCountClampsToShards) {
+  // 2 shards cannot feed 8 reactors: the server must clamp, not crash,
+  // and still answer correctly.
+  live_server ls{reactor_config(8), store::filter_store(shard_config(2))};
+  auto cli = ls.connect();
+  auto keys = util::hashed_xorwow_items(2000, 3);
+  const auto r = cli.insert(std::span<const uint64_t>(keys));
+  EXPECT_GT(r.ok, 0u);
+  uint64_t hits = 0;
+  cli.query_bitmap(std::span<const uint64_t>(keys), &hits);
+  EXPECT_EQ(hits, keys.size());
+}
+
+// The regression this file exists for: stopping a multi-reactor server
+// whose reactors are blocked in poll() with nothing but idle (or
+// half-written) connections.  A request_stop() that only wakes one loop
+// leaves the others parked forever and the join below never returns.
+TEST(NetReactor, StopWakesEveryReactorIdleConnections) {
+  auto ls = std::make_unique<live_server>(reactor_config(4),
+                                          store::filter_store(shard_config()));
+  // Enough raw connections that round-robin puts at least one on every
+  // reactor; none of them ever sends a byte.
+  std::vector<net::socket_fd> idle;
+  for (int i = 0; i < 8; ++i)
+    idle.push_back(net::tcp_connect("127.0.0.1", ls->srv.port()));
+  // One more parked mid-frame: a valid length prefix, then silence — the
+  // owning reactor has consumed bytes and is waiting for the rest.
+  net::socket_fd partial = net::tcp_connect("127.0.0.1", ls->srv.port());
+  std::vector<uint8_t> req;
+  net::encode_control_request(net::opcode::ping, 1).swap(req);
+  ASSERT_GT(req.size(), 4u);
+  ASSERT_TRUE(net::send_all(partial.get(), req.data(), req.size() / 2));
+  // Give the reactors a moment to adopt the handed-off fds so the stop
+  // path races against genuinely-parked loops, not empty ones.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::atomic<bool> joined{false};
+  std::thread watchdog([&] {
+    for (int i = 0; i < 100 && !joined.load(); ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!joined.load()) {
+      fprintf(stderr, "FATAL: multi-reactor stop deadlocked\n");
+      fflush(stderr);
+      std::abort();
+    }
+  });
+  ls.reset();  // request_stop() + join inside ~live_server
+  joined.store(true);
+  watchdog.join();
+  SUCCEED();
+}
+
+TEST(NetReactor, StopStartCycleRepeats) {
+  // run()/request_stop() must be reusable: stale stop flags or wake-pipe
+  // bytes from round N must not leak into round N+1.
+  net::server srv(reactor_config(4), store::filter_store(shard_config()));
+  for (int round = 0; round < 3; ++round) {
+    std::thread loop([&] { srv.run(); });
+    {
+      net::client cli("127.0.0.1", srv.port());
+      auto keys = util::hashed_xorwow_items(256, 10 + round);
+      const auto r = cli.insert(std::span<const uint64_t>(keys));
+      EXPECT_GT(r.ok, 0u);
+    }
+    srv.request_stop();
+    loop.join();
+  }
+}

@@ -68,11 +68,15 @@ struct live_server {
       : srv(std::move(cfg), std::move(st)) {
     loop = std::thread([this] { srv.run(); });
   }
-  /// Replica form: adopt the feed before the loop starts.
+  /// Replica form: adopt the feed before the loop starts.  Lane-aware:
+  /// a multi-reactor primary's snapshot carries a lane table in
+  /// sr.lane_seqs (one entry, the plain repl_seq, when the primary runs
+  /// one reactor).
   live_server(store::filter_store st, net::sync_result&& sr,
               net::server_config cfg)
       : srv(std::move(cfg), std::move(st)) {
-    srv.attach_feed(std::move(sr.feed), std::move(sr.dec), sr.repl_seq + 1);
+    srv.attach_feed(std::move(sr.feed), std::move(sr.dec),
+                    std::span<const uint64_t>(sr.lane_seqs));
     loop = std::thread([this] { srv.run(); });
   }
   ~live_server() { stop(); }
@@ -453,4 +457,100 @@ TEST(NetReplication, ClientRefusesRawSyncSubmit) {
   auto cli = a.connect();
   EXPECT_THROW(cli.submit_control(net::opcode::sync), std::invalid_argument);
   cli.ping();  // nothing was sent; the connection is fine
+}
+
+// -- Multi-reactor primaries --------------------------------------------------
+
+TEST(NetReplication, MultiReactorPrimaryByteIdenticalReplica) {
+  // A 4-reactor primary stamps each reactor's applied slices on its own
+  // replication lane (net/lane.h).  A single-loop replica receives all
+  // four lanes over its one feed connection — lane table in the
+  // bootstrap, per-lane sequence tracking live — and must still end
+  // byte-identical: each shard's operation stream is exactly one lane's,
+  // in lane order.
+  net::server_config pcfg;
+  pcfg.reactors = 4;
+  pcfg.maintain_every = 16;  // force synthesized STW maintains mid-stream
+  auto cfg = small_config(store::backend_kind::tcf);
+  cfg.num_shards = 8;
+  live_server primary{store::filter_store(cfg), pcfg};
+  auto cli = primary.connect();
+
+  // History before the replica exists: the snapshot must carry the lane
+  // table alongside it.
+  auto base = util::hashed_xorwow_items(30000, 1901);
+  cli.insert(base);
+
+  live_server replica = make_replica(primary);
+  EXPECT_EQ(replica.srv.store().size(), primary.srv.store().size());
+
+  // Live phase across every mutating opcode, partitioned to all four
+  // reactors per batch.
+  auto fresh = util::hashed_xorwow_items(20000, 1902);
+  std::span<const uint64_t> fresh_span(fresh);
+  for (size_t lo = 0; lo < fresh.size(); lo += 4000)
+    cli.insert(fresh_span.subspan(lo, 4000));
+  std::vector<uint64_t> counts(2000);
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] = 1 + i % 3;
+  cli.insert_counted(fresh_span.subspan(0, 2000), counts);
+  cli.erase(std::span<const uint64_t>(base).subspan(0, 5000));
+  cli.maintain();  // explicit stop-the-world maintain, replicated ranged
+
+  ASSERT_TRUE(converged(primary, replica));
+
+  std::vector<uint64_t> probes = base;
+  probes.insert(probes.end(), fresh.begin(), fresh.end());
+  auto absent = util::hashed_xorwow_items(50000, 1903);
+  probes.insert(probes.end(), absent.begin(), absent.end());
+
+  auto rcli = replica.connect();
+  EXPECT_EQ(rcli.query_bitmap(probes), cli.query_bitmap(probes));
+  auto probe_counts = std::span<const uint64_t>(probes).subspan(20000, 20000);
+  EXPECT_EQ(rcli.counts(probe_counts), cli.counts(probe_counts));
+
+  replica.stop();
+  primary.stop();
+  EXPECT_EQ(store::serialize_store(replica.srv.store()),
+            store::serialize_store(primary.srv.store()));
+}
+
+TEST(NetReplication, MultiReactorReplicaChainsDownstream) {
+  // replica A of a 4-reactor primary chain-forwards the lane-stamped
+  // stream to replica B; all three converge to the same bytes.
+  net::server_config pcfg;
+  pcfg.reactors = 4;
+  auto cfg = small_config(store::backend_kind::tcf);
+  cfg.num_shards = 8;
+  live_server primary{store::filter_store(cfg), pcfg};
+  auto cli = primary.connect();
+  cli.insert(util::hashed_xorwow_items(8000, 1911));
+
+  live_server a = make_replica(primary);
+  live_server b = make_replica(a);
+
+  auto more = util::hashed_xorwow_items(12000, 1912);
+  std::span<const uint64_t> span(more);
+  for (size_t lo = 0; lo < more.size(); lo += 3000)
+    cli.insert(span.subspan(lo, 3000));
+
+  ASSERT_TRUE(converged(primary, a));
+  ASSERT_TRUE(converged(primary, b));
+  b.stop();
+  a.stop();
+  primary.stop();
+  const std::string bytes = store::serialize_store(primary.srv.store());
+  EXPECT_EQ(store::serialize_store(a.srv.store()), bytes);
+  EXPECT_EQ(store::serialize_store(b.srv.store()), bytes);
+}
+
+TEST(NetReplication, MultiReactorReplicaMustBeReadOnly) {
+  // A writable multi-reactor replica would stamp local lanes that collide
+  // with its feed's — the server refuses the configuration outright.
+  net::server_config cfg;
+  cfg.reactors = 4;
+  cfg.feed_addr = "127.0.0.1:1";  // never dialed; ctor must throw first
+  EXPECT_THROW(
+      net::server(std::move(cfg),
+                  store::filter_store(small_config(store::backend_kind::tcf))),
+      std::exception);
 }

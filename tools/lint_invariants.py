@@ -17,6 +17,13 @@ Checks enforced:
    oversized batch throws net::batch_too_large instead of silently
    truncating the count while the payload disagrees.
 
+3. mailbox-ownership: every cross-reactor mailbox operation in src/ — a
+   push into a reactor's inbox slot or a try_pop drain — must carry a
+   "lane:" ownership comment (same line or above, like the relaxed rule)
+   naming which thread is the single producer / single consumer of that
+   SPSC ring.  The mailboxes are lock-free only under that ownership
+   discipline, so every site states whose lane it runs on.
+
 Exit status: 0 clean, 1 violations (printed one per line as
 file:line: message).
 """
@@ -34,6 +41,12 @@ RELAXED_RE = re.compile(r"memory_order_relaxed")
 JUSTIFIED_RE = re.compile(r"relaxed:")
 NARROW_RE = re.compile(r"key_count\s*=\s*static_cast<uint32_t>\([^)]*\.size\(\)\)")
 CHECK_RE = re.compile(r"check_batch_size\s*\(")
+# Mailbox call sites: a push into some reactor's inbox slot, or any
+# try_pop drain.  Function *definitions* (bool try_pop(...), void
+# push(...)) are excluded — the rule covers operations, not signatures.
+MAILBOX_OP_RE = re.compile(r"inbox\w*\s*\[[^\]]*\]\s*->\s*push\s*\(|\btry_pop\s*\(")
+MAILBOX_DEFN_RE = re.compile(r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:bool|void)\s+\w+\s*\(")
+LANE_RE = re.compile(r"lane:")
 # A new function starts at an unindented definition line ("inline ...",
 # "class ...", templates, etc.) — good enough to scope the codec check.
 FUNC_START_RE = re.compile(r"^[a-zA-Z/]")
@@ -55,6 +68,23 @@ def check_relaxed(path: Path, lines: list[str], errors: list[str]) -> None:
         errors.append(
             f"{path.relative_to(REPO)}:{i + 1}: memory_order_relaxed without "
             f'a "relaxed:" justification comment (same line or above the run)'
+        )
+
+
+def check_mailbox_ownership(path: Path, lines: list[str],
+                            errors: list[str]) -> None:
+    for i, line in enumerate(lines):
+        if not MAILBOX_OP_RE.search(line) or MAILBOX_DEFN_RE.match(line):
+            continue
+        if LANE_RE.search(line):
+            continue
+        window = lines[max(0, i - LOOKBACK_LINES):i]
+        if any(LANE_RE.search(w) for w in window):
+            continue
+        errors.append(
+            f"{path.relative_to(REPO)}:{i + 1}: mailbox push/pop without a "
+            f'"lane:" ownership comment (same line or above) naming the '
+            f"single producer/consumer"
         )
 
 
@@ -82,6 +112,7 @@ def main() -> int:
             continue
         lines = path.read_text(encoding="utf-8").splitlines()
         check_relaxed(path, lines, errors)
+        check_mailbox_ownership(path, lines, errors)
 
     codec = REPO / "src" / "net" / "codec.h"
     check_codec_narrowing(codec, codec.read_text(encoding="utf-8").splitlines(),
